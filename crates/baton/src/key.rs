@@ -1,0 +1,127 @@
+//! Keys and key ranges of the BATON value domain.
+
+use std::fmt;
+
+/// A point in the BATON key domain. Index entries are placed by hashing
+/// their lookup name (table / column) or by mapping a value's numeric
+/// rank into the domain.
+pub type Key = u64;
+
+/// The exclusive upper end of the whole domain `[0, DOMAIN_MAX)`.
+pub const DOMAIN_MAX: Key = u64::MAX;
+
+/// Hash an arbitrary name into the key domain (FNV-1a, 64 bit). Used for
+/// the table and column indices, whose BATON key is a name (paper
+/// Table 2).
+pub fn hash_key(name: &str) -> Key {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Keep keys inside the half-open domain.
+    h % DOMAIN_MAX
+}
+
+/// A half-open key range `[lb, ub)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub lb: Key,
+    /// Exclusive upper bound.
+    pub ub: Key,
+}
+
+impl KeyRange {
+    /// Construct `[lb, ub)`. Panics if `lb > ub` (a bug, not an input
+    /// error — ranges are produced internally).
+    pub fn new(lb: Key, ub: Key) -> Self {
+        assert!(lb <= ub, "invalid key range [{lb}, {ub})");
+        KeyRange { lb, ub }
+    }
+
+    /// The whole domain.
+    pub fn full() -> Self {
+        KeyRange { lb: 0, ub: DOMAIN_MAX }
+    }
+
+    /// Is `k` inside the range?
+    pub fn contains(&self, k: Key) -> bool {
+        self.lb <= k && k < self.ub
+    }
+
+    /// Is the range empty?
+    pub fn is_empty(&self) -> bool {
+        self.lb == self.ub
+    }
+
+    /// Width of the range.
+    pub fn len(&self) -> u64 {
+        self.ub - self.lb
+    }
+
+    /// Does this range overlap `[lo, hi)`?
+    pub fn overlaps(&self, lo: Key, hi: Key) -> bool {
+        self.lb < hi && lo < self.ub
+    }
+
+    /// The midpoint (used for range splits when no data guides the split).
+    pub fn midpoint(&self) -> Key {
+        self.lb + self.len() / 2
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lb, self.ub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = KeyRange::new(10, 20);
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert!(KeyRange::new(5, 5).is_empty());
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let r = KeyRange::new(10, 20);
+        assert!(r.overlaps(15, 25));
+        assert!(r.overlaps(0, 11));
+        assert!(!r.overlaps(20, 30), "touching is not overlapping");
+        assert!(!r.overlaps(0, 10));
+        assert!(r.overlaps(0, u64::MAX));
+    }
+
+    #[test]
+    fn hash_key_is_stable_and_spread() {
+        assert_eq!(hash_key("lineitem"), hash_key("lineitem"));
+        assert_ne!(hash_key("lineitem"), hash_key("orders"));
+        // keys land inside the domain
+        assert!(KeyRange::full().contains(hash_key("lineitem")));
+    }
+
+    #[test]
+    fn midpoint_halves() {
+        assert_eq!(KeyRange::new(0, 100).midpoint(), 50);
+        assert_eq!(KeyRange::new(10, 11).midpoint(), 10);
+        let full = KeyRange::full();
+        assert!(full.contains(full.midpoint()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid key range")]
+    fn inverted_range_panics() {
+        let _ = KeyRange::new(5, 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! BATON: a balanced tree structure for peer-to-peer networks.
+//!
+//! BestPeer++ organizes its normal peers into the BATON overlay
+//! (Jagadish, Ooi, Vu — VLDB 2005; paper §4.3) and stores its table /
+//! column / range indices in it. This crate implements the overlay from
+//! scratch:
+//!
+//! - a balanced binary tree where **every** tree node is a peer, each
+//!   responsible for a key sub-range `R0` and (implicitly) the subtree
+//!   range `R1` ([`node::Node`]),
+//! - per-level routing tables (`log2 N` neighbors at positions `±2^i`),
+//!   adjacent links forming the in-order traversal, and parent/child
+//!   links,
+//! - `O(log N)` exact and range search routed **only** through a node's
+//!   local links (hop counts are returned so callers can verify and so
+//!   the simulator can charge network latency),
+//! - peer join (with range splitting at the accepting parent) and peer
+//!   departure (leaf merge / internal-node replacement by a leaf),
+//! - the two load-balancing schemes of the BATON paper: boundary shifts
+//!   between adjacent nodes, and global adjustment by relocating a
+//!   lightly-loaded leaf next to an overloaded node,
+//! - replication of index entries to adjacent nodes, standing in for the
+//!   two-tier partial replication strategy the paper adopts from
+//!   ecStore \[24\], with fail-over lookup and node recovery.
+//!
+//! The [`overlay::Overlay`] owns all node state in one process (peers are
+//! simulated); the routing logic is nonetheless strictly local — each
+//! step reads only the current node's links — and every operation reports
+//! how many messages (hops) it used, which the tests bound by `O(log N)`.
+
+pub mod key;
+pub mod node;
+pub mod overlay;
+
+pub use key::{hash_key, Key, KeyRange};
+pub use node::Node;
+pub use overlay::{Overlay, OverlayStats};

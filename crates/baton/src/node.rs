@@ -1,0 +1,143 @@
+//! Per-peer BATON node state.
+
+use std::collections::BTreeMap;
+
+use bestpeer_common::PeerId;
+
+use crate::key::{Key, KeyRange};
+
+/// The state one peer maintains as a member of the BATON tree.
+///
+/// Positions follow the BATON convention: the root is `(level 0, pos 1)`;
+/// the children of `(l, p)` are `(l+1, 2p−1)` (left) and `(l+1, 2p)`
+/// (right). The left routing table of `(l, p)` points at `(l, p − 2^i)`
+/// and the right one at `(l, p + 2^i)`.
+///
+/// `R0` (the node's own range) is stored in [`Node::range`]; `R1` (the
+/// subtree range) is an invariant of the structure — the union of ranges
+/// below a node is contiguous — and is recomputed on demand rather than
+/// stored, because join/leave never change an ancestor's subtree
+/// interval.
+#[derive(Debug, Clone)]
+pub struct Node<V> {
+    /// This peer's id.
+    pub id: PeerId,
+    /// Tree level (root = 0).
+    pub level: u32,
+    /// 1-based position within the level.
+    pub pos: u64,
+    /// Parent link (None at the root).
+    pub parent: Option<PeerId>,
+    /// Left child.
+    pub left_child: Option<PeerId>,
+    /// Right child.
+    pub right_child: Option<PeerId>,
+    /// In-order predecessor (left adjacent).
+    pub left_adj: Option<PeerId>,
+    /// In-order successor (right adjacent).
+    pub right_adj: Option<PeerId>,
+    /// The sub-domain `R0` this node is responsible for.
+    pub range: KeyRange,
+    /// Number of nodes in this node's subtree (including itself);
+    /// maintained along join/leave paths to guide balanced placement.
+    pub subtree_size: u64,
+    /// Index items stored at this node (all keys lie in `range`).
+    pub items: BTreeMap<Key, Vec<V>>,
+    /// Replicas of adjacent nodes' items, keyed by the owner peer
+    /// (the "slave replica" tier of two-tier partial replication).
+    pub replicas: BTreeMap<PeerId, BTreeMap<Key, Vec<V>>>,
+    /// True while the peer is crashed (fail-over in progress).
+    pub failed: bool,
+}
+
+impl<V> Node<V> {
+    /// A fresh node occupying `range` at the given tree position.
+    pub fn new(id: PeerId, level: u32, pos: u64, range: KeyRange) -> Self {
+        Node {
+            id,
+            level,
+            pos,
+            parent: None,
+            left_child: None,
+            right_child: None,
+            left_adj: None,
+            right_adj: None,
+            range,
+            subtree_size: 1,
+            items: BTreeMap::new(),
+            replicas: BTreeMap::new(),
+            failed: false,
+        }
+    }
+
+    /// Is this node a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.left_child.is_none() && self.right_child.is_none()
+    }
+
+    /// Number of stored index items (the node's load).
+    pub fn load(&self) -> u64 {
+        self.items.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// The tree position of the left routing neighbor `i` (distance
+    /// `2^i` to the left), if it is inside the level.
+    pub fn left_route_pos(&self, i: u32) -> Option<(u32, u64)> {
+        let d = 1u64.checked_shl(i)?;
+        if self.pos > d {
+            Some((self.level, self.pos - d))
+        } else {
+            None
+        }
+    }
+
+    /// The tree position of the right routing neighbor `i` (distance
+    /// `2^i` to the right), if it is inside the level.
+    pub fn right_route_pos(&self, i: u32) -> Option<(u32, u64)> {
+        let d = 1u64.checked_shl(i)?;
+        let p = self.pos.checked_add(d)?;
+        if self.level >= 63 {
+            return None;
+        }
+        if p <= (1u64 << self.level) {
+            Some((self.level, p))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_positions() {
+        let n: Node<()> = Node::new(PeerId::new(1), 3, 5, KeyRange::new(0, 10));
+        // level 3 holds positions 1..=8
+        assert_eq!(n.left_route_pos(0), Some((3, 4)));
+        assert_eq!(n.left_route_pos(1), Some((3, 3)));
+        assert_eq!(n.left_route_pos(2), Some((3, 1)));
+        assert_eq!(n.left_route_pos(3), None, "would leave the level");
+        assert_eq!(n.right_route_pos(0), Some((3, 6)));
+        assert_eq!(n.right_route_pos(1), Some((3, 7)));
+        assert_eq!(n.right_route_pos(2), None, "pos 9 > 8");
+    }
+
+    #[test]
+    fn root_has_no_left_neighbors() {
+        let n: Node<()> = Node::new(PeerId::new(1), 0, 1, KeyRange::full());
+        assert_eq!(n.left_route_pos(0), None);
+        assert_eq!(n.right_route_pos(0), None);
+        assert!(n.is_leaf());
+        assert_eq!(n.load(), 0);
+    }
+
+    #[test]
+    fn load_counts_all_values() {
+        let mut n: Node<u32> = Node::new(PeerId::new(1), 0, 1, KeyRange::full());
+        n.items.entry(5).or_default().extend([1, 2]);
+        n.items.entry(9).or_default().push(3);
+        assert_eq!(n.load(), 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 1 — the BATON interface: microbenchmarks of join/leave,
+//! exact search, range search, insert, and delete on the overlay.
+
+use bestpeer_baton::Overlay;
+use bestpeer_common::PeerId;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn overlay_of(n: u64) -> Overlay<u64> {
+    let mut o = Overlay::new(true);
+    for i in 0..n {
+        o.join(PeerId::new(i)).unwrap();
+    }
+    for k in 0..2_000u64 {
+        o.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k).unwrap();
+    }
+    o
+}
+
+fn bench_baton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_baton");
+    for n in [16u64, 64, 256] {
+        let mut o = overlay_of(n);
+        group.bench_function(format!("search_exact/{n}"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                black_box(o.search_exact(key).unwrap());
+            });
+        });
+        group.bench_function(format!("search_range/{n}"), |b| {
+            b.iter(|| {
+                black_box(
+                    o.search_range(u64::MAX / 4, u64::MAX / 4 + u64::MAX / 64).unwrap(),
+                );
+            });
+        });
+        group.bench_function(format!("insert/{n}"), |b| {
+            let mut k = 1u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E37_79B9);
+                black_box(o.insert(k, k).unwrap());
+            });
+        });
+    }
+    group.bench_function("join_leave/64", |b| {
+        b.iter_batched(
+            || overlay_of(64),
+            |mut o| {
+                o.join(PeerId::new(1_000)).unwrap();
+                o.leave(PeerId::new(1_000)).unwrap();
+                black_box(o.len());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baton);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Table 2 — the three index formats: peer-location microbenchmarks for
+//! the table, column, and range indices, with the cache on and off
+//! (the §5.2 caching ablation).
+
+use bestpeer_common::{PeerId, Row, Value};
+use bestpeer_core::indexer::{publish_peer, IndexOverlay, PeerLocator};
+use bestpeer_sql::parse_select;
+use bestpeer_storage::Database;
+use bestpeer_tpch::schema;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn network(n: u64) -> IndexOverlay {
+    let mut overlay = IndexOverlay::new(true);
+    for i in 0..n {
+        overlay.join(PeerId::new(i)).unwrap();
+    }
+    for i in 0..n {
+        let mut db = Database::new();
+        db.create_table(schema::orders()).unwrap();
+        for k in 0..20i64 {
+            db.insert(
+                "orders",
+                Row::new(vec![
+                    Value::Int(i as i64 * 1000 + k),
+                    Value::Int(k),
+                    Value::str("O"),
+                    Value::Float(10.0),
+                    Value::Date(9000),
+                    Value::Int(i as i64 % 25),
+                ]),
+            )
+            .unwrap();
+        }
+        publish_peer(
+            &mut overlay,
+            PeerId::new(i),
+            &db,
+            &[("orders".to_string(), "o_nationkey".to_string())],
+        )
+        .unwrap();
+    }
+    overlay
+}
+
+fn bench_indices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_indices");
+    let mut overlay = network(64);
+    let range_q =
+        parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 7").unwrap();
+    let column_q =
+        parse_select("SELECT o_orderkey FROM orders WHERE o_orderkey > 5").unwrap();
+    let table_q = parse_select("SELECT o_totalprice FROM orders").unwrap();
+
+    for (label, stmt) in
+        [("range_index", &range_q), ("column_index", &column_q), ("table_index", &table_q)]
+    {
+        group.bench_function(format!("{label}/cached"), |b| {
+            let mut loc = PeerLocator::new(true);
+            b.iter(|| {
+                black_box(loc.peers_for_table(&mut overlay, stmt, "orders").unwrap())
+            });
+        });
+        group.bench_function(format!("{label}/uncached"), |b| {
+            let mut loc = PeerLocator::new(false);
+            b.iter(|| {
+                black_box(loc.peers_for_table(&mut overlay, stmt, "orders").unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indices);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table 3 — the cost models: microbenchmarks of `C_basic`, `C_BP`,
+//! `C_MR`, processing-graph construction, and histogram estimation.
+
+use bestpeer_common::{ColumnDef, ColumnType, Row, TableSchema, Value};
+use bestpeer_core::cost::{
+    cost_basic, cost_mapreduce, cost_parallel_p2p, decide, CostParams, LevelOp, LevelSpec,
+    ProcessingGraph,
+};
+use bestpeer_core::histogram::{Histogram, QueryRegion};
+use bestpeer_storage::Table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn graph(levels: usize) -> ProcessingGraph {
+    ProcessingGraph {
+        levels: (0..levels)
+            .map(|i| LevelSpec {
+                op: LevelOp::Join,
+                table: format!("t{i}"),
+                size: 1.0e8,
+                partitions: 50.0,
+                selectivity: 1e-6,
+            })
+            .collect(),
+        driving_bytes: 1.0e8,
+    }
+}
+
+fn sample_table(rows: i64) -> Table {
+    let schema = TableSchema::new(
+        "t",
+        vec![ColumnDef::new("a", ColumnType::Int), ColumnDef::new("b", ColumnType::Int)],
+        vec![],
+    )
+    .unwrap();
+    let mut t = Table::new(schema);
+    for i in 0..rows {
+        t.insert(Row::new(vec![Value::Int(i % 977), Value::Int((i * 31) % 1009)])).unwrap();
+    }
+    t
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_cost");
+    let p = CostParams::default();
+    for levels in [1usize, 3, 5] {
+        let g = graph(levels);
+        group.bench_function(format!("decide/{levels}_levels"), |b| {
+            b.iter(|| black_box(decide(&p, &g)));
+        });
+    }
+    let g = graph(3);
+    group.bench_function("cost_parallel_p2p", |b| {
+        b.iter(|| black_box(cost_parallel_p2p(&p, &g)));
+    });
+    group.bench_function("cost_mapreduce", |b| {
+        b.iter(|| black_box(cost_mapreduce(&p, &g)));
+    });
+    group.bench_function("cost_basic", |b| {
+        b.iter(|| black_box(cost_basic(&p, 1.0e9)));
+    });
+
+    let table = sample_table(20_000);
+    group.bench_function("mhist_build/20k_rows_32_buckets", |b| {
+        b.iter(|| black_box(Histogram::build(&table, &["a", "b"], 32).unwrap()));
+    });
+    let hist = Histogram::build(&table, &["a", "b"], 32).unwrap();
+    let region = QueryRegion::unbounded(2).constrain(0, 100.0, 400.0);
+    group.bench_function("histogram_estimate", |b| {
+        b.iter(|| black_box(hist.estimated_count(&region)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Table 4 — secondary indices and data loading: microbenchmarks of the
+//! loading pipeline (bulk insert, Table 4 index builds, the
+//! Rabin-fingerprint snapshot differential) and of index-assisted versus
+//! full scans on the indexed columns.
+
+use bestpeer_sql::{execute_select, parse_select};
+use bestpeer_storage::{Database, Snapshot};
+use bestpeer_tpch::dbgen::{load_into, DbGen, TpchConfig};
+use bestpeer_tpch::schema;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn generated(rows: usize) -> std::collections::BTreeMap<String, Vec<bestpeer_common::Row>> {
+    DbGen::new(TpchConfig::tiny(0).with_rows(rows)).generate()
+}
+
+fn bench_loading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_loading");
+    group.sample_size(20);
+
+    let data = generated(6_000);
+    group.bench_function("load_with_table4_indices/6k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| {
+                let mut db = Database::new();
+                load_into(&mut db, &schema::all_tables(), d, true).unwrap();
+                black_box(db.total_rows());
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Snapshot differential: 6k rows with 1% churn.
+    let old_rows = data["lineitem"].clone();
+    let mut new_rows = old_rows.clone();
+    for i in (0..new_rows.len()).step_by(100) {
+        let mut vals = new_rows[i].clone().into_values();
+        vals[4] = bestpeer_common::Value::Int(99);
+        new_rows[i] = bestpeer_common::Row::new(vals);
+    }
+    group.bench_function("snapshot_diff/6k_rows_1pct_churn", |b| {
+        b.iter(|| {
+            let old = Snapshot::build(old_rows.clone());
+            let new = Snapshot::build(new_rows.clone());
+            black_box(old.diff(&new).len());
+        });
+    });
+
+    // Index-assisted vs full scan on a Table 4 column.
+    let mut db = Database::new();
+    load_into(&mut db, &schema::all_tables(), generated(6_000), true).unwrap();
+    let indexed =
+        parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1998-11-01'")
+            .unwrap();
+    let unindexed =
+        parse_select("SELECT l_orderkey FROM lineitem WHERE l_quantity = 17").unwrap();
+    group.bench_function("scan/indexed_l_shipdate", |b| {
+        b.iter(|| black_box(execute_select(&indexed, &db).unwrap().0.len()));
+    });
+    group.bench_function("scan/full_l_quantity", |b| {
+        b.iter(|| black_box(execute_select(&unindexed, &db).unwrap().0.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loading);
+criterion_main!(benches);

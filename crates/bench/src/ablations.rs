@@ -1,0 +1,190 @@
+//! Ablation benchmarks for the design choices DESIGN.md flags (⚑):
+//! bloom join, the index-entry cache, and the single-peer optimization.
+
+use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer_simnet::Cluster;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::{queries, schema};
+
+use crate::setup::{full_read_role, resource_config, BenchConfig};
+
+/// One ablation row: the toggled feature on vs. off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// What was toggled.
+    pub name: &'static str,
+    /// The metric reported.
+    pub metric: &'static str,
+    /// Metric with the feature enabled.
+    pub on: f64,
+    /// Metric with the feature disabled.
+    pub off: f64,
+}
+
+impl AblationRow {
+    /// `off / on` — the factor the feature buys.
+    pub fn factor(&self) -> f64 {
+        self.off / self.on.max(1e-12)
+    }
+}
+
+/// Bloom join ablation on a selective distributed join: network bytes
+/// and simulated latency with the filter on and off.
+pub fn ablate_bloom_join(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
+    let sql = "SELECT o_orderdate, l_quantity FROM orders, lineitem \
+               WHERE o_orderkey = l_orderkey AND o_orderdate > DATE '1998-06-01'";
+    let sim = Cluster::new(resource_config(bench));
+    let run = |bloom: bool| {
+        let mut net = BestPeerNetwork::new(
+            schema::all_tables(),
+            NetworkConfig { bloom_join: bloom, ..NetworkConfig::default() },
+        );
+        net.define_role(full_read_role());
+        for node in 0..n {
+            let id = net.join(&format!("b{node}")).unwrap();
+            let cfg = TpchConfig {
+                lineitem_rows: bench.rows_per_node,
+                seed: bench.seed,
+                node_index: node as u64,
+                nation: None,
+            };
+            net.load_peer(id, DbGen::new(cfg).generate(), 1).unwrap();
+        }
+        let submitter = net.peer_ids()[0];
+        let out = net.submit_query(submitter, sql, "R", EngineChoice::Basic, 0).unwrap();
+        (
+            out.trace.network_bytes() as f64,
+            sim.single_query_latency(&out.trace).as_secs_f64(),
+        )
+    };
+    let (bytes_on, lat_on) = run(true);
+    let (bytes_off, lat_off) = run(false);
+    vec![
+        AblationRow { name: "bloom join", metric: "network bytes", on: bytes_on, off: bytes_off },
+        AblationRow { name: "bloom join", metric: "latency (s)", on: lat_on, off: lat_off },
+    ]
+}
+
+/// Index-cache ablation: BATON routing hops for a warm workload of
+/// repeated peer lookups.
+pub fn ablate_index_cache(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
+    let run = |cache: bool| {
+        let mut net = BestPeerNetwork::new(
+            schema::all_tables(),
+            NetworkConfig { index_cache: cache, ..NetworkConfig::default() },
+        );
+        net.define_role(full_read_role());
+        for node in 0..n {
+            let id = net.join(&format!("b{node}")).unwrap();
+            let data = DbGen::new(
+                TpchConfig { lineitem_rows: bench.rows_per_node, seed: bench.seed, node_index: node as u64, nation: None },
+            )
+            .generate();
+            net.load_peer(id, data, 1).unwrap();
+        }
+        let submitter = net.peer_ids()[0];
+        let sim = Cluster::new(resource_config(bench));
+        // 20 repeated cheap queries: with the cache only the first pays
+        // routing hops.
+        let mut total = 0.0;
+        for _ in 0..20 {
+            let out = net
+                .submit_query(
+                    submitter,
+                    "SELECT COUNT(*) FROM supplier",
+                    "R",
+                    EngineChoice::Basic,
+                    0,
+                )
+                .unwrap();
+            total += sim.single_query_latency(&out.trace).as_secs_f64();
+        }
+        total
+    };
+    vec![AblationRow {
+        name: "index cache",
+        metric: "20-query latency (s)",
+        on: run(true),
+        off: run(false),
+    }]
+}
+
+/// Single-peer-optimization ablation on a nation-pinned query.
+pub fn ablate_single_peer(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
+    let run = |opt: bool| {
+        let range_cols: Vec<(String, String)> = schema::all_tables()
+            .iter()
+            .filter_map(|t| {
+                schema::nationkey_column(&t.name).map(|c| (t.name.clone(), c.to_owned()))
+            })
+            .collect();
+        let mut net = BestPeerNetwork::new(
+            schema::all_tables(),
+            NetworkConfig {
+                single_peer_opt: opt,
+                range_index_columns: range_cols,
+                ..NetworkConfig::default()
+            },
+        );
+        net.define_role(full_read_role());
+        for nation in 0..n {
+            let id = net.join(&format!("r{nation}")).unwrap();
+            let cfg = TpchConfig {
+                lineitem_rows: bench.rows_per_node,
+                seed: bench.seed,
+                node_index: nation as u64,
+                nation: Some(nation as i64),
+            };
+            net.load_peer(id, DbGen::new(cfg).generate(), 1).unwrap();
+        }
+        let submitter = net.peer_ids()[0];
+        let sim = Cluster::new(resource_config(bench));
+        let out = net
+            .submit_query(
+                submitter,
+                &queries::retailer_query((n - 1) as i64),
+                "R",
+                EngineChoice::Basic,
+                0,
+            )
+            .unwrap();
+        sim.single_query_latency(&out.trace).as_secs_f64()
+    };
+    vec![AblationRow {
+        name: "single-peer opt",
+        metric: "latency (s)",
+        on: run(true),
+        off: run(false),
+    }]
+}
+
+/// All ablations at one cluster size.
+pub fn run_all(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
+    let mut out = ablate_bloom_join(n, bench);
+    out.extend(ablate_index_cache(n, bench));
+    out.extend(ablate_single_peer(n, bench));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_feature_helps_its_metric() {
+        let bench = BenchConfig { rows_per_node: 1_500, seed: 5 };
+        for row in run_all(4, &bench) {
+            assert!(
+                row.factor() >= 1.0,
+                "{} should not hurt {}: on={} off={}",
+                row.name,
+                row.metric,
+                row.on,
+                row.off
+            );
+        }
+        // Bloom join specifically must cut network volume materially.
+        let bloom = &ablate_bloom_join(4, &bench)[0];
+        assert!(bloom.factor() > 1.3, "bloom factor {}", bloom.factor());
+    }
+}

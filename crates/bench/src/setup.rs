@@ -1,0 +1,103 @@
+//! Cluster construction shared by all benchmarks.
+
+use bestpeer_core::network::{BestPeerNetwork, NetworkConfig};
+use bestpeer_core::Role;
+use bestpeer_hadoopdb::HadoopDb;
+use bestpeer_mapreduce::MrConfig;
+use bestpeer_simnet::ResourceConfig;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::schema;
+
+/// Scale-down settings of a benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// `lineitem` rows generated per node. The paper's 1 GB/node is
+    /// ~6,000,000 rows; the default 6,000 is 0.1% of that.
+    pub rows_per_node: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { rows_per_node: 6_000, seed: 42 }
+    }
+}
+
+impl BenchConfig {
+    /// The byte-scale multiplier that restores the paper's 1 GB/node
+    /// volume in the simulator.
+    pub fn byte_scale(&self) -> f64 {
+        6_000_000.0 / self.rows_per_node as f64
+    }
+}
+
+/// Simulator rates of the paper's measured EC2 environment (§6.1.1),
+/// with the benchmark's byte scaling applied.
+pub fn resource_config(bench: &BenchConfig) -> ResourceConfig {
+    ResourceConfig { byte_scale: bench.byte_scale(), ..ResourceConfig::default() }
+}
+
+/// The full-read role `R` of the performance benchmark (§6.1.4).
+pub fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(&str, Vec<&str>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[&str])> =
+        spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &borrowed)
+}
+
+/// A BestPeer++ network of `n` peers, each loaded with one TPC-H
+/// partition and the Table 4 secondary indices, configured per §6.1.2.
+pub fn build_bestpeer(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
+    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    net.define_role(full_read_role());
+    for node in 0..n {
+        let id = net.join(&format!("business-{node}")).unwrap();
+        let cfg = TpchConfig {
+            lineitem_rows: bench.rows_per_node,
+            seed: bench.seed,
+            node_index: node as u64,
+            nation: None,
+        };
+        let data = DbGen::new(cfg).generate();
+        net.load_peer(id, data, 1).unwrap();
+        for (t, c) in schema::secondary_indices() {
+            net.peer_mut(id).unwrap().db.table_mut(t).unwrap().create_index(c).unwrap();
+        }
+    }
+    net
+}
+
+/// The HadoopDB baseline with the same data, indices, and the paper's
+/// Hadoop settings (replication 3, reducers = workers — §6.1.3).
+pub fn build_hadoopdb(n: usize, bench: &BenchConfig) -> HadoopDb {
+    let mut cluster = HadoopDb::new(n, MrConfig::default(), 3);
+    for s in schema::all_tables() {
+        cluster.create_table_everywhere(&s).unwrap();
+    }
+    for node in 0..n {
+        let cfg = TpchConfig {
+            lineitem_rows: bench.rows_per_node,
+            seed: bench.seed,
+            node_index: node as u64,
+            nation: None,
+        };
+        let data = DbGen::new(cfg).generate();
+        for (table, rows) in data {
+            cluster.load_worker(node, &table, rows).unwrap();
+        }
+    }
+    for (t, c) in schema::secondary_indices() {
+        cluster.create_index_everywhere(t, c).unwrap();
+    }
+    cluster
+}

@@ -1,0 +1,98 @@
+//! Pay-as-you-go accounting.
+//!
+//! "Companies ... pay for what they use in terms of BestPeer++ instance's
+//! hours and storage capacity" (paper §1). The ledger accrues
+//! instance-hours at each shape's hourly price, against virtual time.
+
+use std::collections::HashMap;
+
+use bestpeer_common::InstanceId;
+
+use crate::types::InstanceType;
+
+/// One tenant's running bill.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Open meters: instance -> (shape, started_at_micros).
+    open: HashMap<InstanceId, (InstanceType, u64)>,
+    /// Cents accrued by closed meters.
+    accrued_microcents: u128,
+}
+
+impl Ledger {
+    /// Fresh, empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Start metering `id` at `shape` from virtual time `now_us`.
+    pub fn start(&mut self, id: InstanceId, shape: InstanceType, now_us: u64) {
+        self.open.insert(id, (shape, now_us));
+    }
+
+    /// Stop metering `id` at `now_us`, folding its cost into the total.
+    pub fn stop(&mut self, id: InstanceId, now_us: u64) {
+        if let Some((shape, started)) = self.open.remove(&id) {
+            self.accrued_microcents += Self::cost_microcents(shape, started, now_us);
+        }
+    }
+
+    /// Switch `id` to a new shape at `now_us` (closes the old meter).
+    pub fn reshape(&mut self, id: InstanceId, shape: InstanceType, now_us: u64) {
+        self.stop(id, now_us);
+        self.start(id, shape, now_us);
+    }
+
+    /// Total cents owed as of `now_us`, including open meters.
+    pub fn total_cents(&self, now_us: u64) -> u64 {
+        let mut micro = self.accrued_microcents;
+        for (shape, started) in self.open.values() {
+            micro += Self::cost_microcents(*shape, *started, now_us);
+        }
+        (micro / 1_000_000) as u64
+    }
+
+    fn cost_microcents(shape: InstanceType, started_us: u64, now_us: u64) -> u128 {
+        let elapsed = u128::from(now_us.saturating_sub(started_us));
+        // cents/hour * µs elapsed -> microcents: rate * elapsed / 3.6e9 * 1e6
+        u128::from(shape.cents_per_hour) * elapsed / 3_600
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: u64 = 3_600_000_000;
+
+    #[test]
+    fn one_small_instance_hour() {
+        let mut l = Ledger::new();
+        l.start(InstanceId::new(1), InstanceType::M1_SMALL, 0);
+        assert_eq!(l.total_cents(HOUR), u64::from(InstanceType::M1_SMALL.cents_per_hour));
+    }
+
+    #[test]
+    fn stop_freezes_the_meter() {
+        let mut l = Ledger::new();
+        l.start(InstanceId::new(1), InstanceType::M1_SMALL, 0);
+        l.stop(InstanceId::new(1), HOUR);
+        assert_eq!(l.total_cents(10 * HOUR), 6);
+    }
+
+    #[test]
+    fn reshape_charges_each_shape_for_its_span() {
+        let mut l = Ledger::new();
+        l.start(InstanceId::new(1), InstanceType::M1_SMALL, 0);
+        l.reshape(InstanceId::new(1), InstanceType::M1_LARGE, HOUR);
+        // 1h small (6¢) + 1h large (24¢) = 30¢
+        assert_eq!(l.total_cents(2 * HOUR), 30);
+    }
+
+    #[test]
+    fn unknown_stop_is_harmless() {
+        let mut l = Ledger::new();
+        l.stop(InstanceId::new(9), HOUR);
+        assert_eq!(l.total_cents(HOUR), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The shared error type for all BestPeer++ crates.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type shared by every BestPeer++ component.
+///
+/// Variants are deliberately coarse: each carries a human-readable message
+/// describing the failure. Error construction is cheap and failure paths are
+/// cold, so `String` payloads are acceptable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A SQL string could not be tokenized or parsed.
+    Parse(String),
+    /// A query referenced a table, column, or index that does not exist,
+    /// or the catalog was asked to create a duplicate object.
+    Catalog(String),
+    /// A value had the wrong type for the operation applied to it.
+    Type(String),
+    /// A query plan could not be built or executed.
+    Plan(String),
+    /// An execution-time failure (constraint violation, overflow, ...).
+    Execution(String),
+    /// A peer, instance, or overlay node could not be reached or does not
+    /// exist in the network.
+    Network(String),
+    /// An access-control violation: the user holds no role granting the
+    /// requested privilege.
+    AccessDenied(String),
+    /// The query's snapshot timestamp is newer than a participant's data
+    /// (Definition 2 in the paper); the caller should resubmit.
+    StaleSnapshot(String),
+    /// The bootstrap peer rejected a membership operation.
+    Membership(String),
+    /// A cloud-adapter operation failed (launch, backup, restore, ...).
+    Cloud(String),
+    /// Malformed bytes encountered while decoding a wire message.
+    Codec(String),
+    /// An internal invariant was violated; indicates a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// The short machine-readable category name of this error.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Catalog(_) => "catalog",
+            Error::Type(_) => "type",
+            Error::Plan(_) => "plan",
+            Error::Execution(_) => "execution",
+            Error::Network(_) => "network",
+            Error::AccessDenied(_) => "access-denied",
+            Error::StaleSnapshot(_) => "stale-snapshot",
+            Error::Membership(_) => "membership",
+            Error::Cloud(_) => "cloud",
+            Error::Codec(_) => "codec",
+            Error::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by this error.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Parse(m)
+            | Error::Catalog(m)
+            | Error::Type(m)
+            | Error::Plan(m)
+            | Error::Execution(m)
+            | Error::Network(m)
+            | Error::AccessDenied(m)
+            | Error::StaleSnapshot(m)
+            | Error::Membership(m)
+            | Error::Cloud(m)
+            | Error::Codec(m)
+            | Error::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::Catalog("no such table `nation`".into());
+        assert_eq!(e.to_string(), "catalog error: no such table `nation`");
+        assert_eq!(e.kind(), "catalog");
+        assert_eq!(e.message(), "no such table `nation`");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            Error::Parse(String::new()),
+            Error::Catalog(String::new()),
+            Error::Type(String::new()),
+            Error::Plan(String::new()),
+            Error::Execution(String::new()),
+            Error::Network(String::new()),
+            Error::AccessDenied(String::new()),
+            Error::StaleSnapshot(String::new()),
+            Error::Membership(String::new()),
+            Error::Cloud(String::new()),
+            Error::Codec(String::new()),
+            Error::Internal(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

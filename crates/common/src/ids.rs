@@ -1,0 +1,76 @@
+//! Strongly-typed identifiers for peers, users, and cloud instances.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Construct from a raw numeric id.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw numeric id.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a normal peer (one participating business) in the
+    /// corporate network. The bootstrap peer is not a `PeerId` — it is a
+    /// singleton addressed separately.
+    PeerId,
+    "peer-"
+);
+
+id_type!(
+    /// Identifies a user account created by a local administrator at some
+    /// normal peer. User information is broadcast network-wide via the
+    /// bootstrap peer (paper §4.4).
+    UserId,
+    "user-"
+);
+
+id_type!(
+    /// Identifies a virtual server launched through the cloud adapter
+    /// (an "EC2 instance" in the paper's Amazon deployment).
+    InstanceId,
+    "i-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(PeerId::new(7).to_string(), "peer-7");
+        assert_eq!(UserId::new(3).to_string(), "user-3");
+        assert_eq!(InstanceId::new(42).to_string(), "i-42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(PeerId::new(1) < PeerId::new(2));
+        assert_eq!(PeerId::from(9).raw(), 9);
+    }
+}

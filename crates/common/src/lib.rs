@@ -1,0 +1,25 @@
+//! Common types shared by every BestPeer++ crate.
+//!
+//! This crate defines the vocabulary of the whole system: SQL values and
+//! rows ([`value::Value`], [`row::Row`]), relational schemas
+//! ([`schema::TableSchema`]), identifiers for peers and cloud instances
+//! ([`ids`]), the shared error type ([`error::Error`]), and a compact
+//! binary codec used to measure (and actually perform) tuple shipping
+//! between peers ([`codec`]).
+//!
+//! Everything here is deliberately dependency-light (only `bytes`) so the
+//! substrate crates (BATON overlay, storage engine, MapReduce engine, ...)
+//! can share types without pulling each other in.
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{InstanceId, PeerId, UserId};
+pub use row::Row;
+pub use schema::{ColumnDef, ColumnType, TableSchema};
+pub use value::Value;

@@ -1,0 +1,215 @@
+//! Relational schemas.
+//!
+//! BestPeer++ distinguishes the *global shared schema* of the corporate
+//! network from each business's *local schema* (paper §4.1). Both are
+//! described with the same [`TableSchema`] type; the mapping between them
+//! lives in `bestpeer-core::schema_mapping`.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Str,
+    /// Calendar date.
+    Date,
+}
+
+impl ColumnType {
+    /// Whether `v` is admissible in a column of this type. NULL is
+    /// admissible everywhere.
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Date, Value::Date(_))
+        )
+    }
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// The schema of one table: its name, columns, and primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, unique within a database / the global schema.
+    pub name: String,
+    /// Columns in storage order.
+    pub columns: Vec<ColumnDef>,
+    /// Indices (into `columns`) of the primary-key columns, in key order.
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Build a schema; validates that column names are unique and the
+    /// primary key refers to existing columns.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<usize>,
+    ) -> Result<Self> {
+        let name = name.into();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(Error::Catalog(format!(
+                    "duplicate column `{}` in table `{name}`",
+                    c.name
+                )));
+            }
+        }
+        for &k in &primary_key {
+            if k >= columns.len() {
+                return Err(Error::Catalog(format!(
+                    "primary key column index {k} out of range for table `{name}`"
+                )));
+            }
+        }
+        Ok(TableSchema { name, columns, primary_key })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolve a column name to its index.
+    pub fn column_index(&self, column: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == column)
+            .ok_or_else(|| {
+                Error::Catalog(format!("no column `{column}` in table `{}`", self.name))
+            })
+    }
+
+    /// All column names in order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// Check that a row matches this schema (arity and per-column types).
+    pub fn check_row(&self, row: &crate::row::Row) -> Result<()> {
+        if row.arity() != self.arity() {
+            return Err(Error::Type(format!(
+                "row arity {} does not match table `{}` arity {}",
+                row.arity(),
+                self.name,
+                self.arity()
+            )));
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            if !col.ty.admits(row.get(i)) {
+                return Err(Error::Type(format!(
+                    "value {:?} not admissible in column `{}.{}`",
+                    row.get(i),
+                    self.name,
+                    col.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the primary-key values of a row, in key order.
+    pub fn key_of(&self, row: &crate::row::Row) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| row.get(i).clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+
+    fn nation() -> TableSchema {
+        TableSchema::new(
+            "nation",
+            vec![
+                ColumnDef::new("n_nationkey", ColumnType::Int),
+                ColumnDef::new("n_name", ColumnType::Str),
+                ColumnDef::new("n_regionkey", ColumnType::Int),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Str),
+            ],
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "catalog");
+    }
+
+    #[test]
+    fn rejects_bad_primary_key() {
+        let err =
+            TableSchema::new("t", vec![ColumnDef::new("a", ColumnType::Int)], vec![3]).unwrap_err();
+        assert_eq!(err.kind(), "catalog");
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = nation();
+        assert_eq!(s.column_index("n_name").unwrap(), 1);
+        assert!(s.column_index("nope").is_err());
+        assert_eq!(s.column_names().collect::<Vec<_>>(), vec!["n_nationkey", "n_name", "n_regionkey"]);
+    }
+
+    #[test]
+    fn row_type_checking() {
+        let s = nation();
+        let good = Row::new(vec![Value::Int(1), Value::str("FRANCE"), Value::Int(3)]);
+        assert!(s.check_row(&good).is_ok());
+        let wrong_arity = Row::new(vec![Value::Int(1)]);
+        assert!(s.check_row(&wrong_arity).is_err());
+        let wrong_type = Row::new(vec![Value::str("x"), Value::str("FRANCE"), Value::Int(3)]);
+        assert!(s.check_row(&wrong_type).is_err());
+        let with_null = Row::new(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        assert!(s.check_row(&with_null).is_ok(), "NULL admissible everywhere");
+    }
+
+    #[test]
+    fn int_admissible_in_float_column() {
+        assert!(ColumnType::Float.admits(&Value::Int(7)));
+        assert!(!ColumnType::Int.admits(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn key_extraction() {
+        let s = nation();
+        let row = Row::new(vec![Value::Int(9), Value::str("X"), Value::Int(1)]);
+        assert_eq!(s.key_of(&row), vec![Value::Int(9)]);
+    }
+}

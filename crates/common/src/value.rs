@@ -1,0 +1,375 @@
+//! SQL values.
+//!
+//! [`Value`] is the dynamic value type flowing through the whole system:
+//! the storage engine stores rows of values, the SQL executor evaluates
+//! expressions over them, BATON range indices order them, and the wire
+//! codec ships them between peers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+
+/// A single dynamically-typed SQL value.
+///
+/// `Value` implements a *total* order (NULL sorts first, numeric values
+/// compare by magnitude across `Int`/`Float`, floats use IEEE total
+/// ordering) so that values can serve as B-tree index keys and BATON range
+/// keys without panics or incomparability surprises.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Also produced by access-control masking (paper §4.4).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float (SQL DOUBLE / DECIMAL stand-in).
+    Float(f64),
+    /// UTF-8 string (SQL CHAR/VARCHAR).
+    Str(String),
+    /// Calendar date, stored as days since 1970-01-01 (may be negative).
+    Date(i32),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Parse a `YYYY-MM-DD` literal into a [`Value::Date`].
+    pub fn date_from_str(s: &str) -> Result<Self> {
+        Ok(Value::Date(parse_date(s)?))
+    }
+
+    /// True iff this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The name of this value's runtime type (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Date(_) => "date",
+        }
+    }
+
+    /// Interpret this value as an `i64`, coercing floats by truncation.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Float(v) => Ok(*v as i64),
+            Value::Date(v) => Ok(i64::from(*v)),
+            other => Err(Error::Type(format!("expected int, found {}", other.type_name()))),
+        }
+    }
+
+    /// Interpret this value as an `f64`, coercing integers and dates.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(v) => Ok(*v as f64),
+            Value::Float(v) => Ok(*v),
+            Value::Date(v) => Ok(f64::from(*v)),
+            other => Err(Error::Type(format!("expected float, found {}", other.type_name()))),
+        }
+    }
+
+    /// Interpret this value as a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::Type(format!("expected string, found {}", other.type_name()))),
+        }
+    }
+
+    /// A *numeric rank* used to order values onto a one-dimensional axis
+    /// (BATON range keys, histogram bucket boundaries). Strings are ranked
+    /// by their first eight bytes, big-endian, which preserves lexicographic
+    /// order for the common prefix.
+    pub fn numeric_rank(&self) -> f64 {
+        match self {
+            Value::Null => f64::NEG_INFINITY,
+            Value::Int(v) => *v as f64,
+            Value::Float(v) => *v,
+            Value::Date(v) => f64::from(*v),
+            Value::Str(s) => {
+                let mut buf = [0u8; 8];
+                let n = s.len().min(8);
+                buf[..n].copy_from_slice(&s.as_bytes()[..n]);
+                u64::from_be_bytes(buf) as f64
+            }
+        }
+    }
+
+    /// Approximate in-memory / on-wire size of this value in bytes.
+    /// Used for the pay-as-you-go cost accounting (paper §5, `N` bytes).
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Date(_) => 4,
+            Value::Str(s) => 4 + s.len() as u64,
+        }
+    }
+
+    /// Add another value into this one (used by SUM aggregation). `Null`
+    /// inputs are ignored, matching SQL aggregate semantics.
+    pub fn checked_add(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, v) | (v, Value::Null) => Ok(v.clone()),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            (a, b) => Ok(Value::Float(a.as_f64()? + b.as_f64()?)),
+        }
+    }
+
+    /// Multiply two numeric values (used by expressions such as
+    /// `l_extendedprice * (1 - l_discount)`).
+    pub fn checked_mul(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            (a, b) => Ok(Value::Float(a.as_f64()? * b.as_f64()?)),
+        }
+    }
+
+    /// Subtract `other` from this value.
+    pub fn checked_sub(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            (a, b) => Ok(Value::Float(a.as_f64()? - b.as_f64()?)),
+        }
+    }
+
+    fn order_class(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Mixed numeric comparisons go through f64. This makes
+            // Int(3) == Float(3.0), which is what SQL expects.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Date(b)) => a.cmp(&i64::from(*b)),
+            (Date(a), Int(b)) => i64::from(*a).cmp(b),
+            (Float(a), Date(b)) => a.total_cmp(&f64::from(*b)),
+            (Date(a), Float(b)) => f64::from(*a).total_cmp(b),
+            _ => self.order_class().cmp(&other.order_class()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash ints and integral floats identically so that
+            // Int(3) == Float(3.0) implies equal hashes.
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Date(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => {
+                let (y, m, day) = civil_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{day:02}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Parse `YYYY-MM-DD` into days since the Unix epoch.
+pub fn parse_date(s: &str) -> Result<i32> {
+    let err = || Error::Parse(format!("invalid date literal `{s}` (expected YYYY-MM-DD)"));
+    let b: Vec<&str> = s.split('-').collect();
+    if b.len() != 3 {
+        return Err(err());
+    }
+    let y: i32 = b[0].parse().map_err(|_| err())?;
+    let m: u32 = b[1].parse().map_err(|_| err())?;
+    let d: u32 = b[2].parse().map_err(|_| err())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(err());
+    }
+    Ok(days_from_civil(y, m, d))
+}
+
+/// Days since 1970-01-01 for a Gregorian calendar date.
+/// Algorithm from Howard Hinnant's `chrono`-compatible civil calendar math.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March-based month [0, 11]
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i32 - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_round_trips() {
+        for &(y, m, d) in &[(1970, 1, 1), (1992, 2, 29), (1998, 11, 5), (2026, 7, 7), (1899, 12, 31)] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d), "date {y}-{m}-{d}");
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+    }
+
+    #[test]
+    fn date_parse_and_display() {
+        let v = Value::date_from_str("1998-11-05").unwrap();
+        assert_eq!(v.to_string(), "1998-11-05");
+        assert!(Value::date_from_str("1998-13-05").is_err());
+        assert!(Value::date_from_str("not-a-date").is_err());
+        assert!(Value::date_from_str("1998-11").is_err());
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = vec![Value::Int(3), Value::Null, Value::Float(-1.5), Value::str("abc")];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Float(-1.5));
+        assert_eq!(vals[2], Value::Int(3));
+        assert_eq!(vals[3], Value::str("abc"));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+        assert_eq!(Value::Date(10), Value::Int(10));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&Value::Int(42)), h(&Value::Float(42.0)));
+        assert_eq!(h(&Value::str("x")), h(&Value::str("x")));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).checked_add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).checked_mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Null.checked_add(&Value::Int(3)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(2).checked_sub(&Value::Int(3)).unwrap(), Value::Int(-1));
+        assert!(Value::str("a").checked_mul(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Null.byte_size(), 1);
+        assert_eq!(Value::Int(1).byte_size(), 8);
+        assert_eq!(Value::str("abcd").byte_size(), 8);
+    }
+
+    #[test]
+    fn numeric_rank_orders_strings_by_prefix() {
+        assert!(Value::str("apple").numeric_rank() < Value::str("banana").numeric_rank());
+        assert!(Value::Null.numeric_rank() < Value::Int(i64::MIN).numeric_rank());
+    }
+}

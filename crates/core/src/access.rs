@@ -1,0 +1,301 @@
+//! Distributed role-based access control (paper §4.4).
+//!
+//! Definition 1: a role is a set of triples `(column, privileges,
+//! range-condition)`. The service provider defines a standard role set
+//! when the corporate network is created; local administrators assign
+//! roles to users or derive new roles with three operators — inherit
+//! (`‘`), minus (`−`), and plus (`+`).
+//!
+//! Enforcement happens at the *data owner*: "the peer, upon receiving
+//! the request, will transform it based on the user's access role. The
+//! data that cannot be accessed will not be returned" — a column the
+//! role cannot read comes back as NULL, and a readable column with a
+//! range condition returns NULL outside the range.
+
+use bestpeer_common::{Error, Result, Row, Value};
+
+/// What a rule permits on its column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Privilege {
+    /// May read values.
+    pub read: bool,
+    /// May write values (the loader path; queries are read-only).
+    pub write: bool,
+}
+
+impl Privilege {
+    /// Read-only access.
+    pub const READ: Privilege = Privilege { read: true, write: false };
+    /// Read-write access.
+    pub const READ_WRITE: Privilege = Privilege { read: true, write: true };
+}
+
+/// One access rule `(c_i, p_j, d)` of Definition 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessRule {
+    /// Global table name.
+    pub table: String,
+    /// Column within the table.
+    pub column: String,
+    /// Granted privileges.
+    pub privileges: Privilege,
+    /// Optional inclusive value range the privilege is limited to
+    /// (`None` = all values). The paper's example grants read/write on
+    /// `lineitem.extendedprice` only within `[0, 100]`.
+    pub range: Option<(Value, Value)>,
+}
+
+impl AccessRule {
+    /// A read rule over the whole column.
+    pub fn read(table: impl Into<String>, column: impl Into<String>) -> Self {
+        AccessRule {
+            table: table.into(),
+            column: column.into(),
+            privileges: Privilege::READ,
+            range: None,
+        }
+    }
+
+    /// Restrict this rule to an inclusive value range.
+    pub fn with_range(mut self, lo: Value, hi: Value) -> Self {
+        self.range = Some((lo, hi));
+        self
+    }
+
+    /// Grant write as well.
+    pub fn read_write(mut self) -> Self {
+        self.privileges = Privilege::READ_WRITE;
+        self
+    }
+
+    fn admits(&self, v: &Value) -> bool {
+        match &self.range {
+            None => true,
+            Some((lo, hi)) => v >= lo && v <= hi,
+        }
+    }
+}
+
+/// A named role: a set of access rules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Role {
+    /// Role name (unique network-wide; defined at the bootstrap peer).
+    pub name: String,
+    /// The rules.
+    pub rules: Vec<AccessRule>,
+}
+
+impl Role {
+    /// An empty role.
+    pub fn new(name: impl Into<String>) -> Self {
+        Role { name: name.into(), rules: Vec::new() }
+    }
+
+    /// A role granting full read access to every column of `tables`
+    /// (the performance benchmark's unique role `R`, §6.1.4).
+    pub fn full_read(name: impl Into<String>, tables: &[(&str, &[&str])]) -> Self {
+        let mut role = Role::new(name);
+        for (t, cols) in tables {
+            for c in *cols {
+                role.rules.push(AccessRule::read(*t, *c));
+            }
+        }
+        role
+    }
+
+    /// The inherit operator `Role_i ‘ Role_j`: a new role with all of
+    /// this role's privileges.
+    pub fn inherit(&self, name: impl Into<String>) -> Role {
+        Role { name: name.into(), rules: self.rules.clone() }
+    }
+
+    /// The `+` operator: this role plus one extra rule.
+    pub fn plus(mut self, rule: AccessRule) -> Role {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The `−` operator: this role minus the exactly-matching rule.
+    /// Errors when the rule is not present (removing a privilege the
+    /// role never had is almost certainly an administrator mistake).
+    pub fn minus(mut self, rule: &AccessRule) -> Result<Role> {
+        let before = self.rules.len();
+        self.rules.retain(|r| r != rule);
+        if self.rules.len() == before {
+            return Err(Error::AccessDenied(format!(
+                "role `{}` has no rule on {}.{} to remove",
+                self.name, rule.table, rule.column
+            )));
+        }
+        Ok(self)
+    }
+
+    /// All rules covering `table.column` that grant `read`.
+    fn read_rules<'a>(
+        &'a self,
+        table: &'a str,
+        column: &'a str,
+    ) -> impl Iterator<Item = &'a AccessRule> + 'a {
+        self.rules.iter().filter(move |r| {
+            r.table == table && r.column == column && r.privileges.read
+        })
+    }
+
+    /// May the role read any value of `table.column`?
+    pub fn can_read(&self, table: &str, column: &str) -> bool {
+        self.read_rules(table, column).next().is_some()
+    }
+
+    /// May the role write `table.column`?
+    pub fn can_write(&self, table: &str, column: &str) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.table == table && r.column == column && r.privileges.write)
+    }
+
+    /// Mask one value of `table.column` per this role: NULL when the
+    /// role cannot read the column at all or the value falls outside
+    /// every granting rule's range.
+    pub fn mask_value(&self, table: &str, column: &str, v: &Value) -> Value {
+        for rule in self.read_rules(table, column) {
+            if rule.admits(v) {
+                return v.clone();
+            }
+        }
+        Value::Null
+    }
+
+    /// Rewrite a result fetched from `table` in place: every column is
+    /// masked per the role. `columns` are the (global) column names of
+    /// the rows.
+    pub fn mask_rows(&self, table: &str, columns: &[String], rows: &mut [Row]) {
+        // Precompute per-column handling to keep the row loop tight.
+        enum Col<'a> {
+            Open,
+            Deny,
+            Ranged(Vec<&'a AccessRule>),
+        }
+        let plan: Vec<Col<'_>> = columns
+            .iter()
+            .map(|c| {
+                let rules: Vec<&AccessRule> = self.read_rules(table, c).collect();
+                if rules.is_empty() {
+                    Col::Deny
+                } else if rules.iter().any(|r| r.range.is_none()) {
+                    Col::Open
+                } else {
+                    Col::Ranged(rules)
+                }
+            })
+            .collect();
+        for row in rows {
+            for (i, col) in plan.iter().enumerate() {
+                match col {
+                    Col::Open => {}
+                    Col::Deny => row.values_mut()[i] = Value::Null,
+                    Col::Ranged(rules) => {
+                        let v = &row.values_mut()[i];
+                        if !rules.iter().any(|r| r.admits(v)) {
+                            row.values_mut()[i] = Value::Null;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's example: Role_sales = {(lineitem.extendedprice,
+    /// read∧write, [0,100]), (lineitem.shipdate, read, null)}.
+    fn role_sales() -> Role {
+        Role::new("sales")
+            .plus(
+                AccessRule::read("lineitem", "l_extendedprice")
+                    .read_write()
+                    .with_range(Value::Float(0.0), Value::Float(100.0)),
+            )
+            .plus(AccessRule::read("lineitem", "l_shipdate"))
+    }
+
+    #[test]
+    fn paper_example_semantics() {
+        let r = role_sales();
+        assert!(r.can_read("lineitem", "l_shipdate"));
+        assert!(!r.can_write("lineitem", "l_shipdate"));
+        assert!(r.can_write("lineitem", "l_extendedprice"));
+        assert!(!r.can_read("lineitem", "l_quantity"));
+        // In-range value passes; out-of-range masked.
+        assert_eq!(
+            r.mask_value("lineitem", "l_extendedprice", &Value::Float(50.0)),
+            Value::Float(50.0)
+        );
+        assert_eq!(
+            r.mask_value("lineitem", "l_extendedprice", &Value::Float(250.0)),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn mask_rows_masks_inaccessible_columns() {
+        let r = role_sales();
+        let columns = vec![
+            "l_extendedprice".to_string(),
+            "l_shipdate".to_string(),
+            "l_quantity".to_string(),
+        ];
+        let mut rows = vec![
+            Row::new(vec![Value::Float(50.0), Value::Date(100), Value::Int(7)]),
+            Row::new(vec![Value::Float(500.0), Value::Date(200), Value::Int(9)]),
+        ];
+        r.mask_rows("lineitem", &columns, &mut rows);
+        assert_eq!(rows[0].get(0), &Value::Float(50.0));
+        assert_eq!(rows[0].get(2), &Value::Null, "no rule on l_quantity");
+        assert_eq!(rows[1].get(0), &Value::Null, "500 outside [0,100]");
+        assert_eq!(rows[1].get(1), &Value::Date(200), "shipdate fully readable");
+    }
+
+    #[test]
+    fn inherit_plus_minus() {
+        let base = role_sales();
+        let derived = base.inherit("sales-jr");
+        assert_eq!(derived.rules, base.rules);
+        assert_eq!(derived.name, "sales-jr");
+
+        let widened =
+            derived.clone().plus(AccessRule::read("lineitem", "l_quantity"));
+        assert!(widened.can_read("lineitem", "l_quantity"));
+
+        let shipdate_rule = AccessRule::read("lineitem", "l_shipdate");
+        let narrowed = widened.minus(&shipdate_rule).unwrap();
+        assert!(!narrowed.can_read("lineitem", "l_shipdate"));
+
+        // Removing a rule that is not present is an error.
+        assert!(derived.minus(&AccessRule::read("orders", "o_orderkey")).is_err());
+    }
+
+    #[test]
+    fn full_read_role_covers_tables() {
+        let r = Role::full_read("R", &[("nation", &["n_nationkey", "n_name"])]);
+        assert!(r.can_read("nation", "n_name"));
+        assert!(!r.can_write("nation", "n_name"));
+        assert!(!r.can_read("region", "r_name"));
+    }
+
+    #[test]
+    fn overlapping_ranged_rules_union() {
+        let r = Role::new("u")
+            .plus(
+                AccessRule::read("t", "c").with_range(Value::Int(0), Value::Int(10)),
+            )
+            .plus(
+                AccessRule::read("t", "c").with_range(Value::Int(100), Value::Int(110)),
+            );
+        assert_eq!(r.mask_value("t", "c", &Value::Int(5)), Value::Int(5));
+        assert_eq!(r.mask_value("t", "c", &Value::Int(105)), Value::Int(105));
+        assert_eq!(r.mask_value("t", "c", &Value::Int(50)), Value::Null);
+    }
+}

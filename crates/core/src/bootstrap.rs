@@ -1,0 +1,448 @@
+//! The bootstrap peer (paper §3).
+//!
+//! Run by the BestPeer++ service provider; a network has exactly one.
+//! It is the entry point (join/departure, §3.1), the central metadata
+//! repository (global schema, peer list, role definitions, broadcast
+//! user registry, §2.2), the certificate authority, and the daemon that
+//! monitors normal peers and schedules auto fail-over and auto-scaling
+//! events (Algorithm 1, §3.2).
+
+use std::collections::BTreeMap;
+
+use bestpeer_cloud::{CloudProvider, InstanceType};
+use bestpeer_common::{Error, InstanceId, PeerId, Result, TableSchema, UserId};
+use bestpeer_storage::Database;
+
+use crate::access::Role;
+use crate::ca::{Certificate, CertificateAuthority};
+use crate::peer::NormalPeer;
+
+/// Peer-list record kept by the bootstrap peer.
+#[derive(Debug, Clone)]
+pub struct PeerRecord {
+    /// The peer id.
+    pub peer: PeerId,
+    /// The owning business.
+    pub business: String,
+    /// The instance currently hosting the peer.
+    pub instance: InstanceId,
+    /// The issued certificate.
+    pub cert: Certificate,
+}
+
+/// Why an instance landed on the blacklist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlacklistReason {
+    /// The peer departed voluntarily.
+    Departed,
+    /// The instance crashed and was failed-over.
+    FailedOver,
+}
+
+/// A maintenance event produced by Algorithm 1 (observable log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintenanceEvent {
+    /// A crashed peer was failed over to a fresh instance.
+    FailOver {
+        /// The affected peer.
+        peer: PeerId,
+        /// The dead instance.
+        old_instance: InstanceId,
+        /// Its replacement.
+        new_instance: InstanceId,
+    },
+    /// An overloaded peer was upgraded to a larger instance.
+    AutoScale {
+        /// The affected peer.
+        peer: PeerId,
+        /// The new shape.
+        shape: InstanceType,
+    },
+    /// Blacklisted resources were released.
+    Released {
+        /// How many instances were terminated.
+        instances: usize,
+    },
+}
+
+/// User-registry entry: created at one peer, broadcast everywhere
+/// (paper §4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserRecord {
+    /// The user id.
+    pub user: UserId,
+    /// Login name.
+    pub name: String,
+    /// The peer whose local administrator created the account.
+    pub home_peer: PeerId,
+}
+
+/// The bootstrap peer state.
+#[derive(Debug)]
+pub struct BootstrapPeer {
+    ca: CertificateAuthority,
+    global_schemas: Vec<TableSchema>,
+    roles: BTreeMap<String, Role>,
+    peer_list: BTreeMap<PeerId, PeerRecord>,
+    blacklist: Vec<(PeerId, InstanceId, BlacklistReason)>,
+    users: BTreeMap<UserId, UserRecord>,
+    next_peer: u64,
+    next_user: u64,
+    /// CPU-utilization threshold that triggers auto-scaling.
+    pub scale_cpu_threshold: f64,
+    /// Storage-utilization threshold that triggers auto-scaling.
+    pub scale_storage_threshold: f64,
+    events: Vec<MaintenanceEvent>,
+}
+
+impl BootstrapPeer {
+    /// Create the network's bootstrap peer with the shared global
+    /// schema and a CA secret.
+    pub fn new(global_schemas: Vec<TableSchema>, ca_secret: u64) -> Self {
+        BootstrapPeer {
+            ca: CertificateAuthority::new(ca_secret),
+            global_schemas,
+            roles: BTreeMap::new(),
+            peer_list: BTreeMap::new(),
+            blacklist: Vec::new(),
+            users: BTreeMap::new(),
+            next_peer: 0,
+            next_user: 0,
+            scale_cpu_threshold: 0.85,
+            scale_storage_threshold: 0.85,
+            events: Vec::new(),
+        }
+    }
+
+    /// The shared global schema.
+    pub fn global_schemas(&self) -> &[TableSchema] {
+        &self.global_schemas
+    }
+
+    /// Define (or replace) a standard role. "When setting up a new
+    /// corporate network, the service provider defines a standard set of
+    /// roles" (§4.4).
+    pub fn define_role(&mut self, role: Role) {
+        self.roles.insert(role.name.clone(), role);
+    }
+
+    /// Look up a role definition.
+    pub fn role(&self, name: &str) -> Result<&Role> {
+        self.roles
+            .get(name)
+            .ok_or_else(|| Error::AccessDenied(format!("no role `{name}` defined")))
+    }
+
+    /// All defined role names.
+    pub fn role_names(&self) -> impl Iterator<Item = &str> {
+        self.roles.keys().map(String::as_str)
+    }
+
+    /// Current peer list.
+    pub fn peers(&self) -> impl Iterator<Item = &PeerRecord> {
+        self.peer_list.values()
+    }
+
+    /// Number of admitted peers.
+    pub fn peer_count(&self) -> usize {
+        self.peer_list.len()
+    }
+
+    /// Maintenance event log (Algorithm 1 activity).
+    pub fn events(&self) -> &[MaintenanceEvent] {
+        &self.events
+    }
+
+    /// Admit a new business: launch its dedicated instance, issue a
+    /// certificate, and enter it into the peer list (§3.1). The joined
+    /// peer receives "the current participants, global schema, role
+    /// definitions, and an issued certificate" — returned here as the
+    /// constructed [`NormalPeer`].
+    pub fn admit<C>(&mut self, business: &str, cloud: &mut C) -> Result<NormalPeer>
+    where
+        C: CloudProvider<Snapshot = Database>,
+    {
+        if self.peer_list.values().any(|r| r.business == business) {
+            return Err(Error::Membership(format!(
+                "business `{business}` already participates"
+            )));
+        }
+        let peer = PeerId::new(self.next_peer);
+        self.next_peer += 1;
+        let instance = cloud.launch_instance(InstanceType::M1_SMALL)?;
+        let cert = self.ca.issue(peer);
+        self.peer_list.insert(
+            peer,
+            PeerRecord { peer, business: business.to_owned(), instance, cert },
+        );
+        let mut normal = NormalPeer::new(peer, business, instance);
+        normal.cert = Some(cert);
+        for schema in &self.global_schemas {
+            normal.db.create_table(schema.clone())?;
+        }
+        Ok(normal)
+    }
+
+    /// Handle a voluntary departure (§3.1): blacklist the peer,
+    /// invalidate its certificate, and drop it from the peer list.
+    /// Resources are reclaimed at the end of the next maintenance epoch.
+    pub fn depart(&mut self, peer: PeerId) -> Result<()> {
+        let record = self
+            .peer_list
+            .remove(&peer)
+            .ok_or_else(|| Error::Membership(format!("{peer} is not a participant")))?;
+        self.ca.revoke(&record.cert);
+        self.blacklist.push((peer, record.instance, BlacklistReason::Departed));
+        Ok(())
+    }
+
+    /// Verify that a certificate was issued here and remains valid.
+    pub fn verify(&self, cert: &Certificate) -> Result<()> {
+        self.ca.verify(cert)
+    }
+
+    /// Register a user account created by a local administrator; the
+    /// record is "forwarded to the bootstrap peer and then broadcasted
+    /// to other normal peers" (§4.4).
+    pub fn register_user(&mut self, name: &str, home_peer: PeerId) -> Result<UserId> {
+        if !self.peer_list.contains_key(&home_peer) {
+            return Err(Error::Membership(format!("{home_peer} is not a participant")));
+        }
+        let user = UserId::new(self.next_user);
+        self.next_user += 1;
+        self.users
+            .insert(user, UserRecord { user, name: name.to_owned(), home_peer });
+        Ok(user)
+    }
+
+    /// The broadcast user registry.
+    pub fn users(&self) -> impl Iterator<Item = &UserRecord> {
+        self.users.values()
+    }
+
+    /// One epoch of the Algorithm 1 daemon: collect metrics for every
+    /// normal peer, fail over crashed ones (fresh instance + restore
+    /// from the latest backup), auto-scale overloaded ones, then release
+    /// blacklisted resources. Returns the events of this epoch; the
+    /// network layer relays them to participants (the "notify" step).
+    pub fn maintenance_tick<C>(
+        &mut self,
+        cloud: &mut C,
+        peers: &mut BTreeMap<PeerId, NormalPeer>,
+    ) -> Result<Vec<MaintenanceEvent>>
+    where
+        C: CloudProvider<Snapshot = Database>,
+    {
+        let mut epoch_events = Vec::new();
+        let ids: Vec<PeerId> = self.peer_list.keys().copied().collect();
+        for pid in ids {
+            let record = self.peer_list.get(&pid).expect("listed peer").clone();
+            let metrics = cloud.metrics(record.instance)?;
+            if !metrics.responsive {
+                // --- auto fail-over (Algorithm 1 lines 6–10) ---------
+                let new_instance = cloud.launch_instance(cloud.shape(record.instance)?)?;
+                let restored = match cloud.latest_backup(record.instance) {
+                    Some(b) => cloud.restore(b)?,
+                    None => {
+                        // No backup yet: start from an empty database
+                        // with the global schema.
+                        let mut db = Database::new();
+                        for s in &self.global_schemas {
+                            db.create_table(s.clone())?;
+                        }
+                        db
+                    }
+                };
+                if let Some(peer) = peers.get_mut(&pid) {
+                    peer.instance = new_instance;
+                    peer.db = restored;
+                }
+                self.blacklist.push((pid, record.instance, BlacklistReason::FailedOver));
+                self.peer_list.get_mut(&pid).expect("listed").instance = new_instance;
+                epoch_events.push(MaintenanceEvent::FailOver {
+                    peer: pid,
+                    old_instance: record.instance,
+                    new_instance,
+                });
+            } else if metrics.cpu_utilization > self.scale_cpu_threshold
+                || metrics.storage_used > self.scale_storage_threshold
+            {
+                // --- auto-scaling (Algorithm 1 lines 12–17) ----------
+                if let Some(bigger) = cloud.shape(record.instance)?.upgrade() {
+                    cloud.upgrade_instance(record.instance, bigger)?;
+                    epoch_events
+                        .push(MaintenanceEvent::AutoScale { peer: pid, shape: bigger });
+                }
+            }
+        }
+        // --- release blacklisted resources (line 18) -----------------
+        if !self.blacklist.is_empty() {
+            let n = self.blacklist.len();
+            for (_, instance, _) in self.blacklist.drain(..) {
+                // Terminations of already-dead instances are best-effort.
+                let _ = cloud.terminate_instance(instance);
+            }
+            epoch_events.push(MaintenanceEvent::Released { instances: n });
+        }
+        self.events.extend(epoch_events.iter().cloned());
+        Ok(epoch_events)
+    }
+
+    /// Back every peer's database up through the cloud adapter (the
+    /// RDS/EBS "four-minute window" cycle of §2.1).
+    pub fn backup_all<C>(
+        &self,
+        cloud: &mut C,
+        peers: &BTreeMap<PeerId, NormalPeer>,
+    ) -> Result<usize>
+    where
+        C: CloudProvider<Snapshot = Database>,
+    {
+        let mut n = 0;
+        for record in self.peer_list.values() {
+            if let Some(peer) = peers.get(&record.peer) {
+                cloud.backup(record.instance, peer.db.clone())?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_cloud::{InstanceMetrics, SimCloud};
+    use bestpeer_common::{ColumnDef, ColumnType, Row, Value};
+
+    fn schemas() -> Vec<TableSchema> {
+        vec![TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", ColumnType::Int)],
+            vec![0],
+        )
+        .unwrap()]
+    }
+
+    fn setup() -> (BootstrapPeer, SimCloud<Database>, BTreeMap<PeerId, NormalPeer>) {
+        let mut boot = BootstrapPeer::new(schemas(), 0xB00);
+        let mut cloud: SimCloud<Database> = SimCloud::new();
+        let mut peers = BTreeMap::new();
+        for name in ["acme", "globex"] {
+            let p = boot.admit(name, &mut cloud).unwrap();
+            peers.insert(p.id, p);
+        }
+        (boot, cloud, peers)
+    }
+
+    #[test]
+    fn admit_issues_cert_and_schema() {
+        let (boot, _, peers) = setup();
+        assert_eq!(boot.peer_count(), 2);
+        for p in peers.values() {
+            boot.verify(p.cert.as_ref().unwrap()).unwrap();
+            assert!(p.db.has_table("t"), "global schema provisioned");
+        }
+    }
+
+    #[test]
+    fn duplicate_business_rejected() {
+        let (mut boot, mut cloud, _) = setup();
+        assert!(boot.admit("acme", &mut cloud).is_err());
+    }
+
+    #[test]
+    fn departure_revokes_and_blacklists() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let (pid, cert) = {
+            let p = peers.values().next().unwrap();
+            (p.id, *p.cert.as_ref().unwrap())
+        };
+        boot.depart(pid).unwrap();
+        assert_eq!(boot.peer_count(), 1);
+        assert!(boot.verify(&cert).is_err(), "certificate invalidated");
+        // Resources reclaimed at the next epoch.
+        let before = cloud.running_count();
+        let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert!(events.iter().any(|e| matches!(e, MaintenanceEvent::Released { instances: 1 })));
+        assert_eq!(cloud.running_count(), before - 1);
+    }
+
+    #[test]
+    fn failover_restores_from_backup() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let pid = *peers.keys().next().unwrap();
+        // Load data and take a backup.
+        peers
+            .get_mut(&pid)
+            .unwrap()
+            .db
+            .insert("t", Row::new(vec![Value::Int(42)]))
+            .unwrap();
+        boot.backup_all(&mut cloud, &peers).unwrap();
+        // Crash the instance; simulate on-disk loss.
+        let old_instance = peers[&pid].instance;
+        cloud.inject_crash(old_instance).unwrap();
+        peers.get_mut(&pid).unwrap().db = Database::new();
+
+        let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        let failover = events
+            .iter()
+            .find(|e| matches!(e, MaintenanceEvent::FailOver { .. }))
+            .expect("failover event");
+        if let MaintenanceEvent::FailOver { peer, old_instance: o, new_instance } = failover {
+            assert_eq!(*peer, pid);
+            assert_eq!(*o, old_instance);
+            assert_ne!(*new_instance, old_instance);
+        }
+        // Data restored from the latest backup.
+        let restored = &peers[&pid].db;
+        assert_eq!(restored.table("t").unwrap().len(), 1);
+        // The dead instance was released in the same epoch.
+        assert!(events.iter().any(|e| matches!(e, MaintenanceEvent::Released { .. })));
+    }
+
+    #[test]
+    fn failover_without_backup_rebuilds_schema() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let pid = *peers.keys().next().unwrap();
+        cloud.inject_crash(peers[&pid].instance).unwrap();
+        boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert!(peers[&pid].db.has_table("t"));
+        assert_eq!(peers[&pid].db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn overload_triggers_auto_scaling() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let pid = *peers.keys().next().unwrap();
+        cloud
+            .set_metrics(
+                peers[&pid].instance,
+                InstanceMetrics { cpu_utilization: 0.99, storage_used: 0.2, responsive: true },
+            )
+            .unwrap();
+        let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MaintenanceEvent::AutoScale { shape: InstanceType::M1_LARGE, .. }
+        )));
+        assert_eq!(cloud.shape(peers[&pid].instance).unwrap(), InstanceType::M1_LARGE);
+        // A second overloaded epoch has nowhere to scale: no event.
+        let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert!(!events.iter().any(|e| matches!(e, MaintenanceEvent::AutoScale { .. })));
+    }
+
+    #[test]
+    fn roles_and_users_are_centrally_registered() {
+        let (mut boot, _, peers) = setup();
+        boot.define_role(Role::new("viewer"));
+        assert!(boot.role("viewer").is_ok());
+        assert!(boot.role("nope").is_err());
+        let pid = *peers.keys().next().unwrap();
+        let u = boot.register_user("alice", pid).unwrap();
+        assert_eq!(boot.users().count(), 1);
+        assert_eq!(boot.users().next().unwrap().user, u);
+        assert!(boot.register_user("bob", PeerId::new(999)).is_err());
+    }
+}

@@ -1,0 +1,388 @@
+//! The pay-as-you-go cost models (paper §5.2–§5.5, Table 3).
+//!
+//! Notation (Table 3): `α` and `β` are the per-byte cost ratios of local
+//! disk and network usage (`β_BP` for the P2P engine, `β_MR` for the
+//! MapReduce engine, which materializes intermediates in HDFS); `γ` is
+//! the cost of renting one processing node for a second; `μ` is the
+//! bytes/second one node processes; `φ` the constant per-job overhead of
+//! MapReduce; `t(T_i)` the number of partitions of table `T_i`; `S(T_i)`
+//! its size; `g(i)` the selectivity at level `i` of the processing graph
+//! (Definition 3); and `s(i) = Π_{j=L..i} S(T_j)·g(j)` the intermediate
+//! result size entering level `i−1`.
+//!
+//! Implemented equations:
+//! - basic engine:   `C_basic = (α+β)·N + γ·N/μ`          (Eqs. 1–2)
+//! - parallel P2P:   `C_BP = (α+β_BP) Σ_i t(T_i)·s(i)`    (Eqs. 6–8)
+//! - MapReduce:      `C_MR = (α+β_MR)[Σ_i s(i) + Σ_i S(T_i) + φ(L−1)]`
+//!                                                        (Eqs. 9–11)
+
+/// The runtime parameters of the cost models. These are "determined
+/// using a statistics module ... extended with a feedback-loop mechanism
+/// capable of adjusting the query parameter based on recently measured
+/// values" (§5.5) — see [`CostParams::feedback`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Per-byte cost ratio of local disk I/O (`α`).
+    pub alpha: f64,
+    /// Per-byte network ratio of the P2P engine (`β_BP`).
+    pub beta_bp: f64,
+    /// Per-byte network ratio of the MapReduce engine (`β_MR`); higher
+    /// than `β_BP` because intermediates are replicated into HDFS.
+    pub beta_mr: f64,
+    /// Cost of one node-second (`γ`).
+    pub gamma: f64,
+    /// Processing rate of one node in bytes/second (`μ`).
+    pub mu: f64,
+    /// Fixed MapReduce job overhead (`φ`), expressed in byte-equivalents
+    /// (seconds of overhead × `μ`).
+    pub phi: f64,
+    /// Per-node network rate in bytes/second (`ν`), used by the
+    /// latency-form estimators.
+    pub net_mu: f64,
+    /// Feedback correction on the P2P latency estimate (§5.5's
+    /// feedback loop sets this from measured runs; 1.0 = uncalibrated).
+    pub p2p_scale: f64,
+    /// Feedback correction on the MapReduce latency estimate.
+    pub mr_scale: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            alpha: 1.0,
+            beta_bp: 1.0,
+            beta_mr: 1.25,
+            gamma: 1.0,
+            // The paper's environment: ~90 MB/s per node (§6.1.1).
+            mu: 90.0e6,
+            // ~14 s of job start-up + shuffle-poll overhead.
+            phi: 14.0 * 90.0e6,
+            net_mu: 100.0e6,
+            p2p_scale: 1.0,
+            mr_scale: 1.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Exponential-moving-average feedback: fold a freshly measured
+    /// `(mu, phi)` pair into the parameters with smoothing factor
+    /// `w ∈ (0, 1]`.
+    pub fn feedback(&mut self, measured_mu: f64, measured_phi: f64, w: f64) {
+        let w = w.clamp(0.0, 1.0);
+        self.mu = (1.0 - w) * self.mu + w * measured_mu;
+        self.phi = (1.0 - w) * self.phi + w * measured_phi;
+    }
+}
+
+/// What a level of the processing graph computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelOp {
+    /// A join against one base table.
+    Join,
+    /// The GROUP BY level (`f(y) = 1` in Definition 3).
+    GroupBy,
+}
+
+/// One level of the processing graph (Definition 3), ordered from the
+/// deepest level `L` (index 0, which reads base data) toward level 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSpec {
+    /// What the level computes.
+    pub op: LevelOp,
+    /// The base table joined at this level (empty for GROUP BY).
+    pub table: String,
+    /// `S(T_i)` — the table's size in bytes (1 for GROUP BY: the
+    /// multiplicative identity, since grouping adds no base data).
+    pub size: f64,
+    /// `t(T_i)` — the number of partitions (peers) holding the table.
+    pub partitions: f64,
+    /// `g(i)` — the selectivity of the level.
+    pub selectivity: f64,
+}
+
+/// The processing graph of a query (Definition 3): `L = x + f(y)` levels
+/// for `x` joins and `f(y) ∈ {0,1}` for GROUP BY.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcessingGraph {
+    /// Levels from deepest (`L`, index 0) to level 1.
+    pub levels: Vec<LevelSpec>,
+    /// Qualified bytes of the driving table feeding the deepest level
+    /// (the `s(L+1)` input of the recurrences).
+    pub driving_bytes: f64,
+}
+
+impl ProcessingGraph {
+    /// Number of levels `L`.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The intermediate sizes `s(i)` per level:
+    /// `s(i) = Π_{j=L..i} S(T_j)·g(j)`, returned deepest-first.
+    pub fn intermediate_sizes(&self) -> Vec<f64> {
+        let mut acc = 1.0;
+        self.levels
+            .iter()
+            .map(|l| {
+                acc *= l.size * l.selectivity;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// `C_basic` (Eq. 2): the basic engine processes `n_bytes` at a single
+/// node: `(α+β)·N + γ·N/μ`.
+pub fn cost_basic(p: &CostParams, n_bytes: f64) -> f64 {
+    (p.alpha + p.beta_bp) * n_bytes + p.gamma * n_bytes / p.mu
+}
+
+/// `C_BP` (Eq. 8): the parallel P2P engine's replicated joins broadcast
+/// each intermediate to all `t(T_i)` partitions:
+/// `(α+β_BP) · Σ_i t(T_i) · Π_{j=L..i} S(T_j)·g(j)`.
+pub fn cost_parallel_p2p(p: &CostParams, g: &ProcessingGraph) -> f64 {
+    let s = g.intermediate_sizes();
+    let total: f64 = g
+        .levels
+        .iter()
+        .zip(&s)
+        .map(|(level, s_i)| level.partitions * s_i)
+        .sum();
+    (p.alpha + p.beta_bp) * total
+}
+
+/// `C_MR` (Eq. 11): the MapReduce engine shuffles each tuple once per
+/// level and pays `φ` per job:
+/// `(α+β_MR)·[Σ_i s(i) + Σ_i S(T_i) + φ·(L−1)]`.
+pub fn cost_mapreduce(p: &CostParams, g: &ProcessingGraph) -> f64 {
+    let s_sum: f64 = g.intermediate_sizes().iter().sum();
+    let base_sum: f64 = g.levels.iter().map(|l| l.size).sum();
+    let l = g.depth() as f64;
+    (p.alpha + p.beta_mr) * (s_sum + base_sum + p.phi * (l - 1.0).max(1.0))
+}
+
+/// Estimated wall-clock latency of the parallel P2P engine, in seconds.
+///
+/// Per level: every partition node ingests the *whole* broadcast
+/// intermediate (`s_prev`), scans its share of the base table, and
+/// broadcasts its output to all next-level nodes — so per-node egress is
+/// the full `s(i)` (Figure 4's replicated join). This is the latency
+/// counterpart of Eq. 8's total-cost form; the §5.5 feedback loop
+/// calibrates the residual constant via [`CostParams::p2p_scale`].
+pub fn latency_parallel_p2p(p: &CostParams, g: &ProcessingGraph) -> f64 {
+    let s = g.intermediate_sizes();
+    let mut prev = g.driving_bytes;
+    let mut lat = 0.0;
+    for (level, s_i) in g.levels.iter().zip(&s) {
+        let t = level.partitions.max(1.0);
+        lat += (prev + level.size / t + s_i) / p.mu + s_i / p.net_mu;
+        prev = *s_i;
+    }
+    lat * p.p2p_scale
+}
+
+/// Estimated wall-clock latency of the MapReduce engine, in seconds.
+///
+/// Each level is one job: the fixed start-up/poll overhead (`φ/μ`
+/// seconds), plus partitioned work — each of `t` nodes handles `1/t` of
+/// the inputs and shuffles its share exactly once (symmetric hash join,
+/// Figure 5), with HDFS triple-writing the output. The latency
+/// counterpart of Eq. 11, calibrated via [`CostParams::mr_scale`].
+pub fn latency_mapreduce(p: &CostParams, g: &ProcessingGraph) -> f64 {
+    let s = g.intermediate_sizes();
+    let startup_secs = p.phi / p.mu;
+    let mut prev = g.driving_bytes;
+    let mut lat = g.depth() as f64 * startup_secs;
+    for (level, s_i) in g.levels.iter().zip(&s) {
+        let t = level.partitions.max(1.0);
+        lat += (prev / t + level.size / t + 2.0 * s_i / t) / p.mu
+            + (3.0 * s_i / t) / p.net_mu;
+        prev = *s_i;
+    }
+    lat * p.mr_scale
+}
+
+/// The decision of the adaptive query planner (Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineDecision {
+    /// Estimated `C_BP`.
+    pub p2p_cost: f64,
+    /// Estimated `C_MR`.
+    pub mr_cost: f64,
+    /// True when the P2P engine is predicted cheaper.
+    pub choose_p2p: bool,
+}
+
+/// Compare the two engines on a processing graph (the core of
+/// Algorithm 2). The comparison uses the latency-form estimators —
+/// what the user experiences and what Figure 11 plots; the monetary
+/// Eqs. 8/11 remain available for pay-as-you-go billing.
+pub fn decide(p: &CostParams, g: &ProcessingGraph) -> EngineDecision {
+    let p2p_cost = latency_parallel_p2p(p, g);
+    let mr_cost = latency_mapreduce(p, g);
+    EngineDecision { p2p_cost, mr_cost, choose_p2p: p2p_cost <= mr_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join_level(size: f64, partitions: f64, selectivity: f64) -> LevelSpec {
+        LevelSpec { op: LevelOp::Join, table: "t".into(), size, partitions, selectivity }
+    }
+
+    /// A graph whose intermediate sizes are pinned to `s` values, over
+    /// `t` partitions per level, with `driving` bytes feeding level L.
+    fn graph_with_sizes(driving: f64, s: &[f64], t: f64) -> ProcessingGraph {
+        let mut prev = 1.0;
+        let levels = s
+            .iter()
+            .map(|&target| {
+                // selectivity chosen so size*sel*prev == target
+                let size = target; // use the target as the base size too
+                let sel = target / (prev * size);
+                prev = target;
+                join_level(size, t, sel)
+            })
+            .collect();
+        ProcessingGraph { levels, driving_bytes: driving }
+    }
+
+    #[test]
+    fn basic_cost_components() {
+        let p = CostParams { alpha: 1.0, beta_bp: 2.0, gamma: 3.0, mu: 10.0, ..Default::default() };
+        // (1+2)*100 + 3*100/10 = 330
+        assert_eq!(cost_basic(&p, 100.0), 330.0);
+    }
+
+    #[test]
+    fn intermediate_sizes_multiply() {
+        let g = ProcessingGraph {
+            levels: vec![join_level(100.0, 4.0, 0.1), join_level(50.0, 4.0, 0.2)],
+            driving_bytes: 1.0,
+        };
+        // s(L) = 100*0.1 = 10 ; s(L-1) = 10*50*0.2 = 100
+        assert_eq!(g.intermediate_sizes(), vec![10.0, 100.0]);
+    }
+
+    #[test]
+    fn monetary_costs_follow_equations() {
+        let p = CostParams { alpha: 1.0, beta_bp: 1.0, beta_mr: 1.0, phi: 5.0, ..Default::default() };
+        let g = ProcessingGraph {
+            levels: vec![join_level(100.0, 4.0, 0.1), join_level(50.0, 4.0, 0.2)],
+            driving_bytes: 1.0,
+        };
+        // C_BP = 2 * (4*10 + 4*100) = 880
+        assert_eq!(cost_parallel_p2p(&p, &g), 880.0);
+        // C_MR = 2 * (s-sum 110 + S-sum 150 + phi*(L-1)=5) = 530
+        assert_eq!(cost_mapreduce(&p, &g), 530.0);
+    }
+
+    #[test]
+    fn small_jobs_prefer_p2p() {
+        // Small intermediates: MapReduce's per-job start-up dominates.
+        let p = CostParams::default();
+        let g = graph_with_sizes(1.0e6, &[1.0e6, 1.0e6], 10.0);
+        let d = decide(&p, &g);
+        assert!(d.choose_p2p, "P2P should win on small jobs: {d:?}");
+    }
+
+    #[test]
+    fn large_deep_jobs_prefer_mapreduce() {
+        // Huge broadcast intermediates across three levels: the P2P
+        // engine ships (and re-processes) each one at every node, while
+        // MapReduce partitions them — the crossover of Figure 10/11.
+        let p = CostParams::default();
+        let g = graph_with_sizes(1.0e10, &[1.0e10, 1.0e10, 1.0e10], 50.0);
+        let d = decide(&p, &g);
+        assert!(!d.choose_p2p, "MapReduce should win on deep large jobs: {d:?}");
+    }
+
+    #[test]
+    fn crossover_moves_with_total_data() {
+        // Same topology, growing data volume (as the cluster grows in
+        // the benchmark, total data grows with it): the planner flips
+        // from P2P to MapReduce.
+        let p = CostParams::default();
+        let per_node = 6.0e7;
+        let graph = |nodes: f64| {
+            graph_with_sizes(per_node * nodes, &[per_node * nodes; 3], nodes)
+        };
+        let small = decide(&p, &graph(5.0));
+        let large = decide(&p, &graph(80.0));
+        assert!(small.choose_p2p, "small cluster: {small:?}");
+        assert!(!large.choose_p2p, "large cluster: {large:?}");
+    }
+
+    #[test]
+    fn mr_latency_grows_with_job_count() {
+        let p = CostParams::default();
+        let two = graph_with_sizes(1e6, &[1e6, 1e6], 4.0);
+        let three = graph_with_sizes(1e6, &[1e6, 1e6, 1e6], 4.0);
+        assert!(latency_mapreduce(&p, &three) > latency_mapreduce(&p, &two));
+        assert!(cost_mapreduce(&p, &three) > cost_mapreduce(&p, &two));
+    }
+
+    #[test]
+    fn p2p_latency_insensitive_to_partitions_mr_benefits() {
+        // More partitions barely change the P2P broadcast latency but
+        // divide MapReduce's per-node work.
+        let p = CostParams::default();
+        let g10 = graph_with_sizes(1e10, &[1e10, 1e10], 10.0);
+        let g50 = graph_with_sizes(1e10, &[1e10, 1e10], 50.0);
+        let p2p_ratio = latency_parallel_p2p(&p, &g10) / latency_parallel_p2p(&p, &g50);
+        let mr_ratio = latency_mapreduce(&p, &g10) / latency_mapreduce(&p, &g50);
+        assert!(p2p_ratio < 1.5, "p2p mostly flat in t: {p2p_ratio}");
+        assert!(mr_ratio > 1.5, "mr speeds up with t: {mr_ratio}");
+    }
+
+    #[test]
+    fn feedback_scales_shift_the_decision() {
+        let mut p = CostParams::default();
+        let g = graph_with_sizes(5.0e8, &[5.0e8, 5.0e8, 5.0e8], 20.0);
+        let before = decide(&p, &g);
+        // Feedback reporting that P2P runs 10x faster than estimated
+        // (and MR 3x slower) must flip an MR decision.
+        p.p2p_scale = 0.05;
+        p.mr_scale = 3.0;
+        let after = decide(&p, &g);
+        if !before.choose_p2p {
+            assert!(after.choose_p2p, "calibration flips the choice: {after:?}");
+        }
+    }
+
+    #[test]
+    fn feedback_converges_toward_measurements() {
+        let mut p = CostParams::default();
+        let mu0 = p.mu;
+        for _ in 0..50 {
+            p.feedback(42.0e6, 5.0e8, 0.3);
+        }
+        assert!((p.mu - 42.0e6).abs() < 1e5, "mu converged: {}", p.mu);
+        assert!(p.mu < mu0);
+        assert!((p.phi - 5.0e8).abs() < 1e7);
+    }
+
+    #[test]
+    fn groupby_level_uses_identity_size() {
+        let p = CostParams::default();
+        let g = ProcessingGraph {
+            levels: vec![
+                join_level(1e6, 4.0, 0.01),
+                LevelSpec {
+                    op: LevelOp::GroupBy,
+                    table: String::new(),
+                    size: 1.0,
+                    partitions: 4.0,
+                    selectivity: 0.1,
+                },
+            ],
+            driving_bytes: 1e6,
+        };
+        let sizes = g.intermediate_sizes();
+        assert_eq!(sizes[1], sizes[0] * 0.1);
+        assert!(cost_parallel_p2p(&p, &g) > 0.0);
+        assert!(latency_parallel_p2p(&p, &g) > 0.0);
+    }
+}

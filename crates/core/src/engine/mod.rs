@@ -1,0 +1,102 @@
+//! The pay-as-you-go query engines (paper §5).
+//!
+//! - [`basic`] — the default fetch-and-process strategy (§5.2) with the
+//!   bloom-join and single-peer optimizations; used for the frequent,
+//!   low-overhead corporate-network queries (Figures 6–10).
+//! - [`parallel`] — the parallel P2P strategy with replicated joins
+//!   (§5.3, processing graph of Definition 3).
+//! - [`mr`] — the MapReduce engine (§5.4), sharing the SMS-style
+//!   compiler with the HadoopDB baseline but reading from BestPeer++
+//!   instances with access control applied.
+//! - [`adaptive`] — Algorithm 2: estimate `C_BP` and `C_MR` from the
+//!   histograms and runtime parameters and run the cheaper engine.
+//! - [`online`] — distributed online aggregation (reference \[25\]):
+//!   progressive estimates with confidence intervals for long-running
+//!   aggregates.
+
+pub mod adaptive;
+pub mod basic;
+pub mod mr;
+pub mod online;
+pub mod parallel;
+
+use std::collections::BTreeMap;
+
+use bestpeer_common::{Error, PeerId, Result, TableSchema};
+use bestpeer_simnet::{Phase, SimTime, Task, Trace};
+use bestpeer_sql::ast::SelectStmt;
+use bestpeer_sql::exec::{ExecStats, ResultSet};
+
+use crate::access::Role;
+use crate::indexer::{IndexOverlay, PeerLocator};
+use crate::network::NetworkConfig;
+use crate::peer::NormalPeer;
+
+/// Everything an engine needs to process one query.
+pub struct EngineCtx<'a> {
+    /// The network's normal peers (engines only read their data).
+    pub peers: &'a BTreeMap<PeerId, NormalPeer>,
+    /// The BATON overlay holding the indices.
+    pub overlay: &'a mut IndexOverlay,
+    /// The submitting peer's index cache.
+    pub locator: &'a mut PeerLocator,
+    /// Network configuration (optimization toggles, MR overheads).
+    pub config: &'a NetworkConfig,
+    /// The global shared schema.
+    pub schemas: &'a [TableSchema],
+    /// The querying user's role (applied by every data owner).
+    pub role: &'a Role,
+    /// The query's snapshot timestamp (Definition 2).
+    pub query_ts: u64,
+}
+
+impl EngineCtx<'_> {
+    /// Look up a normal peer.
+    pub fn peer(&self, id: PeerId) -> Result<&NormalPeer> {
+        self.peers
+            .get(&id)
+            .ok_or_else(|| Error::Network(format!("{id} is not a live peer")))
+    }
+
+    /// Run a subquery at a data owner, with access control and snapshot
+    /// checks (the owner enforces both).
+    pub fn serve(&self, owner: PeerId, stmt: &SelectStmt) -> Result<(ResultSet, ExecStats)> {
+        self.peer(owner)?.serve_subquery(stmt, self.role, self.query_ts)
+    }
+
+    /// The schema of one global table.
+    pub fn schema(&self, table: &str) -> Result<&TableSchema> {
+        self.schemas
+            .iter()
+            .find(|s| s.name == table)
+            .ok_or_else(|| Error::Catalog(format!("no global table `{table}`")))
+    }
+
+    /// Schemas for each FROM table of a statement, in order.
+    pub fn from_schemas(&self, stmt: &SelectStmt) -> Result<Vec<TableSchema>> {
+        stmt.from.iter().map(|t| self.schema(t).cloned()).collect()
+    }
+
+    /// Locate the owner peers per table and charge the BATON routing
+    /// hops as a "locate" phase on the submitter.
+    pub fn locate(
+        &mut self,
+        submitter: PeerId,
+        stmt: &SelectStmt,
+        trace: &mut Trace,
+    ) -> Result<BTreeMap<String, Vec<PeerId>>> {
+        let hops_before = self.locator.stats().hops;
+        let located = self.locator.peers_for_query(self.overlay, stmt)?;
+        let hops = self.locator.stats().hops - hops_before;
+        if hops > 0 {
+            trace.push(Phase::new("locate").task(
+                Task::on(submitter)
+                    .fixed(SimTime::from_micros(hops * self.config.hop_latency.as_micros())),
+            ));
+        }
+        Ok(located.into_iter().collect())
+    }
+}
+
+/// Every engine returns the materialized result plus its cost trace.
+pub type EngineOutput = (ResultSet, Trace);

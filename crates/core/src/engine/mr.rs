@@ -1,0 +1,82 @@
+//! The MapReduce engine inside BestPeer++ (paper §5.4).
+//!
+//! "Besides its native processing strategy, we also implement a
+//! MapReduce-style engine for BestPeer++. ... the mappers read data
+//! directly from the BestPeer++ instances and the output of reducers are
+//! written back to HDFS. ... instead of doing replicate joins, the
+//! symmetric-hash join approach is adopted: each tuple only needs to be
+//! shuffled once on each level", at the price of the per-job start-up
+//! overhead `φ`.
+//!
+//! The compiler is shared with the HadoopDB baseline
+//! ([`bestpeer_mapreduce::sqlcompile`]); what differs here is the
+//! [`LocalSource`]: map tasks read from the normal peers through the
+//! access-controlled, snapshot-checked subquery interface.
+
+use std::collections::BTreeMap;
+
+use bestpeer_common::{PeerId, Result, TableSchema};
+use bestpeer_mapreduce::sqlcompile::{run_stmt, LocalSource};
+use bestpeer_mapreduce::{Hdfs, MapReduceEngine};
+use bestpeer_sql::ast::SelectStmt;
+use bestpeer_sql::exec::ResultSet;
+
+use crate::access::Role;
+use crate::peer::NormalPeer;
+
+use super::{EngineCtx, EngineOutput};
+
+/// [`LocalSource`] over the normal peers: subqueries run through
+/// [`NormalPeer::serve_subquery`], so access control and Definition 2's
+/// snapshot check apply exactly as in the native engines.
+struct PeerSource<'a> {
+    peers: &'a BTreeMap<PeerId, NormalPeer>,
+    schemas: &'a [TableSchema],
+    role: &'a Role,
+    query_ts: u64,
+}
+
+impl LocalSource for PeerSource<'_> {
+    fn peers(&self) -> Vec<PeerId> {
+        self.peers.keys().copied().collect()
+    }
+
+    fn run_local(&self, peer: PeerId, stmt: &SelectStmt) -> Result<(ResultSet, u64)> {
+        let p = self.peers.get(&peer).ok_or_else(|| {
+            bestpeer_common::Error::Network(format!("{peer} is not a live peer"))
+        })?;
+        // A peer whose partition lacks the table contributes nothing.
+        if !stmt.from.iter().all(|t| p.db.has_table(t)) {
+            return Ok((ResultSet::default(), 0));
+        }
+        let (rs, stats) = p.serve_subquery(stmt, self.role, self.query_ts)?;
+        Ok((rs, stats.bytes_scanned))
+    }
+
+    fn table_schema(&self, table: &str) -> Result<TableSchema> {
+        self.schemas
+            .iter()
+            .find(|s| s.name == table)
+            .cloned()
+            .ok_or_else(|| {
+                bestpeer_common::Error::Catalog(format!("no global table `{table}`"))
+            })
+    }
+}
+
+/// Execute `stmt` with the MapReduce engine. An HDFS instance is
+/// mounted over the normal peers for the job chain ("a Hadoop
+/// distributed file system is mounted at system start time to serve as
+/// the temporal storage media for MapReduce jobs").
+pub fn execute(ctx: &mut EngineCtx<'_>, _submitter: PeerId, stmt: &SelectStmt) -> Result<EngineOutput> {
+    let workers: Vec<PeerId> = ctx.peers.keys().copied().collect();
+    let engine = MapReduceEngine::new(workers.clone(), ctx.config.mr);
+    let mut hdfs = Hdfs::new(workers, ctx.config.hdfs_replication);
+    let source = PeerSource {
+        peers: ctx.peers,
+        schemas: ctx.schemas,
+        role: ctx.role,
+        query_ts: ctx.query_ts,
+    };
+    run_stmt(stmt, &source, &engine, &mut hdfs)
+}

@@ -1,0 +1,308 @@
+//! The parallel P2P strategy: replicated joins (paper §5.3).
+//!
+//! "For each join, instead of forwarding all tuples into a single
+//! processing node, we disseminate them into a set of nodes, which will
+//! process the join in parallel. We adopt the conventional replicated
+//! join approach: the small table will be replicated to all processing
+//! nodes and joined with a partition of the large table."
+//!
+//! The query's processing graph (Definition 3) has one level per join
+//! plus one for GROUP BY; level `L` (the deepest) reads from storage,
+//! each level's output is broadcast to the next level's nodes, and the
+//! root (the submitting peer) collects the final result. The broadcast
+//! is the trade-off the cost model (Eq. 8) prices: every level-`i`
+//! intermediate is shipped to all `t(T_i)` partitions of the next table.
+
+use std::collections::HashMap;
+
+use bestpeer_common::{codec, PeerId, Result, Row, Value};
+use bestpeer_simnet::{Phase, Task, Trace};
+use bestpeer_sql::ast::SelectStmt;
+use bestpeer_sql::decompose::decompose;
+use bestpeer_sql::exec::{aggregate_rows, ResultSet};
+use bestpeer_sql::plan::{eval, eval_bool, rewrite_post_agg, AggItem, Binding};
+
+use super::{EngineCtx, EngineOutput};
+
+/// Execute `stmt` with the parallel P2P strategy.
+pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) -> Result<EngineOutput> {
+    let mut trace = Trace::new();
+    let located = ctx.locate(submitter, stmt, &mut trace)?;
+    // The replicated-join pipeline starts from the most selective
+    // table — the "small table" of the replicated join (§5.3).
+    let schemas = ctx.from_schemas(stmt)?;
+    let (stmt_ord, schemas) =
+        bestpeer_sql::decompose::reorder_for_selectivity(stmt, &schemas);
+    let stmt = &stmt_ord;
+    let decomp = decompose(stmt, &schemas)?;
+
+    // ---- level L: read the driving table from storage -------------
+    let part0 = &decomp.parts[0];
+    let owners0 = located.get(&part0.table).cloned().unwrap_or_default();
+    let next_nodes: Vec<PeerId> = match decomp.joins.first() {
+        Some(j) => located
+            .get(&decomp.parts[j.part].table)
+            .cloned()
+            .unwrap_or_default(),
+        None => vec![submitter],
+    };
+    let mut inter_rows: Vec<Row> = Vec::new();
+    let mut inter_binding: Binding = part0.binding.clone();
+    let mut phase = Phase::new(format!("scan:{}", part0.table));
+    for owner in owners0 {
+        let (rs, stats) = ctx.serve(owner, &part0.subquery)?;
+        let out_bytes = codec::batch_encoded_size(&rs.rows);
+        let mut task = Task::on(owner)
+            .disk(stats.bytes_scanned)
+            .cpu(stats.bytes_scanned + out_bytes);
+        // Replicated to every node of the next level.
+        for n in &next_nodes {
+            task = task.send(*n, out_bytes);
+        }
+        phase.push(task);
+        inter_rows.extend(rs.rows);
+    }
+    trace.push(phase);
+
+    // ---- join levels ----------------------------------------------
+    for (k, step) in decomp.joins.iter().enumerate() {
+        let part = &decomp.parts[step.part];
+        let owners = located.get(&part.table).cloned().unwrap_or_default();
+        let nodes_after: Vec<PeerId> = match decomp.joins.get(k + 1) {
+            Some(j) => located
+                .get(&decomp.parts[j.part].table)
+                .cloned()
+                .unwrap_or_default(),
+            None if stmt.is_aggregate() => owners.clone(), // GROUP BY level reuses these nodes
+            None => vec![submitter],
+        };
+        let inter_bytes = codec::batch_encoded_size(&inter_rows);
+        let mut phase = Phase::new(format!("join:{}", part.table));
+        let mut next_rows = Vec::new();
+        for owner in &owners {
+            let (rs, stats) = ctx.serve(*owner, &part.subquery)?;
+            let joined = local_join(
+                &inter_rows,
+                &rs.rows,
+                step.keys,
+                &step.residuals,
+                &step.out_binding,
+            )?;
+            let out_bytes = codec::batch_encoded_size(&joined);
+            let mut task = Task::on(*owner)
+                .disk(stats.bytes_scanned)
+                .cpu(inter_bytes + stats.bytes_scanned + out_bytes);
+            if stmt.is_aggregate() && k + 1 == decomp.joins.len() {
+                // Last join feeds the GROUP BY level hash-partitioned:
+                // each node receives ~1/n of the output, not a replica.
+                let share = out_bytes / nodes_after.len().max(1) as u64;
+                for n in &nodes_after {
+                    task = task.send(*n, share);
+                }
+            } else {
+                for n in &nodes_after {
+                    task = task.send(*n, out_bytes);
+                }
+            }
+            phase.push(task);
+            next_rows.extend(joined);
+        }
+        trace.push(phase);
+        inter_rows = next_rows;
+        inter_binding = step.out_binding.clone();
+    }
+
+    // ---- GROUP BY level + root ------------------------------------
+    if stmt.is_aggregate() {
+        let group = stmt.group_by.clone();
+        let aggs = collect_agg_items(stmt);
+        let group_nodes: Vec<PeerId> = match decomp.joins.last() {
+            Some(j) => located
+                .get(&decomp.parts[j.part].table)
+                .cloned()
+                .unwrap_or_default(),
+            None => vec![submitter],
+        };
+        let n = group_nodes.len().max(1);
+        // Hash-partition the joined tuples by group key across the
+        // group-level nodes; each node aggregates disjoint groups.
+        let mut partitions: Vec<Vec<Row>> = vec![Vec::new(); n];
+        for row in inter_rows {
+            let slot = match group.first() {
+                Some(g) => {
+                    let v = eval(g, &row, &inter_binding)?;
+                    (hash_of(&v) % n as u64) as usize
+                }
+                None => 0,
+            };
+            partitions[slot].push(row);
+        }
+        let mut phase = Phase::new("group-by");
+        let mut agg_out = Vec::new();
+        for (slot, rows) in partitions.into_iter().enumerate() {
+            // Empty partitions contribute nothing — except that a
+            // *global* aggregate must still produce its single row, so
+            // slot 0 always runs when there is no GROUP BY.
+            if rows.is_empty() && (!group.is_empty() || slot != 0) {
+                continue;
+            }
+            let node = group_nodes[slot % n];
+            let in_bytes = codec::batch_encoded_size(&rows);
+            let out = aggregate_rows(&rows, &inter_binding, &group, &aggs)?;
+            let out_bytes = codec::batch_encoded_size(&out);
+            phase.push(
+                Task::on(node).cpu(2 * in_bytes + out_bytes).send(submitter, out_bytes),
+            );
+            agg_out.extend(out);
+        }
+        trace.push(phase);
+        // Root: final projection over the aggregate output.
+        let mut cols: Vec<(Option<String>, String)> =
+            group.iter().map(|g| (None, g.to_string())).collect();
+        cols.extend(aggs.iter().map(|a| (None, a.name.clone())));
+        let agg_binding = Binding::from_cols(cols);
+        let projs: Vec<(bestpeer_sql::Expr, String)> = stmt
+            .projections
+            .iter()
+            .map(|it| (rewrite_post_agg(&it.expr, &group), it.output_name()))
+            .collect();
+        let rows: Vec<Row> = agg_out
+            .iter()
+            .map(|r| {
+                Ok(Row::new(
+                    projs
+                        .iter()
+                        .map(|(e, _)| eval(e, r, &agg_binding))
+                        .collect::<Result<Vec<_>>>()?,
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let out_bytes = codec::batch_encoded_size(&rows);
+        trace.push(Phase::new("root").task(Task::on(submitter).cpu(out_bytes)));
+        let rs = ResultSet { columns: projs.into_iter().map(|(_, n)| n).collect(), rows };
+        return Ok((rs, trace));
+    }
+
+    // Non-aggregate root: project the joined tuples.
+    let projs: Vec<(bestpeer_sql::Expr, String)> = if stmt.projections.is_empty() {
+        (0..inter_binding.arity())
+            .map(|i| {
+                let (t, name) = inter_binding.col(i).clone();
+                let e = bestpeer_sql::Expr::Column(match t {
+                    Some(t) => bestpeer_sql::ast::ColumnRef::qualified(t, name.clone()),
+                    None => bestpeer_sql::ast::ColumnRef::new(name.clone()),
+                });
+                (e, name)
+            })
+            .collect()
+    } else {
+        stmt.projections.iter().map(|it| (it.expr.clone(), it.output_name())).collect()
+    };
+    let rows: Vec<Row> = inter_rows
+        .iter()
+        .map(|r| {
+            Ok(Row::new(
+                projs
+                    .iter()
+                    .map(|(e, _)| eval(e, r, &inter_binding))
+                    .collect::<Result<Vec<_>>>()?,
+            ))
+        })
+        .collect::<Result<_>>()?;
+    let out_bytes = codec::batch_encoded_size(&rows);
+    trace.push(Phase::new("root").task(Task::on(submitter).cpu(out_bytes)));
+    Ok((
+        ResultSet { columns: projs.into_iter().map(|(_, n)| n).collect(), rows },
+        trace,
+    ))
+}
+
+/// Hash join of the broadcast intermediate against one local partition.
+fn local_join(
+    left: &[Row],
+    right: &[Row],
+    keys: Option<(usize, usize)>,
+    residuals: &[bestpeer_sql::Expr],
+    out_binding: &Binding,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    match keys {
+        Some((lk, rk)) => {
+            let mut ht: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(left.len());
+            for row in left {
+                if !row.get(lk).is_null() {
+                    ht.entry(row.get(lk)).or_default().push(row);
+                }
+            }
+            for r in right {
+                if let Some(matches) = ht.get(r.get(rk)) {
+                    for l in matches {
+                        push_if_residuals(l.concat(r), residuals, out_binding, &mut out)?;
+                    }
+                }
+            }
+        }
+        None => {
+            for l in left {
+                for r in right {
+                    push_if_residuals(l.concat(r), residuals, out_binding, &mut out)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_if_residuals(
+    row: Row,
+    residuals: &[bestpeer_sql::Expr],
+    binding: &Binding,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    for p in residuals {
+        if !eval_bool(p, &row, binding)? {
+            return Ok(());
+        }
+    }
+    out.push(row);
+    Ok(())
+}
+
+fn collect_agg_items(stmt: &SelectStmt) -> Vec<AggItem> {
+    fn walk(e: &bestpeer_sql::Expr, out: &mut Vec<AggItem>) {
+        use bestpeer_sql::Expr;
+        match e {
+            Expr::Agg { func, arg } => {
+                let name = e.to_string();
+                if !out.iter().any(|a| a.name == name) {
+                    out.push(AggItem { func: *func, arg: arg.as_deref().cloned(), name });
+                }
+            }
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expr::Column(_) | Expr::Literal(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    for it in &stmt.projections {
+        walk(&it.expr, &mut out);
+    }
+    for k in &stmt.order_by {
+        walk(&k.expr, &mut out);
+    }
+    out
+}
+
+fn hash_of(v: &Value) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}

@@ -1,0 +1,469 @@
+//! Multidimensional histograms (paper §5.1).
+//!
+//! "Since attributes in a relation are correlated, single-dimensional
+//! histograms are not sufficient ... BestPeer++ adopts MHIST to build
+//! multi-dimensional histograms adaptively. Each normal peer invokes
+//! MHIST to iteratively split the attribute which is most valuable for
+//! building histograms until enough histogram buckets are generated.
+//! Then, the buckets (multi-dimensional hypercube) are mapped into one
+//! dimensional ranges using iDistance and we index the buckets in BATON
+//! based on their ranges."
+//!
+//! This module implements MHIST-2 with the MaxDiff split criterion
+//! (Poosala & Ioannidis \[17\]), the iDistance linearization \[12\] used to
+//! place buckets into the BATON key space, and the three estimators of
+//! §5.1: relation size `ES(R)`, region counts `EC(H, Q_R)`, and pairwise
+//! equi-join result size `ES(q)`.
+
+use bestpeer_baton::{Key, Overlay};
+use bestpeer_common::{Error, Result};
+use bestpeer_storage::Table;
+
+/// One histogram bucket: a hyper-rectangle with a tuple count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower corner, one entry per histogram dimension.
+    pub lo: Vec<f64>,
+    /// Inclusive upper corner.
+    pub hi: Vec<f64>,
+    /// Number of tuples inside.
+    pub count: u64,
+}
+
+impl Bucket {
+    /// Fraction of this bucket's volume overlapping the query region
+    /// (`Area_o / Area` of the paper, computed dimension-wise; point
+    /// dimensions contribute 1 when inside, 0 when outside).
+    pub fn overlap_fraction(&self, region: &QueryRegion) -> f64 {
+        let mut frac = 1.0;
+        for (i, (l, h)) in self.lo.iter().zip(&self.hi).enumerate() {
+            let (ql, qh) = region.bounds[i];
+            let inter_lo = l.max(ql);
+            let inter_hi = h.min(qh);
+            if inter_hi < inter_lo {
+                return 0.0;
+            }
+            let width = h - l;
+            if width <= 0.0 {
+                // Point dimension: fully in or fully out (handled above).
+                continue;
+            }
+            frac *= (inter_hi - inter_lo) / width;
+        }
+        frac
+    }
+
+    /// Center point (used by iDistance).
+    fn center(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| (l + h) / 2.0).collect()
+    }
+}
+
+/// A rectangular query region over the histogram's dimensions.
+/// Unconstrained dimensions span the whole axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRegion {
+    /// Per-dimension inclusive `[lo, hi]` bounds.
+    pub bounds: Vec<(f64, f64)>,
+}
+
+impl QueryRegion {
+    /// The unconstrained region over `dims` dimensions.
+    pub fn unbounded(dims: usize) -> Self {
+        QueryRegion { bounds: vec![(f64::NEG_INFINITY, f64::INFINITY); dims] }
+    }
+
+    /// Constrain one dimension.
+    pub fn constrain(mut self, dim: usize, lo: f64, hi: f64) -> Self {
+        let b = &mut self.bounds[dim];
+        b.0 = b.0.max(lo);
+        b.1 = b.1.min(hi);
+        self
+    }
+
+    /// Per-dimension widths `W_i` of the *constrained* dimensions; the
+    /// paper's join estimator divides by the product of these.
+    pub fn constrained_widths(&self) -> impl Iterator<Item = f64> + '_ {
+        self.bounds
+            .iter()
+            .filter(|(l, h)| l.is_finite() && h.is_finite())
+            .map(|(l, h)| (h - l).max(1.0))
+    }
+}
+
+/// A multidimensional histogram of one table over selected columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Table name.
+    pub table: String,
+    /// The histogram dimensions (column names, in order).
+    pub columns: Vec<String>,
+    /// The buckets.
+    pub buckets: Vec<Bucket>,
+}
+
+impl Histogram {
+    /// Build via MHIST over the live rows of `table`, using the numeric
+    /// rank of each column value as its coordinate. At most
+    /// `max_buckets` buckets are produced.
+    pub fn build(table: &Table, columns: &[&str], max_buckets: usize) -> Result<Histogram> {
+        if columns.is_empty() {
+            return Err(Error::Plan("histogram needs at least one column".into()));
+        }
+        let idxs: Vec<usize> = columns
+            .iter()
+            .map(|c| table.schema().column_index(c))
+            .collect::<Result<_>>()?;
+        let points: Vec<Vec<f64>> = table
+            .scan()
+            .map(|row| idxs.iter().map(|&i| row.get(i).numeric_rank()).collect())
+            .collect();
+        let buckets = mhist(points, columns.len(), max_buckets.max(1));
+        Ok(Histogram {
+            table: table.schema().name.clone(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            buckets,
+        })
+    }
+
+    /// Dimension index of a column.
+    pub fn dim_of(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    /// `ES(R)` — the estimated relation size: the sum of bucket counts.
+    pub fn estimated_size(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// `EC(H, Q_R)` — estimated tuples inside the query region:
+    /// `Σ_i H_i · Area_o(H_i, Q_R) / Area(H_i)`.
+    pub fn estimated_count(&self, region: &QueryRegion) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.count as f64 * b.overlap_fraction(region))
+            .sum()
+    }
+
+    /// Selectivity of a region against this histogram, in `[0, 1]`.
+    pub fn selectivity(&self, region: &QueryRegion) -> f64 {
+        let total = self.estimated_size() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.estimated_count(region) / total).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// `ES(q)` for `σ_p(R_x ⋈ R_y)` — the paper's pairwise join estimator:
+/// `EC(H(R_x)) · EC(H(R_y)) / Π_i W_i`, with `W_i` the widths of the
+/// constrained query region.
+pub fn estimate_join_size(
+    hx: &Histogram,
+    rx_region: &QueryRegion,
+    hy: &Histogram,
+    ry_region: &QueryRegion,
+) -> f64 {
+    let ecx = hx.estimated_count(rx_region);
+    let ecy = hy.estimated_count(ry_region);
+    let w: f64 = rx_region
+        .constrained_widths()
+        .chain(ry_region.constrained_widths())
+        .product();
+    (ecx * ecy / w.max(1.0)).max(0.0)
+}
+
+/// MHIST-2 with MaxDiff: repeatedly split the bucket/dimension whose
+/// sorted value frequencies show the largest adjacent difference (ties
+/// broken toward the larger bucket).
+fn mhist(points: Vec<Vec<f64>>, dims: usize, max_buckets: usize) -> Vec<Bucket> {
+    #[derive(Debug)]
+    struct Work {
+        points: Vec<Vec<f64>>,
+    }
+    fn bounds(points: &[Vec<f64>], dims: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![f64::INFINITY; dims];
+        let mut hi = vec![f64::NEG_INFINITY; dims];
+        for p in points {
+            for d in 0..dims {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        if points.is_empty() {
+            (vec![0.0; dims], vec![0.0; dims])
+        } else {
+            (lo, hi)
+        }
+    }
+    /// The best MaxDiff split of one bucket: `(score, dim, split_value)`
+    /// — points with coordinate <= split_value go left.
+    fn best_split(points: &[Vec<f64>], dims: usize) -> Option<(f64, usize, f64)> {
+        let mut best: Option<(f64, usize, f64)> = None;
+        for d in 0..dims {
+            let mut vals: Vec<f64> = points.iter().map(|p| p[d]).collect();
+            vals.sort_by(f64::total_cmp);
+            // Distinct values with frequencies.
+            let mut distinct: Vec<(f64, u64)> = Vec::new();
+            for v in vals {
+                match distinct.last_mut() {
+                    Some((dv, c)) if *dv == v => *c += 1,
+                    _ => distinct.push((v, 1)),
+                }
+            }
+            if distinct.len() < 2 {
+                continue;
+            }
+            for w in distinct.windows(2) {
+                let diff = (w[0].1 as f64 - w[1].1 as f64).abs();
+                // MaxDiff on the area (freq × spread) variant.
+                let spread = w[1].0 - w[0].0;
+                let score = diff.max(1.0) * spread.max(f64::MIN_POSITIVE);
+                if best.map_or(true, |(s, _, _)| score > s) {
+                    best = Some((score, d, w[0].0));
+                }
+            }
+        }
+        best
+    }
+
+    if points.is_empty() {
+        return vec![Bucket { lo: vec![0.0; dims], hi: vec![0.0; dims], count: 0 }];
+    }
+    let mut work = vec![Work { points }];
+    while work.len() < max_buckets {
+        // Pick the splittable bucket with the highest MaxDiff score.
+        let mut choice: Option<(usize, usize, f64, f64)> = None; // (bucket, dim, split, score)
+        for (i, w) in work.iter().enumerate() {
+            if let Some((score, d, split)) = best_split(&w.points, dims) {
+                if choice.map_or(true, |(_, _, _, s)| score > s) {
+                    choice = Some((i, d, split, score));
+                }
+            }
+        }
+        let Some((i, d, split, _)) = choice else { break };
+        let Work { points } = work.swap_remove(i);
+        let (left, right): (Vec<Vec<f64>>, Vec<Vec<f64>>) =
+            points.into_iter().partition(|p| p[d] <= split);
+        debug_assert!(!left.is_empty() && !right.is_empty());
+        work.push(Work { points: left });
+        work.push(Work { points: right });
+    }
+    work.into_iter()
+        .map(|w| {
+            let (lo, hi) = bounds(&w.points, dims);
+            Bucket { lo, hi, count: w.points.len() as u64 }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------
+// iDistance linearization (paper ref [12])
+// ------------------------------------------------------------------
+
+/// Number of reference points used by the iDistance mapping.
+pub const IDIST_REFS: usize = 8;
+/// Key width of each reference point's partition.
+const IDIST_PARTITION: u64 = 1 << 40;
+
+/// Map a point to its iDistance key: the point is assigned to its
+/// nearest reference point `i` and keyed `i · C + dist(point, ref_i)`,
+/// which clusters nearby buckets into contiguous key ranges.
+pub fn idistance_key(point: &[f64], refs: &[Vec<f64>]) -> Key {
+    let (best_ref, dist) = refs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let d2: f64 = point
+                .iter()
+                .zip(r)
+                .map(|(a, b)| {
+                    let d = a - b;
+                    d * d
+                })
+                .sum();
+            (i, d2.sqrt())
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, 0.0));
+    let scaled = (dist.abs().min(1e12) as u64).min(IDIST_PARTITION - 1);
+    (best_ref as u64) * IDIST_PARTITION + scaled
+}
+
+/// Evenly-spaced reference points spanning the histogram's space.
+pub fn reference_points(hist: &Histogram, n: usize) -> Vec<Vec<f64>> {
+    let dims = hist.columns.len();
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for b in &hist.buckets {
+        for d in 0..dims {
+            lo[d] = lo[d].min(b.lo[d]);
+            hi[d] = hi[d].max(b.hi[d]);
+        }
+    }
+    (0..n.max(1))
+        .map(|i| {
+            let t = (i as f64 + 0.5) / n.max(1) as f64;
+            (0..dims).map(|d| lo[d] + t * (hi[d] - lo[d]).max(0.0)).collect()
+        })
+        .collect()
+}
+
+/// A histogram bucket published into BATON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishedBucket {
+    /// Source table.
+    pub table: String,
+    /// The bucket itself.
+    pub bucket: Bucket,
+}
+
+/// Publish every bucket of `hist` into the overlay under its iDistance
+/// key. Returns the hops spent.
+pub fn publish_histogram(
+    overlay: &mut Overlay<PublishedBucket>,
+    hist: &Histogram,
+) -> Result<u32> {
+    let refs = reference_points(hist, IDIST_REFS);
+    let mut hops = 0;
+    for b in &hist.buckets {
+        let key = idistance_key(&b.center(), &refs);
+        hops += overlay.insert(
+            key,
+            PublishedBucket { table: hist.table.clone(), bucket: b.clone() },
+        )?;
+    }
+    Ok(hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_common::{ColumnDef, ColumnType, PeerId, Row, TableSchema, Value};
+
+    fn table_with(points: &[(i64, i64)]) -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("b", ColumnType::Int),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (a, b) in points {
+            t.insert(Row::new(vec![Value::Int(*a), Value::Int(*b)])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn total_count_is_preserved() {
+        let pts: Vec<(i64, i64)> = (0..200).map(|i| (i % 17, (i * 3) % 29)).collect();
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 16).unwrap();
+        assert_eq!(h.estimated_size(), 200);
+        assert!(h.buckets.len() <= 16);
+        assert!(h.buckets.len() > 1);
+    }
+
+    #[test]
+    fn region_count_over_full_space_equals_size() {
+        let pts: Vec<(i64, i64)> = (0..100).map(|i| (i, 100 - i)).collect();
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 8).unwrap();
+        let full = QueryRegion::unbounded(2);
+        assert!((h.estimated_count(&full) - 100.0).abs() < 1e-6);
+        assert!((h.selectivity(&full) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_space_selectivity_is_roughly_half() {
+        let pts: Vec<(i64, i64)> = (0..1000).map(|i| (i, i * 7 % 990)).collect();
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 32).unwrap();
+        let dim = h.dim_of("a").unwrap();
+        let region = QueryRegion::unbounded(2).constrain(dim, 0.0, 499.0);
+        let sel = h.selectivity(&region);
+        assert!((sel - 0.5).abs() < 0.1, "selectivity {sel} should be ~0.5");
+    }
+
+    #[test]
+    fn disjoint_region_has_zero_count() {
+        let pts: Vec<(i64, i64)> = (0..50).map(|i| (i, i)).collect();
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 8).unwrap();
+        let region = QueryRegion::unbounded(2).constrain(0, 1000.0, 2000.0);
+        assert_eq!(h.estimated_count(&region), 0.0);
+    }
+
+    #[test]
+    fn empty_table_histogram() {
+        let t = table_with(&[]);
+        let h = Histogram::build(&t, &["a"], 8).unwrap();
+        assert_eq!(h.estimated_size(), 0);
+        assert_eq!(h.selectivity(&QueryRegion::unbounded(1)), 0.0);
+    }
+
+    #[test]
+    fn join_estimate_scales_with_selectivity() {
+        let pts: Vec<(i64, i64)> = (0..400).map(|i| (i % 100, i)).collect();
+        let tx = table_with(&pts);
+        let hx = Histogram::build(&tx, &["a", "b"], 16).unwrap();
+        let hy = hx.clone();
+        let narrow = QueryRegion::unbounded(2).constrain(0, 0.0, 9.0);
+        let wide = QueryRegion::unbounded(2).constrain(0, 0.0, 99.0);
+        let e_narrow = estimate_join_size(&hx, &narrow, &hy, &narrow);
+        let e_wide = estimate_join_size(&hx, &wide, &hy, &wide);
+        assert!(e_wide > e_narrow, "wider region must estimate more join tuples");
+    }
+
+    #[test]
+    fn idistance_keys_are_stable_and_partitioned() {
+        let pts: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 8).unwrap();
+        let refs = reference_points(&h, IDIST_REFS);
+        assert_eq!(refs.len(), IDIST_REFS);
+        let k1 = idistance_key(&[5.0, 5.0], &refs);
+        let k2 = idistance_key(&[5.0, 5.0], &refs);
+        assert_eq!(k1, k2);
+        // Points near different references land in different partitions.
+        let far = idistance_key(&[99.0, 99.0], &refs);
+        assert_ne!(k1 / (1 << 40), far / (1 << 40));
+    }
+
+    #[test]
+    fn histogram_buckets_publish_into_baton() {
+        let pts: Vec<(i64, i64)> = (0..100).map(|i| (i * 3, i)).collect();
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 8).unwrap();
+        let mut overlay: Overlay<PublishedBucket> = Overlay::new(true);
+        for i in 0..5 {
+            overlay.join(PeerId::new(i)).unwrap();
+        }
+        publish_histogram(&mut overlay, &h).unwrap();
+        assert_eq!(overlay.total_items() as usize, h.buckets.len());
+        // All buckets are retrievable by a full-domain range sweep.
+        let (found, _) = overlay.search_range(0, u64::MAX - 1).unwrap();
+        assert_eq!(found.len(), h.buckets.len());
+    }
+
+    #[test]
+    fn maxdiff_splits_at_frequency_cliffs() {
+        // 90 points at value 0, 10 points spread at 100..110: the first
+        // split should separate the cliff.
+        let mut pts: Vec<(i64, i64)> = vec![(0, 0); 90];
+        for i in 0..10 {
+            pts.push((100 + i, 0));
+        }
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 2).unwrap();
+        assert_eq!(h.buckets.len(), 2);
+        let mut counts: Vec<u64> = h.buckets.iter().map(|b| b.count).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![10, 90]);
+    }
+}

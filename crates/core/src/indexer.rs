@@ -1,0 +1,540 @@
+//! The data indexer: BATON index entries and peer location (paper §4.3).
+//!
+//! Three index types, exactly as in Table 2:
+//!
+//! | index  | key         | value                                   |
+//! |--------|-------------|------------------------------------------|
+//! | table  | table name  | the peers storing data of the table      |
+//! | column | column name | (owner peer, tables containing the column)|
+//! | range  | table name  | (column, min–max value, owner peer)       |
+//!
+//! Query processing uses them with priority **Range > Column > Table**
+//! ("we will use the more accurate index whenever possible", §4.3), and
+//! peers cache index entries in memory "to speed up the search for data
+//! owner peers, instead of traversing the BATON structure" (§5.2).
+
+use std::collections::{BTreeMap, HashSet};
+
+use bestpeer_baton::{hash_key, Key, Overlay};
+use bestpeer_common::{PeerId, Result, Value};
+use bestpeer_sql::ast::{CmpOp, SelectStmt};
+use bestpeer_storage::Database;
+
+/// A table-index entry: this peer stores part of `table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableIndexEntry {
+    /// Global table name.
+    pub table: String,
+    /// Owner peer.
+    pub peer: PeerId,
+}
+
+/// A column-index entry: this peer's copy of some tables has `column`
+/// populated (multi-tenant peers may lack columns, paper footnote 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnIndexEntry {
+    /// Global column name.
+    pub column: String,
+    /// Owner peer.
+    pub peer: PeerId,
+    /// The tables at this peer that contain the column.
+    pub tables: Vec<String>,
+}
+
+/// A range-index entry: the owner's values of `table.column` lie within
+/// `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeIndexEntry {
+    /// Global table name (the BATON key).
+    pub table: String,
+    /// The indexed column.
+    pub column: String,
+    /// Minimum value at the owner.
+    pub min: Value,
+    /// Maximum value at the owner.
+    pub max: Value,
+    /// Owner peer.
+    pub peer: PeerId,
+}
+
+/// Any index entry stored in BATON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexEntry {
+    /// Table index.
+    Table(TableIndexEntry),
+    /// Column index.
+    Column(ColumnIndexEntry),
+    /// Range index.
+    Range(RangeIndexEntry),
+}
+
+impl IndexEntry {
+    /// The owner peer of this entry.
+    pub fn peer(&self) -> PeerId {
+        match self {
+            IndexEntry::Table(e) => e.peer,
+            IndexEntry::Column(e) => e.peer,
+            IndexEntry::Range(e) => e.peer,
+        }
+    }
+}
+
+/// The overlay specialized to index entries.
+pub type IndexOverlay = Overlay<IndexEntry>;
+
+/// BATON key of the table index for `table`.
+pub fn table_key(table: &str) -> Key {
+    hash_key(&format!("T:{table}"))
+}
+
+/// BATON key of the column index for `column`.
+pub fn column_key(column: &str) -> Key {
+    hash_key(&format!("C:{column}"))
+}
+
+/// BATON key of the range index for `table` (the paper keys range
+/// indices by table name; the column lives in the value).
+pub fn range_key(table: &str) -> Key {
+    hash_key(&format!("R:{table}"))
+}
+
+/// Publish all index entries for one peer's database: a table entry and
+/// per-column entries for every non-empty table, plus range entries for
+/// the columns in `range_columns` (§6.2.2 builds them on nation keys).
+/// Returns the routing hops spent.
+pub fn publish_peer(
+    overlay: &mut IndexOverlay,
+    peer: PeerId,
+    db: &Database,
+    range_columns: &[(String, String)],
+) -> Result<u32> {
+    let mut hops = 0;
+    let mut columns: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for table in db.non_empty_tables() {
+        let name = table.schema().name.clone();
+        hops += overlay.insert(
+            table_key(&name),
+            IndexEntry::Table(TableIndexEntry { table: name.clone(), peer }),
+        )?;
+        for col in table.schema().column_names() {
+            columns.entry(col.to_owned()).or_default().push(name.clone());
+        }
+    }
+    for (column, tables) in columns {
+        hops += overlay.insert(
+            column_key(&column),
+            IndexEntry::Column(ColumnIndexEntry { column, peer, tables }),
+        )?;
+    }
+    for (table, column) in range_columns {
+        if !db.has_table(table) || db.table(table)?.is_empty() {
+            continue;
+        }
+        if let Some((min, max)) = db.table(table)?.column_min_max(column)? {
+            hops += overlay.insert(
+                range_key(table),
+                IndexEntry::Range(RangeIndexEntry {
+                    table: table.clone(),
+                    column: column.clone(),
+                    min,
+                    max,
+                    peer,
+                }),
+            )?;
+        }
+    }
+    Ok(hops)
+}
+
+/// Remove every index entry the peer previously published (departure).
+pub fn unpublish_peer(
+    overlay: &mut IndexOverlay,
+    peer: PeerId,
+    db: &Database,
+    range_columns: &[(String, String)],
+) -> Result<u32> {
+    let mut hops = 0;
+    let mut columns: HashSet<String> = HashSet::new();
+    for table in db.non_empty_tables() {
+        let name = &table.schema().name;
+        let (_, h) = overlay.remove(table_key(name), |e| e.peer() == peer)?;
+        hops += h;
+        let (_, h) = overlay.remove(range_key(name), |e| e.peer() == peer)?;
+        hops += h;
+        for col in table.schema().column_names() {
+            columns.insert(col.to_owned());
+        }
+    }
+    for column in columns {
+        let (_, h) = overlay.remove(column_key(&column), |e| e.peer() == peer)?;
+        hops += h;
+    }
+    let _ = range_columns;
+    Ok(hops)
+}
+
+/// Which index answered a peer lookup (for tests and the ablation
+/// benchmark on index priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexUsed {
+    /// The range index pruned by predicate overlap.
+    Range,
+    /// The column index.
+    Column,
+    /// The table index (worst case: every owner of the table).
+    Table,
+}
+
+/// Locator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocatorStats {
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (BATON searches).
+    pub cache_misses: u64,
+    /// Total BATON hops spent on misses.
+    pub hops: u64,
+}
+
+/// Locates the peers holding data relevant to a query, with the
+/// in-memory index-entry cache of §5.2.
+#[derive(Debug, Default)]
+pub struct PeerLocator {
+    cache: BTreeMap<Key, Vec<IndexEntry>>,
+    cache_enabled: bool,
+    stats: LocatorStats,
+}
+
+impl PeerLocator {
+    /// A locator; `cache_enabled` toggles the §5.2 optimization (the
+    /// ablation benchmark runs both ways).
+    pub fn new(cache_enabled: bool) -> Self {
+        PeerLocator { cache: BTreeMap::new(), cache_enabled, stats: LocatorStats::default() }
+    }
+
+    /// Locator statistics.
+    pub fn stats(&self) -> LocatorStats {
+        self.stats
+    }
+
+    /// Drop all cached entries (membership/index-change notification).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+
+    fn lookup(&mut self, overlay: &mut IndexOverlay, key: Key) -> Result<Vec<IndexEntry>> {
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+        let (entries, hops) = overlay.search_exact(key)?;
+        self.stats.cache_misses += 1;
+        self.stats.hops += u64::from(hops);
+        if self.cache_enabled {
+            self.cache.insert(key, entries.clone());
+        }
+        Ok(entries)
+    }
+
+    /// The peers that must be contacted for `table` given the query's
+    /// predicates, and which index type made the decision.
+    pub fn peers_for_table(
+        &mut self,
+        overlay: &mut IndexOverlay,
+        stmt: &SelectStmt,
+        table: &str,
+    ) -> Result<(Vec<PeerId>, IndexUsed)> {
+        // 1. Range index: intersect owners whose [min,max] overlaps each
+        //    sargable predicate on a range-indexed column.
+        let range_entries = self.lookup(overlay, range_key(table))?;
+        if !range_entries.is_empty() {
+            let mut result: Option<HashSet<PeerId>> = None;
+            for p in &stmt.predicates {
+                let Some((cref, op, lit)) = p.as_column_literal() else { continue };
+                let indexed: Vec<&RangeIndexEntry> = range_entries
+                    .iter()
+                    .filter_map(|e| match e {
+                        IndexEntry::Range(r) if r.column == cref.column => Some(r),
+                        _ => None,
+                    })
+                    .collect();
+                if indexed.is_empty() {
+                    continue;
+                }
+                let matching: HashSet<PeerId> = indexed
+                    .iter()
+                    .filter(|r| range_matches(&r.min, &r.max, op, lit))
+                    .map(|r| r.peer)
+                    .collect();
+                result = Some(match result {
+                    None => matching,
+                    Some(acc) => acc.intersection(&matching).copied().collect(),
+                });
+            }
+            if let Some(peers) = result {
+                let mut peers: Vec<PeerId> = peers.into_iter().collect();
+                peers.sort_unstable();
+                return Ok((peers, IndexUsed::Range));
+            }
+        }
+
+        // 2. Column index: peers whose copy of `table` has every column
+        //    the query references on this table.
+        let table_schema_cols: Vec<&str> = stmt
+            .all_referenced_columns()
+            .into_iter()
+            .filter(|c| c.table.as_deref().map_or(true, |t| t == table))
+            .map(|c| c.column.as_str())
+            .collect();
+        let mut column_result: Option<HashSet<PeerId>> = None;
+        let mut saw_column_index = false;
+        for col in &table_schema_cols {
+            let entries = self.lookup(overlay, column_key(col))?;
+            let owners: HashSet<PeerId> = entries
+                .iter()
+                .filter_map(|e| match e {
+                    IndexEntry::Column(c)
+                        if c.column == *col && c.tables.iter().any(|t| t == table) =>
+                    {
+                        Some(c.peer)
+                    }
+                    _ => None,
+                })
+                .collect();
+            if owners.is_empty() {
+                continue;
+            }
+            saw_column_index = true;
+            column_result = Some(match column_result {
+                None => owners,
+                Some(acc) => acc.intersection(&owners).copied().collect(),
+            });
+        }
+        if saw_column_index {
+            let mut peers: Vec<PeerId> =
+                column_result.unwrap_or_default().into_iter().collect();
+            peers.sort_unstable();
+            return Ok((peers, IndexUsed::Column));
+        }
+
+        // 3. Table index: every owner of the table.
+        let entries = self.lookup(overlay, table_key(table))?;
+        let mut peers: Vec<PeerId> = entries
+            .iter()
+            .filter_map(|e| match e {
+                IndexEntry::Table(t) if t.table == table => Some(t.peer),
+                _ => None,
+            })
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        Ok((peers, IndexUsed::Table))
+    }
+
+    /// Locate peers for every table of the statement.
+    pub fn peers_for_query(
+        &mut self,
+        overlay: &mut IndexOverlay,
+        stmt: &SelectStmt,
+    ) -> Result<Vec<(String, Vec<PeerId>)>> {
+        stmt.from
+            .iter()
+            .map(|t| Ok((t.clone(), self.peers_for_table(overlay, stmt, t)?.0)))
+            .collect()
+    }
+}
+
+/// Could an owner whose column values span `[min, max]` contain a value
+/// satisfying `col op lit`?
+fn range_matches(min: &Value, max: &Value, op: CmpOp, lit: &Value) -> bool {
+    match op {
+        CmpOp::Eq => min <= lit && lit <= max,
+        CmpOp::Ne => true, // a span almost always contains a non-equal value
+        CmpOp::Lt => min < lit,
+        CmpOp::Le => min <= lit,
+        CmpOp::Gt => max > lit,
+        CmpOp::Ge => max >= lit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_common::{ColumnDef, ColumnType, Row, TableSchema};
+    use bestpeer_sql::parse_select;
+
+    fn db_for(nation: i64) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "orders",
+                vec![
+                    ColumnDef::new("o_orderkey", ColumnType::Int),
+                    ColumnDef::new("o_nationkey", ColumnType::Int),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..5 {
+            db.insert(
+                "orders",
+                Row::new(vec![Value::Int(nation * 100 + i), Value::Int(nation)]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn network(n: u64) -> (IndexOverlay, Vec<Database>) {
+        let mut overlay = IndexOverlay::new(true);
+        let mut dbs = Vec::new();
+        for i in 0..n {
+            overlay.join(PeerId::new(i)).unwrap();
+        }
+        for i in 0..n {
+            let db = db_for(i as i64);
+            publish_peer(
+                &mut overlay,
+                PeerId::new(i),
+                &db,
+                &[("orders".into(), "o_nationkey".into())],
+            )
+            .unwrap();
+            dbs.push(db);
+        }
+        (overlay, dbs)
+    }
+
+    #[test]
+    fn range_index_prunes_to_single_peer() {
+        let (mut overlay, _) = network(6);
+        let mut loc = PeerLocator::new(true);
+        let stmt =
+            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 3").unwrap();
+        let (peers, used) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert_eq!(used, IndexUsed::Range);
+        assert_eq!(peers, vec![PeerId::new(3)]);
+    }
+
+    #[test]
+    fn range_index_handles_inequalities() {
+        let (mut overlay, _) = network(6);
+        let mut loc = PeerLocator::new(true);
+        let stmt =
+            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey >= 4").unwrap();
+        let (peers, used) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert_eq!(used, IndexUsed::Range);
+        assert_eq!(peers, vec![PeerId::new(4), PeerId::new(5)]);
+    }
+
+    #[test]
+    fn column_index_when_no_range_predicate_applies() {
+        let (mut overlay, _) = network(4);
+        let mut loc = PeerLocator::new(true);
+        // Predicate on o_orderkey, which has no range index: the range
+        // lookup yields no applicable entries, so the column index wins.
+        let stmt =
+            parse_select("SELECT o_orderkey FROM orders WHERE o_orderkey > 100").unwrap();
+        let (peers, used) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert_eq!(used, IndexUsed::Column);
+        assert_eq!(peers.len(), 4);
+    }
+
+    #[test]
+    fn table_index_fallback() {
+        let mut overlay = IndexOverlay::new(true);
+        for i in 0..3 {
+            overlay.join(PeerId::new(i)).unwrap();
+        }
+        // Publish only table entries (no columns): simulate a legacy peer.
+        for i in 0..3 {
+            overlay
+                .insert(
+                    table_key("orders"),
+                    IndexEntry::Table(TableIndexEntry {
+                        table: "orders".into(),
+                        peer: PeerId::new(i),
+                    }),
+                )
+                .unwrap();
+        }
+        let mut loc = PeerLocator::new(true);
+        let stmt = parse_select("SELECT o_orderkey FROM orders").unwrap();
+        let (peers, used) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert_eq!(used, IndexUsed::Table);
+        assert_eq!(peers.len(), 3);
+    }
+
+    #[test]
+    fn cache_avoids_repeated_searches() {
+        let (mut overlay, _) = network(5);
+        let mut loc = PeerLocator::new(true);
+        let stmt =
+            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 2").unwrap();
+        loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        let misses_after_first = loc.stats().cache_misses;
+        loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert_eq!(loc.stats().cache_misses, misses_after_first, "second lookup cached");
+        assert!(loc.stats().cache_hits > 0);
+        loc.invalidate();
+        loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert!(loc.stats().cache_misses > misses_after_first);
+    }
+
+    #[test]
+    fn no_cache_always_searches() {
+        let (mut overlay, _) = network(5);
+        let mut loc = PeerLocator::new(false);
+        let stmt =
+            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 2").unwrap();
+        loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert_eq!(loc.stats().cache_hits, 0);
+        assert!(loc.stats().cache_misses >= 2);
+    }
+
+    #[test]
+    fn unpublish_removes_peer_everywhere() {
+        let (mut overlay, dbs) = network(4);
+        unpublish_peer(
+            &mut overlay,
+            PeerId::new(1),
+            &dbs[1],
+            &[("orders".into(), "o_nationkey".into())],
+        )
+        .unwrap();
+        let mut loc = PeerLocator::new(false);
+        let stmt = parse_select("SELECT o_orderkey FROM orders").unwrap();
+        let (peers, _) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
+        assert!(!peers.contains(&PeerId::new(1)));
+        assert_eq!(peers.len(), 3);
+    }
+
+    #[test]
+    fn peers_for_query_covers_all_tables() {
+        let (mut overlay, _) = network(3);
+        let mut loc = PeerLocator::new(true);
+        let stmt = parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 1").unwrap();
+        let located = loc.peers_for_query(&mut overlay, &stmt).unwrap();
+        assert_eq!(located.len(), 1);
+        assert_eq!(located[0].0, "orders");
+        assert_eq!(located[0].1, vec![PeerId::new(1)]);
+    }
+
+    #[test]
+    fn range_matches_semantics() {
+        let (lo, hi) = (Value::Int(10), Value::Int(20));
+        assert!(range_matches(&lo, &hi, CmpOp::Eq, &Value::Int(15)));
+        assert!(!range_matches(&lo, &hi, CmpOp::Eq, &Value::Int(25)));
+        assert!(range_matches(&lo, &hi, CmpOp::Gt, &Value::Int(15)));
+        assert!(!range_matches(&lo, &hi, CmpOp::Gt, &Value::Int(20)));
+        assert!(range_matches(&lo, &hi, CmpOp::Ge, &Value::Int(20)));
+        assert!(range_matches(&lo, &hi, CmpOp::Lt, &Value::Int(11)));
+        assert!(!range_matches(&lo, &hi, CmpOp::Lt, &Value::Int(10)));
+        assert!(range_matches(&lo, &hi, CmpOp::Ne, &Value::Int(15)));
+    }
+}

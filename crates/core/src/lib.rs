@@ -1,0 +1,47 @@
+//! The BestPeer++ core: bootstrap peer, normal peers, and the
+//! pay-as-you-go query processor.
+//!
+//! This crate assembles the substrates (BATON overlay, embedded storage,
+//! SQL, simulated cloud, MapReduce) into the system of the paper:
+//!
+//! - [`bootstrap`] — the service provider's singleton peer: membership
+//!   (join/departure, blacklist), the certificate authority ([`ca`]),
+//!   the global-schema and role repository, user broadcast, and the
+//!   Algorithm 1 daemon that monitors health and schedules auto
+//!   fail-over and auto-scaling events against the cloud adapter;
+//! - [`peer`] — the normal peer: local database, [`schema_mapping`] from
+//!   the business's production schema to the shared global schema, the
+//!   [`loader`] that extracts production data with Rabin-fingerprint
+//!   snapshot differentials, and the [`access`]-controlled subquery
+//!   interface other peers call;
+//! - [`indexer`] — the table / column / range indices published into
+//!   BATON (paper Table 2) and the peer-location logic with the
+//!   Range > Column > Table priority plus the in-memory index cache;
+//! - [`histogram`] — MHIST-style multidimensional histograms with
+//!   iDistance linearization of buckets (paper §5.1) and the estimation
+//!   formulas the cost model consumes;
+//! - [`cost`] — the pay-as-you-go cost models: basic (Eqs. 1–2),
+//!   parallel P2P with replicated joins (Eqs. 3–8), MapReduce
+//!   (Eqs. 9–11), and the processing graph of Definition 3;
+//! - [`engine`] — the query engines: basic fetch-and-process (with the
+//!   bloom-join and single-peer optimizations), parallel P2P, MapReduce,
+//!   and the adaptive engine of Algorithm 2;
+//! - [`network`] — the assembled corporate network and its client API.
+
+pub mod access;
+pub mod bootstrap;
+pub mod ca;
+pub mod cost;
+pub mod engine;
+pub mod export;
+pub mod histogram;
+pub mod indexer;
+pub mod loader;
+pub mod network;
+pub mod peer;
+pub mod schema_mapping;
+
+pub use access::{AccessRule, Privilege, Role};
+pub use bootstrap::BootstrapPeer;
+pub use network::{BestPeerNetwork, EngineChoice, NetworkConfig, QueryOutput};
+pub use peer::NormalPeer;

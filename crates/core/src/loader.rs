@@ -1,0 +1,214 @@
+//! The data loader (paper §4.2).
+//!
+//! Periodically extracts data from the business's production system,
+//! transforms it through the schema mapping, and keeps the normal peer's
+//! database consistent with the production data: on each refresh it
+//! re-extracts, builds a new Rabin-fingerprint snapshot per table,
+//! sort-merges it against the previous snapshot, and applies only the
+//! detected changes.
+
+use std::collections::BTreeMap;
+
+use bestpeer_common::{Result, TableSchema};
+use bestpeer_storage::{ChangeSet, Database, Snapshot};
+
+use crate::schema_mapping::SchemaMapping;
+
+/// Summary of one refresh cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Rows inserted per table.
+    pub inserts: usize,
+    /// Rows deleted per table.
+    pub deletes: usize,
+    /// The logical timestamp assigned to the load.
+    pub timestamp: u64,
+}
+
+/// The loader state a normal peer owns.
+#[derive(Debug, Clone)]
+pub struct DataLoader {
+    mapping: SchemaMapping,
+    global_schemas: Vec<TableSchema>,
+    /// Last snapshot per global table ("stored in the normal peer
+    /// instance but in a separate database", paper footnote 3).
+    snapshots: BTreeMap<String, Snapshot>,
+    next_timestamp: u64,
+}
+
+impl DataLoader {
+    /// A loader applying `mapping` onto the global schema.
+    pub fn new(mapping: SchemaMapping, global_schemas: Vec<TableSchema>) -> Self {
+        DataLoader { mapping, global_schemas, snapshots: BTreeMap::new(), next_timestamp: 1 }
+    }
+
+    /// The schema mapping in use.
+    pub fn mapping(&self) -> &SchemaMapping {
+        &self.mapping
+    }
+
+    /// Extract from `production`, diff against the previous snapshots,
+    /// and apply the changes to the peer database `db`. The first call
+    /// performs the initial full load. Returns what changed.
+    pub fn refresh(&mut self, production: &Database, db: &mut Database) -> Result<RefreshReport> {
+        let extracted = self.mapping.extract_all(production, &self.global_schemas)?;
+        let mut report = RefreshReport::default();
+        for (table, rows) in extracted {
+            if !db.has_table(&table) {
+                let schema = self
+                    .global_schemas
+                    .iter()
+                    .find(|s| s.name == table)
+                    .expect("extract_all validated the table")
+                    .clone();
+                db.create_table(schema)?;
+            }
+            let new_snapshot = Snapshot::build(rows);
+            let old_snapshot = self.snapshots.remove(&table).unwrap_or_default();
+            let changes = old_snapshot.diff(&new_snapshot);
+            report.inserts += changes.inserts.len();
+            report.deletes += changes.deletes.len();
+            apply_changes(db, &table, &changes)?;
+            self.snapshots.insert(table, new_snapshot);
+        }
+        let ts = self.next_timestamp;
+        self.next_timestamp += 1;
+        db.set_load_timestamp(ts);
+        report.timestamp = ts;
+        Ok(report)
+    }
+}
+
+/// Apply a change set to one table: deletes first (by full-row match via
+/// primary key when available), then inserts.
+fn apply_changes(db: &mut Database, table: &str, changes: &ChangeSet) -> Result<()> {
+    let t = db.table_mut(table)?;
+    let has_pk = !t.schema().primary_key.is_empty();
+    for row in &changes.deletes {
+        if has_pk {
+            let key = t.schema().key_of(row);
+            t.delete_by_key(&key)?;
+        } else if let Some(rid) = t.find_row_id(row) {
+            // No primary key: locate an identical live row by content.
+            t.delete_row(rid)?;
+        }
+    }
+    for row in &changes.inserts {
+        t.insert(row.clone())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_mapping::TableMap;
+    use bestpeer_common::{ColumnDef, ColumnType, Row, Value};
+
+    fn local_schema() -> TableSchema {
+        TableSchema::new(
+            "src",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("qty", ColumnType::Int),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn global_schema() -> TableSchema {
+        TableSchema::new(
+            "items",
+            vec![
+                ColumnDef::new("item_id", ColumnType::Int),
+                ColumnDef::new("item_qty", ColumnType::Int),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn loader() -> DataLoader {
+        let mapping = SchemaMapping::new().with_table(
+            TableMap::new("src", "items").column("id", "item_id").column("qty", "item_qty"),
+        );
+        DataLoader::new(mapping, vec![global_schema()])
+    }
+
+    fn production(rows: &[(i64, i64)]) -> Database {
+        let mut p = Database::new();
+        p.create_table(local_schema()).unwrap();
+        for (id, qty) in rows {
+            p.insert("src", Row::new(vec![Value::Int(*id), Value::Int(*qty)])).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn initial_load_is_full() {
+        let mut l = loader();
+        let mut db = Database::new();
+        let report = l.refresh(&production(&[(1, 10), (2, 20)]), &mut db).unwrap();
+        assert_eq!(report.inserts, 2);
+        assert_eq!(report.deletes, 0);
+        assert_eq!(report.timestamp, 1);
+        assert_eq!(db.table("items").unwrap().len(), 2);
+        assert_eq!(db.load_timestamp(), 1);
+    }
+
+    #[test]
+    fn refresh_applies_only_deltas() {
+        let mut l = loader();
+        let mut db = Database::new();
+        l.refresh(&production(&[(1, 10), (2, 20), (3, 30)]), &mut db).unwrap();
+        // id 2 updated, id 3 deleted, id 4 inserted.
+        let report = l.refresh(&production(&[(1, 10), (2, 99), (4, 40)]), &mut db).unwrap();
+        assert_eq!(report.inserts, 2, "update counts as delete+insert");
+        assert_eq!(report.deletes, 2);
+        assert_eq!(report.timestamp, 2);
+        let t = db.table("items").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.get_by_key(&[Value::Int(2)]).unwrap().get(1),
+            &Value::Int(99)
+        );
+        assert!(t.get_by_key(&[Value::Int(3)]).is_none());
+        assert!(t.get_by_key(&[Value::Int(4)]).is_some());
+    }
+
+    #[test]
+    fn idempotent_refresh_changes_nothing() {
+        let mut l = loader();
+        let mut db = Database::new();
+        let prod = production(&[(1, 1), (2, 2)]);
+        l.refresh(&prod, &mut db).unwrap();
+        let report = l.refresh(&prod, &mut db).unwrap();
+        assert_eq!(report.inserts, 0);
+        assert_eq!(report.deletes, 0);
+        assert_eq!(db.table("items").unwrap().len(), 2);
+        // Timestamp still advances: the load *completed* again.
+        assert_eq!(db.load_timestamp(), 2);
+    }
+
+    #[test]
+    fn refresh_maintains_secondary_indices() {
+        let mut l = loader();
+        let mut db = Database::new();
+        l.refresh(&production(&[(1, 10), (2, 20)]), &mut db).unwrap();
+        db.table_mut("items").unwrap().create_index("item_qty").unwrap();
+        l.refresh(&production(&[(1, 10), (2, 55)]), &mut db).unwrap();
+        let ids = db
+            .table("items")
+            .unwrap()
+            .index_lookup_eq("item_qty", &Value::Int(55))
+            .unwrap();
+        assert_eq!(ids.len(), 1);
+        let stale = db
+            .table("items")
+            .unwrap()
+            .index_lookup_eq("item_qty", &Value::Int(20))
+            .unwrap();
+        assert!(stale.is_empty());
+    }
+}

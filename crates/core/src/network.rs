@@ -1,0 +1,453 @@
+//! The assembled corporate network and its client API.
+//!
+//! `BestPeerNetwork` wires the pieces together the way Figure 1 draws
+//! them: one bootstrap peer (service provider), one simulated cloud
+//! region, the normal peers (one per business), and the BATON overlay
+//! carrying the indices. Queries enter through [`BestPeerNetwork::submit_query`],
+//! which runs one of the four engines and returns both the real result
+//! and the cost trace for the simulator.
+
+use std::collections::BTreeMap;
+
+use bestpeer_cloud::SimCloud;
+use bestpeer_common::{Error, PeerId, Result, Row, TableSchema, UserId};
+use bestpeer_mapreduce::MrConfig;
+use bestpeer_simnet::{SimTime, Trace};
+use bestpeer_sql::exec::ResultSet;
+use bestpeer_sql::parse_select;
+use bestpeer_storage::Database;
+
+use crate::access::Role;
+use crate::bootstrap::{BootstrapPeer, MaintenanceEvent};
+use crate::cost::{CostParams, EngineDecision};
+use crate::engine::adaptive::{self, GlobalStats};
+use crate::engine::{basic, mr, parallel, EngineCtx};
+use crate::histogram::Histogram;
+use crate::indexer::{self, IndexOverlay, PeerLocator};
+use crate::loader::RefreshReport;
+use crate::peer::NormalPeer;
+use crate::schema_mapping::SchemaMapping;
+
+/// Network-wide configuration: optimization toggles (each has an
+/// ablation benchmark), engine overheads, and index policy.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Replicate BATON index entries to adjacent nodes (§4.3).
+    pub replication: bool,
+    /// Cache index entries at the submitting peer (§5.2).
+    pub index_cache: bool,
+    /// Use bloom joins for equi-joins (§5.2).
+    pub bloom_join: bool,
+    /// Ship the whole statement when one peer owns all data (§6.2.3).
+    pub single_peer_opt: bool,
+    /// MemTable budget in bytes (§6.1.2 uses 100 MB).
+    pub memtable_budget: u64,
+    /// Simulated latency of one BATON routing hop.
+    pub hop_latency: SimTime,
+    /// MapReduce overheads for the built-in MR engine.
+    pub mr: MrConfig,
+    /// HDFS replication factor for the MR engine.
+    pub hdfs_replication: usize,
+    /// `(table, column)` pairs to build range indices on (§6.2.2 builds
+    /// them on the nation keys).
+    pub range_index_columns: Vec<(String, String)>,
+    /// Cost-model parameters for the adaptive engine.
+    pub cost: CostParams,
+    /// Certificate-authority secret.
+    pub ca_secret: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            replication: true,
+            index_cache: true,
+            bloom_join: true,
+            single_peer_opt: true,
+            memtable_budget: 100 * 1024 * 1024,
+            hop_latency: SimTime::from_micros(500),
+            mr: MrConfig::default(),
+            hdfs_replication: 3,
+            range_index_columns: Vec::new(),
+            cost: CostParams::default(),
+            ca_secret: 0xBE57_FEE8,
+        }
+    }
+}
+
+/// Which engine to run a query with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The basic fetch-and-process strategy (§5.2) — the default.
+    Basic,
+    /// The parallel P2P strategy with replicated joins (§5.3).
+    ParallelP2P,
+    /// The MapReduce engine (§5.4).
+    MapReduce,
+    /// Algorithm 2: pick ParallelP2P or MapReduce by predicted cost.
+    Adaptive,
+}
+
+/// A completed query: result, cost trace, and planner diagnostics.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// The materialized result.
+    pub result: ResultSet,
+    /// The physical cost trace (feed it to `bestpeer_simnet::Cluster`).
+    pub trace: Trace,
+    /// Which engine actually executed.
+    pub engine: EngineChoice,
+    /// The adaptive planner's cost comparison, when it ran.
+    pub decision: Option<EngineDecision>,
+}
+
+/// The whole corporate network.
+#[derive(Debug)]
+pub struct BestPeerNetwork {
+    config: NetworkConfig,
+    /// The service provider's bootstrap peer.
+    pub bootstrap: BootstrapPeer,
+    /// The simulated cloud region everything runs in.
+    pub cloud: SimCloud<Database>,
+    peers: BTreeMap<PeerId, NormalPeer>,
+    overlay: IndexOverlay,
+    locators: BTreeMap<PeerId, PeerLocator>,
+    stats: Option<GlobalStats>,
+}
+
+impl BestPeerNetwork {
+    /// Create a network with the shared global schema.
+    pub fn new(global_schemas: Vec<TableSchema>, config: NetworkConfig) -> Self {
+        let bootstrap = BootstrapPeer::new(global_schemas, config.ca_secret);
+        let overlay = IndexOverlay::new(config.replication);
+        BestPeerNetwork {
+            config,
+            bootstrap,
+            cloud: SimCloud::new(),
+            peers: BTreeMap::new(),
+            overlay,
+            locators: BTreeMap::new(),
+            stats: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Mutable access to the cost-model runtime parameters, so the
+    /// statistics module's feedback loop (§5.5) can fold measured values
+    /// back into the planner.
+    pub fn cost_params_mut(&mut self) -> &mut CostParams {
+        &mut self.config.cost
+    }
+
+    /// Live peer ids, ascending.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Borrow a peer.
+    pub fn peer(&self, id: PeerId) -> Result<&NormalPeer> {
+        self.peers.get(&id).ok_or_else(|| Error::Network(format!("no peer {id}")))
+    }
+
+    /// Mutably borrow a peer (loading, local administration).
+    pub fn peer_mut(&mut self, id: PeerId) -> Result<&mut NormalPeer> {
+        self.peers
+            .get_mut(&id)
+            .ok_or_else(|| Error::Network(format!("no peer {id}")))
+    }
+
+    /// The BATON overlay (inspection / fault injection in tests).
+    pub fn overlay_mut(&mut self) -> &mut IndexOverlay {
+        &mut self.overlay
+    }
+
+    /// A business joins: the bootstrap admits it (§3.1), the cloud
+    /// launches its instance, and the new peer enters the BATON overlay.
+    pub fn join(&mut self, business: &str) -> Result<PeerId> {
+        let peer = self.bootstrap.admit(business, &mut self.cloud)?;
+        let id = peer.id;
+        self.overlay.join(id)?;
+        self.peers.insert(id, peer);
+        self.invalidate_caches();
+        Ok(id)
+    }
+
+    /// A business departs: indices withdrawn, overlay position vacated,
+    /// certificate revoked, instance blacklisted.
+    pub fn leave(&mut self, id: PeerId) -> Result<()> {
+        let peer = self
+            .peers
+            .remove(&id)
+            .ok_or_else(|| Error::Network(format!("no peer {id}")))?;
+        indexer::unpublish_peer(
+            &mut self.overlay,
+            id,
+            &peer.db,
+            &self.config.range_index_columns,
+        )?;
+        self.overlay.leave(id)?;
+        self.bootstrap.depart(id)?;
+        self.locators.remove(&id);
+        self.invalidate_caches();
+        Ok(())
+    }
+
+    fn invalidate_caches(&mut self) {
+        for l in self.locators.values_mut() {
+            l.invalidate();
+        }
+        self.stats = None;
+    }
+
+    /// Bulk-load data into a peer and publish its index entries. When
+    /// `with_indices` is set, the secondary indices the schema benchmark
+    /// uses (paper Table 4) should already have been created by the
+    /// caller via [`BestPeerNetwork::peer_mut`]; this method only
+    /// handles the BATON-side publication.
+    pub fn load_peer(
+        &mut self,
+        id: PeerId,
+        data: BTreeMap<String, Vec<Row>>,
+        timestamp: u64,
+    ) -> Result<()> {
+        {
+            let peer = self.peer_mut(id)?;
+            for (table, rows) in data {
+                peer.db.bulk_insert(&table, rows)?;
+            }
+            peer.db.set_load_timestamp(timestamp);
+        }
+        self.publish_indices(id)?;
+        Ok(())
+    }
+
+    /// (Re-)publish one peer's BATON index entries.
+    pub fn publish_indices(&mut self, id: PeerId) -> Result<u32> {
+        let range_cols = self.config.range_index_columns.clone();
+        let peer = self.peer(id)?;
+        // Withdraw stale entries first so re-publication is idempotent.
+        let db = peer.db.clone();
+        indexer::unpublish_peer(&mut self.overlay, id, &db, &range_cols)?;
+        let hops = indexer::publish_peer(&mut self.overlay, id, &db, &range_cols)?;
+        self.invalidate_caches();
+        Ok(hops)
+    }
+
+    /// Run a loader refresh from the business's production database and
+    /// republish indices (§4.2's periodic extraction).
+    pub fn refresh_from_production(
+        &mut self,
+        id: PeerId,
+        production: &Database,
+        mapping: SchemaMapping,
+    ) -> Result<RefreshReport> {
+        let schemas = self.bootstrap.global_schemas().to_vec();
+        let report = {
+            let peer = self.peer_mut(id)?;
+            if peer.loader.is_none() {
+                peer.loader = Some(crate::loader::DataLoader::new(mapping, schemas));
+            }
+            let mut loader = peer.loader.take().expect("just set");
+            let result = loader.refresh(production, &mut peer.db);
+            peer.loader = Some(loader);
+            result?
+        };
+        self.publish_indices(id)?;
+        Ok(report)
+    }
+
+    /// Define a standard role at the bootstrap peer.
+    pub fn define_role(&mut self, role: Role) {
+        self.bootstrap.define_role(role);
+        self.invalidate_caches();
+    }
+
+    /// Register a user (broadcast through the bootstrap peer) and assign
+    /// it a role at its home peer.
+    pub fn create_user(&mut self, name: &str, home: PeerId, role: &str) -> Result<UserId> {
+        self.bootstrap.role(role)?; // must exist
+        let user = self.bootstrap.register_user(name, home)?;
+        self.peer_mut(home)?.assign_role(user, role);
+        Ok(user)
+    }
+
+    /// The latest timestamp at which *every* peer's data is loaded — the
+    /// highest query timestamp that will not be rejected under
+    /// Definition 2.
+    pub fn consistent_timestamp(&self) -> u64 {
+        self.peers.values().map(|p| p.db.load_timestamp()).min().unwrap_or(0)
+    }
+
+    /// Gather global statistics (per-table sizes + optional histograms
+    /// over the named columns) for the adaptive planner.
+    pub fn collect_statistics(
+        &mut self,
+        histogram_columns: &[(String, Vec<String>)],
+    ) -> Result<()> {
+        let mut stats = GlobalStats::default();
+        for peer in self.peers.values() {
+            for table in peer.db.non_empty_tables() {
+                let e = stats
+                    .tables
+                    .entry(table.schema().name.clone())
+                    .or_insert((0, 0, 0));
+                e.0 += table.len() as u64;
+                e.1 += table.byte_size();
+                e.2 += 1;
+            }
+        }
+        for (table, cols) in histogram_columns {
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let mut merged: Option<Histogram> = None;
+            for peer in self.peers.values() {
+                if !peer.db.has_table(table) || peer.db.table(table)?.is_empty() {
+                    continue;
+                }
+                let h = Histogram::build(peer.db.table(table)?, &col_refs, 32)?;
+                merged = Some(match merged {
+                    None => h,
+                    Some(mut m) => {
+                        m.buckets.extend(h.buckets);
+                        m
+                    }
+                });
+            }
+            if let Some(h) = merged {
+                stats.histograms.insert(table.clone(), h);
+            }
+        }
+        self.stats = Some(stats);
+        Ok(())
+    }
+
+    /// Submit a SQL query from `submitter` under `role`, stamped with
+    /// snapshot timestamp `query_ts` (Definition 2; pass 0 to accept any
+    /// data version), on the chosen engine.
+    pub fn submit_query(
+        &mut self,
+        submitter: PeerId,
+        sql: &str,
+        role: &str,
+        engine: EngineChoice,
+        query_ts: u64,
+    ) -> Result<QueryOutput> {
+        let stmt = parse_select(sql)?;
+        let role = self.bootstrap.role(role)?.clone();
+        let schemas = self.bootstrap.global_schemas().to_vec();
+        if engine == EngineChoice::Adaptive && self.stats.is_none() {
+            self.collect_statistics(&[])?;
+        }
+        let locator = self
+            .locators
+            .entry(submitter)
+            .or_insert_with(|| PeerLocator::new(self.config.index_cache));
+        let mut ctx = EngineCtx {
+            peers: &self.peers,
+            overlay: &mut self.overlay,
+            locator,
+            config: &self.config,
+            schemas: &schemas,
+            role: &role,
+            query_ts,
+        };
+        let (result, trace, used, decision): (ResultSet, Trace, EngineChoice, Option<EngineDecision>) =
+            match engine {
+                EngineChoice::Basic => {
+                    let (rs, tr) = basic::execute(&mut ctx, submitter, &stmt)?;
+                    (rs, tr, EngineChoice::Basic, None)
+                }
+                EngineChoice::ParallelP2P => {
+                    let (rs, tr) = parallel::execute(&mut ctx, submitter, &stmt)?;
+                    (rs, tr, EngineChoice::ParallelP2P, None)
+                }
+                EngineChoice::MapReduce => {
+                    let (rs, tr) = mr::execute(&mut ctx, submitter, &stmt)?;
+                    (rs, tr, EngineChoice::MapReduce, None)
+                }
+                EngineChoice::Adaptive => {
+                    let stats = self.stats.as_ref().expect("collected above");
+                    let ((rs, tr), report) = adaptive::execute(
+                        &mut ctx,
+                        submitter,
+                        &stmt,
+                        stats,
+                        &self.config.cost,
+                    )?;
+                    let used = match report.ran {
+                        adaptive::ChosenEngine::ParallelP2P => EngineChoice::ParallelP2P,
+                        adaptive::ChosenEngine::MapReduce => EngineChoice::MapReduce,
+                    };
+                    (rs, tr, used, Some(report.decision))
+                }
+            };
+        Ok(QueryOutput { result, trace, engine: used, decision })
+    }
+
+    /// One Algorithm 1 maintenance epoch (fail-over, auto-scaling,
+    /// resource release), with cache invalidation as the "notify
+    /// participants" step.
+    pub fn maintenance_tick(&mut self) -> Result<Vec<MaintenanceEvent>> {
+        let events = self.bootstrap.maintenance_tick(&mut self.cloud, &mut self.peers)?;
+        if !events.is_empty() {
+            self.invalidate_caches();
+        }
+        Ok(events)
+    }
+
+    /// Back every peer up (the periodic EBS cycle).
+    pub fn backup_all(&mut self) -> Result<usize> {
+        self.bootstrap.backup_all(&mut self.cloud, &self.peers)
+    }
+
+    /// Run a single-aggregate query with distributed online aggregation
+    /// (reference \[25\]): progressive estimates with confidence
+    /// intervals arrive as each peer reports; the exact result follows.
+    pub fn submit_online_aggregate(
+        &mut self,
+        submitter: PeerId,
+        sql: &str,
+        role: &str,
+        query_ts: u64,
+    ) -> Result<crate::engine::online::OnlineOutput> {
+        let stmt = parse_select(sql)?;
+        let role = self.bootstrap.role(role)?.clone();
+        let schemas = self.bootstrap.global_schemas().to_vec();
+        let locator = self
+            .locators
+            .entry(submitter)
+            .or_insert_with(|| PeerLocator::new(self.config.index_cache));
+        let mut ctx = EngineCtx {
+            peers: &self.peers,
+            overlay: &mut self.overlay,
+            locator,
+            config: &self.config,
+            schemas: &schemas,
+            role: &role,
+            query_ts,
+        };
+        crate::engine::online::execute(&mut ctx, submitter, &stmt)
+    }
+
+    /// Export tables to a freshly mounted HDFS for offline MapReduce
+    /// analysis (paper §1), applying `role`'s access control at every
+    /// owner. Returns the populated file system and the export report.
+    pub fn export_to_hadoop(
+        &self,
+        tables: &[&str],
+        role: &str,
+        query_ts: u64,
+    ) -> Result<(bestpeer_mapreduce::Hdfs, crate::export::ExportReport)> {
+        let role = self.bootstrap.role(role)?.clone();
+        let mut hdfs = bestpeer_mapreduce::Hdfs::new(
+            self.peer_ids(),
+            self.config.hdfs_replication,
+        );
+        let report =
+            crate::export::export_tables(&self.peers, tables, &role, query_ts, &mut hdfs)?;
+        Ok((hdfs, report))
+    }
+}

@@ -1,0 +1,30 @@
+//! HadoopDB — the baseline system of the paper's benchmark.
+//!
+//! HadoopDB (Abouzeid et al., VLDB 2009 — paper reference \[2\]) is "an
+//! architectural hybrid of MapReduce and DBMS technologies": every
+//! worker node hosts a local single-node database, and an *SMS planner*
+//! compiles SQL into a chain of MapReduce jobs that push selection and
+//! projection into the local databases and perform joins and aggregation
+//! in reducers.
+//!
+//! This crate rebuilds that architecture on our substrates:
+//!
+//! - [`system::HadoopDb`] — the cluster: one [`bestpeer_storage::Database`]
+//!   per worker (the PostgreSQL stand-in), a
+//!   [`bestpeer_mapreduce::MapReduceEngine`], and a simulated HDFS;
+//! - the SMS planner (hosted in `bestpeer_mapreduce::sqlcompile`, shared
+//!   with BestPeer++'s own MapReduce engine): selection/projection
+//!   pushdown into per-worker SQL, one repartition-join job per join
+//!   (tagged tuples, reduce-side join — the paper observes SMS compiles
+//!   Q4 into two jobs and Q5 into four), and a final aggregation job.
+//!
+//! Benchmark-relevant fidelity notes (paper §6.1.3/§6.1.5): the number
+//! of reducers is set to the worker count (the paper found the default
+//! of one reducer performs poorly and set it manually), and tables are
+//! *not* co-partitioned on join keys (the paper disables HadoopDB's
+//! Global/Local Hasher because corporate networks cannot move data
+//! between businesses).
+
+pub mod system;
+
+pub use system::HadoopDb;

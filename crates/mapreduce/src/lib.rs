@@ -1,0 +1,30 @@
+//! A mini MapReduce framework with a simulated HDFS.
+//!
+//! BestPeer++ ships a MapReduce-style engine for heavy analytical jobs
+//! (paper §5.4), and its baseline HadoopDB runs entirely on Hadoop. This
+//! crate is the from-scratch Hadoop substitute both use:
+//!
+//! - [`hdfs::Hdfs`] — an in-memory distributed file system: named files
+//!   of row batches, a replication factor (charged on writes), and
+//!   block-placement bookkeeping,
+//! - [`job::MapReduceJob`] — map and reduce as Rust closures over rows,
+//! - [`engine::MapReduceEngine`] — schedules one map task per worker and
+//!   a configurable number of reduce tasks, hash-partitions the map
+//!   output, and executes the *pull-based* shuffle the paper blames for
+//!   Hadoop's latency: reducers learn of map completions only after a
+//!   polling delay, and every job pays a fixed start-up overhead
+//!   ("approximately 10–15 sec to launch all map tasks", §6.1.6).
+//!
+//! Jobs really run — rows flow through the closures — while the engine
+//! records a [`bestpeer_simnet::Trace`] of the disk, CPU, network, and
+//! fixed-overhead costs, which the simulator turns into latency.
+
+pub mod engine;
+pub mod hdfs;
+pub mod job;
+pub mod sqlcompile;
+
+pub use engine::{JobOutcome, MapReduceEngine, MrConfig};
+pub use hdfs::Hdfs;
+pub use job::{JobInput, MapReduceJob};
+pub use sqlcompile::{compile_and_run, LocalSource};

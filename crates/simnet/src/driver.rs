@@ -1,0 +1,125 @@
+//! Open-loop workload driver for throughput benchmarking.
+//!
+//! Reproduces the paper's throughput methodology (§6.2.1): queries are
+//! offered at a fixed rate regardless of completions (open loop, as in
+//! YCSB \[5\]); we report achieved throughput and the average latency, and
+//! sweep the offered rate upward "until the point at which the system is
+//! saturated and throughput stops increasing".
+
+use crate::cluster::{Cluster, ResourceConfig};
+use crate::stats;
+use crate::time::SimTime;
+use crate::trace::Trace;
+
+/// One point on a latency-versus-throughput curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load, queries/second.
+    pub offered_qps: f64,
+    /// Achieved throughput, queries/second.
+    pub achieved_qps: f64,
+    /// Mean query latency.
+    pub mean_latency: SimTime,
+    /// 99th-percentile query latency.
+    pub p99_latency: SimTime,
+}
+
+/// Offer `traces` (cycled) at `qps` for `n_queries` arrivals and measure.
+pub fn run_open_loop(
+    cfg: ResourceConfig,
+    traces: &[Trace],
+    qps: f64,
+    n_queries: usize,
+) -> LoadPoint {
+    assert!(qps > 0.0, "offered rate must be positive");
+    assert!(!traces.is_empty(), "need at least one trace");
+    let spacing_us = 1e6 / qps;
+    let queries: Vec<(SimTime, Trace)> = (0..n_queries)
+        .map(|i| {
+            let at = SimTime::from_micros((i as f64 * spacing_us).round() as u64);
+            (at, traces[i % traces.len()].clone())
+        })
+        .collect();
+    let mut cluster = Cluster::new(cfg);
+    let outcomes = cluster.run(queries);
+    let latencies: Vec<SimTime> = outcomes.iter().map(|o| o.latency()).collect();
+    // YCSB-style throughput: completions inside the offered-load window
+    // divided by the window. (Counting the full drain time instead would
+    // let one backlogged server's queue dominate the denominator and
+    // understate aggregate throughput.)
+    let first = outcomes.iter().map(|o| o.arrival).min().unwrap_or(SimTime::ZERO);
+    let window_end = outcomes.iter().map(|o| o.arrival).max().unwrap_or(SimTime::ZERO);
+    let window = window_end.saturating_sub(first).as_secs_f64().max(1e-9);
+    let completed_in_window =
+        outcomes.iter().filter(|o| o.completion <= window_end).count();
+    LoadPoint {
+        offered_qps: qps,
+        achieved_qps: completed_in_window as f64 / window,
+        mean_latency: stats::mean(&latencies),
+        p99_latency: stats::percentile(&latencies, 0.99),
+    }
+}
+
+/// Sweep offered load across `rates` and return the curve.
+pub fn sweep_throughput(
+    cfg: ResourceConfig,
+    traces: &[Trace],
+    rates: &[f64],
+    n_queries: usize,
+) -> Vec<LoadPoint> {
+    rates.iter().map(|&qps| run_open_loop(cfg, traces, qps, n_queries)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Phase, Task};
+    use bestpeer_common::PeerId;
+
+    fn cfg() -> ResourceConfig {
+        ResourceConfig {
+            disk_bytes_per_sec: 1_000_000,
+            cpu_bytes_per_sec: 1_000_000,
+            net_bytes_per_sec: 1_000_000,
+            msg_latency: SimTime::ZERO,
+            byte_scale: 1.0,
+        }
+    }
+
+    /// A query that takes 10 ms of disk on one peer.
+    fn light(peer: u64) -> Trace {
+        Trace::new().phase(Phase::new("q").task(Task::on(PeerId::new(peer)).disk(10_000)))
+    }
+
+    #[test]
+    fn below_saturation_latency_is_flat() {
+        // Service rate is 100 q/s per peer; offer 10 q/s.
+        let p = run_open_loop(cfg(), &[light(1)], 10.0, 200);
+        assert!(p.mean_latency <= SimTime::from_millis(11));
+        assert!((p.achieved_qps - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn above_saturation_throughput_caps_and_latency_grows() {
+        // Offer 400 q/s against a 100 q/s server.
+        let p = run_open_loop(cfg(), &[light(1)], 400.0, 400);
+        assert!(p.achieved_qps < 120.0, "throughput capped near 100, got {}", p.achieved_qps);
+        assert!(p.mean_latency > SimTime::from_millis(100), "queueing delay should dominate");
+    }
+
+    #[test]
+    fn more_peers_scale_throughput() {
+        // Round-robin across 4 peers quadruples capacity.
+        let traces: Vec<Trace> = (1..=4).map(light).collect();
+        let one = run_open_loop(cfg(), &[light(1)], 350.0, 400);
+        let four = run_open_loop(cfg(), &traces, 350.0, 400);
+        assert!(four.achieved_qps > 2.5 * one.achieved_qps);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_offered_rate() {
+        let pts = sweep_throughput(cfg(), &[light(1)], &[20.0, 50.0, 90.0], 200);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].mean_latency <= pts[2].mean_latency);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulation of cluster time.
+//!
+//! The paper's evaluation ran on Amazon EC2 (m1.small instances, ~90 MB/s
+//! buffered disk reads, ~100 MB/s node-to-node bandwidth — §6.1.1). We do
+//! not have that testbed, so *time* is simulated: query engines execute
+//! for real (rows actually flow and results are checked), and as they
+//! execute they record a [`trace::Trace`] — per-peer disk and CPU bytes,
+//! per-link transfers, fixed overheads (e.g. Hadoop job start-up),
+//! organized into barrier-separated phases. This crate replays traces on
+//! queueing resources (per-peer disk, CPU, and NIC servers) under a
+//! virtual clock to obtain:
+//!
+//! - single-query latency (Figures 6–11), and
+//! - latency-vs-offered-throughput curves with realistic saturation
+//!   (Figures 12–14), via the open-loop [`driver`].
+//!
+//! Everything is deterministic: same trace + same config = same numbers.
+
+pub mod cluster;
+pub mod driver;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use cluster::{Cluster, QueryOutcome, ResourceConfig};
+pub use driver::{run_open_loop, sweep_throughput, LoadPoint};
+pub use time::SimTime;
+pub use trace::{Phase, Task, Trace, Transfer};

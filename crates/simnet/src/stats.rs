@@ -1,0 +1,57 @@
+//! Small summary-statistics helpers for benchmark reporting.
+
+use crate::time::SimTime;
+
+/// Arithmetic mean of a set of times (zero when empty).
+pub fn mean(times: &[SimTime]) -> SimTime {
+    if times.is_empty() {
+        return SimTime::ZERO;
+    }
+    let total: u128 = times.iter().map(|t| u128::from(t.as_micros())).sum();
+    SimTime::from_micros((total / times.len() as u128) as u64)
+}
+
+/// The `q`-quantile (0.0–1.0) by nearest-rank on a copy of the data.
+pub fn percentile(times: &[SimTime], q: f64) -> SimTime {
+    if times.is_empty() {
+        return SimTime::ZERO;
+    }
+    let mut sorted: Vec<SimTime> = times.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Maximum (zero when empty).
+pub fn max(times: &[SimTime]) -> SimTime {
+    times.iter().copied().max().unwrap_or(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let xs = vec![t(10), t(20), t(30)];
+        assert_eq!(mean(&xs), t(20));
+        assert_eq!(max(&xs), t(30));
+        assert_eq!(mean(&[]), SimTime::ZERO);
+        assert_eq!(max(&[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs: Vec<SimTime> = (1..=100).map(t).collect();
+        assert_eq!(percentile(&xs, 0.50), t(50));
+        assert_eq!(percentile(&xs, 0.99), t(99));
+        assert_eq!(percentile(&xs, 1.0), t(100));
+        assert_eq!(percentile(&xs, 0.0), t(1));
+        assert_eq!(percentile(&[], 0.5), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,131 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) of virtual time, in microseconds. Microsecond
+/// granularity keeps all the paper's quantities exact enough (sub-second
+/// query latencies through multi-minute benchmark rounds) in integer
+/// arithmetic, so simulation results are exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// From fractional seconds (rounds to the nearest microsecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s * 1e6).round().max(0.0) as u64)
+    }
+
+    /// As microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// The virtual time to move `bytes` at `bytes_per_sec`.
+pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> SimTime {
+    if bytes == 0 || bytes_per_sec == 0 {
+        return SimTime::ZERO;
+    }
+    // ceil(bytes * 1e6 / rate) in u128 to avoid overflow.
+    let us = (u128::from(bytes) * 1_000_000 + u128::from(bytes_per_sec) - 1)
+        / u128::from(bytes_per_sec);
+    SimTime(us as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimTime::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_millis(200);
+        assert_eq!((a + b).as_micros(), 1_200_000);
+        assert_eq!((a - b).as_micros(), 800_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 100 MB at 100 MB/s = 1 s
+        assert_eq!(transfer_time(100_000_000, 100_000_000), SimTime::from_secs(1));
+        // 1 byte at 1 GB/s rounds up to 1 µs
+        assert_eq!(transfer_time(1, 1_000_000_000), SimTime::from_micros(1));
+        assert_eq!(transfer_time(0, 100), SimTime::ZERO);
+        assert_eq!(transfer_time(100, 0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500s");
+    }
+}

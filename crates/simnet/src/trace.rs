@@ -1,0 +1,193 @@
+//! Cost traces: the physical work a query performed.
+//!
+//! Engines execute queries for real and record what they did as a
+//! `Trace`: a sequence of *phases* separated by barriers (e.g. "fetch at
+//! remote peers" then "final join at the submitting peer"; or one phase
+//! per MapReduce job stage). Each phase holds *tasks* that run in
+//! parallel on different peers; a task reads bytes from disk, burns CPU
+//! over bytes, possibly waits out a fixed overhead (job scheduling,
+//! pull-shuffle polling delay), and then sends bytes to other peers.
+
+use bestpeer_common::PeerId;
+
+use crate::time::SimTime;
+
+/// One outbound transfer performed at the end of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Destination peer.
+    pub to: PeerId,
+    /// Encoded bytes on the wire.
+    pub bytes: u64,
+}
+
+/// One unit of work executed on one peer within a phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// The peer doing the work.
+    pub node: PeerId,
+    /// Bytes read from local disk.
+    pub disk_bytes: u64,
+    /// Bytes processed by the CPU.
+    pub cpu_bytes: u64,
+    /// Fixed latency not attributable to data volume (task scheduling,
+    /// JVM start, shuffle poll delay, ...).
+    pub fixed: SimTime,
+    /// Data shipped to other peers when the compute finishes.
+    pub sends: Vec<Transfer>,
+}
+
+impl Task {
+    /// A task on `node` with no work; use the builder methods to add.
+    pub fn on(node: PeerId) -> Self {
+        Task { node, disk_bytes: 0, cpu_bytes: 0, fixed: SimTime::ZERO, sends: Vec::new() }
+    }
+
+    /// Add disk bytes.
+    pub fn disk(mut self, bytes: u64) -> Self {
+        self.disk_bytes += bytes;
+        self
+    }
+
+    /// Add CPU bytes.
+    pub fn cpu(mut self, bytes: u64) -> Self {
+        self.cpu_bytes += bytes;
+        self
+    }
+
+    /// Add fixed latency.
+    pub fn fixed(mut self, t: SimTime) -> Self {
+        self.fixed += t;
+        self
+    }
+
+    /// Add an outbound transfer.
+    pub fn send(mut self, to: PeerId, bytes: u64) -> Self {
+        self.sends.push(Transfer { to, bytes });
+        self
+    }
+}
+
+/// A barrier-separated group of parallel tasks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Phase {
+    /// Human-readable label (shows up in benchmark explanations).
+    pub label: String,
+    /// Tasks that run in parallel within the phase.
+    pub tasks: Vec<Task>,
+}
+
+impl Phase {
+    /// An empty named phase.
+    pub fn new(label: impl Into<String>) -> Self {
+        Phase { label: label.into(), tasks: Vec::new() }
+    }
+
+    /// Append a task.
+    pub fn task(mut self, t: Task) -> Self {
+        self.tasks.push(t);
+        self
+    }
+
+    /// Append a task in place.
+    pub fn push(&mut self, t: Task) {
+        self.tasks.push(t);
+    }
+}
+
+/// The full physical trace of one query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Phases in execution order (a barrier between consecutive phases).
+    pub phases: Vec<Phase>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append a phase.
+    pub fn phase(mut self, p: Phase) -> Self {
+        self.phases.push(p);
+        self
+    }
+
+    /// Append a phase in place.
+    pub fn push(&mut self, p: Phase) {
+        self.phases.push(p);
+    }
+
+    /// Total bytes shipped across the network.
+    pub fn network_bytes(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.tasks)
+            .flat_map(|t| &t.sends)
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    /// Total bytes read from disk across all peers.
+    pub fn disk_bytes(&self) -> u64 {
+        self.phases.iter().flat_map(|p| &p.tasks).map(|t| t.disk_bytes).sum()
+    }
+
+    /// Total CPU bytes across all peers.
+    pub fn cpu_bytes(&self) -> u64 {
+        self.phases.iter().flat_map(|p| &p.tasks).map(|t| t.cpu_bytes).sum()
+    }
+
+    /// Peers that appear anywhere in the trace.
+    pub fn participants(&self) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> = self
+            .phases
+            .iter()
+            .flat_map(|p| &p.tasks)
+            .flat_map(|t| std::iter::once(t.node).chain(t.sends.iter().map(|s| s.to)))
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let p1 = Phase::new("fetch")
+            .task(Task::on(PeerId::new(1)).disk(100).cpu(100).send(PeerId::new(0), 40))
+            .task(Task::on(PeerId::new(2)).disk(200).cpu(200).send(PeerId::new(0), 60));
+        let p2 = Phase::new("process")
+            .task(Task::on(PeerId::new(0)).cpu(100).fixed(SimTime::from_millis(5)));
+        Trace::new().phase(p1).phase(p2)
+    }
+
+    #[test]
+    fn totals() {
+        let t = sample();
+        assert_eq!(t.network_bytes(), 100);
+        assert_eq!(t.disk_bytes(), 300);
+        assert_eq!(t.cpu_bytes(), 400);
+    }
+
+    #[test]
+    fn participants_are_deduped_and_sorted() {
+        let t = sample();
+        assert_eq!(
+            t.participants(),
+            vec![PeerId::new(0), PeerId::new(1), PeerId::new(2)]
+        );
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let task = Task::on(PeerId::new(3)).disk(1).disk(2).cpu(5).fixed(SimTime::from_micros(7));
+        assert_eq!(task.disk_bytes, 3);
+        assert_eq!(task.cpu_bytes, 5);
+        assert_eq!(task.fixed, SimTime::from_micros(7));
+    }
+}

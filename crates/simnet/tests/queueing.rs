@@ -1,0 +1,94 @@
+//! Queueing-theory sanity checks for the discrete-event cluster model:
+//! the simulator must reproduce textbook behavior, since every figure
+//! rests on it.
+
+use bestpeer_common::PeerId;
+use bestpeer_simnet::{driver, Cluster, Phase, ResourceConfig, SimTime, Task, Trace};
+
+fn cfg(rate: u64) -> ResourceConfig {
+    ResourceConfig {
+        disk_bytes_per_sec: rate,
+        cpu_bytes_per_sec: rate,
+        net_bytes_per_sec: rate,
+        msg_latency: SimTime::ZERO,
+        byte_scale: 1.0,
+    }
+}
+
+/// A query occupying one peer's disk for `ms` milliseconds at rate 1e6.
+fn job(peer: u64, ms: u64) -> Trace {
+    Trace::new().phase(Phase::new("j").task(Task::on(PeerId::new(peer)).disk(ms * 1_000)))
+}
+
+#[test]
+fn deterministic_replay() {
+    let t = job(1, 25);
+    let a = driver::run_open_loop(cfg(1_000_000), &[t.clone()], 17.0, 300);
+    let b = driver::run_open_loop(cfg(1_000_000), &[t], 17.0, 300);
+    assert_eq!(a.achieved_qps, b.achieved_qps);
+    assert_eq!(a.mean_latency, b.mean_latency);
+    assert_eq!(a.p99_latency, b.p99_latency);
+}
+
+#[test]
+fn utilization_law_at_the_knee() {
+    // Service time 20 ms → capacity 50 q/s. At ρ≈0.5 latency stays near
+    // service time; at ρ>1 the backlog grows linearly with time.
+    let t = job(1, 20);
+    let low = driver::run_open_loop(cfg(1_000_000), &[t.clone()], 25.0, 500);
+    assert!(low.mean_latency < SimTime::from_millis(25), "{low:?}");
+    let over = driver::run_open_loop(cfg(1_000_000), &[t], 100.0, 500);
+    assert!(over.achieved_qps < 60.0, "{over:?}");
+    // With 500 arrivals at 2x capacity, the last arrivals wait ~2.5 s.
+    assert!(over.p99_latency > SimTime::from_secs(2), "{over:?}");
+}
+
+#[test]
+fn pipeline_stages_overlap_across_queries() {
+    // disk 10 ms then cpu 10 ms: a single query takes 20 ms, but the
+    // stages pipeline across queries, so capacity is ~100 q/s, not 50.
+    let t = Trace::new().phase(
+        Phase::new("p").task(Task::on(PeerId::new(1)).disk(10_000).cpu(10_000)),
+    );
+    let p = driver::run_open_loop(cfg(1_000_000), &[t], 90.0, 600);
+    assert!(
+        p.achieved_qps > 80.0,
+        "pipelining should sustain ~90 q/s: {p:?}"
+    );
+}
+
+#[test]
+fn barrier_phases_serialize_within_a_query_only() {
+    // Two phases of 10 ms on DIFFERENT peers: one query takes 20 ms,
+    // but consecutive queries overlap phase-wise (query 2's phase 1
+    // runs while query 1's phase 2 runs) → capacity ~100 q/s.
+    let t = Trace::new()
+        .phase(Phase::new("a").task(Task::on(PeerId::new(1)).disk(10_000)))
+        .phase(Phase::new("b").task(Task::on(PeerId::new(2)).disk(10_000)));
+    let single = Cluster::new(cfg(1_000_000)).single_query_latency(&t);
+    assert_eq!(single, SimTime::from_millis(20));
+    let p = driver::run_open_loop(cfg(1_000_000), &[t], 90.0, 600);
+    assert!(p.achieved_qps > 80.0, "{p:?}");
+}
+
+#[test]
+fn slow_link_dominates_a_fan_in() {
+    // Ten peers each send 50 KB to a collector; with 1 MB/s links the
+    // senders transmit in parallel → ~50 ms, not 500 ms.
+    let mut phase = Phase::new("fan-in");
+    for p in 1..=10 {
+        phase.push(Task::on(PeerId::new(p)).send(PeerId::new(0), 50_000));
+    }
+    let t = Trace::new().phase(phase);
+    let lat = Cluster::new(cfg(1_000_000)).single_query_latency(&t);
+    assert_eq!(lat, SimTime::from_millis(50));
+}
+
+#[test]
+fn byte_scale_preserves_ratios() {
+    let t = job(1, 10);
+    let base = Cluster::new(cfg(1_000_000)).single_query_latency(&t);
+    let scaled = Cluster::new(ResourceConfig { byte_scale: 7.0, ..cfg(1_000_000) })
+        .single_query_latency(&t);
+    assert_eq!(scaled.as_micros(), base.as_micros() * 7);
+}

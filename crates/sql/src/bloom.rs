@@ -1,0 +1,138 @@
+//! Bloom filters for the bloom-join optimization.
+//!
+//! "For equi-join queries, the system employs the bloom join algorithm to
+//! reduce the volume of data transmitted through the network" (paper
+//! §5.2). The query submitting peer builds a filter over its join keys,
+//! ships the filter (cheap) to remote peers, and remote peers only send
+//! back tuples whose keys *might* match.
+
+use bestpeer_common::Value;
+
+/// A classic Bloom filter over [`Value`] keys, with `k` derived from the
+/// target false-positive rate.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+    items: u64,
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `expected_items` at roughly
+    /// `fp_rate` false positives (standard m/k formulas).
+    pub fn new(expected_items: usize, fp_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = fp_rate.clamp(1e-9, 0.5);
+        let m = (-(n * p.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil();
+        let nbits = (m as u64).max(64);
+        let k = ((m / n) * std::f64::consts::LN_2).round().clamp(1.0, 16.0) as u32;
+        BloomFilter { bits: vec![0u64; nbits.div_ceil(64) as usize], nbits, k, items: 0 }
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, v: &Value) {
+        let (h1, h2) = self.hashes(v);
+        for i in 0..self.k {
+            let bit = self.bit_index(h1, h2, i);
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Might the filter contain this key? (No false negatives.)
+    pub fn contains(&self, v: &Value) -> bool {
+        let (h1, h2) = self.hashes(v);
+        (0..self.k).all(|i| {
+            let bit = self.bit_index(h1, h2, i);
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    fn bit_index(&self, h1: u64, h2: u64, i: u32) -> u64 {
+        // Kirsch–Mitzenmacher double hashing.
+        h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.nbits
+    }
+
+    fn hashes(&self, v: &Value) -> (u64, u64) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = DefaultHasher::new();
+        v.hash(&mut a);
+        let h1 = a.finish();
+        let mut b = DefaultHasher::new();
+        h1.hash(&mut b);
+        0xDEAD_BEEF_u64.hash(&mut b);
+        let h2 = b.finish() | 1; // odd, so it cycles all residues
+        (h1, h2)
+    }
+
+    /// Number of inserted items.
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// True when nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// On-wire size of the filter in bytes (what shipping it costs).
+    pub fn byte_size(&self) -> u64 {
+        8 + self.bits.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        for i in 0..1000i64 {
+            f.insert(&Value::Int(i * 3));
+        }
+        for i in 0..1000i64 {
+            assert!(f.contains(&Value::Int(i * 3)));
+        }
+        assert_eq!(f.len(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_roughly_bounded() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        for i in 0..1000i64 {
+            f.insert(&Value::Int(i));
+        }
+        let fp = (1000..21_000i64).filter(|i| f.contains(&Value::Int(*i))).count();
+        let rate = fp as f64 / 20_000.0;
+        assert!(rate < 0.05, "false positive rate {rate} too high");
+    }
+
+    #[test]
+    fn works_for_strings_and_dates() {
+        let mut f = BloomFilter::new(10, 0.01);
+        f.insert(&Value::str("FRANCE"));
+        f.insert(&Value::Date(123));
+        assert!(f.contains(&Value::str("FRANCE")));
+        assert!(f.contains(&Value::Date(123)));
+        assert!(!f.contains(&Value::str("GERMANY")) || !f.contains(&Value::Date(999)));
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(100, 0.01);
+        assert!(f.is_empty());
+        assert!(!f.contains(&Value::Int(1)));
+        assert!(f.byte_size() >= 8);
+    }
+
+    #[test]
+    fn int_and_equal_float_hash_identically() {
+        // Value::Int(3) == Value::Float(3.0), and the filter must agree.
+        let mut f = BloomFilter::new(10, 0.01);
+        f.insert(&Value::Int(3));
+        assert!(f.contains(&Value::Float(3.0)));
+    }
+}

@@ -1,0 +1,608 @@
+//! The materializing executor.
+//!
+//! Walks a [`Plan`] bottom-up, materializing each operator's output.
+//! Scans are index-aware: when a pushed-down predicate compares an
+//! indexed column against a literal, the scan drives off the secondary
+//! index instead of reading the whole table — this is what makes the
+//! paper's Q1/Q2 fast on both systems (§6.1.6: "both systems benefit
+//! from the secondary indices built on l_shipdate and l_commitdate").
+//!
+//! Execution returns [`ExecStats`] (rows/bytes scanned, index usage) that
+//! the pay-as-you-go cost accounting consumes.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use bestpeer_common::{Error, Result, Row, Value};
+use bestpeer_storage::{Database, Table};
+
+use crate::ast::{AggFunc, CmpOp, Expr, SelectStmt};
+use crate::plan::{eval, eval_bool, plan_select, AggItem, Binding, Plan};
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Total encoded bytes of the result rows (cost accounting).
+    pub fn byte_size(&self) -> u64 {
+        self.rows.iter().map(Row::byte_size).sum()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Counters describing the physical work done by one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows read from base tables.
+    pub rows_scanned: u64,
+    /// Bytes read from base tables.
+    pub bytes_scanned: u64,
+    /// Rows produced by the root operator.
+    pub rows_output: u64,
+    /// Number of scans answered via a secondary index.
+    pub index_scans: u64,
+    /// Number of scans that had to read the full table.
+    pub full_scans: u64,
+}
+
+impl ExecStats {
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.bytes_scanned += other.bytes_scanned;
+        self.rows_output += other.rows_output;
+        self.index_scans += other.index_scans;
+        self.full_scans += other.full_scans;
+    }
+}
+
+/// Parse-plan-execute convenience for a full `SELECT`.
+pub fn execute_select(stmt: &SelectStmt, db: &Database) -> Result<(ResultSet, ExecStats)> {
+    let plan = plan_select(stmt, db)?;
+    let mut stats = ExecStats::default();
+    let rows = run(&plan, db, &mut stats)?;
+    stats.rows_output = rows.len() as u64;
+    Ok((ResultSet { columns: plan.output_names(), rows }, stats))
+}
+
+/// Execute a plan, materializing its output rows.
+pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Row>> {
+    match plan {
+        Plan::Scan { table, filters, binding } => scan(db.table(table)?, filters, binding, stats),
+        Plan::HashJoin { left, right, left_key, right_key, .. } => {
+            let l = run(left, db, stats)?;
+            let r = run(right, db, stats)?;
+            Ok(hash_join(&l, &r, *left_key, *right_key))
+        }
+        Plan::CrossJoin { left, right, .. } => {
+            let l = run(left, db, stats)?;
+            let r = run(right, db, stats)?;
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for a in &l {
+                for b in &r {
+                    out.push(a.concat(b));
+                }
+            }
+            Ok(out)
+        }
+        Plan::Filter { input, predicates, binding } => {
+            let rows = run(input, db, stats)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if all_true(predicates, &row, binding)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Aggregate { input, group, aggs, .. } => {
+            let rows = run(input, db, stats)?;
+            aggregate_rows(&rows, input.binding(), group, aggs)
+        }
+        Plan::Sort { input, keys, binding } => {
+            let mut rows = run(input, db, stats)?;
+            sort_rows(&mut rows, keys, binding)?;
+            Ok(rows)
+        }
+        Plan::Project { input, exprs, .. } => {
+            let rows = run(input, db, stats)?;
+            let b = input.binding();
+            rows.iter()
+                .map(|row| {
+                    Ok(Row::new(
+                        exprs.iter().map(|e| eval(e, row, b)).collect::<Result<Vec<_>>>()?,
+                    ))
+                })
+                .collect()
+        }
+        Plan::Limit { input, n, .. } => {
+            let mut rows = run(input, db, stats)?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+    }
+}
+
+fn all_true(preds: &[Expr], row: &Row, b: &Binding) -> Result<bool> {
+    for p in preds {
+        if !eval_bool(p, row, b)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Index-aware scan: pick the most selective applicable secondary index
+/// among the pushed predicates (`=` preferred over range), fetch matching
+/// row ids, then apply the remaining predicates.
+fn scan(
+    table: &Table,
+    filters: &[Expr],
+    binding: &Binding,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    // Find sargable predicates over indexed columns.
+    let mut best: Option<(usize, Vec<u64>)> = None; // (pred idx, row ids)
+    for (i, p) in filters.iter().enumerate() {
+        let Some((cref, op, lit)) = p.as_column_literal() else { continue };
+        let Some(idx) = table.index_on(&cref.column) else { continue };
+        let ids = match op {
+            CmpOp::Eq => idx.lookup_eq(lit),
+            CmpOp::Lt => idx.lookup_range(Bound::Unbounded, Bound::Excluded(lit)),
+            CmpOp::Le => idx.lookup_range(Bound::Unbounded, Bound::Included(lit)),
+            CmpOp::Gt => idx.lookup_range(Bound::Excluded(lit), Bound::Unbounded),
+            CmpOp::Ge => idx.lookup_range(Bound::Included(lit), Bound::Unbounded),
+            CmpOp::Ne => continue, // not index-friendly
+        };
+        match &best {
+            Some((_, prev)) if prev.len() <= ids.len() => {}
+            _ => best = Some((i, ids)),
+        }
+    }
+    let mut out = Vec::new();
+    match best {
+        Some((driving, ids)) => {
+            stats.index_scans += 1;
+            for rid in ids {
+                let row = table
+                    .get(rid)
+                    .ok_or_else(|| Error::Internal(format!("dangling index row id {rid}")))?;
+                stats.rows_scanned += 1;
+                stats.bytes_scanned += row.byte_size();
+                let mut ok = true;
+                for (i, p) in filters.iter().enumerate() {
+                    if i != driving && !eval_bool(p, row, binding)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    out.push(row.clone());
+                }
+            }
+        }
+        None => {
+            stats.full_scans += 1;
+            for row in table.scan() {
+                stats.rows_scanned += 1;
+                stats.bytes_scanned += row.byte_size();
+                if all_true(filters, row, binding)? {
+                    out.push(row.clone());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// In-memory hash join (build on the smaller side).
+fn hash_join(left: &[Row], right: &[Row], left_key: usize, right_key: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    if left.len() <= right.len() {
+        let mut ht: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(left.len());
+        for row in left {
+            ht.entry(row.get(left_key)).or_default().push(row);
+        }
+        for r in right {
+            if let Some(matches) = ht.get(r.get(right_key)) {
+                for l in matches {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+    } else {
+        let mut ht: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(right.len());
+        for row in right {
+            ht.entry(row.get(right_key)).or_default().push(row);
+        }
+        for l in left {
+            if let Some(matches) = ht.get(l.get(left_key)) {
+                for r in matches {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum(Value),
+    Avg { sum: Value, count: i64 },
+    Min(Value),
+    Max(Value),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum(Value::Null),
+            AggFunc::Avg => Acc::Avg { sum: Value::Null, count: 0 },
+            AggFunc::Min => Acc::Min(Value::Null),
+            AggFunc::Max => Acc::Max(Value::Null),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) counts every row; COUNT(expr) skips NULLs.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            Acc::Sum(s) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *s = s.checked_add(val)?;
+                    }
+                }
+            }
+            Acc::Avg { sum, count } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *sum = sum.checked_add(val)?;
+                        *count += 1;
+                    }
+                }
+            }
+            Acc::Min(m) => {
+                if let Some(val) = v {
+                    if !val.is_null() && (m.is_null() || val < m) {
+                        *m = val.clone();
+                    }
+                }
+            }
+            Acc::Max(m) => {
+                if let Some(val) = v {
+                    if !val.is_null() && (m.is_null() || val > m) {
+                        *m = val.clone();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::Sum(s) => s,
+            Acc::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    match sum.as_f64() {
+                        Ok(s) => Value::Float(s / count as f64),
+                        Err(_) => Value::Null,
+                    }
+                }
+            }
+            Acc::Min(m) | Acc::Max(m) => m,
+        }
+    }
+}
+
+/// Grouped aggregation over materialized rows: output rows carry the
+/// group-key values followed by the aggregate values (the binding of an
+/// `Aggregate` plan node). Public so the distributed engines (HadoopDB's
+/// reducers, the parallel P2P engine) can aggregate shuffled tuples that
+/// never lived in a table.
+pub fn aggregate_rows(
+    rows: &[Row],
+    input_binding: &Binding,
+    group: &[Expr],
+    aggs: &[AggItem],
+) -> Result<Vec<Row>> {
+    // Group key -> (key values, accumulators), preserving first-seen order.
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut states: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+    if group.is_empty() {
+        // Global aggregate: exactly one group even over zero rows.
+        groups.insert(Vec::new(), 0);
+        states.push((Vec::new(), aggs.iter().map(|a| Acc::new(a.func)).collect()));
+    }
+    for row in rows {
+        let key: Vec<Value> =
+            group.iter().map(|g| eval(g, row, input_binding)).collect::<Result<_>>()?;
+        let slot = match groups.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = states.len();
+                groups.insert(key.clone(), s);
+                states.push((key, aggs.iter().map(|a| Acc::new(a.func)).collect()));
+                s
+            }
+        };
+        for (acc, item) in states[slot].1.iter_mut().zip(aggs) {
+            match &item.arg {
+                Some(argexpr) => {
+                    let v = eval(argexpr, row, input_binding)?;
+                    acc.update(Some(&v))?;
+                }
+                None => acc.update(None)?,
+            }
+        }
+    }
+    Ok(states
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.into_iter().map(Acc::finish));
+            Row::new(key)
+        })
+        .collect())
+}
+
+fn sort_rows(rows: &mut [Row], keys: &[(Expr, bool)], b: &Binding) -> Result<()> {
+    // Precompute key tuples to keep comparisons fallible-free.
+    let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let kv: Vec<Value> = keys.iter().map(|(e, _)| eval(e, row, b)).collect::<Result<_>>()?;
+        keyed.push((kv, i));
+    }
+    keyed.sort_by(|(ka, ia), (kb, ib)| {
+        for ((a, b), (_, desc)) in ka.iter().zip(kb.iter()).zip(keys) {
+            let ord = a.cmp(b);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        ia.cmp(ib) // stable tie-break on original position
+    });
+    let order: Vec<usize> = keyed.into_iter().map(|(_, i)| i).collect();
+    let snapshot: Vec<Row> = rows.to_vec();
+    for (dst, src) in order.into_iter().enumerate() {
+        rows[dst] = snapshot[src].clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use bestpeer_common::{ColumnDef, ColumnType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "lineitem",
+                vec![
+                    ColumnDef::new("l_orderkey", ColumnType::Int),
+                    ColumnDef::new("l_quantity", ColumnType::Int),
+                    ColumnDef::new("l_price", ColumnType::Float),
+                    ColumnDef::new("l_shipdate", ColumnType::Date),
+                ],
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "orders",
+                vec![
+                    ColumnDef::new("o_orderkey", ColumnType::Int),
+                    ColumnDef::new("o_status", ColumnType::Str),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for (ok, qty, price, day) in
+            [(1, 5, 10.0, 100), (1, 3, 20.0, 200), (2, 7, 30.0, 300), (3, 1, 5.0, 400)]
+        {
+            db.insert(
+                "lineitem",
+                Row::new(vec![
+                    Value::Int(ok),
+                    Value::Int(qty),
+                    Value::Float(price),
+                    Value::Date(day),
+                ]),
+            )
+            .unwrap();
+        }
+        for (ok, st) in [(1, "open"), (2, "done"), (3, "open")] {
+            db.insert("orders", Row::new(vec![Value::Int(ok), Value::str(st)])).unwrap();
+        }
+        db
+    }
+
+    fn query(sql: &str, db: &Database) -> ResultSet {
+        let stmt = parse_select(sql).unwrap();
+        execute_select(&stmt, db).unwrap().0
+    }
+
+    #[test]
+    fn simple_selection_and_projection() {
+        let db = db();
+        let rs = query("SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 3", &db);
+        assert_eq!(rs.columns, vec!["l_orderkey", "l_quantity"]);
+        assert_eq!(rs.len(), 2);
+        assert!(rs.rows.iter().all(|r| r.get(1).as_int().unwrap() > 3));
+    }
+
+    #[test]
+    fn select_star_expands() {
+        let db = db();
+        let rs = query("SELECT * FROM orders", &db);
+        assert_eq!(rs.columns, vec!["o_orderkey", "o_status"]);
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn equi_join_matches_pairs() {
+        let db = db();
+        let rs = query(
+            "SELECT l_orderkey, o_status FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+            &db,
+        );
+        assert_eq!(rs.len(), 4);
+        for row in &rs.rows {
+            let ok = row.get(0).as_int().unwrap();
+            let expected = if ok == 2 { "done" } else { "open" };
+            assert_eq!(row.get(1).as_str().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn join_with_extra_filter() {
+        let db = db();
+        let rs = query(
+            "SELECT l_quantity FROM lineitem, orders \
+             WHERE l_orderkey = o_orderkey AND o_status = 'open' AND l_quantity >= 3",
+            &db,
+        );
+        let mut q: Vec<i64> = rs.rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        q.sort_unstable();
+        assert_eq!(q, vec![3, 5]);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let db = db();
+        let rs = query(
+            "SELECT COUNT(*), SUM(l_quantity), AVG(l_price), MIN(l_quantity), MAX(l_quantity) \
+             FROM lineitem",
+            &db,
+        );
+        assert_eq!(rs.len(), 1);
+        let r = &rs.rows[0];
+        assert_eq!(r.get(0), &Value::Int(4));
+        assert_eq!(r.get(1), &Value::Int(16));
+        assert_eq!(r.get(2), &Value::Float((10.0 + 20.0 + 30.0 + 5.0) / 4.0));
+        assert_eq!(r.get(3), &Value::Int(1));
+        assert_eq!(r.get(4), &Value::Int(7));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        let db = db();
+        let rs = query("SELECT COUNT(*), SUM(l_quantity) FROM lineitem WHERE l_quantity > 999", &db);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(0), &Value::Int(0));
+        assert!(rs.rows[0].get(1).is_null());
+    }
+
+    #[test]
+    fn group_by_with_order_and_limit() {
+        let db = db();
+        let rs = query(
+            "SELECT l_orderkey, SUM(l_quantity) AS q FROM lineitem \
+             GROUP BY l_orderkey ORDER BY q DESC LIMIT 2",
+            &db,
+        );
+        assert_eq!(rs.columns, vec!["l_orderkey", "q"]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0].get(0), &Value::Int(1)); // sum 8
+        assert_eq!(rs.rows[0].get(1), &Value::Int(8));
+        assert_eq!(rs.rows[1].get(0), &Value::Int(2)); // sum 7
+    }
+
+    #[test]
+    fn arithmetic_in_aggregate() {
+        let db = db();
+        let rs = query("SELECT SUM(l_quantity * l_price) FROM lineitem", &db);
+        assert_eq!(rs.rows[0].get(0), &Value::Float(5.0 * 10.0 + 3.0 * 20.0 + 7.0 * 30.0 + 5.0));
+    }
+
+    #[test]
+    fn index_scan_is_used_when_available() {
+        let mut db = db();
+        db.table_mut("lineitem").unwrap().create_index("l_shipdate").unwrap();
+        let stmt =
+            parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1970-07-01'")
+                .unwrap();
+        let (rs, stats) = execute_select(&stmt, &db).unwrap();
+        assert_eq!(stats.index_scans, 1);
+        assert_eq!(stats.full_scans, 0);
+        // days 200, 300, 400 > ~day 181
+        assert_eq!(rs.len(), 3);
+        // Only matching rows were touched.
+        assert_eq!(stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn full_scan_without_index() {
+        let db = db();
+        let stmt = parse_select("SELECT l_orderkey FROM lineitem WHERE l_quantity = 7").unwrap();
+        let (rs, stats) = execute_select(&stmt, &db).unwrap();
+        assert_eq!(stats.full_scans, 1);
+        assert_eq!(stats.rows_scanned, 4);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn order_by_plain_column_non_aggregate() {
+        let db = db();
+        let rs = query("SELECT l_quantity FROM lineitem ORDER BY l_price DESC", &db);
+        let q: Vec<i64> = rs.rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        assert_eq!(q, vec![7, 3, 5, 1]);
+    }
+
+    #[test]
+    fn cross_join_fallback() {
+        let db = db();
+        let rs = query("SELECT l_orderkey, o_orderkey FROM lineitem, orders", &db);
+        assert_eq!(rs.len(), 12);
+    }
+
+    #[test]
+    fn count_star_versus_count_column() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("t", vec![ColumnDef::new("x", ColumnType::Int)], vec![]).unwrap(),
+        )
+        .unwrap();
+        db.insert("t", Row::new(vec![Value::Int(1)])).unwrap();
+        db.insert("t", Row::new(vec![Value::Null])).unwrap();
+        let rs = query("SELECT COUNT(*), COUNT(x) FROM t", &db);
+        assert_eq!(rs.rows[0].get(0), &Value::Int(2));
+        assert_eq!(rs.rows[0].get(1), &Value::Int(1));
+    }
+}

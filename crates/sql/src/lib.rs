@@ -1,0 +1,29 @@
+//! SQL layer: lexing, parsing, planning, and local execution.
+//!
+//! BestPeer++ peers and HadoopDB workers both evaluate SQL against their
+//! local database (the paper pushes subqueries into per-node MySQL /
+//! PostgreSQL instances). This crate is the SQL engine for our embedded
+//! store: a recursive-descent parser for the dialect used by the paper's
+//! workload (conjunctive selections, equi-joins, aggregation with GROUP
+//! BY, ORDER BY, LIMIT), a planner that builds left-deep join trees with
+//! predicate pushdown and index-aware scans, and a materializing executor.
+//!
+//! The AST is deliberately easy to rewrite: the distributed engines in
+//! `bestpeer-core` decompose a query into per-peer subqueries by editing
+//! [`ast::SelectStmt`] directly (dropping joins, renaming tables,
+//! splitting aggregates into partial/final pairs), and the access-control
+//! module rewrites predicates and projections per the user's role.
+
+pub mod ast;
+pub mod bloom;
+pub mod decompose;
+pub mod dist;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{Expr, SelectStmt};
+pub use exec::{execute_select, ExecStats, ResultSet};
+pub use dist::{split_aggregate, Combine, DistAgg};
+pub use parser::parse_select;

@@ -1,0 +1,766 @@
+//! Logical plans and name resolution.
+//!
+//! [`plan_select`] turns a parsed [`SelectStmt`] into a small logical
+//! [`Plan`] tree: index-aware scans with pushed-down predicates, a
+//! left-deep tree of hash equi-joins, residual filters, aggregation,
+//! sorting, projection, and limit. The executor in [`crate::exec`] walks
+//! this tree.
+
+use std::collections::HashSet;
+
+use bestpeer_common::{Error, Result, Row, Value};
+use bestpeer_storage::Database;
+
+use crate::ast::{AggFunc, ArithOp, ColumnRef, Expr, SelectItem, SelectStmt};
+
+/// The output "schema" of a plan node: for each column position, its
+/// optional table qualifier and its name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Binding {
+    cols: Vec<(Option<String>, String)>,
+}
+
+impl Binding {
+    /// An empty binding.
+    pub fn new() -> Self {
+        Binding::default()
+    }
+
+    /// Build from `(qualifier, name)` pairs.
+    pub fn from_cols(cols: Vec<(Option<String>, String)>) -> Self {
+        Binding { cols }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Append a column.
+    pub fn push(&mut self, table: Option<String>, name: String) {
+        self.cols.push((table, name));
+    }
+
+    /// Concatenate two bindings (join output).
+    pub fn concat(&self, other: &Binding) -> Binding {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Binding { cols }
+    }
+
+    /// The `(qualifier, name)` pair at position `i`.
+    pub fn col(&self, i: usize) -> &(Option<String>, String) {
+        &self.cols[i]
+    }
+
+    /// Resolve a column reference to a position. Unqualified references
+    /// must be unambiguous across the binding.
+    pub fn resolve(&self, c: &ColumnRef) -> Result<usize> {
+        let mut found = None;
+        for (i, (tbl, name)) in self.cols.iter().enumerate() {
+            let table_ok = match (&c.table, tbl) {
+                (Some(want), Some(have)) => want == have,
+                (Some(_), None) => false,
+                (None, _) => true,
+            };
+            if table_ok && *name == c.column {
+                if found.is_some() {
+                    return Err(Error::Plan(format!("ambiguous column reference `{c}`")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| Error::Plan(format!("unresolved column `{c}`")))
+    }
+
+    /// Whether every column referenced by `e` resolves in this binding.
+    pub fn covers(&self, e: &Expr) -> bool {
+        e.referenced_columns().iter().all(|c| self.resolve(c).is_ok())
+    }
+}
+
+/// Evaluate a scalar expression against a row under a binding.
+/// Booleans are encoded as `Int(1)` / `Int(0)`.
+pub fn eval(e: &Expr, row: &Row, b: &Binding) -> Result<Value> {
+    match e {
+        Expr::Column(c) => Ok(row.get(b.resolve(c)?).clone()),
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Cmp { left, op, right } => {
+            let l = eval(left, row, b)?;
+            let r = eval(right, row, b)?;
+            Ok(Value::Int(op.eval(&l, &r) as i64))
+        }
+        Expr::Arith { left, op, right } => {
+            let l = eval(left, row, b)?;
+            let r = eval(right, row, b)?;
+            match op {
+                ArithOp::Add => l.checked_add(&r),
+                ArithOp::Sub => l.checked_sub(&r),
+                ArithOp::Mul => l.checked_mul(&r),
+                ArithOp::Div => {
+                    if l.is_null() || r.is_null() {
+                        Ok(Value::Null)
+                    } else {
+                        let d = r.as_f64()?;
+                        if d == 0.0 {
+                            Ok(Value::Null)
+                        } else {
+                            Ok(Value::Float(l.as_f64()? / d))
+                        }
+                    }
+                }
+            }
+        }
+        Expr::And(x, y) => {
+            Ok(Value::Int((eval_bool(x, row, b)? && eval_bool(y, row, b)?) as i64))
+        }
+        Expr::Or(x, y) => {
+            Ok(Value::Int((eval_bool(x, row, b)? || eval_bool(y, row, b)?) as i64))
+        }
+        Expr::Agg { .. } => Err(Error::Plan(format!(
+            "aggregate `{e}` evaluated outside an aggregation context"
+        ))),
+    }
+}
+
+/// Evaluate an expression as a predicate.
+pub fn eval_bool(e: &Expr, row: &Row, b: &Binding) -> Result<bool> {
+    Ok(match eval(e, row, b)? {
+        Value::Int(v) => v != 0,
+        Value::Null => false,
+        other => {
+            return Err(Error::Type(format!(
+                "predicate evaluated to non-boolean {other:?}"
+            )))
+        }
+    })
+}
+
+/// One aggregate computed by an [`Plan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument (None = `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// The output column name (display form of the original call).
+    pub name: String,
+}
+
+/// A logical plan node. Every node carries its output [`Binding`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan one table; `filters` are the predicates pushed to the scan
+    /// (the executor chooses an index when one applies).
+    Scan {
+        /// Table name.
+        table: String,
+        /// Pushed-down single-table predicates.
+        filters: Vec<Expr>,
+        /// Output binding (the table's columns, qualified).
+        binding: Binding,
+    },
+    /// Hash equi-join of two inputs.
+    HashJoin {
+        /// Build side.
+        left: Box<Plan>,
+        /// Probe side.
+        right: Box<Plan>,
+        /// Join key position in the left binding.
+        left_key: usize,
+        /// Join key position in the right binding.
+        right_key: usize,
+        /// Output binding (left ++ right).
+        binding: Binding,
+    },
+    /// Cartesian product (fallback when no equi-join predicate links the
+    /// inputs; residual predicates are applied by a `Filter` above).
+    CrossJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Output binding (left ++ right).
+        binding: Binding,
+    },
+    /// Residual predicate filter.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Conjuncts to apply.
+        predicates: Vec<Expr>,
+        /// Output binding (same as input).
+        binding: Binding,
+    },
+    /// Grouped aggregation. Output columns: the group expressions (by
+    /// display name) followed by the aggregates.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group-by expressions (empty = single global group).
+        group: Vec<Expr>,
+        /// Aggregates to compute.
+        aggs: Vec<AggItem>,
+        /// Output binding.
+        binding: Binding,
+    },
+    /// Sort by keys (expression, descending?).
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys.
+        keys: Vec<(Expr, bool)>,
+        /// Output binding (same as input).
+        binding: Binding,
+    },
+    /// Final projection.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Expressions to output.
+        exprs: Vec<Expr>,
+        /// Output column names.
+        names: Vec<String>,
+        /// Output binding.
+        binding: Binding,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Maximum number of rows.
+        n: usize,
+        /// Output binding (same as input).
+        binding: Binding,
+    },
+}
+
+impl Plan {
+    /// This node's output binding.
+    pub fn binding(&self) -> &Binding {
+        match self {
+            Plan::Scan { binding, .. }
+            | Plan::HashJoin { binding, .. }
+            | Plan::CrossJoin { binding, .. }
+            | Plan::Filter { binding, .. }
+            | Plan::Aggregate { binding, .. }
+            | Plan::Sort { binding, .. }
+            | Plan::Project { binding, .. }
+            | Plan::Limit { binding, .. } => binding,
+        }
+    }
+
+    /// Names of the output columns.
+    pub fn output_names(&self) -> Vec<String> {
+        self.binding().cols.iter().map(|(_, n)| n.clone()).collect()
+    }
+}
+
+impl Plan {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table, filters, .. } => {
+                out.push_str(&format!("{pad}Scan {table}"));
+                if !filters.is_empty() {
+                    let fs: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
+                    out.push_str(&format!(" [{}]", fs.join(" AND ")));
+                }
+                out.push('\n');
+            }
+            Plan::HashJoin { left, right, left_key, right_key, binding } => {
+                let (_, lname) = binding.col(*left_key);
+                let (_, rname) = binding.col(left.binding().arity() + *right_key);
+                out.push_str(&format!("{pad}HashJoin on {lname} = {rname}\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::CrossJoin { left, right, .. } => {
+                out.push_str(&format!("{pad}CrossJoin\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::Filter { input, predicates, .. } => {
+                let fs: Vec<String> = predicates.iter().map(|f| f.to_string()).collect();
+                out.push_str(&format!("{pad}Filter [{}]\n", fs.join(" AND ")));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Aggregate { input, group, aggs, .. } => {
+                let gs: Vec<String> = group.iter().map(|g| g.to_string()).collect();
+                let as_: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group=[{}] aggs=[{}]\n",
+                    gs.join(", "),
+                    as_.join(", ")
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Sort { input, keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, d)| format!("{e}{}", if *d { " DESC" } else { "" }))
+                    .collect();
+                out.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Project { input, names, .. } => {
+                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Limit { input, n, .. } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Plan {
+    /// EXPLAIN-style rendering of the operator tree, one operator per
+    /// line, children indented.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        f.write_str(out.trim_end())
+    }
+}
+
+/// Build a logical plan for `stmt` against the catalog in `db`.
+pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
+    if stmt.from.is_empty() {
+        return Err(Error::Plan("FROM clause is empty".into()));
+    }
+    // Substitute SELECT-list aliases into ORDER BY before planning.
+    let order_by: Vec<(Expr, bool)> = stmt
+        .order_by
+        .iter()
+        .map(|k| (substitute_aliases(&k.expr, &stmt.projections), k.desc))
+        .collect();
+
+    // 1. Per-table scans with single-table predicate pushdown.
+    let mut scans: Vec<Plan> = Vec::with_capacity(stmt.from.len());
+    let mut remaining: Vec<Expr> = Vec::new();
+    let mut pushed = vec![false; stmt.predicates.len()];
+    for table in &stmt.from {
+        let schema = db.table(table)?.schema().clone();
+        let binding = Binding::from_cols(
+            schema
+                .columns
+                .iter()
+                .map(|c| (Some(table.clone()), c.name.clone()))
+                .collect(),
+        );
+        let mut filters = Vec::new();
+        for (i, p) in stmt.predicates.iter().enumerate() {
+            if !pushed[i] && p.as_equi_join().is_none() && binding.covers(p) {
+                filters.push(p.clone());
+                pushed[i] = true;
+            }
+        }
+        scans.push(Plan::Scan { table: table.clone(), filters, binding });
+    }
+    for (i, p) in stmt.predicates.iter().enumerate() {
+        if !pushed[i] {
+            remaining.push(p.clone());
+        }
+    }
+
+    // 2. Left-deep join tree: greedily join in a table connected to the
+    //    current prefix by an equi-join conjunct; cross join otherwise.
+    let mut plan = scans.remove(0);
+    let mut pending: Vec<Plan> = scans;
+    while !pending.is_empty() {
+        let mut chosen: Option<(usize, usize, usize, usize)> = None; // (scan idx, pred idx, lkey, rkey)
+        'outer: for (si, scan) in pending.iter().enumerate() {
+            for (pi, p) in remaining.iter().enumerate() {
+                if let Some((a, b)) = p.as_equi_join() {
+                    let (lb, rb) = (plan.binding(), scan.binding());
+                    if let (Ok(lk), Ok(rk)) = (lb.resolve(a), rb.resolve(b)) {
+                        chosen = Some((si, pi, lk, rk));
+                        break 'outer;
+                    }
+                    if let (Ok(lk), Ok(rk)) = (lb.resolve(b), rb.resolve(a)) {
+                        chosen = Some((si, pi, lk, rk));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        match chosen {
+            Some((si, pi, left_key, right_key)) => {
+                let right = pending.remove(si);
+                remaining.remove(pi);
+                let binding = plan.binding().concat(right.binding());
+                plan = Plan::HashJoin {
+                    left: Box::new(plan),
+                    right: Box::new(right),
+                    left_key,
+                    right_key,
+                    binding,
+                };
+            }
+            None => {
+                let right = pending.remove(0);
+                let binding = plan.binding().concat(right.binding());
+                plan = Plan::CrossJoin { left: Box::new(plan), right: Box::new(right), binding };
+            }
+        }
+        // Any remaining predicate now covered becomes an eager filter.
+        let covered: Vec<Expr> = {
+            let b = plan.binding();
+            let mut cov = Vec::new();
+            remaining.retain(|p| {
+                if b.covers(p) {
+                    cov.push(p.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            cov
+        };
+        if !covered.is_empty() {
+            let binding = plan.binding().clone();
+            plan = Plan::Filter { input: Box::new(plan), predicates: covered, binding };
+        }
+    }
+    if !remaining.is_empty() {
+        return Err(Error::Plan(format!(
+            "unresolvable predicate(s): {}",
+            remaining.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+        )));
+    }
+
+    // 3. Aggregation, projection, ordering, limit.
+    let projections: Vec<SelectItem> = if stmt.projections.is_empty() {
+        // SELECT * — expand from the current binding.
+        plan.binding()
+            .cols
+            .iter()
+            .map(|(t, n)| SelectItem {
+                expr: Expr::Column(match t {
+                    Some(t) => ColumnRef::qualified(t.clone(), n.clone()),
+                    None => ColumnRef::new(n.clone()),
+                }),
+                alias: Some(n.clone()),
+            })
+            .collect()
+    } else {
+        stmt.projections.clone()
+    };
+
+    if stmt.is_aggregate() {
+        // Collect distinct aggregate calls across projections and order keys.
+        let mut aggs: Vec<AggItem> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        for item in &projections {
+            collect_aggs(&item.expr, &mut aggs, &mut seen);
+        }
+        for (key, _) in &order_by {
+            collect_aggs(key, &mut aggs, &mut seen);
+        }
+        let mut agg_binding = Binding::new();
+        for g in &stmt.group_by {
+            agg_binding.push(None, g.to_string());
+        }
+        for a in &aggs {
+            agg_binding.push(None, a.name.clone());
+        }
+        plan = Plan::Aggregate {
+            input: Box::new(plan),
+            group: stmt.group_by.clone(),
+            aggs,
+            binding: agg_binding,
+        };
+        // Rewrite projections / order keys to reference aggregate output.
+        let rewritten: Vec<(Expr, String)> = projections
+            .iter()
+            .map(|it| (rewrite_post_agg(&it.expr, &stmt.group_by), it.output_name()))
+            .collect();
+        if !order_by.is_empty() {
+            let keys: Vec<(Expr, bool)> = order_by
+                .iter()
+                .map(|(e, d)| (rewrite_post_agg(e, &stmt.group_by), *d))
+                .collect();
+            let binding = plan.binding().clone();
+            plan = Plan::Sort { input: Box::new(plan), keys, binding };
+        }
+        let names: Vec<String> = rewritten.iter().map(|(_, n)| n.clone()).collect();
+        let exprs: Vec<Expr> = rewritten.into_iter().map(|(e, _)| e).collect();
+        let binding =
+            Binding::from_cols(names.iter().map(|n| (None, n.clone())).collect());
+        plan = Plan::Project { input: Box::new(plan), exprs, names, binding };
+    } else {
+        if !order_by.is_empty() {
+            let binding = plan.binding().clone();
+            plan = Plan::Sort { input: Box::new(plan), keys: order_by, binding };
+        }
+        let names: Vec<String> = projections.iter().map(SelectItem::output_name).collect();
+        let exprs: Vec<Expr> = projections.into_iter().map(|it| it.expr).collect();
+        let binding =
+            Binding::from_cols(names.iter().map(|n| (None, n.clone())).collect());
+        plan = Plan::Project { input: Box::new(plan), exprs, names, binding };
+    }
+
+    if let Some(n) = stmt.limit {
+        let binding = plan.binding().clone();
+        plan = Plan::Limit { input: Box::new(plan), n, binding };
+    }
+    Ok(plan)
+}
+
+/// Replace references to SELECT-list aliases with the aliased expression
+/// (so `ORDER BY revenue` works).
+fn substitute_aliases(e: &Expr, items: &[SelectItem]) -> Expr {
+    if let Expr::Column(c) = e {
+        if c.table.is_none() {
+            for it in items {
+                if it.alias.as_deref() == Some(c.column.as_str()) {
+                    return it.expr.clone();
+                }
+            }
+        }
+    }
+    match e {
+        Expr::Cmp { left, op, right } => Expr::Cmp {
+            left: Box::new(substitute_aliases(left, items)),
+            op: *op,
+            right: Box::new(substitute_aliases(right, items)),
+        },
+        Expr::Arith { left, op, right } => Expr::Arith {
+            left: Box::new(substitute_aliases(left, items)),
+            op: *op,
+            right: Box::new(substitute_aliases(right, items)),
+        },
+        Expr::And(a, b) => Expr::And(
+            Box::new(substitute_aliases(a, items)),
+            Box::new(substitute_aliases(b, items)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(substitute_aliases(a, items)),
+            Box::new(substitute_aliases(b, items)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Collect distinct aggregate calls (by display form) within `e`.
+fn collect_aggs(e: &Expr, out: &mut Vec<AggItem>, seen: &mut HashSet<String>) {
+    match e {
+        Expr::Agg { func, arg } => {
+            let name = e.to_string();
+            if seen.insert(name.clone()) {
+                out.push(AggItem { func: *func, arg: arg.as_deref().cloned(), name });
+            }
+        }
+        Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+            collect_aggs(left, out, seen);
+            collect_aggs(right, out, seen);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_aggs(a, out, seen);
+            collect_aggs(b, out, seen);
+        }
+        Expr::Column(_) | Expr::Literal(_) => {}
+    }
+}
+
+/// Rewrite an expression for evaluation *above* an Aggregate node:
+/// aggregate calls and group expressions become references to the
+/// aggregate's output columns (named by display form). Public for the
+/// distributed engines, which evaluate final projections over
+/// aggregate output assembled outside a plan tree.
+pub fn rewrite_post_agg(e: &Expr, group: &[Expr]) -> Expr {
+    if group.iter().any(|g| g == e) {
+        return Expr::Column(ColumnRef::new(e.to_string()));
+    }
+    match e {
+        Expr::Agg { .. } => Expr::Column(ColumnRef::new(e.to_string())),
+        Expr::Cmp { left, op, right } => Expr::Cmp {
+            left: Box::new(rewrite_post_agg(left, group)),
+            op: *op,
+            right: Box::new(rewrite_post_agg(right, group)),
+        },
+        Expr::Arith { left, op, right } => Expr::Arith {
+            left: Box::new(rewrite_post_agg(left, group)),
+            op: *op,
+            right: Box::new(rewrite_post_agg(right, group)),
+        },
+        Expr::And(a, b) => Expr::And(
+            Box::new(rewrite_post_agg(a, group)),
+            Box::new(rewrite_post_agg(b, group)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(rewrite_post_agg(a, group)),
+            Box::new(rewrite_post_agg(b, group)),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use bestpeer_common::{ColumnDef, ColumnType, TableSchema};
+
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "lineitem",
+                vec![
+                    ColumnDef::new("l_orderkey", ColumnType::Int),
+                    ColumnDef::new("l_quantity", ColumnType::Int),
+                    ColumnDef::new("l_shipdate", ColumnType::Date),
+                ],
+                vec![],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "orders",
+                vec![
+                    ColumnDef::new("o_orderkey", ColumnType::Int),
+                    ColumnDef::new("o_totalprice", ColumnType::Float),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn binding_resolution() {
+        let b = Binding::from_cols(vec![
+            (Some("a".into()), "x".into()),
+            (Some("b".into()), "y".into()),
+            (Some("b".into()), "x".into()),
+        ]);
+        assert_eq!(b.resolve(&ColumnRef::qualified("a", "x")).unwrap(), 0);
+        assert_eq!(b.resolve(&ColumnRef::new("y")).unwrap(), 1);
+        assert!(b.resolve(&ColumnRef::new("x")).is_err(), "ambiguous");
+        assert!(b.resolve(&ColumnRef::new("zzz")).is_err());
+    }
+
+    #[test]
+    fn single_table_predicates_are_pushed() {
+        let db = test_db();
+        let stmt = parse_select(
+            "SELECT l_orderkey FROM lineitem, orders \
+             WHERE l_orderkey = o_orderkey AND l_quantity > 5 AND o_totalprice < 100.0",
+        )
+        .unwrap();
+        let plan = plan_select(&stmt, &db).unwrap();
+        // Expect: Project(HashJoin(Scan(lineitem f=1), Scan(orders f=1)))
+        fn find_scans(p: &Plan, out: &mut Vec<(String, usize)>) {
+            match p {
+                Plan::Scan { table, filters, .. } => out.push((table.clone(), filters.len())),
+                Plan::HashJoin { left, right, .. } | Plan::CrossJoin { left, right, .. } => {
+                    find_scans(left, out);
+                    find_scans(right, out);
+                }
+                Plan::Filter { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Limit { input, .. } => find_scans(input, out),
+            }
+        }
+        let mut scans = Vec::new();
+        find_scans(&plan, &mut scans);
+        scans.sort();
+        assert_eq!(scans, vec![("lineitem".into(), 1), ("orders".into(), 1)]);
+        assert!(matches!(plan, Plan::Project { .. }));
+    }
+
+    #[test]
+    fn join_becomes_hash_join() {
+        let db = test_db();
+        let stmt = parse_select(
+            "SELECT l_quantity FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+        )
+        .unwrap();
+        let plan = plan_select(&stmt, &db).unwrap();
+        fn has_hash_join(p: &Plan) -> bool {
+            match p {
+                Plan::HashJoin { .. } => true,
+                Plan::Scan { .. } => false,
+                Plan::CrossJoin { left, right, .. } => has_hash_join(left) || has_hash_join(right),
+                Plan::Filter { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Limit { input, .. } => has_hash_join(input),
+            }
+        }
+        assert!(has_hash_join(&plan));
+    }
+
+    #[test]
+    fn missing_table_is_a_plan_error() {
+        let db = test_db();
+        let stmt = parse_select("SELECT x FROM nosuch").unwrap();
+        assert!(plan_select(&stmt, &db).is_err());
+    }
+
+    #[test]
+    fn aggregate_plan_has_aggregate_node() {
+        let db = test_db();
+        let stmt = parse_select(
+            "SELECT l_orderkey, SUM(l_quantity) AS q FROM lineitem GROUP BY l_orderkey ORDER BY q DESC",
+        )
+        .unwrap();
+        let plan = plan_select(&stmt, &db).unwrap();
+        fn has_agg(p: &Plan) -> bool {
+            match p {
+                Plan::Aggregate { .. } => true,
+                Plan::Scan { .. } => false,
+                Plan::HashJoin { left, right, .. } | Plan::CrossJoin { left, right, .. } => {
+                    has_agg(left) || has_agg(right)
+                }
+                Plan::Filter { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Limit { input, .. } => has_agg(input),
+            }
+        }
+        assert!(has_agg(&plan));
+        assert_eq!(plan.output_names(), vec!["l_orderkey", "q"]);
+    }
+
+    #[test]
+    fn explain_renders_the_operator_tree() {
+        let db = test_db();
+        let stmt = parse_select(
+            "SELECT o_orderkey, SUM(l_quantity) AS q FROM lineitem, orders \
+             WHERE l_orderkey = o_orderkey AND o_totalprice > 10.0 \
+             GROUP BY o_orderkey ORDER BY q DESC LIMIT 3",
+        )
+        .unwrap();
+        let plan = plan_select(&stmt, &db).unwrap();
+        let text = plan.to_string();
+        assert!(text.starts_with("Limit 3"), "{text}");
+        assert!(text.contains("Project [o_orderkey, q]"), "{text}");
+        assert!(text.contains("Sort [SUM(l_quantity) DESC]"), "{text}");
+        assert!(text.contains("Aggregate group=[o_orderkey]"), "{text}");
+        assert!(text.contains("HashJoin on l_orderkey = o_orderkey"), "{text}");
+        assert!(text.contains("Scan orders [o_totalprice > 10"), "{text}");
+        assert!(text.contains("Scan lineitem"), "{text}");
+    }
+
+    #[test]
+    fn eval_arithmetic_and_booleans() {
+        let b = Binding::from_cols(vec![(None, "x".into()), (None, "y".into())]);
+        let row = Row::new(vec![Value::Int(4), Value::Float(0.5)]);
+        let e = parse_select("SELECT x * (1 - y) FROM t").unwrap().projections[0].expr.clone();
+        assert_eq!(eval(&e, &row, &b).unwrap(), Value::Float(2.0));
+        let p = parse_select("SELECT a FROM t WHERE x >= 4 AND y < 1").unwrap().predicates[0]
+            .clone();
+        assert!(eval_bool(&p, &row, &b).unwrap());
+    }
+}

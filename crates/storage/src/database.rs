@@ -1,0 +1,187 @@
+//! A catalog of tables — one `Database` per peer / worker.
+
+use std::collections::BTreeMap;
+
+use bestpeer_common::{Error, Result, Row, TableSchema};
+
+use crate::stats::TableStats;
+use crate::table::Table;
+
+/// A named collection of tables. Each normal peer hosts one `Database`
+/// holding its horizontal partition of the global schema; each HadoopDB
+/// worker hosts one for its chunk.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    /// Logical timestamp of the last data load; compared against query
+    /// timestamps per the snapshot semantics of Definition 2.
+    load_timestamp: u64,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table from its schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(Error::Catalog(format!("table `{}` already exists", schema.name)));
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::Catalog(format!("no table `{name}` to drop")))
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::Catalog(format!("no such table `{name}`")))
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::Catalog(format!("no such table `{name}`")))
+    }
+
+    /// Whether the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Tables that currently hold at least one row.
+    pub fn non_empty_tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values().filter(|t| !t.is_empty())
+    }
+
+    /// Insert one row into `table`.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        self.table_mut(table)?.insert(row)?;
+        Ok(())
+    }
+
+    /// Bulk-insert rows into `table`; all-or-nothing is *not* guaranteed
+    /// (matches MySQL bulk loading); returns the number inserted before
+    /// any error.
+    pub fn bulk_insert(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let t = self.table_mut(table)?;
+        let mut n = 0;
+        for row in rows {
+            t.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Statistics snapshot for one table.
+    pub fn table_stats(&self, name: &str) -> Result<TableStats> {
+        let t = self.table(name)?;
+        Ok(TableStats::from_table(t))
+    }
+
+    /// Total bytes across all tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.values().map(Table::byte_size).sum()
+    }
+
+    /// Total live rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// The logical timestamp of the most recent completed data load.
+    pub fn load_timestamp(&self) -> u64 {
+        self.load_timestamp
+    }
+
+    /// Record that a data load completed at logical time `ts`.
+    pub fn set_load_timestamp(&mut self, ts: u64) {
+        self.load_timestamp = self.load_timestamp.max(ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_common::{ColumnDef, ColumnType, Value};
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("v", ColumnType::Str),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_and_drop() {
+        let mut db = Database::new();
+        db.create_table(schema("a")).unwrap();
+        assert!(db.create_table(schema("a")).is_err());
+        assert!(db.has_table("a"));
+        db.drop_table("a").unwrap();
+        assert!(!db.has_table("a"));
+        assert!(db.drop_table("a").is_err());
+        assert!(db.table("a").is_err());
+    }
+
+    #[test]
+    fn bulk_insert_counts() {
+        let mut db = Database::new();
+        db.create_table(schema("a")).unwrap();
+        let rows: Vec<Row> = (0..5)
+            .map(|i| Row::new(vec![Value::Int(i), Value::str("x")]))
+            .collect();
+        assert_eq!(db.bulk_insert("a", rows).unwrap(), 5);
+        assert_eq!(db.total_rows(), 5);
+        assert!(db.total_bytes() > 0);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Database::new();
+        db.create_table(schema("zebra")).unwrap();
+        db.create_table(schema("ant")).unwrap();
+        assert_eq!(db.table_names().collect::<Vec<_>>(), vec!["ant", "zebra"]);
+    }
+
+    #[test]
+    fn load_timestamp_is_monotonic() {
+        let mut db = Database::new();
+        db.set_load_timestamp(5);
+        db.set_load_timestamp(3);
+        assert_eq!(db.load_timestamp(), 5);
+        db.set_load_timestamp(9);
+        assert_eq!(db.load_timestamp(), 9);
+    }
+
+    #[test]
+    fn non_empty_tables_filters() {
+        let mut db = Database::new();
+        db.create_table(schema("a")).unwrap();
+        db.create_table(schema("b")).unwrap();
+        db.insert("b", Row::new(vec![Value::Int(1), Value::str("x")])).unwrap();
+        let names: Vec<_> = db.non_empty_tables().map(|t| t.schema().name.clone()).collect();
+        assert_eq!(names, vec!["b"]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Secondary indices over one column of a table.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bestpeer_common::Value;
+
+use crate::table::RowId;
+
+/// A B-tree secondary index mapping one column's values to the row ids
+/// containing them. Mirrors MySQL's secondary indices; the benchmark
+/// builds the set listed in paper Table 4.
+#[derive(Debug, Clone, Default)]
+pub struct SecondaryIndex {
+    /// Index of the indexed column within the table schema.
+    pub column: usize,
+    map: BTreeMap<Value, Vec<RowId>>,
+    entries: usize,
+}
+
+impl SecondaryIndex {
+    /// An empty index over column `column`.
+    pub fn new(column: usize) -> Self {
+        SecondaryIndex { column, map: BTreeMap::new(), entries: 0 }
+    }
+
+    /// Register `row_id` under `key`.
+    pub fn insert(&mut self, key: Value, row_id: RowId) {
+        self.map.entry(key).or_default().push(row_id);
+        self.entries += 1;
+    }
+
+    /// Remove the (key, row_id) entry. Returns whether it was present.
+    pub fn remove(&mut self, key: &Value, row_id: RowId) -> bool {
+        if let Some(ids) = self.map.get_mut(key) {
+            if let Some(pos) = ids.iter().position(|&id| id == row_id) {
+                ids.swap_remove(pos);
+                if ids.is_empty() {
+                    self.map.remove(key);
+                }
+                self.entries -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Row ids whose key equals `key`.
+    pub fn lookup_eq(&self, key: &Value) -> Vec<RowId> {
+        self.map.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Row ids whose key lies in the given (inclusive/exclusive) bounds.
+    pub fn lookup_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
+        let mut out = Vec::new();
+        for ids in self.map.range::<Value, _>((lo, hi)).map(|(_, ids)| ids) {
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+
+    /// Smallest and largest indexed key, if any entries exist. Feeds the
+    /// range-index entries published to BATON (paper §4.3: min-max value).
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        let lo = self.map.keys().next()?.clone();
+        let hi = self.map.keys().next_back()?.clone();
+        Some((lo, hi))
+    }
+
+    /// Number of (key, row) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ops::Bound::{Excluded, Included, Unbounded};
+
+    fn sample() -> SecondaryIndex {
+        let mut idx = SecondaryIndex::new(2);
+        idx.insert(Value::Int(10), 1);
+        idx.insert(Value::Int(20), 2);
+        idx.insert(Value::Int(20), 3);
+        idx.insert(Value::Int(30), 4);
+        idx
+    }
+
+    #[test]
+    fn eq_lookup() {
+        let idx = sample();
+        let mut ids = idx.lookup_eq(&Value::Int(20));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
+        assert!(idx.lookup_eq(&Value::Int(99)).is_empty());
+    }
+
+    #[test]
+    fn range_lookup_respects_bounds() {
+        let idx = sample();
+        let v10 = Value::Int(10);
+        let v30 = Value::Int(30);
+        let mut ids = idx.lookup_range(Included(&v10), Excluded(&v30));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let all = idx.lookup_range(Unbounded, Unbounded);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_keys() {
+        let mut idx = sample();
+        assert!(idx.remove(&Value::Int(10), 1));
+        assert!(!idx.remove(&Value::Int(10), 1));
+        assert!(idx.lookup_eq(&Value::Int(10)).is_empty());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn min_max_tracks_extremes() {
+        let idx = sample();
+        assert_eq!(idx.min_max(), Some((Value::Int(10), Value::Int(30))));
+        assert_eq!(SecondaryIndex::new(0).min_max(), None);
+    }
+}

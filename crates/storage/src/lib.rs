@@ -1,0 +1,29 @@
+//! The embedded relational storage engine hosted by every peer.
+//!
+//! In the paper each BestPeer++ instance runs a dedicated MySQL server
+//! (and each HadoopDB worker a PostgreSQL server). This crate is the
+//! from-scratch substitute: a small but real relational engine with
+//!
+//! - typed heap tables with primary-key enforcement ([`table::Table`]),
+//! - B-tree secondary indices supporting point and range scans
+//!   ([`index::SecondaryIndex`]),
+//! - a [`memtable::MemTable`] write buffer used by the query executor to
+//!   stage tuples fetched from remote peers before bulk-insertion
+//!   (paper §5.2),
+//! - a snapshot store plus the Rabin-fingerprint sort-merge *snapshot
+//!   differential* algorithm the data loader uses to keep extracted data
+//!   consistent with the production system (paper §4.2, refs \[8\] \[18\]),
+//! - per-table statistics feeding the histogram and cost modules.
+
+pub mod database;
+pub mod fingerprint;
+pub mod index;
+pub mod memtable;
+pub mod snapshot;
+pub mod stats;
+pub mod table;
+
+pub use database::Database;
+pub use memtable::MemTable;
+pub use snapshot::{ChangeSet, Snapshot};
+pub use table::{RowId, Table};

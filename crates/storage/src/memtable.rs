@@ -1,0 +1,157 @@
+//! MemTables: bounded in-memory staging buffers.
+//!
+//! During fetch-and-process query evaluation, the query submitting peer
+//! "creates a set of MemTables to hold the data retrieved from other
+//! peers and bulk inserts these data into the local MySQL when the
+//! MemTable is full" (paper §5.2). `MemTable` reproduces exactly that:
+//! rows accumulate per destination table up to a byte budget; when the
+//! budget is exceeded the buffer is flushed with one bulk insert.
+
+
+use bestpeer_common::{Result, Row};
+
+use crate::database::Database;
+
+/// Default MemTable budget used in the paper's benchmark configuration
+/// (100 MB, §6.1.2).
+pub const DEFAULT_BUDGET_BYTES: u64 = 100 * 1024 * 1024;
+
+/// A bounded buffer of rows destined for one table.
+#[derive(Debug)]
+pub struct MemTable {
+    table: String,
+    rows: Vec<Row>,
+    bytes: u64,
+    budget: u64,
+    /// Number of flushes performed (observable for tests / statistics).
+    flushes: u64,
+}
+
+impl MemTable {
+    /// A MemTable feeding `table` with the given byte budget.
+    pub fn new(table: impl Into<String>, budget: u64) -> Self {
+        MemTable { table: table.into(), rows: Vec::new(), bytes: 0, budget, flushes: 0 }
+    }
+
+    /// A MemTable with the paper's default 100 MB budget.
+    pub fn with_default_budget(table: impl Into<String>) -> Self {
+        Self::new(table, DEFAULT_BUDGET_BYTES)
+    }
+
+    /// Destination table name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Buffered row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Buffered bytes.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Completed flush count.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Buffer a row; when the budget is exceeded, bulk-insert the buffer
+    /// into `db` first. Returns the number of rows flushed (0 if none).
+    pub fn push(&mut self, db: &mut Database, row: Row) -> Result<usize> {
+        let mut flushed = 0;
+        let incoming = row.byte_size();
+        if self.bytes + incoming > self.budget && !self.rows.is_empty() {
+            flushed = self.flush(db)?;
+        }
+        self.bytes += incoming;
+        self.rows.push(row);
+        Ok(flushed)
+    }
+
+    /// Bulk-insert everything buffered into `db`; returns rows written.
+    pub fn flush(&mut self, db: &mut Database) -> Result<usize> {
+        if self.rows.is_empty() {
+            return Ok(0);
+        }
+        let rows = std::mem::take(&mut self.rows);
+        self.bytes = 0;
+        let n = db.bulk_insert(&self.table, rows)?;
+        self.flushes += 1;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_common::{ColumnDef, ColumnType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("pad", ColumnType::Str),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i), Value::str("x".repeat(20))])
+    }
+
+    #[test]
+    fn flushes_when_budget_exceeded() {
+        let mut db = db();
+        let row_bytes = row(0).byte_size();
+        // Budget for exactly three rows.
+        let mut mt = MemTable::new("t", row_bytes * 3);
+        for i in 0..7 {
+            mt.push(&mut db, row(i)).unwrap();
+        }
+        // Rows 0..2 flushed when row 3 arrived; 3..5 flushed when 6 arrived.
+        assert_eq!(db.total_rows(), 6);
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.flushes(), 2);
+        mt.flush(&mut db).unwrap();
+        assert_eq!(db.total_rows(), 7);
+        assert!(mt.is_empty());
+        assert_eq!(mt.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_single_row_still_accepted() {
+        let mut db = db();
+        let mut mt = MemTable::new("t", 1); // budget below any row size
+        mt.push(&mut db, row(1)).unwrap();
+        assert_eq!(mt.len(), 1, "first row always buffers");
+        mt.push(&mut db, row(2)).unwrap();
+        assert_eq!(db.total_rows(), 1, "second push forces flush of first");
+        assert_eq!(mt.flush(&mut db).unwrap(), 1);
+        assert_eq!(db.total_rows(), 2);
+    }
+
+    #[test]
+    fn flush_empty_is_noop() {
+        let mut db = db();
+        let mut mt = MemTable::with_default_budget("t");
+        assert_eq!(mt.flush(&mut db).unwrap(), 0);
+        assert_eq!(mt.flushes(), 0);
+        assert_eq!(mt.table(), "t");
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-table statistics used by the histogram and cost modules.
+
+use bestpeer_common::Value;
+
+use crate::table::Table;
+
+/// A cheap statistics snapshot of one table: cardinality, bytes, and
+/// per-column min/max. These feed `S(T)` (table size) in the cost model
+/// (paper Table 3) and the range-index entries published to BATON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Live row count.
+    pub rows: usize,
+    /// Live bytes.
+    pub bytes: u64,
+    /// Per-column `(name, min, max)` over non-NULL values; columns whose
+    /// values are all NULL (or an empty table) are omitted.
+    pub column_ranges: Vec<(String, Value, Value)>,
+}
+
+impl TableStats {
+    /// Compute statistics from a table by one pass over the data
+    /// (indices are used where available for min/max).
+    pub fn from_table(t: &Table) -> Self {
+        let mut column_ranges = Vec::new();
+        for col in &t.schema().columns {
+            if let Ok(Some((lo, hi))) = t.column_min_max(&col.name) {
+                column_ranges.push((col.name.clone(), lo, hi));
+            }
+        }
+        TableStats {
+            table: t.schema().name.clone(),
+            rows: t.len(),
+            bytes: t.byte_size(),
+            column_ranges,
+        }
+    }
+
+    /// Average row width in bytes (0 for an empty table).
+    pub fn avg_row_bytes(&self) -> u64 {
+        if self.rows == 0 {
+            0
+        } else {
+            self.bytes / self.rows as u64
+        }
+    }
+
+    /// The (min, max) range recorded for `column`, if present.
+    pub fn range_of(&self, column: &str) -> Option<(&Value, &Value)> {
+        self.column_ranges
+            .iter()
+            .find(|(c, _, _)| c == column)
+            .map(|(_, lo, hi)| (lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_common::{ColumnDef, ColumnType, Row, TableSchema};
+
+    #[test]
+    fn stats_capture_rows_bytes_and_ranges() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("k", ColumnType::Int),
+                ColumnDef::new("v", ColumnType::Float),
+            ],
+            vec![0],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(Row::new(vec![Value::Int(5), Value::Float(1.5)])).unwrap();
+        t.insert(Row::new(vec![Value::Int(2), Value::Float(9.0)])).unwrap();
+
+        let s = TableStats::from_table(&t);
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.bytes, t.byte_size());
+        assert_eq!(s.range_of("k"), Some((&Value::Int(2), &Value::Int(5))));
+        assert_eq!(s.range_of("v"), Some((&Value::Float(1.5), &Value::Float(9.0))));
+        assert_eq!(s.range_of("missing"), None);
+        assert_eq!(s.avg_row_bytes(), t.byte_size() / 2);
+    }
+
+    #[test]
+    fn empty_table_has_no_ranges() {
+        let schema = TableSchema::new("t", vec![ColumnDef::new("k", ColumnType::Int)], vec![0])
+            .unwrap();
+        let t = Table::new(schema);
+        let s = TableStats::from_table(&t);
+        assert_eq!(s.rows, 0);
+        assert!(s.column_ranges.is_empty());
+        assert_eq!(s.avg_row_bytes(), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Heap tables with primary-key enforcement and secondary indices.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use bestpeer_common::{Error, Result, Row, TableSchema, Value};
+
+use crate::index::SecondaryIndex;
+
+/// Identifies a row slot within one table. Stable for the lifetime of the
+/// row; never reused after deletion (tombstoned).
+pub type RowId = u64;
+
+/// One table: schema, row storage, primary-key index, secondary indices.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    /// Slot storage; `None` marks a deleted row (tombstone).
+    rows: Vec<Option<Row>>,
+    /// Primary-key index; empty primary key disables uniqueness checking.
+    primary: BTreeMap<Vec<Value>, RowId>,
+    /// Secondary indices, keyed by indexed column name.
+    secondary: HashMap<String, SecondaryIndex>,
+    live_rows: usize,
+    live_bytes: u64,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            primary: BTreeMap::new(),
+            secondary: HashMap::new(),
+            live_rows: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// This table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn len(&self) -> usize {
+        self.live_rows
+    }
+
+    /// True when no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.live_rows == 0
+    }
+
+    /// Total bytes of live rows (heap measure used by statistics / cost).
+    pub fn byte_size(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Create a secondary index on `column` and populate it from the
+    /// current contents. No-op error if the index already exists.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        if self.secondary.contains_key(column) {
+            return Err(Error::Catalog(format!(
+                "index on `{}.{column}` already exists",
+                self.schema.name
+            )));
+        }
+        let col = self.schema.column_index(column)?;
+        let mut idx = SecondaryIndex::new(col);
+        for (rid, slot) in self.rows.iter().enumerate() {
+            if let Some(row) = slot {
+                idx.insert(row.get(col).clone(), rid as RowId);
+            }
+        }
+        self.secondary.insert(column.to_owned(), idx);
+        Ok(())
+    }
+
+    /// Names of columns carrying a secondary index.
+    pub fn indexed_columns(&self) -> impl Iterator<Item = &str> {
+        self.secondary.keys().map(String::as_str)
+    }
+
+    /// The secondary index on `column`, if one exists.
+    pub fn index_on(&self, column: &str) -> Option<&SecondaryIndex> {
+        self.secondary.get(column)
+    }
+
+    /// Insert a row. Enforces schema types and primary-key uniqueness,
+    /// maintains all secondary indices. Returns the new row's id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.schema.check_row(&row)?;
+        let key = self.schema.key_of(&row);
+        if !key.is_empty() && self.primary.contains_key(&key) {
+            return Err(Error::Execution(format!(
+                "duplicate primary key {key:?} in table `{}`",
+                self.schema.name
+            )));
+        }
+        let rid = self.rows.len() as RowId;
+        if !key.is_empty() {
+            self.primary.insert(key, rid);
+        }
+        for idx in self.secondary.values_mut() {
+            idx.insert(row.get(idx.column).clone(), rid);
+        }
+        self.live_rows += 1;
+        self.live_bytes += row.byte_size();
+        self.rows.push(Some(row));
+        Ok(rid)
+    }
+
+    /// Delete the row with the given primary key. Returns the removed row.
+    pub fn delete_by_key(&mut self, key: &[Value]) -> Result<Row> {
+        let rid = *self.primary.get(key).ok_or_else(|| {
+            Error::Execution(format!(
+                "no row with primary key {key:?} in table `{}`",
+                self.schema.name
+            ))
+        })?;
+        self.primary.remove(key);
+        self.delete_slot(rid)
+    }
+
+    /// Delete a row by id (used internally and by the snapshot applier).
+    pub fn delete_row(&mut self, rid: RowId) -> Result<Row> {
+        if let Some(Some(row)) = self.rows.get(rid as usize) {
+            let key = self.schema.key_of(row);
+            if !key.is_empty() {
+                self.primary.remove(&key);
+            }
+        }
+        self.delete_slot(rid)
+    }
+
+    fn delete_slot(&mut self, rid: RowId) -> Result<Row> {
+        let slot = self
+            .rows
+            .get_mut(rid as usize)
+            .ok_or_else(|| Error::Internal(format!("row id {rid} out of range")))?;
+        let row = slot
+            .take()
+            .ok_or_else(|| Error::Internal(format!("row id {rid} already deleted")))?;
+        for idx in self.secondary.values_mut() {
+            idx.remove(row.get(idx.column), rid);
+        }
+        self.live_rows -= 1;
+        self.live_bytes -= row.byte_size();
+        Ok(row)
+    }
+
+    /// Look up a row by primary key.
+    pub fn get_by_key(&self, key: &[Value]) -> Option<&Row> {
+        let rid = *self.primary.get(key)?;
+        self.rows[rid as usize].as_ref()
+    }
+
+    /// Fetch a row by id (None if deleted / out of range).
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(rid as usize).and_then(Option::as_ref)
+    }
+
+    /// Find the id of some live row equal to `row` (content match).
+    /// Used by the snapshot applier on tables without a primary key.
+    pub fn find_row_id(&self, row: &Row) -> Option<RowId> {
+        self.rows
+            .iter()
+            .position(|slot| slot.as_ref() == Some(row))
+            .map(|i| i as RowId)
+    }
+
+    /// Iterate over all live rows.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter().filter_map(Option::as_ref)
+    }
+
+    /// Row ids matching `column = key` via a secondary index, or `None`
+    /// when no index exists on that column.
+    pub fn index_lookup_eq(&self, column: &str, key: &Value) -> Option<Vec<RowId>> {
+        Some(self.secondary.get(column)?.lookup_eq(key))
+    }
+
+    /// Row ids with `column` in the given bounds via a secondary index.
+    pub fn index_lookup_range(
+        &self,
+        column: &str,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Option<Vec<RowId>> {
+        Some(self.secondary.get(column)?.lookup_range(lo, hi))
+    }
+
+    /// Min and max value of `column` across live rows, computed via the
+    /// index when available, else by a scan. `None` for an empty table.
+    pub fn column_min_max(&self, column: &str) -> Result<Option<(Value, Value)>> {
+        if let Some(idx) = self.secondary.get(column) {
+            return Ok(idx.min_max());
+        }
+        let col = self.schema.column_index(column)?;
+        let mut out: Option<(Value, Value)> = None;
+        for row in self.scan() {
+            let v = row.get(col);
+            if v.is_null() {
+                continue;
+            }
+            out = Some(match out {
+                None => (v.clone(), v.clone()),
+                Some((lo, hi)) => {
+                    (if *v < lo { v.clone() } else { lo }, if *v > hi { v.clone() } else { hi })
+                }
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_common::{ColumnDef, ColumnType};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "part",
+            vec![
+                ColumnDef::new("p_partkey", ColumnType::Int),
+                ColumnDef::new("p_name", ColumnType::Str),
+                ColumnDef::new("p_size", ColumnType::Int),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn row(k: i64, name: &str, size: i64) -> Row {
+        Row::new(vec![Value::Int(k), Value::str(name), Value::Int(size)])
+    }
+
+    #[test]
+    fn insert_scan_delete() {
+        let mut t = Table::new(schema());
+        t.insert(row(1, "bolt", 3)).unwrap();
+        t.insert(row(2, "nut", 5)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.scan().count(), 2);
+        let removed = t.delete_by_key(&[Value::Int(1)]).unwrap();
+        assert_eq!(removed.get(1), &Value::str("bolt"));
+        assert_eq!(t.len(), 1);
+        assert!(t.get_by_key(&[Value::Int(1)]).is_none());
+        assert!(t.delete_by_key(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn primary_key_uniqueness() {
+        let mut t = Table::new(schema());
+        t.insert(row(1, "bolt", 3)).unwrap();
+        let err = t.insert(row(1, "other", 9)).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn type_checking_on_insert() {
+        let mut t = Table::new(schema());
+        let bad = Row::new(vec![Value::str("x"), Value::str("y"), Value::Int(1)]);
+        assert!(t.insert(bad).is_err());
+    }
+
+    #[test]
+    fn secondary_index_maintained_across_mutations() {
+        let mut t = Table::new(schema());
+        t.insert(row(1, "bolt", 3)).unwrap();
+        t.create_index("p_size").unwrap();
+        t.insert(row(2, "nut", 5)).unwrap();
+        t.insert(row(3, "washer", 5)).unwrap();
+
+        let ids = t.index_lookup_eq("p_size", &Value::Int(5)).unwrap();
+        assert_eq!(ids.len(), 2);
+
+        t.delete_by_key(&[Value::Int(2)]).unwrap();
+        let ids = t.index_lookup_eq("p_size", &Value::Int(5)).unwrap();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(t.get(ids[0]).unwrap().get(1), &Value::str("washer"));
+
+        // Index built after the fact still saw row 1.
+        let ids = t.index_lookup_eq("p_size", &Value::Int(3)).unwrap();
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut t = Table::new(schema());
+        t.create_index("p_size").unwrap();
+        assert!(t.create_index("p_size").is_err());
+        assert!(t.create_index("missing").is_err());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_live_rows() {
+        let mut t = Table::new(schema());
+        let r = row(1, "bolt", 3);
+        let sz = r.byte_size();
+        t.insert(r).unwrap();
+        assert_eq!(t.byte_size(), sz);
+        t.delete_by_key(&[Value::Int(1)]).unwrap();
+        assert_eq!(t.byte_size(), 0);
+    }
+
+    #[test]
+    fn min_max_with_and_without_index() {
+        let mut t = Table::new(schema());
+        t.insert(row(1, "a", 10)).unwrap();
+        t.insert(row(2, "b", 4)).unwrap();
+        assert_eq!(
+            t.column_min_max("p_size").unwrap(),
+            Some((Value::Int(4), Value::Int(10)))
+        );
+        t.create_index("p_size").unwrap();
+        assert_eq!(
+            t.column_min_max("p_size").unwrap(),
+            Some((Value::Int(4), Value::Int(10)))
+        );
+        assert_eq!(Table::new(schema()).column_min_max("p_size").unwrap(), None);
+    }
+}

@@ -1,0 +1,27 @@
+//! TPC-H data generation and the paper's benchmark workloads.
+//!
+//! The paper's performance benchmark distributes 1 GB of TPC-H data per
+//! node generated with `dbgen` (§6.1.4) and runs five corporate-network
+//! queries Q1–Q5; the throughput benchmark partitions the schema into a
+//! supplier side and a retailer side, partitions all data by nation key,
+//! and adds a nation-key column to every table (§6.2.1).
+//!
+//! This crate is the `dbgen` substitute:
+//!
+//! - [`schema`] — the eight TPC-H tables (plus the benchmark's nation-key
+//!   columns) and the secondary indices of paper Table 4,
+//! - [`dbgen`] — a deterministic, seedable generator with TPC-H's
+//!   cardinality ratios and uniform value distributions (the paper notes
+//!   the uniformity explicitly when deciding not to build range indices,
+//!   §6.1.5),
+//! - [`queries`] — Q1–Q5 and the supplier/retailer throughput queries.
+//!
+//! Row counts are configurable: benchmarks run with reduced rows and let
+//! the simulator's `byte_scale` recover the paper's 1 GB/node volume.
+
+pub mod dbgen;
+pub mod queries;
+pub mod schema;
+
+pub use dbgen::{DbGen, TpchConfig};
+pub use queries::{retailer_query, supplier_query, Q1, Q2, Q3, Q4, Q5};

@@ -1,0 +1,122 @@
+//! The benchmark queries.
+//!
+//! Q1–Q5 are the five corporate-network queries of §6.1 ("we implement
+//! the benchmark queries by ourselves since the TPC-H queries are
+//! complex and time-consuming queries which are not suitable for
+//! benchmarking corporate network applications"); the supplier and
+//! retailer queries drive the throughput benchmark of §6.2.
+
+/// Q1 — simple selection on `l_shipdate` / `l_commitdate` (§6.1.6).
+/// Yields roughly 0.1% of `lineitem` per peer.
+pub const Q1: &str = "SELECT l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity, l_extendedprice \
+     FROM lineitem \
+     WHERE l_shipdate > DATE '1998-11-05' AND l_commitdate > DATE '1998-10-01'";
+
+/// Q2 — simple aggregation: total prices over qualified tuples (§6.1.7).
+pub const Q2: &str = "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM lineitem \
+     WHERE l_shipdate > DATE '1998-09-01'";
+
+/// Q3 — two-table join of `lineitem` and `orders` (§6.1.8).
+pub const Q3: &str = "SELECT l_orderkey, o_orderdate, l_quantity, l_extendedprice \
+     FROM lineitem, orders \
+     WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1998-06-01'";
+
+/// Q4 — join plus aggregation over `partsupp` and `part` (§6.1.9).
+pub const Q4: &str = "SELECT p_type, SUM(ps_supplycost * ps_availqty) AS total_cost, COUNT(*) AS parts \
+     FROM partsupp, part \
+     WHERE ps_partkey = p_partkey AND p_size < 10 \
+     GROUP BY p_type";
+
+/// Q5 — multi-table join with aggregation (§6.1.10). Three joins plus a
+/// GROUP BY: HadoopDB's SMS planner compiles this into four MapReduce
+/// jobs.
+pub const Q5: &str = "SELECT c_mktsegment, SUM(l_extendedprice * (1 - l_discount)) AS revenue, COUNT(*) AS items \
+     FROM customer, orders, lineitem, supplier \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey \
+       AND o_orderdate > DATE '1996-01-01' \
+     GROUP BY c_mktsegment";
+
+/// All five performance-benchmark queries, with their figure numbers.
+pub fn performance_queries() -> Vec<(&'static str, u32, &'static str)> {
+    vec![("Q1", 6, Q1), ("Q2", 7, Q2), ("Q3", 8, Q3), ("Q4", 9, Q4), ("Q5", 10, Q5)]
+}
+
+/// The *retailer benchmark query* sent by supplier peers (heavy-weight:
+/// two joins and an aggregation over the retailer tables, §6.2.3). The
+/// nation-key clauses restrict it to a single retailer, so the
+/// single-peer optimization applies.
+pub fn retailer_query(nation: i64) -> String {
+    format!(
+        "SELECT c_custkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+         FROM customer, orders, lineitem \
+         WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey \
+           AND c_nationkey = {nation} AND o_nationkey = {nation} AND l_nationkey = {nation} \
+         GROUP BY c_custkey"
+    )
+}
+
+/// The *supplier benchmark query* sent by retailer peers (light-weight:
+/// an indexed selection with two joins over the supplier tables,
+/// §6.2.3).
+pub fn supplier_query(nation: i64) -> String {
+    format!(
+        "SELECT s_suppkey, s_name, ps_availqty, ps_supplycost \
+         FROM supplier, partsupp \
+         WHERE s_suppkey = ps_suppkey AND ps_availqty < 500 \
+           AND s_nationkey = {nation} AND ps_nationkey = {nation}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_sql::parse_select;
+
+    #[test]
+    fn all_queries_parse() {
+        for (name, _, sql) in performance_queries() {
+            parse_select(sql).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+        parse_select(&retailer_query(7)).unwrap();
+        parse_select(&supplier_query(7)).unwrap();
+    }
+
+    #[test]
+    fn query_shapes_match_the_paper() {
+        let q1 = parse_select(Q1).unwrap();
+        assert_eq!(q1.join_count(), 0);
+        assert!(!q1.is_aggregate());
+
+        let q2 = parse_select(Q2).unwrap();
+        assert_eq!(q2.join_count(), 0);
+        assert!(q2.is_aggregate());
+
+        let q3 = parse_select(Q3).unwrap();
+        assert_eq!(q3.join_count(), 1);
+        assert!(!q3.is_aggregate());
+
+        let q4 = parse_select(Q4).unwrap();
+        assert_eq!(q4.join_count(), 1);
+        assert!(q4.is_aggregate());
+
+        let q5 = parse_select(Q5).unwrap();
+        assert_eq!(q5.join_count(), 3);
+        assert!(q5.is_aggregate());
+        assert_eq!(q5.join_predicates().len(), 3);
+    }
+
+    #[test]
+    fn throughput_queries_pin_one_nation() {
+        let r = parse_select(&retailer_query(3)).unwrap();
+        let pins = r
+            .predicates
+            .iter()
+            .filter_map(|p| p.as_column_literal())
+            .filter(|(c, _, _)| c.column.ends_with("nationkey"))
+            .count();
+        assert_eq!(pins, 3);
+        let s = parse_select(&supplier_query(3)).unwrap();
+        assert_eq!(s.join_count(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! The TPC-H global schema as used by the paper's benchmarks.
+//!
+//! Two benchmark-driven deviations from stock TPC-H, both from §6.2.1:
+//! every table carries a nation-key column ("to reflect the fact that
+//! each table is partitioned based on nations, we modify the original
+//! TPC-H schema and add a nation key column in each table"), and the
+//! schema splits into a supplier sub-schema (`supplier`, `partsupp`,
+//! `part`) and a retailer sub-schema (`lineitem`, `orders`, `customer`),
+//! with `nation` and `region` common to both.
+
+use bestpeer_common::{ColumnDef, ColumnType, TableSchema};
+
+use ColumnType::{Date, Float, Int, Str};
+
+fn table(name: &str, cols: &[(&str, ColumnType)], pk: &[usize]) -> TableSchema {
+    TableSchema::new(
+        name,
+        cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
+        pk.to_vec(),
+    )
+    .expect("static schema is valid")
+}
+
+/// `region(r_regionkey, r_name)`
+pub fn region() -> TableSchema {
+    table("region", &[("r_regionkey", Int), ("r_name", Str)], &[0])
+}
+
+/// `nation(n_nationkey, n_name, n_regionkey)`
+pub fn nation() -> TableSchema {
+    table(
+        "nation",
+        &[("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)],
+        &[0],
+    )
+}
+
+/// `supplier(s_suppkey, s_name, s_nationkey, s_acctbal)`
+pub fn supplier() -> TableSchema {
+    table(
+        "supplier",
+        &[
+            ("s_suppkey", Int),
+            ("s_name", Str),
+            ("s_nationkey", Int),
+            ("s_acctbal", Float),
+        ],
+        &[0],
+    )
+}
+
+/// `customer(c_custkey, c_name, c_nationkey, c_acctbal, c_mktsegment)`
+pub fn customer() -> TableSchema {
+    table(
+        "customer",
+        &[
+            ("c_custkey", Int),
+            ("c_name", Str),
+            ("c_nationkey", Int),
+            ("c_acctbal", Float),
+            ("c_mktsegment", Str),
+        ],
+        &[0],
+    )
+}
+
+/// `part(p_partkey, p_name, p_brand, p_type, p_size, p_retailprice, p_nationkey)`
+pub fn part() -> TableSchema {
+    table(
+        "part",
+        &[
+            ("p_partkey", Int),
+            ("p_name", Str),
+            ("p_brand", Str),
+            ("p_type", Str),
+            ("p_size", Int),
+            ("p_retailprice", Float),
+            ("p_nationkey", Int),
+        ],
+        &[0],
+    )
+}
+
+/// `partsupp(ps_partkey, ps_suppkey, ps_availqty, ps_supplycost, ps_nationkey)`
+pub fn partsupp() -> TableSchema {
+    table(
+        "partsupp",
+        &[
+            ("ps_partkey", Int),
+            ("ps_suppkey", Int),
+            ("ps_availqty", Int),
+            ("ps_supplycost", Float),
+            ("ps_nationkey", Int),
+        ],
+        &[0, 1],
+    )
+}
+
+/// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate, o_nationkey)`
+pub fn orders() -> TableSchema {
+    table(
+        "orders",
+        &[
+            ("o_orderkey", Int),
+            ("o_custkey", Int),
+            ("o_orderstatus", Str),
+            ("o_totalprice", Float),
+            ("o_orderdate", Date),
+            ("o_nationkey", Int),
+        ],
+        &[0],
+    )
+}
+
+/// `lineitem(l_orderkey, l_linenumber, l_partkey, l_suppkey, l_quantity,
+/// l_extendedprice, l_discount, l_tax, l_shipdate, l_commitdate, l_nationkey)`
+pub fn lineitem() -> TableSchema {
+    table(
+        "lineitem",
+        &[
+            ("l_orderkey", Int),
+            ("l_linenumber", Int),
+            ("l_partkey", Int),
+            ("l_suppkey", Int),
+            ("l_quantity", Int),
+            ("l_extendedprice", Float),
+            ("l_discount", Float),
+            ("l_tax", Float),
+            ("l_shipdate", Date),
+            ("l_commitdate", Date),
+            ("l_nationkey", Int),
+        ],
+        &[0, 1],
+    )
+}
+
+/// All eight tables of the global schema.
+pub fn all_tables() -> Vec<TableSchema> {
+    vec![
+        region(),
+        nation(),
+        supplier(),
+        customer(),
+        part(),
+        partsupp(),
+        orders(),
+        lineitem(),
+    ]
+}
+
+/// The supplier sub-schema of the throughput benchmark (§6.2.1), plus
+/// the commonly-owned `nation` and `region`.
+pub fn supplier_tables() -> Vec<TableSchema> {
+    vec![supplier(), partsupp(), part(), nation(), region()]
+}
+
+/// The retailer sub-schema of the throughput benchmark (§6.2.1), plus
+/// the commonly-owned `nation` and `region`.
+pub fn retailer_tables() -> Vec<TableSchema> {
+    vec![lineitem(), orders(), customer(), nation(), region()]
+}
+
+/// The secondary indices built during data loading — paper Table 4.
+/// Returns `(table, column)` pairs.
+pub fn secondary_indices() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("lineitem", "l_shipdate"),
+        ("lineitem", "l_commitdate"),
+        ("orders", "o_orderdate"),
+        ("part", "p_size"),
+        ("partsupp", "ps_availqty"),
+        ("customer", "c_mktsegment"),
+        ("supplier", "s_nationkey"),
+    ]
+}
+
+/// The nation-key column of each table (used for throughput-benchmark
+/// partitioning and the range index on nation key, §6.2.2).
+pub fn nationkey_column(table: &str) -> Option<&'static str> {
+    Some(match table {
+        "supplier" => "s_nationkey",
+        "customer" => "c_nationkey",
+        "part" => "p_nationkey",
+        "partsupp" => "ps_nationkey",
+        "orders" => "o_nationkey",
+        "lineitem" => "l_nationkey",
+        "nation" => "n_nationkey",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tables() {
+        let tables = all_tables();
+        assert_eq!(tables.len(), 8);
+        let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&"lineitem"));
+        assert!(names.contains(&"region"));
+    }
+
+    #[test]
+    fn composite_primary_keys() {
+        assert_eq!(lineitem().primary_key, vec![0, 1]);
+        assert_eq!(partsupp().primary_key, vec![0, 1]);
+        assert_eq!(orders().primary_key, vec![0]);
+    }
+
+    #[test]
+    fn table4_indices_reference_real_columns() {
+        let tables = all_tables();
+        for (t, c) in secondary_indices() {
+            let schema = tables.iter().find(|s| s.name == t).expect("table exists");
+            assert!(schema.column_index(c).is_ok(), "{t}.{c} must exist");
+        }
+    }
+
+    #[test]
+    fn subschemas_partition_the_business_tables() {
+        let sup: Vec<String> =
+            supplier_tables().iter().map(|t| t.name.clone()).collect();
+        let ret: Vec<String> =
+            retailer_tables().iter().map(|t| t.name.clone()).collect();
+        for business in ["supplier", "partsupp", "part"] {
+            assert!(sup.iter().any(|n| n == business));
+            assert!(!ret.iter().any(|n| n == business));
+        }
+        for business in ["lineitem", "orders", "customer"] {
+            assert!(ret.iter().any(|n| n == business));
+            assert!(!sup.iter().any(|n| n == business));
+        }
+        // nation/region commonly owned
+        for common in ["nation", "region"] {
+            assert!(sup.iter().any(|n| n == common));
+            assert!(ret.iter().any(|n| n == common));
+        }
+    }
+
+    #[test]
+    fn nationkey_columns_exist() {
+        let tables = all_tables();
+        for t in &tables {
+            if let Some(c) = nationkey_column(&t.name) {
+                assert!(t.column_index(c).is_ok(), "{}.{c}", t.name);
+            }
+        }
+        assert_eq!(nationkey_column("region"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! # BestPeer++
+//!
+//! A from-scratch Rust reproduction of *BestPeer++: A Peer-to-Peer Based
+//! Large-Scale Data Processing Platform* (Chen, Hu, Jiang, Lu, Tan, Vo, Wu —
+//! ICDE 2012 / TKDE 2014).
+//!
+//! This facade crate re-exports every subsystem of the workspace so
+//! examples and downstream users have a single dependency:
+//!
+//! - [`common`] — values, rows, schemas, the wire codec.
+//! - [`baton`] — the BATON balanced-tree structured P2P overlay.
+//! - [`storage`] — the embedded relational storage engine each peer hosts
+//!   (the paper's per-peer MySQL stand-in).
+//! - [`sql`] — SQL parsing, planning, and local execution.
+//! - [`cloud`] — the cloud-adapter abstraction and a simulated provider
+//!   (the paper's Amazon EC2/RDS/EBS/CloudWatch stand-in).
+//! - [`simnet`] — the deterministic discrete-event simulator used to
+//!   measure latency and throughput.
+//! - [`mapreduce`] — a mini MapReduce framework with a simulated HDFS.
+//! - [`hadoopdb`] — the HadoopDB baseline the paper benchmarks against.
+//! - [`core`] — the BestPeer++ system itself: bootstrap peer, normal
+//!   peers, access control, histograms, cost models, and the basic /
+//!   parallel-P2P / MapReduce / adaptive query engines.
+//! - [`tpch`] — TPC-H data generation and the paper's benchmark workloads.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use bestpeer_baton as baton;
+pub use bestpeer_cloud as cloud;
+pub use bestpeer_common as common;
+pub use bestpeer_core as core;
+pub use bestpeer_hadoopdb as hadoopdb;
+pub use bestpeer_mapreduce as mapreduce;
+pub use bestpeer_simnet as simnet;
+pub use bestpeer_sql as sql;
+pub use bestpeer_storage as storage;
+pub use bestpeer_tpch as tpch;

@@ -1,0 +1,174 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use bestpeer::baton::Overlay;
+use bestpeer::common::{ColumnDef, ColumnType, PeerId, Row, TableSchema, Value};
+use bestpeer::sql::{execute_select, parse_select};
+use bestpeer::storage::{Database, Snapshot};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------
+// BATON: structural invariants survive arbitrary churn, and every
+// stored item remains findable.
+// ---------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Join(u64),
+    Leave(u64),
+    Insert(u64, u64),
+    Balance(u64),
+}
+
+fn churn_strategy() -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..64u64).prop_map(ChurnOp::Join),
+            (0..64u64).prop_map(ChurnOp::Leave),
+            (any::<u64>(), any::<u64>()).prop_map(|(k, v)| ChurnOp::Insert(k, v)),
+            (0..64u64).prop_map(ChurnOp::Balance),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn baton_invariants_hold_under_churn(ops in churn_strategy()) {
+        let mut overlay: Overlay<u64> = Overlay::new(true);
+        overlay.join(PeerId::new(1_000)).unwrap(); // anchor member
+        let mut inserted: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                ChurnOp::Join(p) => {
+                    let _ = overlay.join(PeerId::new(p));
+                }
+                ChurnOp::Leave(p) => {
+                    if overlay.len() > 1 {
+                        let _ = overlay.leave(PeerId::new(p));
+                    }
+                }
+                ChurnOp::Insert(k, v) => {
+                    let k = k % (u64::MAX - 1);
+                    overlay.insert(k, v).unwrap();
+                    inserted.push((k, v));
+                }
+                ChurnOp::Balance(p) => {
+                    if overlay.contains(PeerId::new(p)) {
+                        let _ = overlay.balance_with_adjacent(PeerId::new(p), 1.5);
+                    }
+                }
+            }
+            overlay.validate().unwrap();
+        }
+        // No item is ever lost, whatever the membership history was.
+        prop_assert_eq!(overlay.total_items(), inserted.len() as u64);
+        for (k, v) in inserted {
+            let (values, _) = overlay.search_exact(k).unwrap();
+            prop_assert!(values.contains(&v), "lost item {k}");
+        }
+    }
+
+    // -----------------------------------------------------------
+    // Snapshot differential: applying the diff of (old, new) onto a
+    // multiset equal to `old` always yields `new`.
+    // -----------------------------------------------------------
+    #[test]
+    fn snapshot_diff_transforms_old_into_new(
+        old in prop::collection::vec((0..50i64, 0..1000i64), 0..40),
+        new in prop::collection::vec((0..50i64, 0..1000i64), 0..40),
+    ) {
+        let mk = |rows: &[(i64, i64)]| -> Vec<Row> {
+            rows.iter().map(|(a, b)| Row::new(vec![Value::Int(*a), Value::Int(*b)])).collect()
+        };
+        let old_rows = mk(&old);
+        let new_rows = mk(&new);
+        let diff = Snapshot::build(old_rows.clone()).diff(&Snapshot::build(new_rows.clone()));
+        // Apply to a multiset.
+        let mut state = old_rows.clone();
+        for d in &diff.deletes {
+            let pos = state.iter().position(|r| r == d);
+            prop_assert!(pos.is_some(), "delete of a row not in old");
+            state.swap_remove(pos.unwrap());
+        }
+        state.extend(diff.inserts.iter().cloned());
+        let mut want = new_rows;
+        state.sort();
+        want.sort();
+        prop_assert_eq!(state, want);
+    }
+
+    // -----------------------------------------------------------
+    // Distributed aggregation: partial + combine over any partitioning
+    // equals centralized evaluation.
+    // -----------------------------------------------------------
+    #[test]
+    fn partial_aggregation_is_partition_invariant(
+        rows in prop::collection::vec((0..8i64, -100..100i64), 0..60),
+        cut in 0..60usize,
+    ) {
+        let schema = TableSchema::new(
+            "t",
+            vec![ColumnDef::new("k", ColumnType::Int), ColumnDef::new("v", ColumnType::Int)],
+            vec![],
+        ).unwrap();
+        let stmt = parse_select(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi FROM t GROUP BY k",
+        ).unwrap();
+        let dist = bestpeer::sql::split_aggregate(&stmt).unwrap();
+
+        let cut = cut.min(rows.len());
+        let mut partial_rows = Vec::new();
+        let mut partial_cols = Vec::new();
+        for part in [&rows[..cut], &rows[cut..]] {
+            let mut db = Database::new();
+            db.create_table(schema.clone()).unwrap();
+            for (k, v) in part {
+                db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*v)])).unwrap();
+            }
+            let (rs, _) = execute_select(&dist.partial, &db).unwrap();
+            partial_cols = rs.columns;
+            partial_rows.extend(rs.rows);
+        }
+        let mut distributed = dist.combine.apply(&partial_cols, &partial_rows).unwrap();
+
+        let mut db = Database::new();
+        db.create_table(schema).unwrap();
+        for (k, v) in &rows {
+            db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*v)])).unwrap();
+        }
+        let (mut central, _) = execute_select(&stmt, &db).unwrap();
+        distributed.rows.sort();
+        central.rows.sort();
+        prop_assert_eq!(distributed.rows, central.rows);
+    }
+
+    // -----------------------------------------------------------
+    // Wire codec: any row batch survives the round trip.
+    // -----------------------------------------------------------
+    #[test]
+    fn codec_round_trips_any_batch(
+        rows in prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![
+                    Just(Value::Null),
+                    any::<i64>().prop_map(Value::Int),
+                    any::<f64>().prop_filter("total order", |f| !f.is_nan()).prop_map(Value::Float),
+                    any::<i32>().prop_map(Value::Date),
+                    "[a-zA-Z0-9 ]{0,20}".prop_map(Value::Str),
+                ],
+                0..6,
+            ).prop_map(Row::new),
+            0..20,
+        )
+    ) {
+        let encoded = bestpeer::common::codec::encode_batch(&rows);
+        prop_assert_eq!(
+            encoded.len() as u64,
+            bestpeer::common::codec::batch_encoded_size(&rows)
+        );
+        let decoded = bestpeer::common::codec::decode_batch(encoded).unwrap();
+        prop_assert_eq!(decoded, rows);
+    }
+}
