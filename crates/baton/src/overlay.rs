@@ -32,6 +32,8 @@ pub struct OverlayStats {
     pub balance_ops: u64,
     /// Lookups served from a replica because the owner had failed.
     pub replica_lookups: u64,
+    /// Index-insert messages dropped by fault injection.
+    pub dropped_inserts: u64,
 }
 
 /// The BATON overlay over item type `V` (the index-entry payload).
@@ -44,6 +46,9 @@ pub struct Overlay<V> {
     /// For each owner, the peers currently holding a replica of its items.
     replica_sites: HashMap<PeerId, Vec<PeerId>>,
     stats: OverlayStats,
+    /// Fault injection: the next this-many insert messages are lost in
+    /// transit (routed, but never stored or replicated).
+    drop_inserts: u32,
 }
 
 impl<V: Clone> Default for Overlay<V> {
@@ -63,6 +68,7 @@ impl<V: Clone> Overlay<V> {
             replicate,
             replica_sites: HashMap::new(),
             stats: OverlayStats::default(),
+            drop_inserts: 0,
         }
     }
 
@@ -276,7 +282,12 @@ impl<V: Clone> Overlay<V> {
         };
         let mut restored: Option<BTreeMap<Key, Vec<V>>> = None;
         for site in [la, ra].into_iter().flatten() {
-            if let Some(rep) = self.node(site)?.replicas.get(&peer) {
+            let site_node = self.node(site)?;
+            // Replica maps are durable (EBS-style): they survive the
+            // site's own process crash, so recovery can read them even
+            // while the site is down — only live *lookups* need a live
+            // process at the replica site.
+            if let Some(rep) = site_node.replicas.get(&peer) {
                 restored = Some(rep.clone());
                 break;
             }
@@ -395,10 +406,8 @@ impl<V: Clone> Overlay<V> {
         } else {
             self.root = Some(replacement);
         }
-        for link in [o.left_child, o.right_child] {
-            if let Some(c) = link {
-                self.node_mut(c).parent = Some(replacement);
-            }
+        for c in [o.left_child, o.right_child].into_iter().flatten() {
+            self.node_mut(c).parent = Some(replacement);
         }
         if let Some(la) = o.left_adj {
             self.node_mut(la).right_adj = Some(replacement);
@@ -497,11 +506,15 @@ impl<V: Clone> Overlay<V> {
     fn replica_read(&self, owner: PeerId, key: Key) -> Result<Vec<V>> {
         let n = &self.nodes[&owner];
         for site in [n.left_adj, n.right_adj].into_iter().flatten() {
+            // A failed replica site cannot serve either.
+            if self.nodes[&site].failed {
+                continue;
+            }
             if let Some(rep) = self.nodes[&site].replicas.get(&owner) {
                 return Ok(rep.get(&key).cloned().unwrap_or_default());
             }
         }
-        Err(Error::Network(format!(
+        Err(Error::Unavailable(format!(
             "owner {owner} failed and no replica is available for key {key}"
         )))
     }
@@ -552,21 +565,45 @@ impl<V: Clone> Overlay<V> {
     fn replica_items_of(&self, owner: PeerId) -> Result<&BTreeMap<Key, Vec<V>>> {
         let n = &self.nodes[&owner];
         for site in [n.left_adj, n.right_adj].into_iter().flatten() {
+            // A failed replica site cannot serve either.
+            if self.nodes[&site].failed {
+                continue;
+            }
             if let Some(rep) = self.nodes[&site].replicas.get(&owner) {
                 return Ok(rep);
             }
         }
-        Err(Error::Network(format!("no replica available for failed {owner}")))
+        Err(Error::Unavailable(format!("no replica available for failed {owner}")))
     }
 
     // ------------------------------------------------------------------
     // Index item maintenance
     // ------------------------------------------------------------------
 
+    /// Fault injection: lose the next `n` insert messages in transit.
+    /// Each dropped insert is still routed (the hops are real) but the
+    /// item is never stored or replicated — exactly what a lost network
+    /// message looks like to the rest of the system. A republish heals
+    /// the index.
+    pub fn drop_next_inserts(&mut self, n: u32) {
+        self.drop_inserts += n;
+    }
+
+    /// Close the lossy window: inserts are delivered reliably again even
+    /// if fewer than the armed number were actually dropped.
+    pub fn clear_insert_drops(&mut self) {
+        self.drop_inserts = 0;
+    }
+
     /// Insert an index item. Routes to the owner, stores the value, and
     /// (when enabled) replicates it to the owner's adjacent nodes.
     pub fn insert(&mut self, key: Key, value: V) -> Result<u32> {
         let (owner, hops) = self.owner_of(key)?;
+        if self.drop_inserts > 0 {
+            self.drop_inserts -= 1;
+            self.stats.dropped_inserts += 1;
+            return Ok(hops);
+        }
         self.node_mut(owner).items.entry(key).or_default().push(value.clone());
         if self.replicate {
             let n = &self.nodes[&owner];
@@ -660,7 +697,7 @@ impl<V: Clone> Overlay<V> {
         }
         if let Some(a) = ra {
             let al = self.node(a)?.load();
-            if best.map_or(true, |(_, bl, _)| al < bl) {
+            if best.is_none_or(|(_, bl, _)| al < bl) {
                 best = Some((a, al, false));
             }
         }
@@ -1135,6 +1172,93 @@ mod tests {
         assert!(!o.node(owner).unwrap().failed);
         let (vals, _) = o.search_exact(key).unwrap();
         assert_eq!(vals, vec![1]);
+    }
+
+    #[test]
+    fn recover_of_healthy_peer_is_a_noop() {
+        let mut o = overlay_of(8);
+        for k in 0..100u64 {
+            o.insert(k * 180_000_000_000_000_000, k).unwrap();
+        }
+        let total = o.total_items();
+        let p = o.in_order()[3];
+        o.recover(p).unwrap();
+        assert!(!o.node(p).unwrap().failed);
+        assert_eq!(o.total_items(), total, "no item duplicated or lost");
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn double_crash_of_owner_and_replica_neighbors_is_unavailable() {
+        let mut o = overlay_of(10);
+        for k in 0..200u64 {
+            o.insert(k * 90_000_000_000_000_000, k).unwrap();
+        }
+        let key = 90_000_000_000_000_000u64;
+        let (owner, _) = o.owner_of(key).unwrap();
+        let n = o.node(owner).unwrap();
+        let neighbors: Vec<PeerId> =
+            [n.left_adj, n.right_adj].into_iter().flatten().collect();
+        o.crash(owner).unwrap();
+        for nb in &neighbors {
+            o.crash(*nb).unwrap();
+        }
+        // Owner and every replica site down: live lookups need a live
+        // process, so strong consistency blocks.
+        let err = o.search_exact(key).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        // Recovery, by contrast, reads the *durable* replica map, which
+        // survives the site's own process crash: the owner heals even
+        // while both neighbors are still down.
+        o.recover(owner).unwrap();
+        assert!(!o.node(owner).unwrap().failed);
+        let (vals, _) = o.search_exact(key).unwrap();
+        assert_eq!(vals, vec![1], "restored from the downed neighbor's durable replica");
+        // The neighbors recover too; a later crash + recover of the
+        // owner still heals fully.
+        for nb in &neighbors {
+            o.recover(*nb).unwrap();
+        }
+        o.crash(owner).unwrap();
+        o.recover(owner).unwrap();
+        let (vals, _) = o.search_exact(key).unwrap();
+        assert_eq!(vals, vec![1], "restored from the recovered neighbor");
+    }
+
+    #[test]
+    fn lookup_without_replica_reports_unavailable() {
+        // Replication off: a crashed owner has no replica anywhere.
+        let mut o: Overlay<u64> = Overlay::new(false);
+        for i in 0..6 {
+            o.join(PeerId::new(i)).unwrap();
+        }
+        o.insert(42, 7u64).unwrap();
+        let (owner, _) = o.owner_of(42).unwrap();
+        o.crash(owner).unwrap();
+        let err = o.search_exact(42).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(
+            err.to_string().contains("no replica is available for key"),
+            "error names the missing replica: {err}"
+        );
+    }
+
+    #[test]
+    fn dropped_inserts_are_lost_until_republished() {
+        let mut o = overlay_of(5);
+        o.drop_next_inserts(2);
+        o.insert(10, 1u64).unwrap();
+        o.insert(20, 2u64).unwrap();
+        o.insert(30, 3u64).unwrap();
+        assert_eq!(o.stats().dropped_inserts, 2);
+        assert_eq!(o.total_items(), 1, "first two messages lost in transit");
+        assert!(o.search_exact(10).unwrap().0.is_empty());
+        assert_eq!(o.search_exact(30).unwrap().0, vec![3]);
+        // Republish heals.
+        o.insert(10, 1u64).unwrap();
+        o.insert(20, 2u64).unwrap();
+        assert_eq!(o.search_exact(10).unwrap().0, vec![1]);
+        assert_eq!(o.search_exact(20).unwrap().0, vec![2]);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use bestpeer_baton::key::DOMAIN_MAX;
 use bestpeer_baton::Overlay;
+use bestpeer_common::rng::Rng;
 use bestpeer_common::PeerId;
-use proptest::prelude::*;
 
 fn overlay_of(n: u64) -> Overlay<u64> {
     let mut o = Overlay::new(true);
@@ -103,21 +103,21 @@ fn replicas_survive_cascading_crashes() {
     let _ = unavailable;
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Range searches agree with a brute-force filter over everything
-    /// inserted, for arbitrary key sets and ranges.
-    #[test]
-    fn range_search_matches_bruteforce(
-        keys in prop::collection::vec(0..u64::MAX - 1, 1..120),
-        lo in 0..u64::MAX - 1,
-        width in 0..u64::MAX / 2,
-    ) {
+/// Range searches agree with a brute-force filter over everything
+/// inserted, for randomized key sets and ranges (seeded, deterministic).
+#[test]
+fn range_search_matches_bruteforce() {
+    let mut rng = Rng::seed_from_u64(0xBA70_0001);
+    for case in 0..32 {
         let mut o = overlay_of(17);
+        let n_keys = rng.random_range(1..120usize);
+        let keys: Vec<u64> =
+            (0..n_keys).map(|_| rng.random_range(0..u64::MAX - 1)).collect();
         for (i, k) in keys.iter().enumerate() {
             o.insert(*k, i as u64).unwrap();
         }
+        let lo = rng.random_range(0..u64::MAX - 1);
+        let width = rng.random_range(0..u64::MAX / 2);
         let hi = lo.saturating_add(width);
         let (found, _) = o.search_range(lo, hi).unwrap();
         let mut got: Vec<u64> = found.into_iter().map(|(k, _)| k).collect();
@@ -125,17 +125,28 @@ proptest! {
         let mut want: Vec<u64> =
             keys.iter().copied().filter(|k| *k >= lo && *k < hi).collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}: range [{lo}, {hi})");
     }
+}
 
-    /// Join order never affects the invariants, and in-order ranges
-    /// always partition the domain.
-    #[test]
-    fn arbitrary_join_orders_partition_the_domain(
-        mut ids in prop::collection::hash_set(0..10_000u64, 1..48),
-    ) {
+/// Join order never affects the invariants, and in-order ranges always
+/// partition the domain (seeded, deterministic).
+#[test]
+fn arbitrary_join_orders_partition_the_domain() {
+    let mut rng = Rng::seed_from_u64(0xBA70_0002);
+    for case in 0..32 {
+        let n_ids = rng.random_range(1..48usize);
+        let mut unique = std::collections::BTreeSet::new();
+        while unique.len() < n_ids {
+            unique.insert(rng.random_range(0..10_000u64));
+        }
+        // Fisher–Yates: a seeded arbitrary join order.
+        let mut ids: Vec<u64> = unique.into_iter().collect();
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.random_range(0..=i));
+        }
         let mut o: Overlay<u64> = Overlay::new(false);
-        for id in ids.drain() {
+        for id in ids {
             o.join(PeerId::new(id)).unwrap();
         }
         o.validate().unwrap();
@@ -143,9 +154,9 @@ proptest! {
         let mut expect = 0u64;
         for p in &order {
             let r = o.node(*p).unwrap().range;
-            prop_assert_eq!(r.lb, expect);
+            assert_eq!(r.lb, expect, "case {case}");
             expect = r.ub;
         }
-        prop_assert_eq!(expect, DOMAIN_MAX);
+        assert_eq!(expect, DOMAIN_MAX, "case {case}");
     }
 }

@@ -3,7 +3,7 @@
 
 use bestpeer_baton::Overlay;
 use bestpeer_common::PeerId;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bestpeer_bench::micro::{BatchSize, Criterion};
 use std::hint::black_box;
 
 fn overlay_of(n: u64) -> Overlay<u64> {
@@ -58,5 +58,7 @@ fn bench_baton(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_baton);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_baton(&mut c);
+}

@@ -7,7 +7,7 @@ use bestpeer_core::indexer::{publish_peer, IndexOverlay, PeerLocator};
 use bestpeer_sql::parse_select;
 use bestpeer_storage::Database;
 use bestpeer_tpch::schema;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bestpeer_bench::micro::Criterion;
 use std::hint::black_box;
 
 fn network(n: u64) -> IndexOverlay {
@@ -71,5 +71,7 @@ fn bench_indices(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_indices);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_indices(&mut c);
+}

@@ -8,7 +8,7 @@ use bestpeer_core::cost::{
 };
 use bestpeer_core::histogram::{Histogram, QueryRegion};
 use bestpeer_storage::Table;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bestpeer_bench::micro::Criterion;
 use std::hint::black_box;
 
 fn graph(levels: usize) -> ProcessingGraph {
@@ -72,5 +72,7 @@ fn bench_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_cost(&mut c);
+}

@@ -7,7 +7,7 @@ use bestpeer_sql::{execute_select, parse_select};
 use bestpeer_storage::{Database, Snapshot};
 use bestpeer_tpch::dbgen::{load_into, DbGen, TpchConfig};
 use bestpeer_tpch::schema;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bestpeer_bench::micro::{BatchSize, Criterion};
 use std::hint::black_box;
 
 fn generated(rows: usize) -> std::collections::BTreeMap<String, Vec<bestpeer_common::Row>> {
@@ -64,5 +64,7 @@ fn bench_loading(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_loading);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_loading(&mut c);
+}

@@ -126,7 +126,7 @@ fn main() {
                 };
                 let nodes = {
                     let n = *args.sizes.last().unwrap_or(&50);
-                    if n % 2 == 0 {
+                    if n.is_multiple_of(2) {
                         n
                     } else {
                         n + 1

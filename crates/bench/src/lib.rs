@@ -1,5 +1,6 @@
 //! The benchmark harness: regenerates every figure of the paper's
-//! evaluation (§6) and hosts the criterion microbenches for the tables.
+//! evaluation (§6) and hosts the table microbenches (run with
+//! `cargo bench`, timed by the in-tree [`micro`] harness).
 //!
 //! Methodology: queries run *for real* on reduced row counts (default
 //! 6,000 `lineitem` rows per node ≙ 0.1% of the paper's 1 GB/node); the
@@ -11,6 +12,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod micro;
 pub mod setup;
 pub mod throughput;
 

@@ -1,0 +1,134 @@
+//! A tiny in-tree microbenchmark harness (criterion substitute).
+//!
+//! The workspace builds offline, so the table benches cannot depend on
+//! criterion; this module provides the subset they use — benchmark
+//! groups, `iter`, and `iter_batched` — with warmup, adaptive iteration
+//! counts, and median-of-samples reporting in ns/iter.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Harness entry point (stands in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+/// Batch sizing hint, kept for criterion API compatibility; the
+/// harness re-runs setup per iteration either way.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap per-iteration input.
+    SmallInput,
+    /// Expensive per-iteration input.
+    LargeInput,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
+        let name = name.into();
+        println!("group {name}");
+        Group { name, samples: 12 }
+    }
+}
+
+/// A named collection of benchmark functions.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// How many timed samples to take per benchmark (criterion calls
+    /// this sample size; heavy benches lower it).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Measure one benchmark function.
+    pub fn bench_function(&mut self, label: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let label = label.into();
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, batched: false };
+        // Warmup + calibration: grow the iteration count until one
+        // sample takes ~5 ms (batched closures time one op per call).
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.batched || b.elapsed >= Duration::from_millis(5) || b.iters >= 1 << 20 {
+                break;
+            }
+            b.iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                b.elapsed = Duration::ZERO;
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / b.iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, c| a.total_cmp(c));
+        let median = per_iter[per_iter.len() / 2];
+        println!("  {}/{label}: {median:.0} ns/iter ({} iters/sample)", self.name, b.iters);
+    }
+
+    /// End the group (criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark function; runs and times the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    batched: bool,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `f` over fresh inputs from `setup`, excluding setup time.
+    /// Each sample times a single call (inputs are too costly to scale
+    /// the iteration count).
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        self.batched = true;
+        self.iters = 1;
+        let input = setup();
+        let start = Instant::now();
+        black_box(f(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("add", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -28,7 +28,7 @@ pub enum WorkloadKind {
 /// Build the §6.2.1 supply-chain network: `n/2` suppliers and `n/2`
 /// retailers, one nation each.
 pub fn build_supply_chain(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
-    assert!(n >= 2 && n % 2 == 0, "need an even number of peers");
+    assert!(n >= 2 && n.is_multiple_of(2), "need an even number of peers");
     let nations = n / 2;
     let range_cols: Vec<(String, String)> = schema::all_tables()
         .iter()

@@ -98,6 +98,7 @@ mod tests {
         assert_eq!(InstanceType::M1_SMALL.vcores, 1);
         assert_eq!(InstanceType::M1_LARGE.vcores, 4);
         assert_eq!(InstanceType::M1_SMALL.to_string(), "m1.small");
-        assert!(InstanceType::M1_LARGE.cents_per_hour > InstanceType::M1_SMALL.cents_per_hour);
+        let (small, large) = (InstanceType::M1_SMALL, InstanceType::M1_LARGE);
+        assert!(large.cents_per_hour > small.cents_per_hour);
     }
 }

@@ -11,8 +11,7 @@
 //! - row: u16 arity, then each value.
 //! - batch: u32 row count, then each row.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+use crate::bytes::{Bytes, BytesMut};
 use crate::error::{Error, Result};
 use crate::row::Row;
 use crate::value::Value;

@@ -26,11 +26,20 @@ pub enum Error {
     /// A peer, instance, or overlay node could not be reached or does not
     /// exist in the network.
     Network(String),
+    /// A participant is known to be down (crashed, suspected by the
+    /// failure detector, or awaiting fail-over). Transient: the retry
+    /// policy re-attempts after recovery.
+    Unavailable(String),
+    /// A bounded retry budget was exhausted without the operation
+    /// succeeding.
+    Timeout(String),
     /// An access-control violation: the user holds no role granting the
     /// requested privilege.
     AccessDenied(String),
     /// The query's snapshot timestamp is newer than a participant's data
-    /// (Definition 2 in the paper); the caller should resubmit.
+    /// (Definition 2 in the paper). The network layer resubmits
+    /// automatically within the retry policy's budget; past the budget
+    /// the caller sees this error and should resubmit later.
     StaleSnapshot(String),
     /// The bootstrap peer rejected a membership operation.
     Membership(String),
@@ -52,6 +61,8 @@ impl Error {
             Error::Plan(_) => "plan",
             Error::Execution(_) => "execution",
             Error::Network(_) => "network",
+            Error::Unavailable(_) => "unavailable",
+            Error::Timeout(_) => "timeout",
             Error::AccessDenied(_) => "access-denied",
             Error::StaleSnapshot(_) => "stale-snapshot",
             Error::Membership(_) => "membership",
@@ -70,6 +81,8 @@ impl Error {
             | Error::Plan(m)
             | Error::Execution(m)
             | Error::Network(m)
+            | Error::Unavailable(m)
+            | Error::Timeout(m)
             | Error::AccessDenied(m)
             | Error::StaleSnapshot(m)
             | Error::Membership(m)
@@ -109,6 +122,8 @@ mod tests {
             Error::Plan(String::new()),
             Error::Execution(String::new()),
             Error::Network(String::new()),
+            Error::Unavailable(String::new()),
+            Error::Timeout(String::new()),
             Error::AccessDenied(String::new()),
             Error::StaleSnapshot(String::new()),
             Error::Membership(String::new()),

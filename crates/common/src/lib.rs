@@ -7,13 +7,17 @@
 //! binary codec used to measure (and actually perform) tuple shipping
 //! between peers ([`codec`]).
 //!
-//! Everything here is deliberately dependency-light (only `bytes`) so the
-//! substrate crates (BATON overlay, storage engine, MapReduce engine, ...)
-//! can share types without pulling each other in.
+//! Everything here is dependency-free (the workspace builds with no
+//! registry access): byte buffers ([`bytes`]) and the seeded PRNG
+//! ([`rng`]) are implemented in-tree, so the substrate crates (BATON
+//! overlay, storage engine, MapReduce engine, ...) can share types
+//! without pulling each other in.
 
+pub mod bytes;
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod value;

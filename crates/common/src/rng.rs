@@ -1,0 +1,213 @@
+//! In-tree seeded pseudo-random number generator.
+//!
+//! The workspace builds with no registry access, so data generation and
+//! randomized tests cannot depend on the `rand` crate. This module
+//! provides the small surface they actually need: a seedable generator
+//! (xoshiro256++ seeded through SplitMix64) and uniform sampling over
+//! integer and float ranges. Determinism is part of the contract — the
+//! TPC-H generator, the fuzzers, and the chaos fault planner all derive
+//! reproducible schedules from a seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable PRNG (xoshiro256++).
+///
+/// Not cryptographically secure; statistically solid for data
+/// generation and test-case sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Build a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expands the seed into four independent state words;
+        // this is the standard recommended initialization for xoshiro.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform draw from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`, integer or float).
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn random_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_unit() < p
+    }
+
+    /// A uniform `u64` in `[0, bound)` (bound 0 returns 0), using
+    /// rejection sampling to avoid modulo bias.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Reject draws from the final partial copy of the range.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.bounded(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.random_unit()
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * rng.random_unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: i32 = rng.random_range(1..=3);
+            assert!((1..=3).contains(&w));
+            let u: usize = rng.random_range(0..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all 10 values drawn: {seen:?}");
+    }
+
+    #[test]
+    fn integer_distribution_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        let expect = draws as f64 / 8.0;
+        for c in counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket off by {dev}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.random_range(-1.0..3.0);
+            assert!((-1.0..3.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean} far from 1.0");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_is_supported() {
+        let mut rng = Rng::seed_from_u64(5);
+        // Must not loop or panic.
+        let _: u64 = rng.random_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn bool_probability_tracks_p() {
+        let mut rng = Rng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03, "{hits}");
+    }
+}

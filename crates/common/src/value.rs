@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Float(-1.5), Value::str("abc")];
+        let mut vals = [Value::Int(3), Value::Null, Value::Float(-1.5), Value::str("abc")];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(-1.5));

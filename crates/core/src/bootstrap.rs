@@ -92,6 +92,17 @@ pub struct BootstrapPeer {
     pub scale_cpu_threshold: f64,
     /// Storage-utilization threshold that triggers auto-scaling.
     pub scale_storage_threshold: f64,
+    /// Consecutive missed heartbeat epochs before a peer is declared
+    /// dead and failed over. One epoch = one [`maintenance_tick`]
+    /// (`BootstrapPeer::maintenance_tick`). A threshold above 1 keeps a
+    /// transient hiccup (one unresponsive probe) from triggering a
+    /// fail-over that would discard unreplicated local state.
+    pub fail_threshold: u32,
+    /// Cap on the retained [`MaintenanceEvent`] history (older events
+    /// are discarded first); keeps a long-running daemon's memory flat.
+    pub max_event_history: usize,
+    /// Per-peer consecutive missed-heartbeat counters.
+    heartbeat_misses: BTreeMap<PeerId, u32>,
     events: Vec<MaintenanceEvent>,
 }
 
@@ -110,6 +121,9 @@ impl BootstrapPeer {
             next_user: 0,
             scale_cpu_threshold: 0.85,
             scale_storage_threshold: 0.85,
+            fail_threshold: 3,
+            max_event_history: 1024,
+            heartbeat_misses: BTreeMap::new(),
             events: Vec::new(),
         }
     }
@@ -148,9 +162,30 @@ impl BootstrapPeer {
         self.peer_list.len()
     }
 
-    /// Maintenance event log (Algorithm 1 activity).
+    /// Maintenance event log (Algorithm 1 activity), capped at
+    /// [`max_event_history`](BootstrapPeer::max_event_history) entries
+    /// (most recent kept).
     pub fn events(&self) -> &[MaintenanceEvent] {
         &self.events
+    }
+
+    /// Consecutive missed heartbeats currently recorded against `peer`.
+    pub fn heartbeat_misses(&self, peer: PeerId) -> u32 {
+        self.heartbeat_misses.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Blacklist an instance, skipping duplicates (a peer can be both
+    /// departed and failed-over before the next release epoch; releasing
+    /// the same instance twice would error).
+    fn blacklist_instance(
+        &mut self,
+        peer: PeerId,
+        instance: InstanceId,
+        reason: BlacklistReason,
+    ) {
+        if !self.blacklist.iter().any(|(_, i, _)| *i == instance) {
+            self.blacklist.push((peer, instance, reason));
+        }
     }
 
     /// Admit a new business: launch its dedicated instance, issue a
@@ -192,7 +227,8 @@ impl BootstrapPeer {
             .remove(&peer)
             .ok_or_else(|| Error::Membership(format!("{peer} is not a participant")))?;
         self.ca.revoke(&record.cert);
-        self.blacklist.push((peer, record.instance, BlacklistReason::Departed));
+        self.heartbeat_misses.remove(&peer);
+        self.blacklist_instance(peer, record.instance, BlacklistReason::Departed);
         Ok(())
     }
 
@@ -220,11 +256,13 @@ impl BootstrapPeer {
         self.users.values()
     }
 
-    /// One epoch of the Algorithm 1 daemon: collect metrics for every
-    /// normal peer, fail over crashed ones (fresh instance + restore
-    /// from the latest backup), auto-scale overloaded ones, then release
-    /// blacklisted resources. Returns the events of this epoch; the
-    /// network layer relays them to participants (the "notify" step).
+    /// One epoch of the Algorithm 1 daemon: probe every normal peer
+    /// (one heartbeat per epoch), fail over peers that have missed
+    /// [`fail_threshold`](BootstrapPeer::fail_threshold) consecutive
+    /// heartbeats (fresh instance + restore from the latest backup),
+    /// auto-scale overloaded ones, then release blacklisted resources.
+    /// Returns the events of this epoch; the network layer relays them
+    /// to participants (the "notify" step).
     pub fn maintenance_tick<C>(
         &mut self,
         cloud: &mut C,
@@ -239,6 +277,13 @@ impl BootstrapPeer {
             let record = self.peer_list.get(&pid).expect("listed peer").clone();
             let metrics = cloud.metrics(record.instance)?;
             if !metrics.responsive {
+                // --- failure detection: heartbeat miss epochs --------
+                let misses = self.heartbeat_misses.entry(pid).or_insert(0);
+                *misses += 1;
+                if *misses < self.fail_threshold {
+                    continue; // not yet declared dead
+                }
+                self.heartbeat_misses.remove(&pid);
                 // --- auto fail-over (Algorithm 1 lines 6–10) ---------
                 let new_instance = cloud.launch_instance(cloud.shape(record.instance)?)?;
                 let restored = match cloud.latest_backup(record.instance) {
@@ -257,21 +302,25 @@ impl BootstrapPeer {
                     peer.instance = new_instance;
                     peer.db = restored;
                 }
-                self.blacklist.push((pid, record.instance, BlacklistReason::FailedOver));
+                self.blacklist_instance(pid, record.instance, BlacklistReason::FailedOver);
                 self.peer_list.get_mut(&pid).expect("listed").instance = new_instance;
                 epoch_events.push(MaintenanceEvent::FailOver {
                     peer: pid,
                     old_instance: record.instance,
                     new_instance,
                 });
-            } else if metrics.cpu_utilization > self.scale_cpu_threshold
-                || metrics.storage_used > self.scale_storage_threshold
-            {
-                // --- auto-scaling (Algorithm 1 lines 12–17) ----------
-                if let Some(bigger) = cloud.shape(record.instance)?.upgrade() {
-                    cloud.upgrade_instance(record.instance, bigger)?;
-                    epoch_events
-                        .push(MaintenanceEvent::AutoScale { peer: pid, shape: bigger });
+            } else {
+                // A responsive heartbeat resets the miss streak.
+                self.heartbeat_misses.remove(&pid);
+                if metrics.cpu_utilization > self.scale_cpu_threshold
+                    || metrics.storage_used > self.scale_storage_threshold
+                {
+                    // --- auto-scaling (Algorithm 1 lines 12–17) ------
+                    if let Some(bigger) = cloud.shape(record.instance)?.upgrade() {
+                        cloud.upgrade_instance(record.instance, bigger)?;
+                        epoch_events
+                            .push(MaintenanceEvent::AutoScale { peer: pid, shape: bigger });
+                    }
                 }
             }
         }
@@ -285,6 +334,10 @@ impl BootstrapPeer {
             epoch_events.push(MaintenanceEvent::Released { instances: n });
         }
         self.events.extend(epoch_events.iter().cloned());
+        if self.events.len() > self.max_event_history {
+            let excess = self.events.len() - self.max_event_history;
+            self.events.drain(..excess);
+        }
         Ok(epoch_events)
     }
 
@@ -385,6 +438,15 @@ mod tests {
         cloud.inject_crash(old_instance).unwrap();
         peers.get_mut(&pid).unwrap().db = Database::new();
 
+        // The detector needs `fail_threshold` missed heartbeats before
+        // declaring the peer dead.
+        for _ in 0..boot.fail_threshold - 1 {
+            let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+            assert!(
+                !events.iter().any(|e| matches!(e, MaintenanceEvent::FailOver { .. })),
+                "below the miss threshold: no fail-over yet"
+            );
+        }
         let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
         let failover = events
             .iter()
@@ -405,11 +467,86 @@ mod tests {
     #[test]
     fn failover_without_backup_rebuilds_schema() {
         let (mut boot, mut cloud, mut peers) = setup();
+        boot.fail_threshold = 1;
         let pid = *peers.keys().next().unwrap();
         cloud.inject_crash(peers[&pid].instance).unwrap();
         boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
         assert!(peers[&pid].db.has_table("t"));
         assert_eq!(peers[&pid].db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn responsive_heartbeat_resets_miss_streak() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let pid = *peers.keys().next().unwrap();
+        let instance = peers[&pid].instance;
+        let down = InstanceMetrics { cpu_utilization: 0.1, storage_used: 0.1, responsive: false };
+        let up = InstanceMetrics { cpu_utilization: 0.1, storage_used: 0.1, responsive: true };
+        // Two misses, then a hiccup heals before the third.
+        cloud.set_metrics(instance, down).unwrap();
+        boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert_eq!(boot.heartbeat_misses(pid), 2);
+        cloud.set_metrics(instance, up).unwrap();
+        boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert_eq!(boot.heartbeat_misses(pid), 0, "streak reset");
+        // Going down again restarts the count from zero: two more misses
+        // still do not fail the peer over.
+        cloud.set_metrics(instance, down).unwrap();
+        boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert!(!events.iter().any(|e| matches!(e, MaintenanceEvent::FailOver { .. })));
+        assert_eq!(peers[&pid].instance, instance, "instance untouched");
+    }
+
+    #[test]
+    fn event_history_is_capped() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        boot.max_event_history = 4;
+        boot.fail_threshold = 1;
+        let pid = *peers.keys().next().unwrap();
+        for _ in 0..10 {
+            // Each epoch: crash current instance → fail-over + release.
+            cloud.inject_crash(peers[&pid].instance).unwrap();
+            boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        }
+        assert!(boot.events().len() <= 4, "history capped: {}", boot.events().len());
+        // The retained tail is the most recent activity.
+        assert!(boot
+            .events()
+            .iter()
+            .any(|e| matches!(e, MaintenanceEvent::FailOver { .. } | MaintenanceEvent::Released { .. })));
+    }
+
+    #[test]
+    fn blacklist_skips_duplicate_instances() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let pid = *peers.keys().next().unwrap();
+        let instance = peers[&pid].instance;
+        boot.depart(pid).unwrap();
+        // A second blacklisting of the same instance (e.g. a racing
+        // fail-over record) must not produce a double release.
+        boot.blacklist_instance(pid, instance, BlacklistReason::FailedOver);
+        let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MaintenanceEvent::Released { instances: 1 })));
+    }
+
+    #[test]
+    fn departure_clears_heartbeat_state() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let pid = *peers.keys().next().unwrap();
+        cloud
+            .set_metrics(
+                peers[&pid].instance,
+                InstanceMetrics { cpu_utilization: 0.1, storage_used: 0.1, responsive: false },
+            )
+            .unwrap();
+        boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        assert_eq!(boot.heartbeat_misses(pid), 1);
+        boot.depart(pid).unwrap();
+        assert_eq!(boot.heartbeat_misses(pid), 0, "no stale counter retained");
     }
 
     #[test]

@@ -13,8 +13,7 @@
 //! Implemented equations:
 //! - basic engine:   `C_basic = (α+β)·N + γ·N/μ`          (Eqs. 1–2)
 //! - parallel P2P:   `C_BP = (α+β_BP) Σ_i t(T_i)·s(i)`    (Eqs. 6–8)
-//! - MapReduce:      `C_MR = (α+β_MR)[Σ_i s(i) + Σ_i S(T_i) + φ(L−1)]`
-//!                                                        (Eqs. 9–11)
+//! - MapReduce:      `C_MR = (α+β_MR)[Σ_i s(i) + Σ_i S(T_i) + φ(L−1)]` (Eqs. 9–11)
 
 /// The runtime parameters of the cost models. These are "determined
 /// using a statistics module ... extended with a feedback-loop mechanism

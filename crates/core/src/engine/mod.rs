@@ -28,6 +28,7 @@ use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::exec::{ExecStats, ResultSet};
 
 use crate::access::Role;
+use crate::fault::FaultState;
 use crate::indexer::{IndexOverlay, PeerLocator};
 use crate::network::NetworkConfig;
 use crate::peer::NormalPeer;
@@ -48,6 +49,9 @@ pub struct EngineCtx<'a> {
     pub role: &'a Role,
     /// The query's snapshot timestamp (Definition 2).
     pub query_ts: u64,
+    /// The network's fault-injection state; every subquery served ticks
+    /// its virtual clock, so scheduled faults land mid-query.
+    pub faults: &'a FaultState,
 }
 
 impl EngineCtx<'_> {
@@ -59,8 +63,17 @@ impl EngineCtx<'_> {
     }
 
     /// Run a subquery at a data owner, with access control and snapshot
-    /// checks (the owner enforces both).
+    /// checks (the owner enforces both). Advances the fault clock one
+    /// operation; a crash scheduled for this instant fires *before* the
+    /// owner answers, so the failure lands mid-query.
     pub fn serve(&self, owner: PeerId, stmt: &SelectStmt) -> Result<(ResultSet, ExecStats)> {
+        self.faults.tick();
+        if self.faults.is_down(owner) {
+            return Err(Error::Unavailable(format!(
+                "data peer {owner} is down (crashed mid-query)"
+            )));
+        }
+        self.faults.note_serve(owner);
         self.peer(owner)?.serve_subquery(stmt, self.role, self.query_ts)
     }
 

@@ -22,18 +22,21 @@ use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::exec::ResultSet;
 
 use crate::access::Role;
+use crate::fault::FaultState;
 use crate::peer::NormalPeer;
 
 use super::{EngineCtx, EngineOutput};
 
 /// [`LocalSource`] over the normal peers: subqueries run through
 /// [`NormalPeer::serve_subquery`], so access control and Definition 2's
-/// snapshot check apply exactly as in the native engines.
+/// snapshot check apply exactly as in the native engines — and the fault
+/// clock ticks per map task, so injected crashes land mid-job.
 struct PeerSource<'a> {
     peers: &'a BTreeMap<PeerId, NormalPeer>,
     schemas: &'a [TableSchema],
     role: &'a Role,
     query_ts: u64,
+    faults: &'a FaultState,
 }
 
 impl LocalSource for PeerSource<'_> {
@@ -42,6 +45,13 @@ impl LocalSource for PeerSource<'_> {
     }
 
     fn run_local(&self, peer: PeerId, stmt: &SelectStmt) -> Result<(ResultSet, u64)> {
+        self.faults.tick();
+        if self.faults.is_down(peer) {
+            return Err(bestpeer_common::Error::Unavailable(format!(
+                "data peer {peer} is down (crashed mid-job)"
+            )));
+        }
+        self.faults.note_serve(peer);
         let p = self.peers.get(&peer).ok_or_else(|| {
             bestpeer_common::Error::Network(format!("{peer} is not a live peer"))
         })?;
@@ -77,6 +87,7 @@ pub fn execute(ctx: &mut EngineCtx<'_>, _submitter: PeerId, stmt: &SelectStmt) -
         schemas: ctx.schemas,
         role: ctx.role,
         query_ts: ctx.query_ts,
+        faults: ctx.faults,
     };
     run_stmt(stmt, &source, &engine, &mut hdfs)
 }

@@ -45,10 +45,16 @@ pub struct OnlineOutput {
     /// One estimate per reporting stage (the "progress bar" the user
     /// watches).
     pub estimates: Vec<OnlineEstimate>,
-    /// The exact final result (equals what the basic engine returns).
+    /// The exact final result (equals what the basic engine returns) —
+    /// exact over the *reporting* peers when `degraded` is set.
     pub final_result: ResultSet,
     /// The cost trace (one phase per stage).
     pub trace: Trace,
+    /// Set when one or more data peers were down and their partitions
+    /// are missing from the answer (graceful degradation: online
+    /// aggregation keeps streaming estimates from the survivors instead
+    /// of failing the whole run).
+    pub degraded: bool,
 }
 
 /// Run a single-aggregate query (`SUM`, `COUNT`, or `AVG`, one table, no
@@ -96,11 +102,23 @@ pub fn execute(
     let mut partial_rows = Vec::new();
     let mut partial_cols = Vec::new();
     let mut estimates = Vec::with_capacity(n);
-    for (k, owner) in owners.iter().enumerate() {
-        let (rs, stats) = ctx.serve(*owner, &dist.partial)?;
+    let mut degraded = false;
+    let mut stage = 0usize;
+    for owner in owners.iter() {
+        // Graceful degradation: a downed peer's partition is skipped
+        // (its contribution stays missing) rather than failing the run.
+        let (rs, stats) = match ctx.serve(*owner, &dist.partial) {
+            Ok(served) => served,
+            Err(e) if e.kind() == "unavailable" => {
+                degraded = true;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        stage += 1;
         let bytes = codec::batch_encoded_size(&rs.rows);
         trace.push(
-            Phase::new(format!("online-stage-{}", k + 1)).task(
+            Phase::new(format!("online-stage-{stage}")).task(
                 Task::on(*owner)
                     .disk(stats.bytes_scanned)
                     .cpu(stats.bytes_scanned + bytes)
@@ -132,10 +150,16 @@ pub fn execute(
 
         estimates.push(estimate_stage(func, &sums, &counts, n));
     }
+    if sums.is_empty() {
+        return Err(Error::Unavailable(format!(
+            "every peer hosting `{}` is down",
+            stmt.from[0]
+        )));
+    }
 
     let final_result = dist.combine.apply(&partial_cols, &partial_rows)?;
     trace.push(Phase::new("online-final").task(Task::on(submitter).cpu(1024)));
-    Ok(OnlineOutput { estimates, final_result, trace })
+    Ok(OnlineOutput { estimates, final_result, trace, degraded })
 }
 
 /// Estimate after `k = sums.len()` of `n` peers, with a ~95% interval

@@ -1,0 +1,323 @@
+//! Deterministic mid-query fault injection (the network's fault state).
+//!
+//! Faults are scheduled against a *virtual clock* that ticks once per
+//! data-peer operation (every subquery served during query processing).
+//! The schedule is applied lazily: each tick applies every event whose
+//! time has come, so the same schedule against the same query workload
+//! always lands faults at exactly the same operations — the basis of the
+//! chaos suite's same-seed-same-trace assertion.
+//!
+//! The state is interior-mutable ([`Cell`]/[`RefCell`]) because the
+//! engines only hold `&FaultState` while serving subqueries; the network
+//! layer synchronises the *side effects* of newly applied events (cloud
+//! metrics, BATON crash/recover, load timestamps) between retry
+//! attempts, where it has `&mut self`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use bestpeer_common::PeerId;
+use bestpeer_simnet::SimTime;
+
+/// One schedulable fault action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The peer's process stops serving subqueries (and its instance
+    /// stops answering heartbeats) until recovery or fail-over.
+    Crash(PeerId),
+    /// The peer's process comes back with its data intact.
+    Recover(PeerId),
+    /// The link to the peer degrades: every subquery it serves while
+    /// slowed is charged `extra` additional latency in the cost trace.
+    SlowLink {
+        /// The affected peer.
+        peer: PeerId,
+        /// Extra latency per subquery served.
+        extra: SimTime,
+    },
+    /// The link heals.
+    FastLink(PeerId),
+    /// The next `n` BATON index-insert messages are lost in transit
+    /// (routed but never stored); a republish heals the index.
+    DropIndexInserts(u32),
+    /// The peer's loader completes a batch: its data timestamp advances
+    /// to `ts` (lets a stale-snapshot resubmit succeed).
+    AdvanceLoad {
+        /// The affected peer.
+        peer: PeerId,
+        /// The new load timestamp.
+        ts: u64,
+    },
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Crash(p) => write!(f, "crash {p}"),
+            FaultAction::Recover(p) => write!(f, "recover {p}"),
+            FaultAction::SlowLink { peer, extra } => {
+                write!(f, "slow-link {peer} +{}us", extra.as_micros())
+            }
+            FaultAction::FastLink(p) => write!(f, "fast-link {p}"),
+            FaultAction::DropIndexInserts(n) => write!(f, "drop-index-inserts {n}"),
+            FaultAction::AdvanceLoad { peer, ts } => write!(f, "advance-load {peer} to {ts}"),
+        }
+    }
+}
+
+/// A fault scheduled at a virtual time (operation count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// The virtual time (operation count) at which the fault fires; it
+    /// applies on the first operation with `clock >= at`.
+    pub at: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// An applied fault, as recorded in the trace log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The virtual time the event actually applied at.
+    pub at: u64,
+    /// The applied action.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}: {}", self.at, self.action)
+    }
+}
+
+/// The network's fault state: the virtual clock, the pending schedule,
+/// the set of logically-down peers, link slowdowns, and the applied log.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    clock: Cell<u64>,
+    /// Pending events, kept sorted by `at`.
+    schedule: RefCell<Vec<ScheduledFault>>,
+    down: RefCell<BTreeSet<PeerId>>,
+    slow: RefCell<BTreeMap<PeerId, SimTime>>,
+    /// Extra latency accumulated by serves at slowed peers since the
+    /// last drain (charged to the trace by the network layer).
+    slow_latency: Cell<u64>,
+    /// Index-insert messages to drop (synchronised into the overlay).
+    pending_drops: Cell<u32>,
+    log: RefCell<Vec<FaultRecord>>,
+}
+
+impl FaultState {
+    /// A fault-free state.
+    pub fn new() -> Self {
+        FaultState::default()
+    }
+
+    /// Install scheduled faults (appended to anything still pending).
+    pub fn schedule(&self, events: impl IntoIterator<Item = ScheduledFault>) {
+        let mut sched = self.schedule.borrow_mut();
+        sched.extend(events);
+        sched.sort_by_key(|e| e.at);
+    }
+
+    /// The virtual clock (operations performed so far).
+    pub fn clock(&self) -> u64 {
+        self.clock.get()
+    }
+
+    /// Advance the virtual clock by one operation and apply every due
+    /// event. Called by the engine context once per subquery served.
+    pub fn tick(&self) {
+        let now = self.clock.get() + 1;
+        self.clock.set(now);
+        loop {
+            let next = {
+                let sched = self.schedule.borrow();
+                match sched.first() {
+                    Some(e) if e.at <= now => *e,
+                    _ => break,
+                }
+            };
+            self.schedule.borrow_mut().remove(0);
+            self.apply(now, next.action);
+        }
+    }
+
+    fn apply(&self, now: u64, action: FaultAction) {
+        match action {
+            FaultAction::Crash(p) => {
+                self.down.borrow_mut().insert(p);
+            }
+            FaultAction::Recover(p) => {
+                self.down.borrow_mut().remove(&p);
+            }
+            FaultAction::SlowLink { peer, extra } => {
+                self.slow.borrow_mut().insert(peer, extra);
+            }
+            FaultAction::FastLink(p) => {
+                self.slow.borrow_mut().remove(&p);
+            }
+            FaultAction::DropIndexInserts(n) => {
+                self.pending_drops.set(self.pending_drops.get() + n);
+            }
+            FaultAction::AdvanceLoad { .. } => {} // side effect applied at sync
+        }
+        self.log.borrow_mut().push(FaultRecord { at: now, action });
+    }
+
+    /// Apply an action immediately (unscheduled injection at the
+    /// current virtual time), recording it in the log.
+    pub fn inject_now(&self, action: FaultAction) {
+        self.apply(self.clock.get(), action);
+    }
+
+    /// Is the peer's process currently down?
+    pub fn is_down(&self, peer: PeerId) -> bool {
+        self.down.borrow().contains(&peer)
+    }
+
+    /// Peers currently down, ascending.
+    pub fn down_peers(&self) -> Vec<PeerId> {
+        self.down.borrow().iter().copied().collect()
+    }
+
+    /// Record one subquery served by `peer`; charges slow-link latency
+    /// when its link is degraded.
+    pub fn note_serve(&self, peer: PeerId) {
+        if let Some(extra) = self.slow.borrow().get(&peer) {
+            self.slow_latency
+                .set(self.slow_latency.get() + extra.as_micros());
+        }
+    }
+
+    /// Drain the slow-link latency accumulated since the last drain.
+    pub fn take_slow_latency(&self) -> SimTime {
+        let us = self.slow_latency.replace(0);
+        SimTime::from_micros(us)
+    }
+
+    /// Drain the pending index-message drop count (the network layer
+    /// forwards it to the BATON overlay).
+    pub fn take_pending_drops(&self) -> u32 {
+        self.pending_drops.replace(0)
+    }
+
+    /// Mark a peer up without a scheduled recovery — the bootstrap's
+    /// fail-over healed it. Logged like any other event so the trace
+    /// stays a complete account of availability transitions.
+    pub fn mark_failed_over(&self, peer: PeerId) {
+        if self.down.borrow_mut().remove(&peer) {
+            self.log
+                .borrow_mut()
+                .push(FaultRecord { at: self.clock.get(), action: FaultAction::Recover(peer) });
+        }
+    }
+
+    /// The applied-event log (the deterministic fault trace).
+    pub fn log(&self) -> Vec<FaultRecord> {
+        self.log.borrow().clone()
+    }
+
+    /// Events applied since `from` (a previous `log().len()`).
+    pub fn log_since(&self, from: usize) -> Vec<FaultRecord> {
+        self.log.borrow()[from..].to_vec()
+    }
+
+    /// How many events have applied so far.
+    pub fn log_len(&self) -> usize {
+        self.log.borrow().len()
+    }
+
+    /// Are any scheduled events still pending?
+    pub fn pending(&self) -> usize {
+        self.schedule.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_apply_events_in_order() {
+        let f = FaultState::new();
+        let p = PeerId::new(7);
+        f.schedule([
+            ScheduledFault { at: 2, action: FaultAction::Crash(p) },
+            ScheduledFault { at: 4, action: FaultAction::Recover(p) },
+        ]);
+        assert!(!f.is_down(p));
+        f.tick(); // t=1
+        assert!(!f.is_down(p));
+        f.tick(); // t=2 → crash
+        assert!(f.is_down(p));
+        f.tick(); // t=3
+        assert!(f.is_down(p));
+        f.tick(); // t=4 → recover
+        assert!(!f.is_down(p));
+        let log = f.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], FaultRecord { at: 2, action: FaultAction::Crash(p) });
+        assert_eq!(log[1], FaultRecord { at: 4, action: FaultAction::Recover(p) });
+    }
+
+    #[test]
+    fn past_events_apply_on_next_tick() {
+        let f = FaultState::new();
+        let p = PeerId::new(1);
+        f.tick();
+        f.tick();
+        f.tick();
+        f.schedule([ScheduledFault { at: 1, action: FaultAction::Crash(p) }]);
+        assert!(!f.is_down(p), "lazy: applies on the next operation");
+        f.tick();
+        assert!(f.is_down(p));
+        assert_eq!(f.log()[0].at, 4, "recorded at the clock it applied");
+    }
+
+    #[test]
+    fn slow_link_latency_accumulates_and_drains() {
+        let f = FaultState::new();
+        let p = PeerId::new(3);
+        f.schedule([ScheduledFault {
+            at: 1,
+            action: FaultAction::SlowLink { peer: p, extra: SimTime::from_micros(250) },
+        }]);
+        f.tick();
+        f.note_serve(p);
+        f.note_serve(p);
+        f.note_serve(PeerId::new(9)); // not slowed
+        assert_eq!(f.take_slow_latency(), SimTime::from_micros(500));
+        assert_eq!(f.take_slow_latency(), SimTime::ZERO, "drained");
+        f.schedule([ScheduledFault { at: 2, action: FaultAction::FastLink(p) }]);
+        f.tick();
+        f.note_serve(p);
+        assert_eq!(f.take_slow_latency(), SimTime::ZERO, "link healed");
+    }
+
+    #[test]
+    fn failed_over_peers_are_logged_as_recovered() {
+        let f = FaultState::new();
+        let p = PeerId::new(5);
+        f.schedule([ScheduledFault { at: 1, action: FaultAction::Crash(p) }]);
+        f.tick();
+        assert!(f.is_down(p));
+        f.mark_failed_over(p);
+        assert!(!f.is_down(p));
+        assert_eq!(f.log().last().unwrap().action, FaultAction::Recover(p));
+        // Marking an up peer again is a no-op (no duplicate log entry).
+        let len = f.log_len();
+        f.mark_failed_over(p);
+        assert_eq!(f.log_len(), len);
+    }
+
+    #[test]
+    fn drop_counter_drains_once() {
+        let f = FaultState::new();
+        f.schedule([ScheduledFault { at: 1, action: FaultAction::DropIndexInserts(3) }]);
+        f.tick();
+        assert_eq!(f.take_pending_drops(), 3);
+        assert_eq!(f.take_pending_drops(), 0);
+    }
+}

@@ -220,7 +220,7 @@ fn mhist(points: Vec<Vec<f64>>, dims: usize, max_buckets: usize) -> Vec<Bucket> 
                 // MaxDiff on the area (freq × spread) variant.
                 let spread = w[1].0 - w[0].0;
                 let score = diff.max(1.0) * spread.max(f64::MIN_POSITIVE);
-                if best.map_or(true, |(s, _, _)| score > s) {
+                if best.is_none_or(|(s, _, _)| score > s) {
                     best = Some((score, d, w[0].0));
                 }
             }
@@ -237,7 +237,7 @@ fn mhist(points: Vec<Vec<f64>>, dims: usize, max_buckets: usize) -> Vec<Bucket> 
         let mut choice: Option<(usize, usize, f64, f64)> = None; // (bucket, dim, split, score)
         for (i, w) in work.iter().enumerate() {
             if let Some((score, d, split)) = best_split(&w.points, dims) {
-                if choice.map_or(true, |(_, _, _, s)| score > s) {
+                if choice.is_none_or(|(_, _, _, s)| score > s) {
                     choice = Some((i, d, split, score));
                 }
             }

@@ -285,7 +285,7 @@ impl PeerLocator {
         let table_schema_cols: Vec<&str> = stmt
             .all_referenced_columns()
             .into_iter()
-            .filter(|c| c.table.as_deref().map_or(true, |t| t == table))
+            .filter(|c| c.table.as_deref().is_none_or(|t| t == table))
             .map(|c| c.column.as_str())
             .collect();
         let mut column_result: Option<HashSet<PeerId>> = None;

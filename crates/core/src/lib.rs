@@ -26,6 +26,9 @@
 //! - [`engine`] — the query engines: basic fetch-and-process (with the
 //!   bloom-join and single-peer optimizations), parallel P2P, MapReduce,
 //!   and the adaptive engine of Algorithm 2;
+//! - [`fault`] / [`retry`] — deterministic mid-query fault injection
+//!   (virtual-clock fault schedules) and the bounded-retry policy that
+//!   rides the query path over crashes, recoveries, and stale snapshots;
 //! - [`network`] — the assembled corporate network and its client API.
 
 pub mod access;
@@ -34,14 +37,18 @@ pub mod ca;
 pub mod cost;
 pub mod engine;
 pub mod export;
+pub mod fault;
 pub mod histogram;
 pub mod indexer;
 pub mod loader;
 pub mod network;
 pub mod peer;
+pub mod retry;
 pub mod schema_mapping;
 
 pub use access::{AccessRule, Privilege, Role};
 pub use bootstrap::BootstrapPeer;
+pub use fault::{FaultAction, FaultRecord, FaultState, ScheduledFault};
 pub use network::{BestPeerNetwork, EngineChoice, NetworkConfig, QueryOutput};
 pub use peer::NormalPeer;
+pub use retry::RetryPolicy;

@@ -9,10 +9,11 @@
 
 use std::collections::BTreeMap;
 
-use bestpeer_cloud::SimCloud;
+use bestpeer_cloud::{CloudProvider, SimCloud};
 use bestpeer_common::{Error, PeerId, Result, Row, TableSchema, UserId};
 use bestpeer_mapreduce::MrConfig;
-use bestpeer_simnet::{SimTime, Trace};
+use bestpeer_simnet::{Phase, SimTime, Task, Trace};
+use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::exec::ResultSet;
 use bestpeer_sql::parse_select;
 use bestpeer_storage::Database;
@@ -22,10 +23,12 @@ use crate::bootstrap::{BootstrapPeer, MaintenanceEvent};
 use crate::cost::{CostParams, EngineDecision};
 use crate::engine::adaptive::{self, GlobalStats};
 use crate::engine::{basic, mr, parallel, EngineCtx};
+use crate::fault::{FaultAction, FaultRecord, FaultState, ScheduledFault};
 use crate::histogram::Histogram;
 use crate::indexer::{self, IndexOverlay, PeerLocator};
 use crate::loader::RefreshReport;
 use crate::peer::NormalPeer;
+use crate::retry::RetryPolicy;
 use crate::schema_mapping::SchemaMapping;
 
 /// Network-wide configuration: optimization toggles (each has an
@@ -55,6 +58,9 @@ pub struct NetworkConfig {
     pub cost: CostParams,
     /// Certificate-authority secret.
     pub ca_secret: u64,
+    /// Query-path retry policy (bounded attempts, exponential backoff,
+    /// stale-snapshot resubmit budget).
+    pub retry: RetryPolicy,
 }
 
 impl Default for NetworkConfig {
@@ -71,6 +77,7 @@ impl Default for NetworkConfig {
             range_index_columns: Vec::new(),
             cost: CostParams::default(),
             ca_secret: 0xBE57_FEE8,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -94,11 +101,20 @@ pub struct QueryOutput {
     /// The materialized result.
     pub result: ResultSet,
     /// The physical cost trace (feed it to `bestpeer_simnet::Cluster`).
+    /// Includes any retry backoff and fault-slowdown phases.
     pub trace: Trace,
     /// Which engine actually executed.
     pub engine: EngineChoice,
     /// The adaptive planner's cost comparison, when it ran.
     pub decision: Option<EngineDecision>,
+    /// How many times the engine ran end to end (1 = fault-free path).
+    pub attempts: u32,
+    /// Automatic stale-snapshot resubmissions consumed.
+    pub resubmits: u32,
+    /// Set when the result is a partial answer (currently only online
+    /// aggregation degrades; exact engines retry until identical-result
+    /// success or error out).
+    pub degraded: bool,
 }
 
 /// The whole corporate network.
@@ -113,6 +129,10 @@ pub struct BestPeerNetwork {
     overlay: IndexOverlay,
     locators: BTreeMap<PeerId, PeerLocator>,
     stats: Option<GlobalStats>,
+    faults: FaultState,
+    /// How much of the fault log has been synchronised into the cloud /
+    /// overlay / databases.
+    fault_sync_cursor: usize,
 }
 
 impl BestPeerNetwork {
@@ -128,6 +148,8 @@ impl BestPeerNetwork {
             overlay,
             locators: BTreeMap::new(),
             stats: None,
+            faults: FaultState::new(),
+            fault_sync_cursor: 0,
         }
     }
 
@@ -324,9 +346,157 @@ impl BestPeerNetwork {
         Ok(())
     }
 
+    /// The fault-injection state (chaos harnesses schedule faults here).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Install a schedule of faults against the virtual operation clock.
+    pub fn install_faults(&mut self, events: impl IntoIterator<Item = ScheduledFault>) {
+        self.faults.schedule(events);
+    }
+
+    /// The applied fault trace (deterministic for a given schedule and
+    /// workload — the chaos suite's reproducibility witness).
+    pub fn fault_log(&self) -> Vec<FaultRecord> {
+        self.faults.log()
+    }
+
+    /// Crash a data peer immediately (its process stops serving, its
+    /// instance stops answering heartbeats, its BATON node fails).
+    pub fn crash_data_peer(&mut self, id: PeerId) -> Result<()> {
+        self.peer(id)?;
+        self.faults.inject_now(FaultAction::Crash(id));
+        self.sync_faults()
+    }
+
+    /// Recover a crashed data peer in place (process restart: data
+    /// intact, overlay node restored from replicas, indices republished).
+    pub fn recover_data_peer(&mut self, id: PeerId) -> Result<()> {
+        self.peer(id)?;
+        self.faults.inject_now(FaultAction::Recover(id));
+        self.sync_faults()
+    }
+
+    /// Push the side effects of newly applied fault events into the
+    /// cloud (heartbeats), the BATON overlay (node crash/recover), and
+    /// the peer databases (load advances). Runs before every query
+    /// attempt and at the end of every maintenance epoch.
+    fn sync_faults(&mut self) -> Result<()> {
+        let drops = self.faults.take_pending_drops();
+        if drops > 0 {
+            self.overlay.drop_next_inserts(drops);
+        }
+        let new = self.faults.log_since(self.fault_sync_cursor);
+        self.fault_sync_cursor = self.faults.log_len();
+        if new.is_empty() {
+            return Ok(());
+        }
+        for rec in &new {
+            match rec.action {
+                FaultAction::Crash(p) => {
+                    if self.overlay.contains(p) {
+                        self.overlay.crash(p)?;
+                    }
+                    if let Some(peer) = self.peers.get(&p) {
+                        if let Ok(mut m) = self.cloud.metrics(peer.instance) {
+                            m.responsive = false;
+                            let _ = self.cloud.set_metrics(peer.instance, m);
+                        }
+                    }
+                }
+                FaultAction::Recover(p) => {
+                    if self.overlay.contains(p) {
+                        self.overlay.recover(p)?;
+                    }
+                    if self.peers.contains_key(&p) {
+                        let instance = self.peers[&p].instance;
+                        if let Ok(mut m) = self.cloud.metrics(instance) {
+                            m.responsive = true;
+                            let _ = self.cloud.set_metrics(instance, m);
+                        }
+                        self.publish_indices(p)?;
+                    }
+                }
+                FaultAction::AdvanceLoad { peer, ts } => {
+                    if let Some(p) = self.peers.get_mut(&peer) {
+                        if p.db.load_timestamp() < ts {
+                            p.db.set_load_timestamp(ts);
+                        }
+                    }
+                }
+                FaultAction::SlowLink { .. }
+                | FaultAction::FastLink(_)
+                | FaultAction::DropIndexInserts(_) => {}
+            }
+        }
+        self.invalidate_caches();
+        Ok(())
+    }
+
+    /// One engine execution (a single attempt of the retry loop).
+    fn run_engine_once(
+        &mut self,
+        submitter: PeerId,
+        stmt: &SelectStmt,
+        role: &Role,
+        schemas: &[TableSchema],
+        engine: EngineChoice,
+        query_ts: u64,
+    ) -> Result<(ResultSet, Trace, EngineChoice, Option<EngineDecision>)> {
+        let locator = self
+            .locators
+            .entry(submitter)
+            .or_insert_with(|| PeerLocator::new(self.config.index_cache));
+        let mut ctx = EngineCtx {
+            peers: &self.peers,
+            overlay: &mut self.overlay,
+            locator,
+            config: &self.config,
+            schemas,
+            role,
+            query_ts,
+            faults: &self.faults,
+        };
+        match engine {
+            EngineChoice::Basic => {
+                let (rs, tr) = basic::execute(&mut ctx, submitter, stmt)?;
+                Ok((rs, tr, EngineChoice::Basic, None))
+            }
+            EngineChoice::ParallelP2P => {
+                let (rs, tr) = parallel::execute(&mut ctx, submitter, stmt)?;
+                Ok((rs, tr, EngineChoice::ParallelP2P, None))
+            }
+            EngineChoice::MapReduce => {
+                let (rs, tr) = mr::execute(&mut ctx, submitter, stmt)?;
+                Ok((rs, tr, EngineChoice::MapReduce, None))
+            }
+            EngineChoice::Adaptive => {
+                let stats = self.stats.as_ref().expect("collected before the loop");
+                let ((rs, tr), report) =
+                    adaptive::execute(&mut ctx, submitter, stmt, stats, &self.config.cost)?;
+                let used = match report.ran {
+                    adaptive::ChosenEngine::ParallelP2P => EngineChoice::ParallelP2P,
+                    adaptive::ChosenEngine::MapReduce => EngineChoice::MapReduce,
+                };
+                Ok((rs, tr, used, Some(report.decision)))
+            }
+        }
+    }
+
     /// Submit a SQL query from `submitter` under `role`, stamped with
     /// snapshot timestamp `query_ts` (Definition 2; pass 0 to accept any
     /// data version), on the chosen engine.
+    ///
+    /// The query path is fault tolerant within the configured
+    /// [`RetryPolicy`]: when a participating data peer is down
+    /// ([`Error::Unavailable`]) the submitter backs off (charged to the
+    /// trace), lets one bootstrap maintenance epoch elapse — so the
+    /// heartbeat failure detector makes progress toward fail-over — and
+    /// re-attempts with refreshed peer locations; stale-snapshot
+    /// rejections are automatically resubmitted within their own budget.
+    /// Exhausting the retry budget yields [`Error::Timeout`]; exhausting
+    /// the resubmit budget surfaces the original stale-snapshot error.
     pub fn submit_query(
         &mut self,
         submitter: PeerId,
@@ -341,57 +511,83 @@ impl BestPeerNetwork {
         if engine == EngineChoice::Adaptive && self.stats.is_none() {
             self.collect_statistics(&[])?;
         }
-        let locator = self
-            .locators
-            .entry(submitter)
-            .or_insert_with(|| PeerLocator::new(self.config.index_cache));
-        let mut ctx = EngineCtx {
-            peers: &self.peers,
-            overlay: &mut self.overlay,
-            locator,
-            config: &self.config,
-            schemas: &schemas,
-            role: &role,
-            query_ts,
-        };
-        let (result, trace, used, decision): (ResultSet, Trace, EngineChoice, Option<EngineDecision>) =
-            match engine {
-                EngineChoice::Basic => {
-                    let (rs, tr) = basic::execute(&mut ctx, submitter, &stmt)?;
-                    (rs, tr, EngineChoice::Basic, None)
+        let policy = self.config.retry.clone();
+        let mut pre = Trace::new(); // backoff/slowdown phases across attempts
+        let mut attempts = 0u32;
+        let mut down_retries = 0u32;
+        let mut resubmits = 0u32;
+        loop {
+            self.sync_faults()?;
+            attempts += 1;
+            let outcome =
+                self.run_engine_once(submitter, &stmt, &role, &schemas, engine, query_ts);
+            // Latency accrued at slowed links is charged either way.
+            let slow = self.faults.take_slow_latency();
+            if slow > SimTime::ZERO {
+                pre.push(Phase::new("fault-slowdown").task(Task::on(submitter).fixed(slow)));
+            }
+            match outcome {
+                Ok((result, trace, used, decision)) => {
+                    let mut full = pre;
+                    full.phases.extend(trace.phases);
+                    return Ok(QueryOutput {
+                        result,
+                        trace: full,
+                        engine: used,
+                        decision,
+                        attempts,
+                        resubmits,
+                        degraded: false,
+                    });
                 }
-                EngineChoice::ParallelP2P => {
-                    let (rs, tr) = parallel::execute(&mut ctx, submitter, &stmt)?;
-                    (rs, tr, EngineChoice::ParallelP2P, None)
+                Err(e) if e.kind() == "unavailable" => {
+                    down_retries += 1;
+                    if down_retries >= policy.max_attempts {
+                        return Err(Error::Timeout(format!(
+                            "retry budget exhausted after {attempts} attempts: {e}"
+                        )));
+                    }
+                    pre.push(
+                        Phase::new(format!("retry-backoff-{down_retries}")).task(
+                            Task::on(submitter).fixed(policy.backoff(down_retries + 1)),
+                        ),
+                    );
+                    // One maintenance epoch elapses per backoff period:
+                    // the failure detector counts the missed heartbeat
+                    // and eventually fails the dead peer over.
+                    self.maintenance_tick()?;
                 }
-                EngineChoice::MapReduce => {
-                    let (rs, tr) = mr::execute(&mut ctx, submitter, &stmt)?;
-                    (rs, tr, EngineChoice::MapReduce, None)
+                Err(e) if e.kind() == "stale-snapshot" => {
+                    if resubmits >= policy.max_resubmits {
+                        return Err(e);
+                    }
+                    resubmits += 1;
+                    pre.push(
+                        Phase::new(format!("resubmit-{resubmits}"))
+                            .task(Task::on(submitter).fixed(policy.base_backoff)),
+                    );
                 }
-                EngineChoice::Adaptive => {
-                    let stats = self.stats.as_ref().expect("collected above");
-                    let ((rs, tr), report) = adaptive::execute(
-                        &mut ctx,
-                        submitter,
-                        &stmt,
-                        stats,
-                        &self.config.cost,
-                    )?;
-                    let used = match report.ran {
-                        adaptive::ChosenEngine::ParallelP2P => EngineChoice::ParallelP2P,
-                        adaptive::ChosenEngine::MapReduce => EngineChoice::MapReduce,
-                    };
-                    (rs, tr, used, Some(report.decision))
-                }
-            };
-        Ok(QueryOutput { result, trace, engine: used, decision })
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// One Algorithm 1 maintenance epoch (fail-over, auto-scaling,
     /// resource release), with cache invalidation as the "notify
-    /// participants" step.
+    /// participants" step. A failed-over peer is healed end to end: its
+    /// database is restored from the latest cloud backup (bootstrap), its
+    /// BATON node recovers from adjacent replicas, and its index entries
+    /// are republished.
     pub fn maintenance_tick(&mut self) -> Result<Vec<MaintenanceEvent>> {
         let events = self.bootstrap.maintenance_tick(&mut self.cloud, &mut self.peers)?;
+        for e in &events {
+            if let MaintenanceEvent::FailOver { peer, .. } = e {
+                // Logs a Recover record; the sync below heals the
+                // overlay node and republishes the restored indices.
+                self.faults.mark_failed_over(*peer);
+            }
+        }
+        self.sync_faults()?;
         if !events.is_empty() {
             self.invalidate_caches();
         }
@@ -416,6 +612,7 @@ impl BestPeerNetwork {
         let stmt = parse_select(sql)?;
         let role = self.bootstrap.role(role)?.clone();
         let schemas = self.bootstrap.global_schemas().to_vec();
+        self.sync_faults()?;
         let locator = self
             .locators
             .entry(submitter)
@@ -428,8 +625,15 @@ impl BestPeerNetwork {
             schemas: &schemas,
             role: &role,
             query_ts,
+            faults: &self.faults,
         };
-        crate::engine::online::execute(&mut ctx, submitter, &stmt)
+        let mut out = crate::engine::online::execute(&mut ctx, submitter, &stmt)?;
+        let slow = self.faults.take_slow_latency();
+        if slow > SimTime::ZERO {
+            out.trace
+                .push(Phase::new("fault-slowdown").task(Task::on(submitter).fixed(slow)));
+        }
+        Ok(out)
     }
 
     /// Export tables to a freshly mounted HDFS for offline MapReduce

@@ -1,0 +1,101 @@
+//! Query-path retry policy: bounded attempts with exponential backoff.
+//!
+//! When a subquery fails because a participant is down
+//! ([`Error::Unavailable`](bestpeer_common::Error::Unavailable)), the
+//! submitter backs off and re-attempts; the backoff is charged to the
+//! cost trace as a "retry-backoff" phase, so fault-tolerant runs pay for
+//! their waiting in simulated time exactly like every other resource.
+//! While the submitter waits, one bootstrap maintenance epoch elapses per
+//! backoff period — which is what lets the heartbeat failure detector
+//! accumulate misses and eventually fail the dead peer over.
+//!
+//! Stale-snapshot rejections ([`Error::StaleSnapshot`]
+//! (bestpeer_common::Error::StaleSnapshot)) get their own, separate
+//! resubmit budget: the query is automatically resubmitted in case the
+//! lagging peer's loader catches up; when the budget runs out the
+//! original stale-snapshot error surfaces to the client unchanged.
+
+use bestpeer_simnet::SimTime;
+
+/// Bounded-retry configuration for the query path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per query, including the first (≥ 1). When the
+    /// budget is exhausted the query fails with
+    /// [`Error::Timeout`](bestpeer_common::Error::Timeout).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: SimTime,
+    /// Backoff growth factor per subsequent attempt (exponential).
+    pub multiplier: u32,
+    /// Automatic resubmissions after a stale-snapshot rejection.
+    pub max_resubmits: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 6 attempts with a default heartbeat threshold of 3 means a
+        // crashed-and-never-recovering peer is failed over well within
+        // the budget (one maintenance epoch elapses per backoff).
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimTime::from_millis(2),
+            multiplier: 2,
+            max_resubmits: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the pre-fault-tolerance behaviour).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, max_resubmits: 0, ..RetryPolicy::default() }
+    }
+
+    /// The backoff charged before attempt `next_attempt` (2-based: the
+    /// first retry waits `base_backoff`, each later one `multiplier`×
+    /// the previous).
+    pub fn backoff(&self, next_attempt: u32) -> SimTime {
+        let exp = next_attempt.saturating_sub(2);
+        let factor = u64::from(self.multiplier).saturating_pow(exp);
+        SimTime::from_micros(self.base_backoff.as_micros().saturating_mul(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimTime::from_micros(100),
+            multiplier: 2,
+            max_resubmits: 0,
+        };
+        assert_eq!(p.backoff(2), SimTime::from_micros(100));
+        assert_eq!(p.backoff(3), SimTime::from_micros(200));
+        assert_eq!(p.backoff(4), SimTime::from_micros(400));
+        assert_eq!(p.backoff(5), SimTime::from_micros(800));
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.max_resubmits, 0);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_attempts: 200,
+            base_backoff: SimTime::from_secs(1),
+            multiplier: 10,
+            max_resubmits: 0,
+        };
+        let b = p.backoff(100);
+        assert!(b.as_micros() > 0, "saturated, not wrapped");
+    }
+}

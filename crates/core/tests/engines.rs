@@ -127,8 +127,7 @@ fn adaptive_engine_matches_and_reports_decision() {
 #[test]
 fn bloom_join_reduces_network_volume_without_changing_results() {
     let cfg_on = NetworkConfig::default();
-    let mut cfg_off = NetworkConfig::default();
-    cfg_off.bloom_join = false;
+    let cfg_off = NetworkConfig { bloom_join: false, ..NetworkConfig::default() };
 
     let run = |cfg: NetworkConfig| {
         let mut net = BestPeerNetwork::new(schema::all_tables(), cfg);
@@ -272,8 +271,12 @@ fn failover_preserves_query_results() {
     // Simulate disk loss on the crashed instance.
     net.peer_mut(victim).unwrap().db = Database::new();
 
-    // Algorithm 1 fails the peer over and restores from backup.
-    let events = net.maintenance_tick().unwrap();
+    // Algorithm 1 fails the peer over and restores from backup once the
+    // heartbeat detector has seen `fail_threshold` missed epochs.
+    let mut events = Vec::new();
+    for _ in 0..net.bootstrap.fail_threshold {
+        events = net.maintenance_tick().unwrap();
+    }
     assert!(!events.is_empty());
     check(&mut net, &central, Q2, EngineChoice::Basic);
 }

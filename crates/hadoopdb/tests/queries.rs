@@ -6,7 +6,7 @@ use bestpeer_hadoopdb::HadoopDb;
 use bestpeer_mapreduce::MrConfig;
 use bestpeer_sql::{execute_select, parse_select};
 use bestpeer_storage::Database;
-use bestpeer_tpch::dbgen::{load_into, DbGen, TpchConfig};
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
 use bestpeer_tpch::{schema, Q1, Q2, Q3, Q4, Q5};
 
 /// Build an n-worker cluster with TPC-H partitions, plus the matching

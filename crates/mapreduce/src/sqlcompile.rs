@@ -75,12 +75,15 @@ pub fn run_stmt(
     Ok((rs, trace))
 }
 
+/// One node's contribution to a job: `(peer, rows, disk bytes scanned)`.
+type LocalPart = (PeerId, Vec<Row>, u64);
+
 /// Run `stmt` against every node's local data, returning
 /// `(peer, rows, disk bytes scanned)` per node plus the column names.
 fn local_results(
     stmt: &SelectStmt,
     workers: &dyn LocalSource,
-) -> Result<(Vec<(PeerId, Vec<Row>, u64)>, Vec<String>)> {
+) -> Result<(Vec<LocalPart>, Vec<String>)> {
     let peers = workers.peers();
     let mut parts = Vec::with_capacity(peers.len());
     let mut columns = Vec::new();
@@ -463,7 +466,7 @@ fn needed_columns(stmt: &SelectStmt, schema: &bestpeer_common::TableSchema) -> V
         .filter(|c| {
             refs.iter().any(|r| {
                 r.column == c.name
-                    && r.table.as_deref().map_or(true, |t| t == schema.name)
+                    && r.table.as_deref().is_none_or(|t| t == schema.name)
             })
         })
         .map(|c| c.name.clone())

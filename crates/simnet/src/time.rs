@@ -87,8 +87,7 @@ pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> SimTime {
         return SimTime::ZERO;
     }
     // ceil(bytes * 1e6 / rate) in u128 to avoid overflow.
-    let us = (u128::from(bytes) * 1_000_000 + u128::from(bytes_per_sec) - 1)
-        / u128::from(bytes_per_sec);
+    let us = (u128::from(bytes) * 1_000_000).div_ceil(u128::from(bytes_per_sec));
     SimTime(us as u64)
 }
 

@@ -23,7 +23,7 @@ fn job(peer: u64, ms: u64) -> Trace {
 #[test]
 fn deterministic_replay() {
     let t = job(1, 25);
-    let a = driver::run_open_loop(cfg(1_000_000), &[t.clone()], 17.0, 300);
+    let a = driver::run_open_loop(cfg(1_000_000), std::slice::from_ref(&t), 17.0, 300);
     let b = driver::run_open_loop(cfg(1_000_000), &[t], 17.0, 300);
     assert_eq!(a.achieved_qps, b.achieved_qps);
     assert_eq!(a.mean_latency, b.mean_latency);
@@ -35,7 +35,7 @@ fn utilization_law_at_the_knee() {
     // Service time 20 ms → capacity 50 q/s. At ρ≈0.5 latency stays near
     // service time; at ρ>1 the backlog grows linearly with time.
     let t = job(1, 20);
-    let low = driver::run_open_loop(cfg(1_000_000), &[t.clone()], 25.0, 500);
+    let low = driver::run_open_loop(cfg(1_000_000), std::slice::from_ref(&t), 25.0, 500);
     assert!(low.mean_latency < SimTime::from_millis(25), "{low:?}");
     let over = driver::run_open_loop(cfg(1_000_000), &[t], 100.0, 500);
     assert!(over.achieved_qps < 60.0, "{over:?}");

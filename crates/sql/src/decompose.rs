@@ -68,7 +68,7 @@ pub fn needed_columns(stmt: &SelectStmt, schema: &TableSchema) -> Vec<String> {
         .iter()
         .filter(|c| {
             refs.iter().any(|r| {
-                r.column == c.name && r.table.as_deref().map_or(true, |t| t == schema.name)
+                r.column == c.name && r.table.as_deref().is_none_or(|t| t == schema.name)
             })
         })
         .map(|c| c.name.clone())
@@ -101,7 +101,7 @@ pub fn reorder_for_selectivity(
                 .filter(|p| {
                     p.as_column_literal().is_some_and(|(c, _, _)| {
                         schema.column_index(&c.column).is_ok()
-                            && c.table.as_deref().map_or(true, |t| t == schema.name)
+                            && c.table.as_deref().is_none_or(|t| t == schema.name)
                     })
                 })
                 .count();
@@ -109,7 +109,7 @@ pub fn reorder_for_selectivity(
         })
         .collect();
     // Stable sort: more predicate hits first; original order on ties.
-    scored.sort_by(|a, b| b.1.cmp(&a.1));
+    scored.sort_by_key(|&(_, hits)| std::cmp::Reverse(hits));
     let mut out = stmt.clone();
     out.from = scored.iter().map(|(i, _)| stmt.from[*i].clone()).collect();
     let new_schemas = scored.iter().map(|(i, _)| schemas[*i].clone()).collect();

@@ -15,7 +15,7 @@ use std::cmp::Ordering;
 
 use bestpeer_common::codec;
 use bestpeer_common::Row;
-use bytes::BytesMut;
+use bestpeer_common::bytes::BytesMut;
 
 use crate::fingerprint::Rabin;
 

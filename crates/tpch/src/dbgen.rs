@@ -9,10 +9,9 @@
 
 use std::collections::BTreeMap;
 
+use bestpeer_common::rng::Rng;
 use bestpeer_common::{value::days_from_civil, Result, Row, Value};
 use bestpeer_storage::Database;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::schema;
 
@@ -79,14 +78,14 @@ impl TpchConfig {
 #[derive(Debug)]
 pub struct DbGen {
     cfg: TpchConfig,
-    rng: StdRng,
+    rng: Rng,
     key_offset: i64,
 }
 
 impl DbGen {
     /// A generator for one node's partition.
     pub fn new(cfg: TpchConfig) -> Self {
-        let rng = StdRng::seed_from_u64(cfg.seed ^ cfg.node_index.wrapping_mul(0x9E37_79B9));
+        let rng = Rng::seed_from_u64(cfg.seed ^ cfg.node_index.wrapping_mul(0x9E37_79B9));
         // Generous stride keeps per-node key spaces disjoint.
         let key_offset = (cfg.node_index as i64) * 100_000_000_000;
         DbGen { cfg, rng, key_offset }
@@ -247,7 +246,7 @@ impl DbGen {
                 let key = self.key_offset + i as i64 + 1;
                 let cust =
                     self.key_offset + self.rng.random_range(0..customers.max(1) as i64) + 1;
-                let status = ["O", "F", "P"][self.rng.random_range(0..3)];
+                let status = ["O", "F", "P"][self.rng.random_range(0..3usize)];
                 let nk = self.nationkey();
                 Row::new(vec![
                     Value::Int(key),

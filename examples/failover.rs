@@ -51,10 +51,15 @@ fn main() {
         )
         .unwrap();
 
-    // One epoch of the Algorithm 1 daemon.
-    let events = net.maintenance_tick().unwrap();
-    for e in &events {
-        println!("maintenance event: {e:?}");
+    // Algorithm 1 epochs. The heartbeat failure detector needs
+    // `fail_threshold` consecutive missed probes before declaring acme
+    // dead (one unresponsive epoch is treated as a transient hiccup).
+    for epoch in 1..=net.bootstrap.fail_threshold {
+        let events = net.maintenance_tick().unwrap();
+        println!(
+            "epoch {epoch}: acme misses={} events={events:?}",
+            net.bootstrap.heartbeat_misses(acme)
+        );
     }
     println!(
         "acme is back on {} with {} lineitem rows restored; globex now runs {}",

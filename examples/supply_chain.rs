@@ -60,14 +60,14 @@ fn main() {
         ["lineitem", "orders", "customer"].iter().map(|s| s.to_string()).collect();
     let mut sup_ids = Vec::new();
     let mut ret_ids = Vec::new();
-    for nation in 0..nations {
-        let id = net.join(&format!("{}-supplies", NATIONS[nation])).unwrap();
+    for (nation, name) in NATIONS.iter().enumerate().take(nations) {
+        let id = net.join(&format!("{name}-supplies")).unwrap();
         let cfg = TpchConfig::tiny(nation as u64).with_rows(2_000).for_nation(nation as i64);
         net.load_peer(id, DbGen::new(cfg).generate_tables(&sup_tables), 1).unwrap();
         sup_ids.push(id);
     }
-    for nation in 0..nations {
-        let id = net.join(&format!("{}-retail", NATIONS[nation])).unwrap();
+    for (nation, name) in NATIONS.iter().enumerate().take(nations) {
+        let id = net.join(&format!("{name}-retail")).unwrap();
         let cfg = TpchConfig::tiny((nations + nation) as u64)
             .with_rows(2_000)
             .for_nation(nation as i64);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide verification gate: build, full test suite, and lint.
+# CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (root package: integration tests + examples)"
+cargo test -q
+
+echo "==> cargo test -q --workspace (every crate)"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -22,11 +22,14 @@
 //!   peers, access control, histograms, cost models, and the basic /
 //!   parallel-P2P / MapReduce / adaptive query engines.
 //! - [`tpch`] — TPC-H data generation and the paper's benchmark workloads.
+//! - [`chaos`] — seeded deterministic fault plans for chaos testing the
+//!   query path (mid-query crashes, recoveries, dropped index messages).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
 
 pub use bestpeer_baton as baton;
+pub use bestpeer_chaos as chaos;
 pub use bestpeer_cloud as cloud;
 pub use bestpeer_common as common;
 pub use bestpeer_core as core;

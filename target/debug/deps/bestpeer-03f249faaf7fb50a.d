@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bestpeer-03f249faaf7fb50a.d: src/lib.rs
+
+/root/repo/target/debug/deps/bestpeer-03f249faaf7fb50a: src/lib.rs
+
+src/lib.rs:

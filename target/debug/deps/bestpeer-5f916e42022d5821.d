@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bestpeer-5f916e42022d5821.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbestpeer-5f916e42022d5821.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbestpeer-5f916e42022d5821.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bestpeer_baton-64247c3501b00702.d: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+/root/repo/target/debug/deps/libbestpeer_baton-64247c3501b00702.rlib: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+/root/repo/target/debug/deps/libbestpeer_baton-64247c3501b00702.rmeta: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+crates/baton/src/lib.rs:
+crates/baton/src/key.rs:
+crates/baton/src/node.rs:
+crates/baton/src/overlay.rs:

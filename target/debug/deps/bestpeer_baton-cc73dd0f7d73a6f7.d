@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bestpeer_baton-cc73dd0f7d73a6f7.d: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_baton-cc73dd0f7d73a6f7.rmeta: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs Cargo.toml
+
+crates/baton/src/lib.rs:
+crates/baton/src/key.rs:
+crates/baton/src/node.rs:
+crates/baton/src/overlay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

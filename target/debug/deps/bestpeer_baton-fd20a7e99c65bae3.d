@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bestpeer_baton-fd20a7e99c65bae3.d: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+/root/repo/target/debug/deps/bestpeer_baton-fd20a7e99c65bae3: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+crates/baton/src/lib.rs:
+crates/baton/src/key.rs:
+crates/baton/src/node.rs:
+crates/baton/src/overlay.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bestpeer_bench-a32ae32862d75d0c.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/bestpeer_bench-a32ae32862d75d0c: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bestpeer_bench-d029634f63cc1520.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libbestpeer_bench-d029634f63cc1520.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libbestpeer_bench-d029634f63cc1520.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bestpeer_bench-d8aa791f8e1a49b7.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_bench-d8aa791f8e1a49b7.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

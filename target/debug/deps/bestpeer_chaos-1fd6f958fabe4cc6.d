@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bestpeer_chaos-1fd6f958fabe4cc6.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+/root/repo/target/debug/deps/libbestpeer_chaos-1fd6f958fabe4cc6.rlib: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+/root/repo/target/debug/deps/libbestpeer_chaos-1fd6f958fabe4cc6.rmeta: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bestpeer_chaos-67c2cb64cbc0bd80.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+/root/repo/target/debug/deps/bestpeer_chaos-67c2cb64cbc0bd80: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:

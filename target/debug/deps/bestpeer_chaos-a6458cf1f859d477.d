@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bestpeer_chaos-a6458cf1f859d477.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_chaos-a6458cf1f859d477.rmeta: crates/chaos/src/lib.rs crates/chaos/src/plan.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bestpeer_cloud-518bff819426991c.d: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+/root/repo/target/debug/deps/libbestpeer_cloud-518bff819426991c.rlib: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+/root/repo/target/debug/deps/libbestpeer_cloud-518bff819426991c.rmeta: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/billing.rs:
+crates/cloud/src/provider.rs:
+crates/cloud/src/sim.rs:
+crates/cloud/src/types.rs:

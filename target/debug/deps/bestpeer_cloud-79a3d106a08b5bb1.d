@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bestpeer_cloud-79a3d106a08b5bb1.d: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_cloud-79a3d106a08b5bb1.rmeta: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs Cargo.toml
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/billing.rs:
+crates/cloud/src/provider.rs:
+crates/cloud/src/sim.rs:
+crates/cloud/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

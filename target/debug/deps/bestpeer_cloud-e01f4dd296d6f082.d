@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bestpeer_cloud-e01f4dd296d6f082.d: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+/root/repo/target/debug/deps/bestpeer_cloud-e01f4dd296d6f082: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/billing.rs:
+crates/cloud/src/provider.rs:
+crates/cloud/src/sim.rs:
+crates/cloud/src/types.rs:

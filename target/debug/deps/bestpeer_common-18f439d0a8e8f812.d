@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bestpeer_common-18f439d0a8e8f812.d: crates/common/src/lib.rs crates/common/src/bytes.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_common-18f439d0a8e8f812.rmeta: crates/common/src/lib.rs crates/common/src/bytes.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/bytes.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/row.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

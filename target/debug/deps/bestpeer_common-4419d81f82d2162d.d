@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bestpeer_common-4419d81f82d2162d.d: crates/common/src/lib.rs crates/common/src/bytes.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libbestpeer_common-4419d81f82d2162d.rlib: crates/common/src/lib.rs crates/common/src/bytes.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libbestpeer_common-4419d81f82d2162d.rmeta: crates/common/src/lib.rs crates/common/src/bytes.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/bytes.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/row.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

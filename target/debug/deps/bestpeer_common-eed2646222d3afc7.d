@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bestpeer_common-eed2646222d3afc7.d: crates/common/src/lib.rs crates/common/src/bytes.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/bestpeer_common-eed2646222d3afc7: crates/common/src/lib.rs crates/common/src/bytes.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/bytes.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/row.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

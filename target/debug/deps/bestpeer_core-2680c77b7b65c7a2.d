@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/bestpeer_core-2680c77b7b65c7a2.d: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/bootstrap.rs crates/core/src/ca.rs crates/core/src/cost.rs crates/core/src/engine/mod.rs crates/core/src/engine/adaptive.rs crates/core/src/engine/basic.rs crates/core/src/engine/mr.rs crates/core/src/engine/online.rs crates/core/src/engine/parallel.rs crates/core/src/export.rs crates/core/src/fault.rs crates/core/src/histogram.rs crates/core/src/indexer.rs crates/core/src/loader.rs crates/core/src/network.rs crates/core/src/peer.rs crates/core/src/retry.rs crates/core/src/schema_mapping.rs
+
+/root/repo/target/debug/deps/bestpeer_core-2680c77b7b65c7a2: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/bootstrap.rs crates/core/src/ca.rs crates/core/src/cost.rs crates/core/src/engine/mod.rs crates/core/src/engine/adaptive.rs crates/core/src/engine/basic.rs crates/core/src/engine/mr.rs crates/core/src/engine/online.rs crates/core/src/engine/parallel.rs crates/core/src/export.rs crates/core/src/fault.rs crates/core/src/histogram.rs crates/core/src/indexer.rs crates/core/src/loader.rs crates/core/src/network.rs crates/core/src/peer.rs crates/core/src/retry.rs crates/core/src/schema_mapping.rs
+
+crates/core/src/lib.rs:
+crates/core/src/access.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/ca.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/adaptive.rs:
+crates/core/src/engine/basic.rs:
+crates/core/src/engine/mr.rs:
+crates/core/src/engine/online.rs:
+crates/core/src/engine/parallel.rs:
+crates/core/src/export.rs:
+crates/core/src/fault.rs:
+crates/core/src/histogram.rs:
+crates/core/src/indexer.rs:
+crates/core/src/loader.rs:
+crates/core/src/network.rs:
+crates/core/src/peer.rs:
+crates/core/src/retry.rs:
+crates/core/src/schema_mapping.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/bestpeer_core-67cf7628e4e006df.d: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/bootstrap.rs crates/core/src/ca.rs crates/core/src/cost.rs crates/core/src/engine/mod.rs crates/core/src/engine/adaptive.rs crates/core/src/engine/basic.rs crates/core/src/engine/mr.rs crates/core/src/engine/online.rs crates/core/src/engine/parallel.rs crates/core/src/export.rs crates/core/src/fault.rs crates/core/src/histogram.rs crates/core/src/indexer.rs crates/core/src/loader.rs crates/core/src/network.rs crates/core/src/peer.rs crates/core/src/retry.rs crates/core/src/schema_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_core-67cf7628e4e006df.rmeta: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/bootstrap.rs crates/core/src/ca.rs crates/core/src/cost.rs crates/core/src/engine/mod.rs crates/core/src/engine/adaptive.rs crates/core/src/engine/basic.rs crates/core/src/engine/mr.rs crates/core/src/engine/online.rs crates/core/src/engine/parallel.rs crates/core/src/export.rs crates/core/src/fault.rs crates/core/src/histogram.rs crates/core/src/indexer.rs crates/core/src/loader.rs crates/core/src/network.rs crates/core/src/peer.rs crates/core/src/retry.rs crates/core/src/schema_mapping.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/access.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/ca.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/adaptive.rs:
+crates/core/src/engine/basic.rs:
+crates/core/src/engine/mr.rs:
+crates/core/src/engine/online.rs:
+crates/core/src/engine/parallel.rs:
+crates/core/src/export.rs:
+crates/core/src/fault.rs:
+crates/core/src/histogram.rs:
+crates/core/src/indexer.rs:
+crates/core/src/loader.rs:
+crates/core/src/network.rs:
+crates/core/src/peer.rs:
+crates/core/src/retry.rs:
+crates/core/src/schema_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bestpeer_hadoopdb-07f2f8f488ca09ce.d: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_hadoopdb-07f2f8f488ca09ce.rmeta: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs Cargo.toml
+
+crates/hadoopdb/src/lib.rs:
+crates/hadoopdb/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

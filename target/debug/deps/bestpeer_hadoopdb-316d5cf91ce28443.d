@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bestpeer_hadoopdb-316d5cf91ce28443.d: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+/root/repo/target/debug/deps/bestpeer_hadoopdb-316d5cf91ce28443: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+crates/hadoopdb/src/lib.rs:
+crates/hadoopdb/src/system.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bestpeer_hadoopdb-dc55651b8d2b437c.d: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+/root/repo/target/debug/deps/libbestpeer_hadoopdb-dc55651b8d2b437c.rlib: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+/root/repo/target/debug/deps/libbestpeer_hadoopdb-dc55651b8d2b437c.rmeta: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+crates/hadoopdb/src/lib.rs:
+crates/hadoopdb/src/system.rs:

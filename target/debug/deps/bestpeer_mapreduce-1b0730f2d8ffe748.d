@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bestpeer_mapreduce-1b0730f2d8ffe748.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+/root/repo/target/debug/deps/libbestpeer_mapreduce-1b0730f2d8ffe748.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+/root/repo/target/debug/deps/libbestpeer_mapreduce-1b0730f2d8ffe748.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/hdfs.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/sqlcompile.rs:

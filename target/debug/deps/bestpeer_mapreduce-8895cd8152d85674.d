@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bestpeer_mapreduce-8895cd8152d85674.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_mapreduce-8895cd8152d85674.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/hdfs.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/sqlcompile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

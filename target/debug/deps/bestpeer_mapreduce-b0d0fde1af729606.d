@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bestpeer_mapreduce-b0d0fde1af729606.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+/root/repo/target/debug/deps/bestpeer_mapreduce-b0d0fde1af729606: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/hdfs.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/sqlcompile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bestpeer_simnet-4726344c1cd17546.d: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libbestpeer_simnet-4726344c1cd17546.rlib: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libbestpeer_simnet-4726344c1cd17546.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cluster.rs:
+crates/simnet/src/driver.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

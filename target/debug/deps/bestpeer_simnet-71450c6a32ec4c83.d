@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bestpeer_simnet-71450c6a32ec4c83.d: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/bestpeer_simnet-71450c6a32ec4c83: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cluster.rs:
+crates/simnet/src/driver.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

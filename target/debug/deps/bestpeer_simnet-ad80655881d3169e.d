@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bestpeer_simnet-ad80655881d3169e.d: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_simnet-ad80655881d3169e.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cluster.rs:
+crates/simnet/src/driver.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

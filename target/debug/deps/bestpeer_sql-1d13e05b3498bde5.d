@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bestpeer_sql-1d13e05b3498bde5.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bloom.rs crates/sql/src/decompose.rs crates/sql/src/dist.rs crates/sql/src/exec.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_sql-1d13e05b3498bde5.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bloom.rs crates/sql/src/decompose.rs crates/sql/src/dist.rs crates/sql/src/exec.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/bloom.rs:
+crates/sql/src/decompose.rs:
+crates/sql/src/dist.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

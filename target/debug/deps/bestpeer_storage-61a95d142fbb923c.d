@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bestpeer_storage-61a95d142fbb923c.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_storage-61a95d142fbb923c.rmeta: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/fingerprint.rs:
+crates/storage/src/index.rs:
+crates/storage/src/memtable.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

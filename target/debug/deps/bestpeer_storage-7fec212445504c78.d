@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bestpeer_storage-7fec212445504c78.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libbestpeer_storage-7fec212445504c78.rlib: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libbestpeer_storage-7fec212445504c78.rmeta: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/fingerprint.rs:
+crates/storage/src/index.rs:
+crates/storage/src/memtable.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:

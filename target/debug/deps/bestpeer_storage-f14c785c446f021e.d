@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bestpeer_storage-f14c785c446f021e.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/bestpeer_storage-f14c785c446f021e: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/fingerprint.rs:
+crates/storage/src/index.rs:
+crates/storage/src/memtable.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:

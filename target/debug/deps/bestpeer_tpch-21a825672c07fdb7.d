@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bestpeer_tpch-21a825672c07fdb7.d: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/bestpeer_tpch-21a825672c07fdb7: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/dbgen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bestpeer_tpch-2f5520c075aba358.d: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/libbestpeer_tpch-2f5520c075aba358.rlib: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/libbestpeer_tpch-2f5520c075aba358.rmeta: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/dbgen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bestpeer_tpch-63cb07760ab47bca.d: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbestpeer_tpch-63cb07760ab47bca.rmeta: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs Cargo.toml
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/dbgen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-1042f62808b5852a.d: crates/chaos/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-1042f62808b5852a: crates/chaos/tests/chaos.rs
+
+crates/chaos/tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-98d16e76f92634e7.d: crates/chaos/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-98d16e76f92634e7.rmeta: crates/chaos/tests/chaos.rs Cargo.toml
+
+crates/chaos/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

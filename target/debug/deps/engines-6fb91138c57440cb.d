@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines-6fb91138c57440cb.d: crates/core/tests/engines.rs
+
+/root/repo/target/debug/deps/engines-6fb91138c57440cb: crates/core/tests/engines.rs
+
+crates/core/tests/engines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-f26fd2e71006722b.d: crates/core/tests/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-f26fd2e71006722b.rmeta: crates/core/tests/engines.rs Cargo.toml
+
+crates/core/tests/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

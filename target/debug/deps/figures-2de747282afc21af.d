@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2de747282afc21af.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2de747282afc21af: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

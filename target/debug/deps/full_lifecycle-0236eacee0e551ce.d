@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_lifecycle-0236eacee0e551ce.d: tests/full_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_lifecycle-0236eacee0e551ce.rmeta: tests/full_lifecycle.rs Cargo.toml
+
+tests/full_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

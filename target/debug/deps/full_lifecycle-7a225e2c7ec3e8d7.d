@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_lifecycle-7a225e2c7ec3e8d7.d: tests/full_lifecycle.rs
+
+/root/repo/target/debug/deps/full_lifecycle-7a225e2c7ec3e8d7: tests/full_lifecycle.rs
+
+tests/full_lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle-e3d46aecdcd20e5e.d: crates/cloud/tests/lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle-e3d46aecdcd20e5e.rmeta: crates/cloud/tests/lifecycle.rs Cargo.toml
+
+crates/cloud/tests/lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle-ff4d3be45ce17444.d: crates/cloud/tests/lifecycle.rs
+
+/root/repo/target/debug/deps/lifecycle-ff4d3be45ce17444: crates/cloud/tests/lifecycle.rs
+
+crates/cloud/tests/lifecycle.rs:

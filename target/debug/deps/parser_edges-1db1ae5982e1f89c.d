@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_edges-1db1ae5982e1f89c.d: crates/sql/tests/parser_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_edges-1db1ae5982e1f89c.rmeta: crates/sql/tests/parser_edges.rs Cargo.toml
+
+crates/sql/tests/parser_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_edges-a7c4520a477ccde5.d: crates/sql/tests/parser_edges.rs
+
+/root/repo/target/debug/deps/parser_edges-a7c4520a477ccde5: crates/sql/tests/parser_edges.rs
+
+crates/sql/tests/parser_edges.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-a8678309947baff5.d: crates/mapreduce/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-a8678309947baff5: crates/mapreduce/tests/pipeline.rs
+
+crates/mapreduce/tests/pipeline.rs:

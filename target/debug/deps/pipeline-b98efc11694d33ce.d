@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-b98efc11694d33ce.d: crates/mapreduce/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-b98efc11694d33ce.rmeta: crates/mapreduce/tests/pipeline.rs Cargo.toml
+
+crates/mapreduce/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a929a1eb0e2a7313.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a929a1eb0e2a7313: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queries-61de145701f47fcd.d: crates/hadoopdb/tests/queries.rs
+
+/root/repo/target/debug/deps/queries-61de145701f47fcd: crates/hadoopdb/tests/queries.rs
+
+crates/hadoopdb/tests/queries.rs:

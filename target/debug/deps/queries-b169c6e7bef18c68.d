@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queries-b169c6e7bef18c68.d: crates/hadoopdb/tests/queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueries-b169c6e7bef18c68.rmeta: crates/hadoopdb/tests/queries.rs Cargo.toml
+
+crates/hadoopdb/tests/queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

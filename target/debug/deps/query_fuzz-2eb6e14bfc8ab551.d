@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_fuzz-2eb6e14bfc8ab551.d: tests/query_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_fuzz-2eb6e14bfc8ab551.rmeta: tests/query_fuzz.rs Cargo.toml
+
+tests/query_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

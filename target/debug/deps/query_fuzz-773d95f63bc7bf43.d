@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_fuzz-773d95f63bc7bf43.d: tests/query_fuzz.rs
+
+/root/repo/target/debug/deps/query_fuzz-773d95f63bc7bf43: tests/query_fuzz.rs
+
+tests/query_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queueing-4caad08e8440648a.d: crates/simnet/tests/queueing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueueing-4caad08e8440648a.rmeta: crates/simnet/tests/queueing.rs Cargo.toml
+
+crates/simnet/tests/queueing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

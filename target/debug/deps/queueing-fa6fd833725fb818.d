@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queueing-fa6fd833725fb818.d: crates/simnet/tests/queueing.rs
+
+/root/repo/target/debug/deps/queueing-fa6fd833725fb818: crates/simnet/tests/queueing.rs
+
+crates/simnet/tests/queueing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-9d57adf174271e7e.d: crates/baton/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-9d57adf174271e7e.rmeta: crates/baton/tests/stress.rs Cargo.toml
+
+crates/baton/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-f7418c961cae3813.d: crates/baton/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-f7418c961cae3813: crates/baton/tests/stress.rs
+
+crates/baton/tests/stress.rs:

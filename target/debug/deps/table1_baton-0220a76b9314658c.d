@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_baton-0220a76b9314658c.d: crates/bench/benches/table1_baton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_baton-0220a76b9314658c.rmeta: crates/bench/benches/table1_baton.rs Cargo.toml
+
+crates/bench/benches/table1_baton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_cost-5ebf648bcf7530c0.d: crates/bench/benches/table3_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_cost-5ebf648bcf7530c0.rmeta: crates/bench/benches/table3_cost.rs Cargo.toml
+
+crates/bench/benches/table3_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

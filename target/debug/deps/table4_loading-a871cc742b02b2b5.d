@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_loading-a871cc742b02b2b5.d: crates/bench/benches/table4_loading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_loading-a871cc742b02b2b5.rmeta: crates/bench/benches/table4_loading.rs Cargo.toml
+
+crates/bench/benches/table4_loading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

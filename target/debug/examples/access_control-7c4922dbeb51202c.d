@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/access_control-7c4922dbeb51202c.d: examples/access_control.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccess_control-7c4922dbeb51202c.rmeta: examples/access_control.rs Cargo.toml
+
+examples/access_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

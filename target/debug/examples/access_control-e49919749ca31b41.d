@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/access_control-e49919749ca31b41.d: examples/access_control.rs
+
+/root/repo/target/debug/examples/access_control-e49919749ca31b41: examples/access_control.rs
+
+examples/access_control.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_analytics-94bda2e70ab1bf8f.d: examples/adaptive_analytics.rs
+
+/root/repo/target/debug/examples/adaptive_analytics-94bda2e70ab1bf8f: examples/adaptive_analytics.rs
+
+examples/adaptive_analytics.rs:

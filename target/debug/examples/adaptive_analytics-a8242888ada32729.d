@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_analytics-a8242888ada32729.d: examples/adaptive_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_analytics-a8242888ada32729.rmeta: examples/adaptive_analytics.rs Cargo.toml
+
+examples/adaptive_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-c0a19a0070c3f5fd.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-c0a19a0070c3f5fd: examples/failover.rs
+
+examples/failover.rs:

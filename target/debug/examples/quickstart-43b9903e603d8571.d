@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-43b9903e603d8571.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-43b9903e603d8571: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/supply_chain-4079917a3b486a31.d: examples/supply_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsupply_chain-4079917a3b486a31.rmeta: examples/supply_chain.rs Cargo.toml
+
+examples/supply_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supply_chain-ae9ca563b788d4e4.d: examples/supply_chain.rs
+
+/root/repo/target/debug/examples/supply_chain-ae9ca563b788d4e4: examples/supply_chain.rs
+
+examples/supply_chain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bestpeer-5efcf655f2fb0b3d.d: src/lib.rs
+
+/root/repo/target/release/deps/bestpeer-5efcf655f2fb0b3d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bestpeer-df70dba662ff41b4.d: src/lib.rs
+
+/root/repo/target/release/deps/libbestpeer-df70dba662ff41b4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbestpeer-df70dba662ff41b4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bestpeer_baton-249bb22c56b2af79.d: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+/root/repo/target/release/deps/bestpeer_baton-249bb22c56b2af79: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+crates/baton/src/lib.rs:
+crates/baton/src/key.rs:
+crates/baton/src/node.rs:
+crates/baton/src/overlay.rs:

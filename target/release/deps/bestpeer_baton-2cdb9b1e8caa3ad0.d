@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bestpeer_baton-2cdb9b1e8caa3ad0.d: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+/root/repo/target/release/deps/libbestpeer_baton-2cdb9b1e8caa3ad0.rlib: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+/root/repo/target/release/deps/libbestpeer_baton-2cdb9b1e8caa3ad0.rmeta: crates/baton/src/lib.rs crates/baton/src/key.rs crates/baton/src/node.rs crates/baton/src/overlay.rs
+
+crates/baton/src/lib.rs:
+crates/baton/src/key.rs:
+crates/baton/src/node.rs:
+crates/baton/src/overlay.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bestpeer_bench-9e374afbe4ab76c9.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/bestpeer_bench-9e374afbe4ab76c9: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bestpeer_bench-d3b050ce8b83e256.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libbestpeer_bench-d3b050ce8b83e256.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libbestpeer_bench-d3b050ce8b83e256.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/setup.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/bestpeer_chaos-76657bf4699f748f.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+/root/repo/target/release/deps/bestpeer_chaos-76657bf4699f748f: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bestpeer_chaos-81f14b83a515a27f.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+/root/repo/target/release/deps/libbestpeer_chaos-81f14b83a515a27f.rlib: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+/root/repo/target/release/deps/libbestpeer_chaos-81f14b83a515a27f.rmeta: crates/chaos/src/lib.rs crates/chaos/src/plan.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bestpeer_cloud-7391fc6252cf3968.d: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+/root/repo/target/release/deps/bestpeer_cloud-7391fc6252cf3968: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/billing.rs:
+crates/cloud/src/provider.rs:
+crates/cloud/src/sim.rs:
+crates/cloud/src/types.rs:

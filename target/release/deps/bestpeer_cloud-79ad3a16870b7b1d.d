@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bestpeer_cloud-79ad3a16870b7b1d.d: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+/root/repo/target/release/deps/libbestpeer_cloud-79ad3a16870b7b1d.rlib: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+/root/repo/target/release/deps/libbestpeer_cloud-79ad3a16870b7b1d.rmeta: crates/cloud/src/lib.rs crates/cloud/src/billing.rs crates/cloud/src/provider.rs crates/cloud/src/sim.rs crates/cloud/src/types.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/billing.rs:
+crates/cloud/src/provider.rs:
+crates/cloud/src/sim.rs:
+crates/cloud/src/types.rs:

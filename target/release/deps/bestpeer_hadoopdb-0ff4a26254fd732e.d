@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bestpeer_hadoopdb-0ff4a26254fd732e.d: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+/root/repo/target/release/deps/libbestpeer_hadoopdb-0ff4a26254fd732e.rlib: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+/root/repo/target/release/deps/libbestpeer_hadoopdb-0ff4a26254fd732e.rmeta: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+crates/hadoopdb/src/lib.rs:
+crates/hadoopdb/src/system.rs:

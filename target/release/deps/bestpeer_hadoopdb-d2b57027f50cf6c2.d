@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/bestpeer_hadoopdb-d2b57027f50cf6c2.d: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+/root/repo/target/release/deps/bestpeer_hadoopdb-d2b57027f50cf6c2: crates/hadoopdb/src/lib.rs crates/hadoopdb/src/system.rs
+
+crates/hadoopdb/src/lib.rs:
+crates/hadoopdb/src/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bestpeer_mapreduce-826bc4b0cbca6ff0.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+/root/repo/target/release/deps/bestpeer_mapreduce-826bc4b0cbca6ff0: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/hdfs.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/sqlcompile.rs:

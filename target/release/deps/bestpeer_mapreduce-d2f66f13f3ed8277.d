@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bestpeer_mapreduce-d2f66f13f3ed8277.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+/root/repo/target/release/deps/libbestpeer_mapreduce-d2f66f13f3ed8277.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+/root/repo/target/release/deps/libbestpeer_mapreduce-d2f66f13f3ed8277.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/hdfs.rs crates/mapreduce/src/job.rs crates/mapreduce/src/sqlcompile.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/hdfs.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/sqlcompile.rs:

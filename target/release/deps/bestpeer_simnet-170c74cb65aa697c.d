@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bestpeer_simnet-170c74cb65aa697c.d: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libbestpeer_simnet-170c74cb65aa697c.rlib: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libbestpeer_simnet-170c74cb65aa697c.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cluster.rs:
+crates/simnet/src/driver.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

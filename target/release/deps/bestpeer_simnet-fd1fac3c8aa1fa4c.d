@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bestpeer_simnet-fd1fac3c8aa1fa4c.d: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/bestpeer_simnet-fd1fac3c8aa1fa4c: crates/simnet/src/lib.rs crates/simnet/src/cluster.rs crates/simnet/src/driver.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cluster.rs:
+crates/simnet/src/driver.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bestpeer_sql-72da7a0c8081e289.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bloom.rs crates/sql/src/decompose.rs crates/sql/src/dist.rs crates/sql/src/exec.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/release/deps/bestpeer_sql-72da7a0c8081e289: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bloom.rs crates/sql/src/decompose.rs crates/sql/src/dist.rs crates/sql/src/exec.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/bloom.rs:
+crates/sql/src/decompose.rs:
+crates/sql/src/dist.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:

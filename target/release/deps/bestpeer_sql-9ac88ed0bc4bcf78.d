@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bestpeer_sql-9ac88ed0bc4bcf78.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bloom.rs crates/sql/src/decompose.rs crates/sql/src/dist.rs crates/sql/src/exec.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/release/deps/libbestpeer_sql-9ac88ed0bc4bcf78.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bloom.rs crates/sql/src/decompose.rs crates/sql/src/dist.rs crates/sql/src/exec.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+/root/repo/target/release/deps/libbestpeer_sql-9ac88ed0bc4bcf78.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bloom.rs crates/sql/src/decompose.rs crates/sql/src/dist.rs crates/sql/src/exec.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/plan.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/bloom.rs:
+crates/sql/src/decompose.rs:
+crates/sql/src/dist.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/plan.rs:

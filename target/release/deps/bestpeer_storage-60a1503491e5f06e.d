@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bestpeer_storage-60a1503491e5f06e.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libbestpeer_storage-60a1503491e5f06e.rlib: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libbestpeer_storage-60a1503491e5f06e.rmeta: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/fingerprint.rs:
+crates/storage/src/index.rs:
+crates/storage/src/memtable.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bestpeer_storage-db1f9ffad59abcfb.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/bestpeer_storage-db1f9ffad59abcfb: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/fingerprint.rs crates/storage/src/index.rs crates/storage/src/memtable.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/fingerprint.rs:
+crates/storage/src/index.rs:
+crates/storage/src/memtable.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bestpeer_tpch-034be9715d2af52f.d: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+/root/repo/target/release/deps/libbestpeer_tpch-034be9715d2af52f.rlib: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+/root/repo/target/release/deps/libbestpeer_tpch-034be9715d2af52f.rmeta: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/dbgen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:

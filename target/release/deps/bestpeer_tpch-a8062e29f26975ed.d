@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bestpeer_tpch-a8062e29f26975ed.d: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+/root/repo/target/release/deps/bestpeer_tpch-a8062e29f26975ed: crates/tpch/src/lib.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/dbgen.rs:
+crates/tpch/src/queries.rs:
+crates/tpch/src/schema.rs:

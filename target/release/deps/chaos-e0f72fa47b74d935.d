@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-e0f72fa47b74d935.d: crates/chaos/tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-e0f72fa47b74d935: crates/chaos/tests/chaos.rs
+
+crates/chaos/tests/chaos.rs:

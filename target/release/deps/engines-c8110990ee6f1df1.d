@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines-c8110990ee6f1df1.d: crates/core/tests/engines.rs
+
+/root/repo/target/release/deps/engines-c8110990ee6f1df1: crates/core/tests/engines.rs
+
+crates/core/tests/engines.rs:

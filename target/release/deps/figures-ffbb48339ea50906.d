@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-ffbb48339ea50906.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-ffbb48339ea50906: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

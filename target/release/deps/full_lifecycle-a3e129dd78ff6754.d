@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_lifecycle-a3e129dd78ff6754.d: tests/full_lifecycle.rs
+
+/root/repo/target/release/deps/full_lifecycle-a3e129dd78ff6754: tests/full_lifecycle.rs
+
+tests/full_lifecycle.rs:

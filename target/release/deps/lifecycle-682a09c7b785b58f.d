@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lifecycle-682a09c7b785b58f.d: crates/cloud/tests/lifecycle.rs
+
+/root/repo/target/release/deps/lifecycle-682a09c7b785b58f: crates/cloud/tests/lifecycle.rs
+
+crates/cloud/tests/lifecycle.rs:

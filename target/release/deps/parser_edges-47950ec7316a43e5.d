@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parser_edges-47950ec7316a43e5.d: crates/sql/tests/parser_edges.rs
+
+/root/repo/target/release/deps/parser_edges-47950ec7316a43e5: crates/sql/tests/parser_edges.rs
+
+crates/sql/tests/parser_edges.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-385c2642741f45ad.d: crates/mapreduce/tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-385c2642741f45ad: crates/mapreduce/tests/pipeline.rs
+
+crates/mapreduce/tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-1e3c371673a65203.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-1e3c371673a65203: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/queries-27c06c6b8f4891ea.d: crates/hadoopdb/tests/queries.rs
+
+/root/repo/target/release/deps/queries-27c06c6b8f4891ea: crates/hadoopdb/tests/queries.rs
+
+crates/hadoopdb/tests/queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_fuzz-76f3ad475c4d9aa7.d: tests/query_fuzz.rs
+
+/root/repo/target/release/deps/query_fuzz-76f3ad475c4d9aa7: tests/query_fuzz.rs
+
+tests/query_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/queueing-3231855ddee00398.d: crates/simnet/tests/queueing.rs
+
+/root/repo/target/release/deps/queueing-3231855ddee00398: crates/simnet/tests/queueing.rs
+
+crates/simnet/tests/queueing.rs:

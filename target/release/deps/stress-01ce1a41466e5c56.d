@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-01ce1a41466e5c56.d: crates/baton/tests/stress.rs
+
+/root/repo/target/release/deps/stress-01ce1a41466e5c56: crates/baton/tests/stress.rs
+
+crates/baton/tests/stress.rs:

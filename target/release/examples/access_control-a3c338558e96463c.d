@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/access_control-a3c338558e96463c.d: examples/access_control.rs
+
+/root/repo/target/release/examples/access_control-a3c338558e96463c: examples/access_control.rs
+
+examples/access_control.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_analytics-b88babb81055fa07.d: examples/adaptive_analytics.rs
+
+/root/repo/target/release/examples/adaptive_analytics-b88babb81055fa07: examples/adaptive_analytics.rs
+
+examples/adaptive_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failover-ea086e97e3dbf612.d: examples/failover.rs
+
+/root/repo/target/release/examples/failover-ea086e97e3dbf612: examples/failover.rs
+
+examples/failover.rs:

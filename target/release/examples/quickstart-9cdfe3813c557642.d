@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9cdfe3813c557642.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9cdfe3813c557642: examples/quickstart.rs
+
+examples/quickstart.rs:

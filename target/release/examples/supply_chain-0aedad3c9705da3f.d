@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/supply_chain-0aedad3c9705da3f.d: examples/supply_chain.rs
+
+/root/repo/target/release/examples/supply_chain-0aedad3c9705da3f: examples/supply_chain.rs
+
+examples/supply_chain.rs:

@@ -154,16 +154,27 @@ fn corporate_network_end_to_end() {
     assert_eq!(out.result.rows[0].get(0), &Value::Float(99.0));
 
     // --- fail-over under Algorithm 1 ------------------------------
+    // Crash a data peer mid-life (process down, heartbeats stop, BATON
+    // node failed) and wipe its disk. A single submit_query rides the
+    // retry loop: backoff epochs let the heartbeat detector reach its
+    // miss threshold, Algorithm 1 fails the peer over from the latest
+    // cloud backup, and the re-attempt returns the full answer.
     net.backup_all().unwrap();
     let victim = net.peer_ids()[2];
-    net.cloud.inject_crash(net.peer(victim).unwrap().instance).unwrap();
+    net.crash_data_peer(victim).unwrap();
     net.peer_mut(victim).unwrap().db = Database::new();
-    let events = net.maintenance_tick().unwrap();
-    assert!(!events.is_empty());
     let out = net
         .submit_query(submitter, "SELECT COUNT(*) FROM lineitem", "analyst", EngineChoice::Basic, 0)
         .unwrap();
     assert_eq!(out.result.rows[0].get(0), &Value::Int(4 * 1_500));
+    assert!(out.attempts >= 2, "the first attempt hit the crashed peer");
+    assert!(
+        net.bootstrap
+            .events()
+            .iter()
+            .any(|e| matches!(e, bestpeer::core::bootstrap::MaintenanceEvent::FailOver { peer, .. } if *peer == victim)),
+        "the failure detector declared the victim dead and failed it over"
+    );
 
     // --- departure + billing --------------------------------------
     let leaver = net.peer_ids()[3];

@@ -10,8 +10,7 @@ use bestpeer::sql::{execute_select, parse_select};
 use bestpeer::storage::Database;
 use bestpeer::tpch::dbgen::{DbGen, TpchConfig};
 use bestpeer::tpch::schema;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use bestpeer::common::rng::Rng;
 
 fn analyst() -> Role {
     let mut role = Role::new("analyst");
@@ -47,7 +46,7 @@ fn setup(n: usize, rows: usize) -> (BestPeerNetwork, Database) {
 /// Generate a random query over the TPC-H schema: a random table set
 /// from a known-joinable pool, random numeric/date predicates, and a
 /// random projection or aggregate.
-fn random_query(rng: &mut StdRng) -> String {
+fn random_query(rng: &mut Rng) -> String {
     // (tables, join predicate chain) templates; predicates are sampled
     // per numeric column.
     let templates: &[(&[&str], &str)] = &[
@@ -80,7 +79,7 @@ fn random_query(rng: &mut StdRng) -> String {
     };
     for (t, c, lo, hi) in numeric_cols {
         if tables.contains(t) && rng.random_range(0..3) == 0 {
-            let op = ["<", "<=", ">", ">=", "<>"][rng.random_range(0..5)];
+            let op = ["<", "<=", ">", ">=", "<>"][rng.random_range(0..5usize)];
             let v = rng.random_range(*lo..=*hi);
             preds.push(format!("{c} {op} {v}"));
         }
@@ -123,7 +122,7 @@ fn rows_approx_eq(a: &[Row], b: &[Row]) -> bool {
 fn random_queries_agree_with_centralized_execution() {
     let (mut net, central) = setup(3, 1_200);
     let submitter = net.peer_ids()[0];
-    let mut rng = StdRng::seed_from_u64(20260707);
+    let mut rng = Rng::seed_from_u64(20260707);
     let mut nonempty = 0;
     for i in 0..60 {
         let sql = random_query(&mut rng);
