@@ -42,7 +42,10 @@ impl KeyRange {
 
     /// The whole domain.
     pub fn full() -> Self {
-        KeyRange { lb: 0, ub: DOMAIN_MAX }
+        KeyRange {
+            lb: 0,
+            ub: DOMAIN_MAX,
+        }
     }
 
     /// Is `k` inside the range?

@@ -100,7 +100,9 @@ impl<V: Clone> Overlay<V> {
     }
 
     fn node_mut(&mut self, peer: PeerId) -> &mut Node<V> {
-        self.nodes.get_mut(&peer).expect("internal link to missing node")
+        self.nodes
+            .get_mut(&peer)
+            .expect("internal link to missing node")
     }
 
     /// All member peer ids (arbitrary order).
@@ -132,7 +134,8 @@ impl<V: Clone> Overlay<V> {
             return Err(Error::Membership(format!("{peer} already joined")));
         }
         let Some(root) = self.root else {
-            self.nodes.insert(peer, Node::new(peer, 0, 1, KeyRange::full()));
+            self.nodes
+                .insert(peer, Node::new(peer, 0, 1, KeyRange::full()));
             self.by_pos.insert((0, 1), peer);
             self.root = Some(peer);
             self.stats.joins += 1;
@@ -147,8 +150,7 @@ impl<V: Clone> Overlay<V> {
             match (n.left_child, n.right_child) {
                 (None, _) | (_, None) => break cur,
                 (Some(l), Some(r)) => {
-                    let (ls, rs) =
-                        (self.node(l)?.subtree_size, self.node(r)?.subtree_size);
+                    let (ls, rs) = (self.node(l)?.subtree_size, self.node(r)?.subtree_size);
                     cur = if ls <= rs { l } else { r };
                     hops += 1;
                 }
@@ -459,8 +461,12 @@ impl<V: Clone> Overlay<V> {
     /// adjacent / climb to the parent.
     fn step_left(&self, n: &Node<V>, key: Key) -> Option<PeerId> {
         for i in (0..64).rev() {
-            let Some(pos) = n.left_route_pos(i) else { continue };
-            let Some(&u) = self.by_pos.get(&pos) else { continue };
+            let Some(pos) = n.left_route_pos(i) else {
+                continue;
+            };
+            let Some(&u) = self.by_pos.get(&pos) else {
+                continue;
+            };
             if self.nodes[&u].range.ub > key {
                 return Some(u);
             }
@@ -471,8 +477,12 @@ impl<V: Clone> Overlay<V> {
     /// Mirror of [`Self::step_left`].
     fn step_right(&self, n: &Node<V>, key: Key) -> Option<PeerId> {
         for i in (0..64).rev() {
-            let Some(pos) = n.right_route_pos(i) else { continue };
-            let Some(&u) = self.by_pos.get(&pos) else { continue };
+            let Some(pos) = n.right_route_pos(i) else {
+                continue;
+            };
+            let Some(&u) = self.by_pos.get(&pos) else {
+                continue;
+            };
             if self.nodes[&u].range.lb <= key {
                 return Some(u);
             }
@@ -482,7 +492,9 @@ impl<V: Clone> Overlay<V> {
 
     /// Find the peer responsible for `key`. Returns `(owner, hops)`.
     pub fn owner_of(&self, key: Key) -> Result<(PeerId, u32)> {
-        let root = self.root.ok_or_else(|| Error::Network("overlay is empty".into()))?;
+        let root = self
+            .root
+            .ok_or_else(|| Error::Network("overlay is empty".into()))?;
         self.route_from(root, key)
     }
 
@@ -573,7 +585,9 @@ impl<V: Clone> Overlay<V> {
                 return Ok(rep);
             }
         }
-        Err(Error::Unavailable(format!("no replica available for failed {owner}")))
+        Err(Error::Unavailable(format!(
+            "no replica available for failed {owner}"
+        )))
     }
 
     // ------------------------------------------------------------------
@@ -604,11 +618,14 @@ impl<V: Clone> Overlay<V> {
             self.stats.dropped_inserts += 1;
             return Ok(hops);
         }
-        self.node_mut(owner).items.entry(key).or_default().push(value.clone());
+        self.node_mut(owner)
+            .items
+            .entry(key)
+            .or_default()
+            .push(value.clone());
         if self.replicate {
             let n = &self.nodes[&owner];
-            let sites: Vec<PeerId> =
-                [n.left_adj, n.right_adj].into_iter().flatten().collect();
+            let sites: Vec<PeerId> = [n.left_adj, n.right_adj].into_iter().flatten().collect();
             for site in &sites {
                 self.node_mut(*site)
                     .replicas
@@ -657,8 +674,7 @@ impl<V: Clone> Overlay<V> {
         }
         let (items, sites) = {
             let n = &self.nodes[&owner];
-            let sites: Vec<PeerId> =
-                [n.left_adj, n.right_adj].into_iter().flatten().collect();
+            let sites: Vec<PeerId> = [n.left_adj, n.right_adj].into_iter().flatten().collect();
             (n.items.clone(), sites)
         };
         for site in &sites {
@@ -701,7 +717,9 @@ impl<V: Clone> Overlay<V> {
                 best = Some((a, al, false));
             }
         }
-        let Some((adj, adj_load, is_left)) = best else { return Ok(false) };
+        let Some((adj, adj_load, is_left)) = best else {
+            return Ok(false);
+        };
         if (load as f64) <= theta * (adj_load as f64).max(1.0) {
             return Ok(false);
         }
@@ -724,7 +742,9 @@ impl<V: Clone> Overlay<V> {
             } else {
                 n.items.keys().rev().copied().take(count as usize).collect()
             };
-            keys.into_iter().filter_map(|k| n.items.remove(&k).map(|v| (k, v))).collect()
+            keys.into_iter()
+                .filter_map(|k| n.items.remove(&k).map(|v| (k, v)))
+                .collect()
         };
         if moved.is_empty() {
             return;
@@ -736,8 +756,7 @@ impl<V: Clone> Overlay<V> {
             let new_lb = match from_node.items.keys().next() {
                 Some(&k) => {
                     // keep boundary at or below the smallest remaining key
-                    let max_moved =
-                        moved.iter().map(|(k, _)| *k).max().expect("non-empty");
+                    let max_moved = moved.iter().map(|(k, _)| *k).max().expect("non-empty");
                     (max_moved + 1).min(k)
                 }
                 None => from_node.range.ub,
@@ -748,8 +767,7 @@ impl<V: Clone> Overlay<V> {
         } else {
             let new_ub = match from_node.items.keys().next_back() {
                 Some(&k) => {
-                    let min_moved =
-                        moved.iter().map(|(k, _)| *k).min().expect("non-empty");
+                    let min_moved = moved.iter().map(|(k, _)| *k).min().expect("non-empty");
                     min_moved.max(k + 1)
                 }
                 None => from_node.range.lb,
@@ -775,7 +793,9 @@ impl<V: Clone> Overlay<V> {
     /// true when a relocation happened.
     pub fn global_adjust(&mut self, overloaded: PeerId) -> Result<bool> {
         if !self.contains(overloaded) {
-            return Err(Error::Network(format!("{overloaded} is not in the overlay")));
+            return Err(Error::Network(format!(
+                "{overloaded} is not in the overlay"
+            )));
         }
         if self.nodes.len() < 4 {
             return Ok(false);
@@ -784,17 +804,26 @@ impl<V: Clone> Overlay<V> {
         // of its neighbors in the tree.
         let excluded: Vec<PeerId> = {
             let n = self.node(overloaded)?;
-            [Some(overloaded), n.left_adj, n.right_adj, n.parent, n.left_child, n.right_child]
-                .into_iter()
-                .flatten()
-                .collect()
+            [
+                Some(overloaded),
+                n.left_adj,
+                n.right_adj,
+                n.parent,
+                n.left_child,
+                n.right_child,
+            ]
+            .into_iter()
+            .flatten()
+            .collect()
         };
         let candidate = self
             .nodes
             .values()
             .filter(|n| n.is_leaf() && !excluded.contains(&n.id))
             .min_by_key(|n| (n.load(), n.id));
-        let Some(cand) = candidate else { return Ok(false) };
+        let Some(cand) = candidate else {
+            return Ok(false);
+        };
         if cand.load() >= self.node(overloaded)?.load() {
             return Ok(false);
         }
@@ -817,7 +846,11 @@ impl<V: Clone> Overlay<V> {
             match (n.left_child, n.right_child) {
                 (None, _) | (_, None) => break,
                 (Some(l), Some(r)) => {
-                    parent = if self.node(l)?.load() >= self.node(r)?.load() { l } else { r };
+                    parent = if self.node(l)?.load() >= self.node(r)?.load() {
+                        l
+                    } else {
+                        r
+                    };
                 }
             }
         }
@@ -879,7 +912,9 @@ impl<V: Clone> Overlay<V> {
 
     /// The in-order traversal as reconstructed from adjacency links.
     pub fn in_order(&self) -> Vec<PeerId> {
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         // Leftmost node: follow left children from the root.
         let mut cur = root;
         while let Some(l) = self.nodes[&cur].left_child {
@@ -916,7 +951,9 @@ impl<V: Clone> Overlay<V> {
         // Adjacency chain must equal structural in-order.
         let chain = self.in_order();
         if chain != order {
-            return Err(Error::Internal("adjacency chain diverges from in-order".into()));
+            return Err(Error::Internal(
+                "adjacency chain diverges from in-order".into(),
+            ));
         }
         // Ranges: contiguous ascending partition of the domain.
         let mut expect = 0u64;
@@ -966,7 +1003,9 @@ impl<V: Clone> Overlay<V> {
         if let Some(l) = n.left_child {
             let ln = &self.nodes[&l];
             if (ln.level, ln.pos) != (n.level + 1, 2 * n.pos - 1) {
-                return Err(Error::Internal(format!("{l} has wrong left-child position")));
+                return Err(Error::Internal(format!(
+                    "{l} has wrong left-child position"
+                )));
             }
             size += self.check_subtree(l, Some(cur), order)?;
         }
@@ -974,7 +1013,9 @@ impl<V: Clone> Overlay<V> {
         if let Some(r) = n.right_child {
             let rn = &self.nodes[&r];
             if (rn.level, rn.pos) != (n.level + 1, 2 * n.pos) {
-                return Err(Error::Internal(format!("{r} has wrong right-child position")));
+                return Err(Error::Internal(format!(
+                    "{r} has wrong right-child position"
+                )));
             }
             size += self.check_subtree(r, Some(cur), order)?;
         }
@@ -1040,7 +1081,11 @@ mod tests {
     fn tree_stays_balanced_under_sequential_joins() {
         let o = overlay_of(64);
         // Weight-guided placement keeps height within ~log2(N)+1.
-        assert!(o.height() <= 8, "height {} too large for 64 nodes", o.height());
+        assert!(
+            o.height() <= 8,
+            "height {} too large for 64 nodes",
+            o.height()
+        );
     }
 
     #[test]
@@ -1074,8 +1119,9 @@ mod tests {
         for k in 0..200u64 {
             o.insert(k * 1_000_000_007, k).unwrap();
         }
-        let (hits, _) =
-            o.search_range(10 * 1_000_000_007, 20 * 1_000_000_007).unwrap();
+        let (hits, _) = o
+            .search_range(10 * 1_000_000_007, 20 * 1_000_000_007)
+            .unwrap();
         let mut got: Vec<u64> = hits.iter().map(|(_, v)| *v).collect();
         got.sort_unstable();
         assert_eq!(got, (10..20).collect::<Vec<u64>>());
@@ -1122,7 +1168,7 @@ mod tests {
     fn internal_node_leave_is_replaced_by_leaf() {
         let mut o = overlay_of(15);
         let root = o.in_order()[7]; // some mid node; root is internal
-        // Find an internal node explicitly.
+                                    // Find an internal node explicitly.
         let internal = o
             .peers()
             .find(|p| !o.node(*p).unwrap().is_leaf())
@@ -1197,8 +1243,7 @@ mod tests {
         let key = 90_000_000_000_000_000u64;
         let (owner, _) = o.owner_of(key).unwrap();
         let n = o.node(owner).unwrap();
-        let neighbors: Vec<PeerId> =
-            [n.left_adj, n.right_adj].into_iter().flatten().collect();
+        let neighbors: Vec<PeerId> = [n.left_adj, n.right_adj].into_iter().flatten().collect();
         o.crash(owner).unwrap();
         for nb in &neighbors {
             o.crash(*nb).unwrap();
@@ -1213,7 +1258,11 @@ mod tests {
         o.recover(owner).unwrap();
         assert!(!o.node(owner).unwrap().failed);
         let (vals, _) = o.search_exact(key).unwrap();
-        assert_eq!(vals, vec![1], "restored from the downed neighbor's durable replica");
+        assert_eq!(
+            vals,
+            vec![1],
+            "restored from the downed neighbor's durable replica"
+        );
         // The neighbors recover too; a later crash + recover of the
         // owner still heals fully.
         for nb in &neighbors {

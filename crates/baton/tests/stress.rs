@@ -56,7 +56,10 @@ fn skewed_inserts_rebalance_below_hotspot_ceiling() {
     }
     o.validate().unwrap();
     let worst_after = o.peers().map(|p| o.load_of(p).unwrap()).max().unwrap();
-    assert!(worst_after < worst_before, "{worst_before} -> {worst_after}");
+    assert!(
+        worst_after < worst_before,
+        "{worst_before} -> {worst_after}"
+    );
     assert_eq!(o.total_items(), 2_000, "no item lost while rebalancing");
     // Every item still findable.
     for i in (0..2_000u64).step_by(37) {
@@ -97,7 +100,9 @@ fn replicas_survive_cascading_crashes() {
         o.recover(*v).unwrap();
     }
     for k in 0..600u64 {
-        let (vals, _) = o.search_exact(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)).unwrap();
+        let (vals, _) = o
+            .search_exact(k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .unwrap();
         assert!(vals.contains(&k));
     }
     let _ = unavailable;
@@ -111,8 +116,9 @@ fn range_search_matches_bruteforce() {
     for case in 0..32 {
         let mut o = overlay_of(17);
         let n_keys = rng.random_range(1..120usize);
-        let keys: Vec<u64> =
-            (0..n_keys).map(|_| rng.random_range(0..u64::MAX - 1)).collect();
+        let keys: Vec<u64> = (0..n_keys)
+            .map(|_| rng.random_range(0..u64::MAX - 1))
+            .collect();
         for (i, k) in keys.iter().enumerate() {
             o.insert(*k, i as u64).unwrap();
         }
@@ -122,8 +128,11 @@ fn range_search_matches_bruteforce() {
         let (found, _) = o.search_range(lo, hi).unwrap();
         let mut got: Vec<u64> = found.into_iter().map(|(k, _)| k).collect();
         got.sort_unstable();
-        let mut want: Vec<u64> =
-            keys.iter().copied().filter(|k| *k >= lo && *k < hi).collect();
+        let mut want: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| *k >= lo && *k < hi)
+            .collect();
         want.sort_unstable();
         assert_eq!(got, want, "case {case}: range [{lo}, {hi})");
     }

@@ -2,8 +2,8 @@
 //! exact search, range search, insert, and delete on the overlay.
 
 use bestpeer_baton::Overlay;
-use bestpeer_common::PeerId;
 use bestpeer_bench::micro::{BatchSize, Criterion};
+use bestpeer_common::PeerId;
 use std::hint::black_box;
 
 fn overlay_of(n: u64) -> Overlay<u64> {
@@ -32,7 +32,8 @@ fn bench_baton(c: &mut Criterion) {
         group.bench_function(format!("search_range/{n}"), |b| {
             b.iter(|| {
                 black_box(
-                    o.search_range(u64::MAX / 4, u64::MAX / 4 + u64::MAX / 64).unwrap(),
+                    o.search_range(u64::MAX / 4, u64::MAX / 4 + u64::MAX / 64)
+                        .unwrap(),
                 );
             });
         });

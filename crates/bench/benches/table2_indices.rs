@@ -2,12 +2,12 @@
 //! the table, column, and range indices, with the cache on and off
 //! (the §5.2 caching ablation).
 
+use bestpeer_bench::micro::Criterion;
 use bestpeer_common::{PeerId, Row, Value};
 use bestpeer_core::indexer::{publish_peer, IndexOverlay, PeerLocator};
 use bestpeer_sql::parse_select;
 use bestpeer_storage::Database;
 use bestpeer_tpch::schema;
-use bestpeer_bench::micro::Criterion;
 use std::hint::black_box;
 
 fn network(n: u64) -> IndexOverlay {
@@ -46,26 +46,22 @@ fn network(n: u64) -> IndexOverlay {
 fn bench_indices(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_indices");
     let mut overlay = network(64);
-    let range_q =
-        parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 7").unwrap();
-    let column_q =
-        parse_select("SELECT o_orderkey FROM orders WHERE o_orderkey > 5").unwrap();
+    let range_q = parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 7").unwrap();
+    let column_q = parse_select("SELECT o_orderkey FROM orders WHERE o_orderkey > 5").unwrap();
     let table_q = parse_select("SELECT o_totalprice FROM orders").unwrap();
 
-    for (label, stmt) in
-        [("range_index", &range_q), ("column_index", &column_q), ("table_index", &table_q)]
-    {
+    for (label, stmt) in [
+        ("range_index", &range_q),
+        ("column_index", &column_q),
+        ("table_index", &table_q),
+    ] {
         group.bench_function(format!("{label}/cached"), |b| {
             let mut loc = PeerLocator::new(true);
-            b.iter(|| {
-                black_box(loc.peers_for_table(&mut overlay, stmt, "orders").unwrap())
-            });
+            b.iter(|| black_box(loc.peers_for_table(&mut overlay, stmt, "orders").unwrap()));
         });
         group.bench_function(format!("{label}/uncached"), |b| {
             let mut loc = PeerLocator::new(false);
-            b.iter(|| {
-                black_box(loc.peers_for_table(&mut overlay, stmt, "orders").unwrap())
-            });
+            b.iter(|| black_box(loc.peers_for_table(&mut overlay, stmt, "orders").unwrap()));
         });
     }
     group.finish();

@@ -1,6 +1,7 @@
 //! Table 3 — the cost models: microbenchmarks of `C_basic`, `C_BP`,
 //! `C_MR`, processing-graph construction, and histogram estimation.
 
+use bestpeer_bench::micro::Criterion;
 use bestpeer_common::{ColumnDef, ColumnType, Row, TableSchema, Value};
 use bestpeer_core::cost::{
     cost_basic, cost_mapreduce, cost_parallel_p2p, decide, CostParams, LevelOp, LevelSpec,
@@ -8,7 +9,6 @@ use bestpeer_core::cost::{
 };
 use bestpeer_core::histogram::{Histogram, QueryRegion};
 use bestpeer_storage::Table;
-use bestpeer_bench::micro::Criterion;
 use std::hint::black_box;
 
 fn graph(levels: usize) -> ProcessingGraph {
@@ -29,13 +29,20 @@ fn graph(levels: usize) -> ProcessingGraph {
 fn sample_table(rows: i64) -> Table {
     let schema = TableSchema::new(
         "t",
-        vec![ColumnDef::new("a", ColumnType::Int), ColumnDef::new("b", ColumnType::Int)],
+        vec![
+            ColumnDef::new("a", ColumnType::Int),
+            ColumnDef::new("b", ColumnType::Int),
+        ],
         vec![],
     )
     .unwrap();
     let mut t = Table::new(schema);
     for i in 0..rows {
-        t.insert(Row::new(vec![Value::Int(i % 977), Value::Int((i * 31) % 1009)])).unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(i % 977),
+            Value::Int((i * 31) % 1009),
+        ]))
+        .unwrap();
     }
     t
 }

@@ -3,11 +3,11 @@
 //! Rabin-fingerprint snapshot differential) and of index-assisted versus
 //! full scans on the indexed columns.
 
+use bestpeer_bench::micro::{BatchSize, Criterion};
 use bestpeer_sql::{execute_select, parse_select};
 use bestpeer_storage::{Database, Snapshot};
 use bestpeer_tpch::dbgen::{load_into, DbGen, TpchConfig};
 use bestpeer_tpch::schema;
-use bestpeer_bench::micro::{BatchSize, Criterion};
 use std::hint::black_box;
 
 fn generated(rows: usize) -> std::collections::BTreeMap<String, Vec<bestpeer_common::Row>> {
@@ -53,8 +53,7 @@ fn bench_loading(c: &mut Criterion) {
     let indexed =
         parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1998-11-01'")
             .unwrap();
-    let unindexed =
-        parse_select("SELECT l_orderkey FROM lineitem WHERE l_quantity = 17").unwrap();
+    let unindexed = parse_select("SELECT l_orderkey FROM lineitem WHERE l_quantity = 17").unwrap();
     group.bench_function("scan/indexed_l_shipdate", |b| {
         b.iter(|| black_box(execute_select(&indexed, &db).unwrap().0.len()));
     });

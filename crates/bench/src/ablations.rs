@@ -37,7 +37,10 @@ pub fn ablate_bloom_join(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
     let run = |bloom: bool| {
         let mut net = BestPeerNetwork::new(
             schema::all_tables(),
-            NetworkConfig { bloom_join: bloom, ..NetworkConfig::default() },
+            NetworkConfig {
+                bloom_join: bloom,
+                ..NetworkConfig::default()
+            },
         );
         net.define_role(full_read_role());
         for node in 0..n {
@@ -51,7 +54,9 @@ pub fn ablate_bloom_join(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
             net.load_peer(id, DbGen::new(cfg).generate(), 1).unwrap();
         }
         let submitter = net.peer_ids()[0];
-        let out = net.submit_query(submitter, sql, "R", EngineChoice::Basic, 0).unwrap();
+        let out = net
+            .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+            .unwrap();
         (
             out.trace.network_bytes() as f64,
             sim.single_query_latency(&out.trace).as_secs_f64(),
@@ -60,8 +65,18 @@ pub fn ablate_bloom_join(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
     let (bytes_on, lat_on) = run(true);
     let (bytes_off, lat_off) = run(false);
     vec![
-        AblationRow { name: "bloom join", metric: "network bytes", on: bytes_on, off: bytes_off },
-        AblationRow { name: "bloom join", metric: "latency (s)", on: lat_on, off: lat_off },
+        AblationRow {
+            name: "bloom join",
+            metric: "network bytes",
+            on: bytes_on,
+            off: bytes_off,
+        },
+        AblationRow {
+            name: "bloom join",
+            metric: "latency (s)",
+            on: lat_on,
+            off: lat_off,
+        },
     ]
 }
 
@@ -71,14 +86,20 @@ pub fn ablate_index_cache(n: usize, bench: &BenchConfig) -> Vec<AblationRow> {
     let run = |cache: bool| {
         let mut net = BestPeerNetwork::new(
             schema::all_tables(),
-            NetworkConfig { index_cache: cache, ..NetworkConfig::default() },
+            NetworkConfig {
+                index_cache: cache,
+                ..NetworkConfig::default()
+            },
         );
         net.define_role(full_read_role());
         for node in 0..n {
             let id = net.join(&format!("b{node}")).unwrap();
-            let data = DbGen::new(
-                TpchConfig { lineitem_rows: bench.rows_per_node, seed: bench.seed, node_index: node as u64, nation: None },
-            )
+            let data = DbGen::new(TpchConfig {
+                lineitem_rows: bench.rows_per_node,
+                seed: bench.seed,
+                node_index: node as u64,
+                nation: None,
+            })
             .generate();
             net.load_peer(id, data, 1).unwrap();
         }
@@ -172,7 +193,10 @@ mod tests {
 
     #[test]
     fn every_feature_helps_its_metric() {
-        let bench = BenchConfig { rows_per_node: 1_500, seed: 5 };
+        let bench = BenchConfig {
+            rows_per_node: 1_500,
+            seed: 5,
+        };
         for row in run_all(4, &bench) {
             assert!(
                 row.factor() >= 1.0,

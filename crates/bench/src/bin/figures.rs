@@ -10,8 +10,8 @@
 //! byte scaling restores the full volume).
 
 use bestpeer_bench::{
-    run_ablations, run_adaptive_figure, run_latency_curve, run_perf_figure,
-    run_scalability, BenchConfig, WorkloadKind,
+    run_ablations, run_adaptive_figure, run_latency_curve, run_perf_figure, run_scalability,
+    selection_accuracy, BenchConfig, WorkloadKind,
 };
 use bestpeer_tpch::queries::performance_queries;
 
@@ -64,12 +64,21 @@ fn parse_args() -> Args {
     }
     figs.sort_unstable();
     figs.dedup();
-    Args { figs, sizes, rows, steps, ablations }
+    Args {
+        figs,
+        sizes,
+        rows,
+        steps,
+        ablations,
+    }
 }
 
 fn main() {
     let args = parse_args();
-    let bench = BenchConfig { rows_per_node: args.rows, seed: 42 };
+    let bench = BenchConfig {
+        rows_per_node: args.rows,
+        seed: 42,
+    };
     println!(
         "# BestPeer++ figure harness — {} lineitem rows/node (byte scale x{:.0}), sizes {:?}",
         args.rows,
@@ -95,27 +104,51 @@ fn main() {
             11 => {
                 println!("\n## Figure 11 — adaptive query processing on Q5 (seconds)");
                 println!(
-                    "{:>6} {:>12} {:>12} {:>12} {:>10}",
-                    "nodes", "P2P", "MapReduce", "Adaptive", "chose"
+                    "{:>6} {:>12} {:>12} {:>12} {:>10} {:>11} {:>11} {:>8}",
+                    "nodes",
+                    "P2P",
+                    "MapReduce",
+                    "Adaptive",
+                    "chose",
+                    "pred C_BP",
+                    "pred C_MR",
+                    "correct"
                 );
-                for p in run_adaptive_figure(bestpeer_tpch::Q5, &args.sizes, &bench) {
+                let pts = run_adaptive_figure(bestpeer_tpch::Q5, &args.sizes, &bench);
+                for p in &pts {
                     println!(
-                        "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>10}",
+                        "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>10} {:>11.2} {:>11.2} {:>8}",
                         p.nodes,
                         p.p2p_secs,
                         p.mr_secs,
                         p.adaptive_secs,
-                        if p.adaptive_chose_p2p { "P2P" } else { "MR" }
+                        if p.adaptive_chose_p2p { "P2P" } else { "MR" },
+                        p.predicted_p2p_secs,
+                        p.predicted_mr_secs,
+                        if p.prediction_correct { "yes" } else { "no" }
                     );
                 }
+                println!(
+                    "engine-selection accuracy (from exported telemetry): {:.0}%",
+                    selection_accuracy(&pts) * 100.0
+                );
             }
             12 => {
-                let sizes: Vec<usize> =
-                    args.sizes.iter().map(|&n| if n % 2 == 0 { n } else { n + 1 }).collect();
+                let sizes: Vec<usize> = args
+                    .sizes
+                    .iter()
+                    .map(|&n| if n % 2 == 0 { n } else { n + 1 })
+                    .collect();
                 println!("\n## Figure 12 — scalability: saturated throughput (queries/second)");
-                println!("{:>6} {:>16} {:>16}", "nodes", "supplier (light)", "retailer (heavy)");
+                println!(
+                    "{:>6} {:>16} {:>16}",
+                    "nodes", "supplier (light)", "retailer (heavy)"
+                );
                 for p in run_scalability(&sizes, &bench) {
-                    println!("{:>6} {:>16.1} {:>16.2}", p.nodes, p.supplier_qps, p.retailer_qps);
+                    println!(
+                        "{:>6} {:>16.1} {:>16.2}",
+                        p.nodes, p.supplier_qps, p.retailer_qps
+                    );
                 }
             }
             13 | 14 => {
@@ -152,7 +185,10 @@ fn main() {
     if args.ablations {
         let n = *args.sizes.first().unwrap_or(&10);
         println!("\n## Ablations ({n} peers) — DESIGN.md ⚑ items");
-        println!("{:<18} {:<22} {:>14} {:>14} {:>8}", "feature", "metric", "on", "off", "off/on");
+        println!(
+            "{:<18} {:<22} {:>14} {:>14} {:>8}",
+            "feature", "metric", "on", "off", "off/on"
+        );
         for row in run_ablations(n, &bench) {
             println!(
                 "{:<18} {:<22} {:>14.2} {:>14.2} {:>7.1}x",

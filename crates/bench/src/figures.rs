@@ -2,6 +2,7 @@
 
 use bestpeer_core::network::EngineChoice;
 use bestpeer_simnet::Cluster;
+use bestpeer_telemetry::{Json, QueryReport};
 
 use crate::setup::{build_bestpeer, build_hadoopdb, resource_config, BenchConfig};
 
@@ -18,11 +19,7 @@ pub struct PerfPoint {
 
 /// Run one performance-benchmark query (Q1–Q5) across cluster sizes on
 /// both systems — the series of one of Figures 6–10.
-pub fn run_perf_figure(
-    sql: &str,
-    cluster_sizes: &[usize],
-    bench: &BenchConfig,
-) -> Vec<PerfPoint> {
+pub fn run_perf_figure(sql: &str, cluster_sizes: &[usize], bench: &BenchConfig) -> Vec<PerfPoint> {
     let sim = Cluster::new(resource_config(bench));
     cluster_sizes
         .iter()
@@ -40,7 +37,11 @@ pub fn run_perf_figure(
             let (_, trace) = hdb.execute(sql).expect("hadoopdb query");
             let hadoopdb_secs = sim.single_query_latency(&trace).as_secs_f64();
 
-            PerfPoint { nodes: n, bestpeer_secs, hadoopdb_secs }
+            PerfPoint {
+                nodes: n,
+                bestpeer_secs,
+                hadoopdb_secs,
+            }
         })
         .collect()
 }
@@ -58,6 +59,31 @@ pub struct AdaptivePoint {
     pub adaptive_secs: f64,
     /// Which engine the adaptive planner chose.
     pub adaptive_chose_p2p: bool,
+    /// The planner's calibrated `C_BP` prediction (seconds), read back
+    /// from the query's telemetry report.
+    pub predicted_p2p_secs: f64,
+    /// The planner's calibrated `C_MR` prediction (seconds).
+    pub predicted_mr_secs: f64,
+    /// Did the planner pick the engine that actually ran faster?
+    pub prediction_correct: bool,
+}
+
+/// Fraction of points where the adaptive planner picked the engine that
+/// measured faster — Figure 11's engine-selection accuracy.
+pub fn selection_accuracy(points: &[AdaptivePoint]) -> f64 {
+    if points.is_empty() {
+        return 1.0;
+    }
+    let correct = points.iter().filter(|p| p.prediction_correct).count();
+    correct as f64 / points.len() as f64
+}
+
+/// Round a query's telemetry through its JSON export — the figures
+/// consume the same serialized report an operator would scrape.
+fn exported_report(report: &QueryReport) -> QueryReport {
+    let text = report.to_json().render();
+    let parsed = Json::parse(&text).expect("report export parses");
+    QueryReport::from_json(&parsed).expect("report export round-trips")
 }
 
 /// Figure 11: Q5 under the P2P engine alone, the MapReduce engine
@@ -109,12 +135,28 @@ pub fn run_adaptive_figure(
             let adaptive = net
                 .submit_query(submitter, sql, "R", EngineChoice::Adaptive, 0)
                 .expect("adaptive run");
+            // Read the adaptive run through its JSON-exported telemetry
+            // report: predicted vs. actual comes from the same document
+            // an operator would scrape, not from engine internals.
+            let report = exported_report(&adaptive.report);
+            let sel = report
+                .selection
+                .expect("adaptive run records its selection");
+            let adaptive_secs = report.total_latency.as_secs_f64();
+            debug_assert!(
+                (adaptive_secs - sim.single_query_latency(&adaptive.trace).as_secs_f64()).abs()
+                    < 1e-9,
+                "exported report must agree with the trace replay"
+            );
             AdaptivePoint {
                 nodes: n,
                 p2p_secs,
                 mr_secs,
-                adaptive_secs: sim.single_query_latency(&adaptive.trace).as_secs_f64(),
-                adaptive_chose_p2p: adaptive.engine == EngineChoice::ParallelP2P,
+                adaptive_secs,
+                adaptive_chose_p2p: sel.chose_p2p,
+                predicted_p2p_secs: sel.predicted_p2p_secs,
+                predicted_mr_secs: sel.predicted_mr_secs,
+                prediction_correct: sel.chose_p2p == (p2p_secs <= mr_secs),
             }
         })
         .collect()
@@ -126,7 +168,10 @@ mod tests {
     use bestpeer_tpch::{Q1, Q5};
 
     fn tiny() -> BenchConfig {
-        BenchConfig { rows_per_node: 1_200, seed: 7 }
+        BenchConfig {
+            rows_per_node: 1_200,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -141,8 +186,7 @@ mod tests {
             );
             assert!(p.hadoopdb_secs >= 12.0, "startup dominates HadoopDB: {p:?}");
         }
-        let spread =
-            (pts[0].hadoopdb_secs - pts[1].hadoopdb_secs).abs() / pts[0].hadoopdb_secs;
+        let spread = (pts[0].hadoopdb_secs - pts[1].hadoopdb_secs).abs() / pts[0].hadoopdb_secs;
         assert!(spread < 0.5, "HadoopDB Q1 roughly flat in cluster size");
     }
 
@@ -165,14 +209,31 @@ mod tests {
         // Figure 11's headline: the planner picks P2P at small scale and
         // MapReduce at large scale, staying within overhead of the
         // better engine at both.
-        let bench = BenchConfig { rows_per_node: 1_200, seed: 42 };
+        let bench = BenchConfig {
+            rows_per_node: 1_200,
+            seed: 42,
+        };
         let pts = run_adaptive_figure(Q5, &[10, 50], &bench);
         assert!(pts[0].adaptive_chose_p2p, "P2P at 10 nodes: {pts:?}");
         assert!(!pts[1].adaptive_chose_p2p, "MapReduce at 50 nodes: {pts:?}");
         for p in &pts {
             let best = p.p2p_secs.min(p.mr_secs);
             assert!(p.adaptive_secs <= best * 1.25 + 0.5, "{p:?}");
+            assert!(
+                p.predicted_p2p_secs > 0.0 && p.predicted_mr_secs > 0.0,
+                "exported report carries the calibrated predictions: {p:?}"
+            );
+            let predicted_p2p_cheaper = p.predicted_p2p_secs <= p.predicted_mr_secs;
+            assert_eq!(
+                predicted_p2p_cheaper, p.adaptive_chose_p2p,
+                "the choice follows the exported predictions: {p:?}"
+            );
         }
+        assert_eq!(
+            selection_accuracy(&pts),
+            1.0,
+            "calibrated planner picks the measured-faster engine: {pts:?}"
+        );
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub mod setup;
 pub mod throughput;
 
 pub use ablations::{run_all as run_ablations, AblationRow};
-pub use figures::{run_adaptive_figure, run_perf_figure, AdaptivePoint, PerfPoint};
-pub use setup::{build_bestpeer, build_hadoopdb, resource_config, BenchConfig};
-pub use throughput::{
-    run_latency_curve, run_scalability, CurvePoint, ScalePoint, WorkloadKind,
+pub use figures::{
+    run_adaptive_figure, run_perf_figure, selection_accuracy, AdaptivePoint, PerfPoint,
 };
+pub use setup::{build_bestpeer, build_hadoopdb, resource_config, BenchConfig};
+pub use throughput::{run_latency_curve, run_scalability, CurvePoint, ScalePoint, WorkloadKind};

@@ -51,7 +51,11 @@ impl Group {
     /// Measure one benchmark function.
     pub fn bench_function(&mut self, label: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
         let label = label.into();
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, batched: false };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            batched: false,
+        };
         // Warmup + calibration: grow the iteration count until one
         // sample takes ~5 ms (batched closures time one op per call).
         loop {
@@ -71,7 +75,10 @@ impl Group {
             .collect();
         per_iter.sort_by(|a, c| a.total_cmp(c));
         let median = per_iter[per_iter.len() / 2];
-        println!("  {}/{label}: {median:.0} ns/iter ({} iters/sample)", self.name, b.iters);
+        println!(
+            "  {}/{label}: {median:.0} ns/iter ({} iters/sample)",
+            self.name, b.iters
+        );
     }
 
     /// End the group (criterion API compatibility).

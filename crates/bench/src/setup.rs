@@ -20,7 +20,10 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { rows_per_node: 6_000, seed: 42 }
+        BenchConfig {
+            rows_per_node: 6_000,
+            seed: 42,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ impl BenchConfig {
 /// Simulator rates of the paper's measured EC2 environment (§6.1.1),
 /// with the benchmark's byte scaling applied.
 pub fn resource_config(bench: &BenchConfig) -> ResourceConfig {
-    ResourceConfig { byte_scale: bench.byte_scale(), ..ResourceConfig::default() }
+    ResourceConfig {
+        byte_scale: bench.byte_scale(),
+        ..ResourceConfig::default()
+    }
 }
 
 /// The full-read role `R` of the performance benchmark (§6.1.4).
@@ -46,19 +52,25 @@ pub fn full_read_role() -> Role {
         .map(|t| {
             (
                 t.name.as_str(),
-                t.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+                t.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>(),
             )
         })
         .collect();
-    let borrowed: Vec<(&str, &[&str])> =
-        spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
     Role::full_read("R", &borrowed)
 }
 
 /// A BestPeer++ network of `n` peers, each loaded with one TPC-H
 /// partition and the Table 4 secondary indices, configured per §6.1.2.
 pub fn build_bestpeer(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
-    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    let config = NetworkConfig {
+        resources: resource_config(bench),
+        ..NetworkConfig::default()
+    };
+    let mut net = BestPeerNetwork::new(schema::all_tables(), config);
     net.define_role(full_read_role());
     for node in 0..n {
         let id = net.join(&format!("business-{node}")).unwrap();
@@ -71,7 +83,13 @@ pub fn build_bestpeer(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
         let data = DbGen::new(cfg).generate();
         net.load_peer(id, data, 1).unwrap();
         for (t, c) in schema::secondary_indices() {
-            net.peer_mut(id).unwrap().db.table_mut(t).unwrap().create_index(c).unwrap();
+            net.peer_mut(id)
+                .unwrap()
+                .db
+                .table_mut(t)
+                .unwrap()
+                .create_index(c)
+                .unwrap();
         }
     }
     net

@@ -28,24 +28,32 @@ pub enum WorkloadKind {
 /// Build the §6.2.1 supply-chain network: `n/2` suppliers and `n/2`
 /// retailers, one nation each.
 pub fn build_supply_chain(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
-    assert!(n >= 2 && n.is_multiple_of(2), "need an even number of peers");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "need an even number of peers"
+    );
     let nations = n / 2;
     let range_cols: Vec<(String, String)> = schema::all_tables()
         .iter()
-        .filter_map(|t| {
-            schema::nationkey_column(&t.name).map(|c| (t.name.clone(), c.to_owned()))
-        })
+        .filter_map(|t| schema::nationkey_column(&t.name).map(|c| (t.name.clone(), c.to_owned())))
         .collect();
     let mut net = BestPeerNetwork::new(
         schema::all_tables(),
-        NetworkConfig { range_index_columns: range_cols, ..NetworkConfig::default() },
+        NetworkConfig {
+            range_index_columns: range_cols,
+            ..NetworkConfig::default()
+        },
     );
     net.define_role(full_read_role());
 
-    let supplier_tables: Vec<String> =
-        ["supplier", "partsupp", "part"].iter().map(|s| s.to_string()).collect();
-    let retailer_tables: Vec<String> =
-        ["lineitem", "orders", "customer"].iter().map(|s| s.to_string()).collect();
+    let supplier_tables: Vec<String> = ["supplier", "partsupp", "part"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let retailer_tables: Vec<String> = ["lineitem", "orders", "customer"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
 
     for nation in 0..nations {
         let sid = net.join(&format!("supplier-{nation}")).unwrap();
@@ -87,13 +95,9 @@ pub fn collect_traces(net: &mut BestPeerNetwork, kind: WorkloadKind) -> Vec<Trac
     let nations = ids.len() / 2;
     let (submitters, target_nations): (Vec<_>, Vec<i64>) = match kind {
         // Retailer round: retailer peers (second half) query suppliers.
-        WorkloadKind::Supplier => {
-            (ids[nations..].to_vec(), (0..nations as i64).collect())
-        }
+        WorkloadKind::Supplier => (ids[nations..].to_vec(), (0..nations as i64).collect()),
         // Supplier round: supplier peers (first half) query retailers.
-        WorkloadKind::Retailer => {
-            (ids[..nations].to_vec(), (0..nations as i64).collect())
-        }
+        WorkloadKind::Retailer => (ids[..nations].to_vec(), (0..nations as i64).collect()),
     };
     let mut traces = Vec::new();
     for round in 0..2 {
@@ -220,7 +224,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> BenchConfig {
-        BenchConfig { rows_per_node: 1_200, seed: 11 }
+        BenchConfig {
+            rows_per_node: 1_200,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -230,8 +237,7 @@ mod tests {
             let traces = collect_traces(&mut net, kind);
             assert!(!traces.is_empty());
             for t in &traces {
-                let has_single_peer_phase =
-                    t.phases.iter().any(|p| p.label == "single-peer-exec");
+                let has_single_peer_phase = t.phases.iter().any(|p| p.label == "single-peer-exec");
                 assert!(
                     has_single_peer_phase,
                     "{kind:?} query must use the single-peer optimization: {:?}",
@@ -265,8 +271,7 @@ mod tests {
         let curve = run_latency_curve(4, WorkloadKind::Supplier, &tiny(), 4);
         assert_eq!(curve.len(), 4);
         assert!(
-            curve.last().unwrap().mean_latency_secs
-                > curve.first().unwrap().mean_latency_secs,
+            curve.last().unwrap().mean_latency_secs > curve.first().unwrap().mean_latency_secs,
             "{curve:?}"
         );
     }

@@ -65,22 +65,49 @@ impl FaultEvent {
     /// Expand to the low-level schedule entries.
     pub fn schedule(&self) -> Vec<ScheduledFault> {
         match *self {
-            FaultEvent::Crash { peer, at, recover_at } => {
-                let mut v = vec![ScheduledFault { at, action: FaultAction::Crash(peer) }];
+            FaultEvent::Crash {
+                peer,
+                at,
+                recover_at,
+            } => {
+                let mut v = vec![ScheduledFault {
+                    at,
+                    action: FaultAction::Crash(peer),
+                }];
                 if let Some(r) = recover_at {
-                    v.push(ScheduledFault { at: r, action: FaultAction::Recover(peer) });
+                    v.push(ScheduledFault {
+                        at: r,
+                        action: FaultAction::Recover(peer),
+                    });
                 }
                 v
             }
-            FaultEvent::SlowLink { peer, at, until, extra } => vec![
-                ScheduledFault { at, action: FaultAction::SlowLink { peer, extra } },
-                ScheduledFault { at: until, action: FaultAction::FastLink(peer) },
+            FaultEvent::SlowLink {
+                peer,
+                at,
+                until,
+                extra,
+            } => vec![
+                ScheduledFault {
+                    at,
+                    action: FaultAction::SlowLink { peer, extra },
+                },
+                ScheduledFault {
+                    at: until,
+                    action: FaultAction::FastLink(peer),
+                },
             ],
             FaultEvent::DropIndexInserts { at, n } => {
-                vec![ScheduledFault { at, action: FaultAction::DropIndexInserts(n) }]
+                vec![ScheduledFault {
+                    at,
+                    action: FaultAction::DropIndexInserts(n),
+                }]
             }
             FaultEvent::AdvanceLoad { peer, at, ts } => {
-                vec![ScheduledFault { at, action: FaultAction::AdvanceLoad { peer, ts } }]
+                vec![ScheduledFault {
+                    at,
+                    action: FaultAction::AdvanceLoad { peer, ts },
+                }]
             }
         }
     }
@@ -89,14 +116,31 @@ impl FaultEvent {
 impl fmt::Display for FaultEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FaultEvent::Crash { peer, at, recover_at: Some(r) } => {
+            FaultEvent::Crash {
+                peer,
+                at,
+                recover_at: Some(r),
+            } => {
                 write!(f, "t={at}: crash {peer} (restarts t={r})")
             }
-            FaultEvent::Crash { peer, at, recover_at: None } => {
+            FaultEvent::Crash {
+                peer,
+                at,
+                recover_at: None,
+            } => {
                 write!(f, "t={at}: crash {peer} (until fail-over)")
             }
-            FaultEvent::SlowLink { peer, at, until, extra } => {
-                write!(f, "t={at}..{until}: slow link {peer} +{}us", extra.as_micros())
+            FaultEvent::SlowLink {
+                peer,
+                at,
+                until,
+                extra,
+            } => {
+                write!(
+                    f,
+                    "t={at}..{until}: slow link {peer} +{}us",
+                    extra.as_micros()
+                )
             }
             FaultEvent::DropIndexInserts { at, n } => {
                 write!(f, "t={at}: drop next {n} index inserts")
@@ -119,7 +163,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A hand-written plan from explicit events.
     pub fn from_events(events: impl IntoIterator<Item = FaultEvent>) -> Self {
-        FaultPlan { seed: 0, events: events.into_iter().collect() }
+        FaultPlan {
+            seed: 0,
+            events: events.into_iter().collect(),
+        }
     }
 
     /// The plan's events, in schedule order.
@@ -197,7 +244,11 @@ impl FaultPlanBuilder {
         let peer = self.pick_peer();
         let at = self.rng.random_range(window);
         let down = self.rng.random_range(downtime);
-        self.events.push(FaultEvent::Crash { peer, at, recover_at: Some(at + down) });
+        self.events.push(FaultEvent::Crash {
+            peer,
+            at,
+            recover_at: Some(at + down),
+        });
         self
     }
 
@@ -206,7 +257,11 @@ impl FaultPlanBuilder {
     pub fn crash_until_failover(mut self, window: std::ops::Range<u64>) -> Self {
         let peer = self.pick_peer();
         let at = self.rng.random_range(window);
-        self.events.push(FaultEvent::Crash { peer, at, recover_at: None });
+        self.events.push(FaultEvent::Crash {
+            peer,
+            at,
+            recover_at: None,
+        });
         self
     }
 
@@ -220,7 +275,12 @@ impl FaultPlanBuilder {
         let peer = self.pick_peer();
         let at = self.rng.random_range(window);
         let span = self.rng.random_range(duration);
-        self.events.push(FaultEvent::SlowLink { peer, at, until: at + span, extra });
+        self.events.push(FaultEvent::SlowLink {
+            peer,
+            at,
+            until: at + span,
+            extra,
+        });
         self
     }
 
@@ -233,7 +293,10 @@ impl FaultPlanBuilder {
 
     /// Finish the plan.
     pub fn build(self) -> FaultPlan {
-        FaultPlan { seed: self.seed, events: self.events }
+        FaultPlan {
+            seed: self.seed,
+            events: self.events,
+        }
     }
 }
 
@@ -277,11 +340,18 @@ mod tests {
                 until: 20,
                 extra: SimTime::from_micros(100),
             },
-            FaultEvent::Crash { peer: PeerId::new(0), at: 3, recover_at: Some(7) },
+            FaultEvent::Crash {
+                peer: PeerId::new(0),
+                at: 3,
+                recover_at: Some(7),
+            },
         ]);
         let sched = plan.schedule();
         assert_eq!(sched.len(), 4, "crash+recover and slow+fast");
-        assert!(sched.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        assert!(
+            sched.windows(2).all(|w| w[0].at <= w[1].at),
+            "sorted by time"
+        );
         assert_eq!(sched[0].action, FaultAction::Crash(PeerId::new(0)));
         assert_eq!(sched[1].action, FaultAction::Recover(PeerId::new(0)));
     }
@@ -289,7 +359,11 @@ mod tests {
     #[test]
     fn describe_mentions_every_event() {
         let plan = FaultPlan::from_events([
-            FaultEvent::Crash { peer: PeerId::new(2), at: 4, recover_at: None },
+            FaultEvent::Crash {
+                peer: PeerId::new(2),
+                at: 4,
+                recover_at: None,
+            },
             FaultEvent::DropIndexInserts { at: 1, n: 2 },
         ]);
         let text = plan.describe();

@@ -20,14 +20,18 @@ fn analyst_role() -> Role {
     let tables = schema::all_tables();
     let spec: Vec<(String, Vec<String>)> = tables
         .iter()
-        .map(|t| (t.name.clone(), t.columns.iter().map(|c| c.name.clone()).collect()))
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.columns.iter().map(|c| c.name.clone()).collect(),
+            )
+        })
         .collect();
     let borrowed: Vec<(&str, Vec<&str>)> = spec
         .iter()
         .map(|(t, cs)| (t.as_str(), cs.iter().map(String::as_str).collect()))
         .collect();
-    let full: Vec<(&str, &[&str])> =
-        borrowed.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    let full: Vec<(&str, &[&str])> = borrowed.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
     Role::full_read(ROLE, &full)
 }
 
@@ -68,11 +72,22 @@ fn crash_until_failover_preserves_q1_to_q5() {
         let victim = net.peer_ids()[2];
         // Down from the first operation of the query; no scheduled
         // recovery — only the bootstrap's fail-over can heal it.
-        FaultPlan::from_events([FaultEvent::Crash { peer: victim, at: 1, recover_at: None }])
-            .install(&mut net);
+        FaultPlan::from_events([FaultEvent::Crash {
+            peer: victim,
+            at: 1,
+            recover_at: None,
+        }])
+        .install(&mut net);
         let out = submit(&mut net, sql, EngineChoice::Basic);
-        assert_eq!(rows_of(&out), want, "{name}: result differs from fault-free run");
-        assert!(out.attempts >= 2, "{name}: expected a mid-query crash, got 1 attempt");
+        assert_eq!(
+            rows_of(&out),
+            want,
+            "{name}: result differs from fault-free run"
+        );
+        assert!(
+            out.attempts >= 2,
+            "{name}: expected a mid-query crash, got 1 attempt"
+        );
         assert!(
             net.bootstrap.events().iter().any(|e| matches!(
                 e,
@@ -85,17 +100,29 @@ fn crash_until_failover_preserves_q1_to_q5() {
 
 #[test]
 fn mid_query_crash_is_tolerated_by_every_engine() {
-    for engine in [EngineChoice::Basic, EngineChoice::ParallelP2P, EngineChoice::MapReduce] {
+    for engine in [
+        EngineChoice::Basic,
+        EngineChoice::ParallelP2P,
+        EngineChoice::MapReduce,
+    ] {
         let mut baseline = build_net(3, 240);
         let want = rows_of(&submit(&mut baseline, queries::Q3, engine));
 
         let mut net = build_net(3, 240);
         net.backup_all().unwrap();
         let victim = net.peer_ids()[1];
-        FaultPlan::from_events([FaultEvent::Crash { peer: victim, at: 1, recover_at: None }])
-            .install(&mut net);
+        FaultPlan::from_events([FaultEvent::Crash {
+            peer: victim,
+            at: 1,
+            recover_at: None,
+        }])
+        .install(&mut net);
         let out = submit(&mut net, queries::Q3, engine);
-        assert_eq!(rows_of(&out), want, "{engine:?}: result differs from fault-free run");
+        assert_eq!(
+            rows_of(&out),
+            want,
+            "{engine:?}: result differs from fault-free run"
+        );
         assert!(out.attempts >= 2, "{engine:?}");
     }
 }
@@ -123,8 +150,14 @@ fn same_seed_yields_identical_fault_trace_and_results() {
     // Chaos never changes answers, only traces: every run still returns
     // the fault-free results.
     let mut clean = build_net(3, 240);
-    assert_eq!(first.0, rows_of(&submit(&mut clean, queries::Q2, EngineChoice::Basic)));
-    assert_eq!(first.1, rows_of(&submit(&mut clean, queries::Q3, EngineChoice::Basic)));
+    assert_eq!(
+        first.0,
+        rows_of(&submit(&mut clean, queries::Q2, EngineChoice::Basic))
+    );
+    assert_eq!(
+        first.1,
+        rows_of(&submit(&mut clean, queries::Q3, EngineChoice::Basic))
+    );
 }
 
 #[test]
@@ -136,16 +169,20 @@ fn process_restart_rides_the_retry_loop_without_failover() {
     // Detector effectively disabled: only the scheduled restart heals.
     net.bootstrap.fail_threshold = 100;
     let victim = net.peer_ids()[1];
-    FaultPlan::from_events([FaultEvent::Crash { peer: victim, at: 1, recover_at: Some(4) }])
-        .install(&mut net);
+    FaultPlan::from_events([FaultEvent::Crash {
+        peer: victim,
+        at: 1,
+        recover_at: Some(4),
+    }])
+    .install(&mut net);
     let out = submit(&mut net, queries::Q2, EngineChoice::Basic);
     assert_eq!(rows_of(&out), want);
     assert!(out.attempts >= 2);
     assert!(
-        !net.bootstrap
-            .events()
-            .iter()
-            .any(|e| matches!(e, bestpeer_core::bootstrap::MaintenanceEvent::FailOver { .. })),
+        !net.bootstrap.events().iter().any(|e| matches!(
+            e,
+            bestpeer_core::bootstrap::MaintenanceEvent::FailOver { .. }
+        )),
         "the process restarted on its own; fail-over must not fire"
     );
 }
@@ -157,8 +194,12 @@ fn unhealable_crash_times_out_with_budget_exhausted() {
     // budget: the query must give up with a timeout, not hang.
     net.bootstrap.fail_threshold = 100;
     let victim = net.peer_ids()[1];
-    FaultPlan::from_events([FaultEvent::Crash { peer: victim, at: 1, recover_at: None }])
-        .install(&mut net);
+    FaultPlan::from_events([FaultEvent::Crash {
+        peer: victim,
+        at: 1,
+        recover_at: None,
+    }])
+    .install(&mut net);
     let submitter = net.peer_ids()[0];
     let err = net
         .submit_query(submitter, queries::Q2, ROLE, EngineChoice::Basic, 0)
@@ -174,9 +215,14 @@ fn dropped_index_inserts_degrade_until_republish_heals() {
 
     // Open a lossy window, synchronised into the overlay by the next
     // query's fault sync.
-    net.faults().inject_now(FaultAction::DropIndexInserts(100_000));
+    net.faults()
+        .inject_now(FaultAction::DropIndexInserts(100_000));
     let unaffected = submit(&mut net, sql, EngineChoice::Basic);
-    assert_eq!(rows_of(&unaffected), baseline, "queries do not send index inserts");
+    assert_eq!(
+        rows_of(&unaffected),
+        baseline,
+        "queries do not send index inserts"
+    );
 
     // Republishing inside the window loses every index entry of peer 1:
     // its partition becomes invisible to peer location.
@@ -184,7 +230,11 @@ fn dropped_index_inserts_degrade_until_republish_heals() {
     net.publish_indices(p1).unwrap();
     assert!(net.overlay_mut().stats().dropped_inserts > 0);
     let degraded = submit(&mut net, sql, EngineChoice::Basic);
-    assert_ne!(rows_of(&degraded), baseline, "dropped index entries lose a partition");
+    assert_ne!(
+        rows_of(&degraded),
+        baseline,
+        "dropped index entries lose a partition"
+    );
 
     // The window closes; a republish heals the index completely.
     net.overlay_mut().clear_insert_drops();
@@ -198,16 +248,19 @@ fn stale_snapshot_resubmits_until_load_completes() {
     let mut net = build_net(2, 200);
     let peers = net.peer_ids();
     // Both loaders complete at virtual time 1, advancing data to ts 2.
-    FaultPlan::from_events(
-        peers
-            .iter()
-            .map(|p| FaultEvent::AdvanceLoad { peer: *p, at: 1, ts: 2 }),
-    )
+    FaultPlan::from_events(peers.iter().map(|p| FaultEvent::AdvanceLoad {
+        peer: *p,
+        at: 1,
+        ts: 2,
+    }))
     .install(&mut net);
     let out = net
         .submit_query(peers[0], queries::Q2, ROLE, EngineChoice::Basic, 2)
         .unwrap();
-    assert!(out.resubmits >= 1, "the first attempt ran against ts-1 data");
+    assert!(
+        out.resubmits >= 1,
+        "the first attempt ran against ts-1 data"
+    );
     assert!(out.attempts >= 2);
 
     // Beyond any load the plan delivers: the resubmit budget exhausts
@@ -224,7 +277,9 @@ fn online_aggregation_degrades_gracefully_under_crash() {
     let sql = "SELECT COUNT(*) AS n FROM lineitem";
     let mut net = build_net(3, rows);
     let submitter = net.peer_ids()[0];
-    let clean = net.submit_online_aggregate(submitter, sql, ROLE, 0).unwrap();
+    let clean = net
+        .submit_online_aggregate(submitter, sql, ROLE, 0)
+        .unwrap();
     assert!(!clean.degraded);
     assert_eq!(
         clean.final_result.rows[0].get(0).as_int().unwrap(),
@@ -235,7 +290,9 @@ fn online_aggregation_degrades_gracefully_under_crash() {
     // keep streaming estimates and the final answer covers them exactly.
     let victim = net.peer_ids()[1];
     net.crash_data_peer(victim).unwrap();
-    let out = net.submit_online_aggregate(submitter, sql, ROLE, 0).unwrap();
+    let out = net
+        .submit_online_aggregate(submitter, sql, ROLE, 0)
+        .unwrap();
     assert!(out.degraded);
     assert_eq!(out.estimates.len(), 2, "two of three peers reported");
     assert_eq!(out.estimates.last().unwrap().peers_total, 3);
@@ -247,15 +304,22 @@ fn online_aggregation_degrades_gracefully_under_crash() {
 
     // Recovery restores the full population.
     net.recover_data_peer(victim).unwrap();
-    let back = net.submit_online_aggregate(submitter, sql, ROLE, 0).unwrap();
+    let back = net
+        .submit_online_aggregate(submitter, sql, ROLE, 0)
+        .unwrap();
     assert!(!back.degraded);
-    assert_eq!(back.final_result.rows[0].get(0).as_int().unwrap(), 3 * rows as i64);
+    assert_eq!(
+        back.final_result.rows[0].get(0).as_int().unwrap(),
+        3 * rows as i64
+    );
 
     // All peers down: nothing to degrade to.
     for p in net.peer_ids() {
         net.crash_data_peer(p).unwrap();
     }
-    let err = net.submit_online_aggregate(submitter, sql, ROLE, 0).unwrap_err();
+    let err = net
+        .submit_online_aggregate(submitter, sql, ROLE, 0)
+        .unwrap_err();
     assert_eq!(err.kind(), "unavailable", "{err}");
 }
 
@@ -278,7 +342,10 @@ fn slow_links_charge_latency_to_the_trace() {
         .iter()
         .filter(|p| p.label == "fault-slowdown")
         .collect();
-    assert!(!slowdown.is_empty(), "degraded-link latency must appear in the trace");
+    assert!(
+        !slowdown.is_empty(),
+        "degraded-link latency must appear in the trace"
+    );
 }
 
 #[test]
@@ -291,5 +358,8 @@ fn recover_of_never_crashed_peer_is_harmless() {
         rows_of(&submit(&mut net, queries::Q2, EngineChoice::Basic)),
         rows_of(&submit(&mut baseline, queries::Q2, EngineChoice::Basic)),
     );
-    assert!(net.recover_data_peer(PeerId::new(999)).is_err(), "unknown peer rejected");
+    assert!(
+        net.recover_data_peer(PeerId::new(999)).is_err(),
+        "unknown peer rejected"
+    );
 }

@@ -69,7 +69,10 @@ mod tests {
     fn one_small_instance_hour() {
         let mut l = Ledger::new();
         l.start(InstanceId::new(1), InstanceType::M1_SMALL, 0);
-        assert_eq!(l.total_cents(HOUR), u64::from(InstanceType::M1_SMALL.cents_per_hour));
+        assert_eq!(
+            l.total_cents(HOUR),
+            u64::from(InstanceType::M1_SMALL.cents_per_hour)
+        );
     }
 
     #[test]

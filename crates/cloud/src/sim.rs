@@ -78,7 +78,10 @@ impl<S> SimCloud<S> {
 
     /// Number of instances currently running.
     pub fn running_count(&self) -> usize {
-        self.instances.values().filter(|i| i.state == InstanceState::Running).count()
+        self.instances
+            .values()
+            .filter(|i| i.state == InstanceState::Running)
+            .count()
     }
 
     fn instance(&self, id: InstanceId) -> Result<&Instance> {

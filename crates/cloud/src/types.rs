@@ -79,7 +79,11 @@ pub struct InstanceMetrics {
 
 impl Default for InstanceMetrics {
     fn default() -> Self {
-        InstanceMetrics { cpu_utilization: 0.1, storage_used: 0.1, responsive: true }
+        InstanceMetrics {
+            cpu_utilization: 0.1,
+            storage_used: 0.1,
+            responsive: true,
+        }
     }
 }
 
@@ -89,7 +93,10 @@ mod tests {
 
     #[test]
     fn upgrade_ladder() {
-        assert_eq!(InstanceType::M1_SMALL.upgrade(), Some(InstanceType::M1_LARGE));
+        assert_eq!(
+            InstanceType::M1_SMALL.upgrade(),
+            Some(InstanceType::M1_LARGE)
+        );
         assert_eq!(InstanceType::M1_LARGE.upgrade(), None);
     }
 

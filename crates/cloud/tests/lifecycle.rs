@@ -37,7 +37,10 @@ fn backup_chain_survives_crash_and_failover_cycle() {
     assert_eq!(cloud.latest_backup(b), None);
     cloud.backup(b, vec![1, 2, 3]).unwrap();
     cloud.terminate_instance(a).unwrap();
-    assert_eq!(cloud.restore(cloud.latest_backup(b).unwrap()).unwrap(), vec![1, 2, 3]);
+    assert_eq!(
+        cloud.restore(cloud.latest_backup(b).unwrap()).unwrap(),
+        vec![1, 2, 3]
+    );
 }
 
 #[test]
@@ -46,7 +49,14 @@ fn metrics_scripting_drives_state_transitions() {
     let id = cloud.launch_instance(InstanceType::M1_SMALL).unwrap();
     assert_eq!(cloud.state(id).unwrap(), InstanceState::Running);
     cloud
-        .set_metrics(id, InstanceMetrics { cpu_utilization: 0.5, storage_used: 0.9, responsive: true })
+        .set_metrics(
+            id,
+            InstanceMetrics {
+                cpu_utilization: 0.5,
+                storage_used: 0.9,
+                responsive: true,
+            },
+        )
         .unwrap();
     assert!(cloud.metrics(id).unwrap().storage_used > 0.85);
     cloud.inject_crash(id).unwrap();

@@ -22,7 +22,9 @@ impl BytesMut {
 
     /// An empty buffer with `n` bytes preallocated.
     pub fn with_capacity(n: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(n) }
+        BytesMut {
+            buf: Vec::with_capacity(n),
+        }
     }
 
     /// Bytes written so far.
@@ -77,7 +79,10 @@ impl BytesMut {
 
     /// Convert to an immutable reader.
     pub fn freeze(self) -> Bytes {
-        Bytes { buf: self.buf, pos: 0 }
+        Bytes {
+            buf: self.buf,
+            pos: 0,
+        }
     }
 }
 
@@ -165,14 +170,20 @@ impl Bytes {
 
     /// Consume the next `n` bytes into their own buffer.
     pub fn split_to(&mut self, n: usize) -> Bytes {
-        let out = Bytes { buf: self.buf[self.pos..self.pos + n].to_vec(), pos: 0 };
+        let out = Bytes {
+            buf: self.buf[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
         self.pos += n;
         out
     }
 
     /// A copy of the first `range.end` unread bytes.
     pub fn slice(&self, range: RangeTo<usize>) -> Bytes {
-        Bytes { buf: self.buf[self.pos..self.pos + range.end].to_vec(), pos: 0 }
+        Bytes {
+            buf: self.buf[self.pos..self.pos + range.end].to_vec(),
+            pos: 0,
+        }
     }
 }
 
@@ -185,7 +196,10 @@ impl Deref for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(s: &[u8]) -> Self {
-        Bytes { buf: s.to_vec(), pos: 0 }
+        Bytes {
+            buf: s.to_vec(),
+            pos: 0,
+        }
     }
 }
 

@@ -128,7 +128,10 @@ pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Row>> {
         rows.push(decode_row(&mut buf)?);
     }
     if buf.has_remaining() {
-        return Err(Error::Codec(format!("{} trailing bytes after batch", buf.remaining())));
+        return Err(Error::Codec(format!(
+            "{} trailing bytes after batch",
+            buf.remaining()
+        )));
     }
     Ok(rows)
 }

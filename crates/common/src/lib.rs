@@ -16,6 +16,7 @@
 pub mod bytes;
 pub mod codec;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod row;
@@ -23,6 +24,7 @@ pub mod schema;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use hash::{mix64, stable_hash};
 pub use ids::{InstanceId, PeerId, UserId};
 pub use row::Row;
 pub use schema::{ColumnDef, ColumnType, TableSchema};

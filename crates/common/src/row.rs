@@ -96,14 +96,20 @@ mod tests {
     fn project_reorders_and_duplicates() {
         let r = sample();
         let p = r.project(&[2, 0, 0]);
-        assert_eq!(p.values(), &[Value::Float(2.5), Value::Int(1), Value::Int(1)]);
+        assert_eq!(
+            p.values(),
+            &[Value::Float(2.5), Value::Int(1), Value::Int(1)]
+        );
     }
 
     #[test]
     fn concat_joins_rows() {
         let a = Row::new(vec![Value::Int(1)]);
         let b = Row::new(vec![Value::Int(2), Value::Int(3)]);
-        assert_eq!(a.concat(&b).values(), &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            a.concat(&b).values(),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
         assert_eq!(a.concat(&b).arity(), 3);
     }
 

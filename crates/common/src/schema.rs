@@ -49,7 +49,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Shorthand constructor.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        ColumnDef { name: name.into(), ty }
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -88,7 +91,11 @@ impl TableSchema {
                 )));
             }
         }
-        Ok(TableSchema { name, columns, primary_key })
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key,
+        })
     }
 
     /// Number of columns.
@@ -101,9 +108,7 @@ impl TableSchema {
         self.columns
             .iter()
             .position(|c| c.name == column)
-            .ok_or_else(|| {
-                Error::Catalog(format!("no column `{column}` in table `{}`", self.name))
-            })
+            .ok_or_else(|| Error::Catalog(format!("no column `{column}` in table `{}`", self.name)))
     }
 
     /// All column names in order.
@@ -136,7 +141,10 @@ impl TableSchema {
 
     /// Extract the primary-key values of a row, in key order.
     pub fn key_of(&self, row: &crate::row::Row) -> Vec<Value> {
-        self.primary_key.iter().map(|&i| row.get(i).clone()).collect()
+        self.primary_key
+            .iter()
+            .map(|&i| row.get(i).clone())
+            .collect()
     }
 }
 
@@ -184,7 +192,10 @@ mod tests {
         let s = nation();
         assert_eq!(s.column_index("n_name").unwrap(), 1);
         assert!(s.column_index("nope").is_err());
-        assert_eq!(s.column_names().collect::<Vec<_>>(), vec!["n_nationkey", "n_name", "n_regionkey"]);
+        assert_eq!(
+            s.column_names().collect::<Vec<_>>(),
+            vec!["n_nationkey", "n_name", "n_regionkey"]
+        );
     }
 
     #[test]
@@ -197,7 +208,10 @@ mod tests {
         let wrong_type = Row::new(vec![Value::str("x"), Value::str("FRANCE"), Value::Int(3)]);
         assert!(s.check_row(&wrong_type).is_err());
         let with_null = Row::new(vec![Value::Int(1), Value::Null, Value::Int(3)]);
-        assert!(s.check_row(&with_null).is_ok(), "NULL admissible everywhere");
+        assert!(
+            s.check_row(&with_null).is_ok(),
+            "NULL admissible everywhere"
+        );
     }
 
     #[test]

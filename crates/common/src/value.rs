@@ -64,7 +64,10 @@ impl Value {
             Value::Int(v) => Ok(*v),
             Value::Float(v) => Ok(*v as i64),
             Value::Date(v) => Ok(i64::from(*v)),
-            other => Err(Error::Type(format!("expected int, found {}", other.type_name()))),
+            other => Err(Error::Type(format!(
+                "expected int, found {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -74,7 +77,10 @@ impl Value {
             Value::Int(v) => Ok(*v as f64),
             Value::Float(v) => Ok(*v),
             Value::Date(v) => Ok(f64::from(*v)),
-            other => Err(Error::Type(format!("expected float, found {}", other.type_name()))),
+            other => Err(Error::Type(format!(
+                "expected float, found {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -82,7 +88,10 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(Error::Type(format!("expected string, found {}", other.type_name()))),
+            other => Err(Error::Type(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -304,7 +313,13 @@ mod tests {
 
     #[test]
     fn date_round_trips() {
-        for &(y, m, d) in &[(1970, 1, 1), (1992, 2, 29), (1998, 11, 5), (2026, 7, 7), (1899, 12, 31)] {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1992, 2, 29),
+            (1998, 11, 5),
+            (2026, 7, 7),
+            (1899, 12, 31),
+        ] {
             let days = days_from_civil(y, m, d);
             assert_eq!(civil_from_days(days), (y, m, d), "date {y}-{m}-{d}");
         }
@@ -323,7 +338,12 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = [Value::Int(3), Value::Null, Value::Float(-1.5), Value::str("abc")];
+        let mut vals = [
+            Value::Int(3),
+            Value::Null,
+            Value::Float(-1.5),
+            Value::str("abc"),
+        ];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(-1.5));
@@ -353,10 +373,22 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(Value::Int(2).checked_add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(Value::Int(2).checked_mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
-        assert_eq!(Value::Null.checked_add(&Value::Int(3)).unwrap(), Value::Int(3));
-        assert_eq!(Value::Int(2).checked_sub(&Value::Int(3)).unwrap(), Value::Int(-1));
+        assert_eq!(
+            Value::Int(2).checked_add(&Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            Value::Int(2).checked_mul(&Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Null.checked_add(&Value::Int(3)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Value::Int(2).checked_sub(&Value::Int(3)).unwrap(),
+            Value::Int(-1)
+        );
         assert!(Value::str("a").checked_mul(&Value::Int(1)).is_err());
     }
 

@@ -25,9 +25,15 @@ pub struct Privilege {
 
 impl Privilege {
     /// Read-only access.
-    pub const READ: Privilege = Privilege { read: true, write: false };
+    pub const READ: Privilege = Privilege {
+        read: true,
+        write: false,
+    };
     /// Read-write access.
-    pub const READ_WRITE: Privilege = Privilege { read: true, write: true };
+    pub const READ_WRITE: Privilege = Privilege {
+        read: true,
+        write: true,
+    };
 }
 
 /// One access rule `(c_i, p_j, d)` of Definition 1.
@@ -88,7 +94,10 @@ pub struct Role {
 impl Role {
     /// An empty role.
     pub fn new(name: impl Into<String>) -> Self {
-        Role { name: name.into(), rules: Vec::new() }
+        Role {
+            name: name.into(),
+            rules: Vec::new(),
+        }
     }
 
     /// A role granting full read access to every column of `tables`
@@ -106,7 +115,10 @@ impl Role {
     /// The inherit operator `Role_i ‘ Role_j`: a new role with all of
     /// this role's privileges.
     pub fn inherit(&self, name: impl Into<String>) -> Role {
-        Role { name: name.into(), rules: self.rules.clone() }
+        Role {
+            name: name.into(),
+            rules: self.rules.clone(),
+        }
     }
 
     /// The `+` operator: this role plus one extra rule.
@@ -136,9 +148,9 @@ impl Role {
         table: &'a str,
         column: &'a str,
     ) -> impl Iterator<Item = &'a AccessRule> + 'a {
-        self.rules.iter().filter(move |r| {
-            r.table == table && r.column == column && r.privileges.read
-        })
+        self.rules
+            .iter()
+            .filter(move |r| r.table == table && r.column == column && r.privileges.read)
     }
 
     /// May the role read any value of `table.column`?
@@ -265,8 +277,9 @@ mod tests {
         assert_eq!(derived.rules, base.rules);
         assert_eq!(derived.name, "sales-jr");
 
-        let widened =
-            derived.clone().plus(AccessRule::read("lineitem", "l_quantity"));
+        let widened = derived
+            .clone()
+            .plus(AccessRule::read("lineitem", "l_quantity"));
         assert!(widened.can_read("lineitem", "l_quantity"));
 
         let shipdate_rule = AccessRule::read("lineitem", "l_shipdate");
@@ -274,7 +287,9 @@ mod tests {
         assert!(!narrowed.can_read("lineitem", "l_shipdate"));
 
         // Removing a rule that is not present is an error.
-        assert!(derived.minus(&AccessRule::read("orders", "o_orderkey")).is_err());
+        assert!(derived
+            .minus(&AccessRule::read("orders", "o_orderkey"))
+            .is_err());
     }
 
     #[test]
@@ -288,12 +303,8 @@ mod tests {
     #[test]
     fn overlapping_ranged_rules_union() {
         let r = Role::new("u")
-            .plus(
-                AccessRule::read("t", "c").with_range(Value::Int(0), Value::Int(10)),
-            )
-            .plus(
-                AccessRule::read("t", "c").with_range(Value::Int(100), Value::Int(110)),
-            );
+            .plus(AccessRule::read("t", "c").with_range(Value::Int(0), Value::Int(10)))
+            .plus(AccessRule::read("t", "c").with_range(Value::Int(100), Value::Int(110)));
         assert_eq!(r.mask_value("t", "c", &Value::Int(5)), Value::Int(5));
         assert_eq!(r.mask_value("t", "c", &Value::Int(105)), Value::Int(105));
         assert_eq!(r.mask_value("t", "c", &Value::Int(50)), Value::Null);

@@ -77,6 +77,21 @@ pub struct UserRecord {
     pub home_peer: PeerId,
 }
 
+/// Health counters of the bootstrap peer's failure detector
+/// (heartbeat misses, fail-overs, pending blacklist releases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BootstrapHealth {
+    /// Sum of all peers' current consecutive-miss counters.
+    pub heartbeat_misses: u64,
+    /// Peers with at least one consecutive miss (suspected, not yet
+    /// failed over).
+    pub suspected_peers: usize,
+    /// Instances awaiting resource release at the next epoch.
+    pub blacklist_size: usize,
+    /// Fail-overs performed since the network started.
+    pub failovers: u64,
+}
+
 /// The bootstrap peer state.
 #[derive(Debug)]
 pub struct BootstrapPeer {
@@ -93,8 +108,8 @@ pub struct BootstrapPeer {
     /// Storage-utilization threshold that triggers auto-scaling.
     pub scale_storage_threshold: f64,
     /// Consecutive missed heartbeat epochs before a peer is declared
-    /// dead and failed over. One epoch = one [`maintenance_tick`]
-    /// (`BootstrapPeer::maintenance_tick`). A threshold above 1 keeps a
+    /// dead and failed over. One epoch = one
+    /// [`BootstrapPeer::maintenance_tick`]. A threshold above 1 keeps a
     /// transient hiccup (one unresponsive probe) from triggering a
     /// fail-over that would discard unreplicated local state.
     pub fail_threshold: u32,
@@ -104,6 +119,9 @@ pub struct BootstrapPeer {
     /// Per-peer consecutive missed-heartbeat counters.
     heartbeat_misses: BTreeMap<PeerId, u32>,
     events: Vec<MaintenanceEvent>,
+    /// Fail-overs performed since the network started (cumulative; the
+    /// telemetry layer exports it as `bootstrap.failovers`).
+    failovers: u64,
 }
 
 impl BootstrapPeer {
@@ -125,6 +143,7 @@ impl BootstrapPeer {
             max_event_history: 1024,
             heartbeat_misses: BTreeMap::new(),
             events: Vec::new(),
+            failovers: 0,
         }
     }
 
@@ -174,15 +193,21 @@ impl BootstrapPeer {
         self.heartbeat_misses.get(&peer).copied().unwrap_or(0)
     }
 
+    /// A snapshot of the failure detector's health counters, for the
+    /// telemetry layer.
+    pub fn health(&self) -> BootstrapHealth {
+        BootstrapHealth {
+            heartbeat_misses: self.heartbeat_misses.values().map(|m| u64::from(*m)).sum(),
+            suspected_peers: self.heartbeat_misses.len(),
+            blacklist_size: self.blacklist.len(),
+            failovers: self.failovers,
+        }
+    }
+
     /// Blacklist an instance, skipping duplicates (a peer can be both
     /// departed and failed-over before the next release epoch; releasing
     /// the same instance twice would error).
-    fn blacklist_instance(
-        &mut self,
-        peer: PeerId,
-        instance: InstanceId,
-        reason: BlacklistReason,
-    ) {
+    fn blacklist_instance(&mut self, peer: PeerId, instance: InstanceId, reason: BlacklistReason) {
         if !self.blacklist.iter().any(|(_, i, _)| *i == instance) {
             self.blacklist.push((peer, instance, reason));
         }
@@ -208,7 +233,12 @@ impl BootstrapPeer {
         let cert = self.ca.issue(peer);
         self.peer_list.insert(
             peer,
-            PeerRecord { peer, business: business.to_owned(), instance, cert },
+            PeerRecord {
+                peer,
+                business: business.to_owned(),
+                instance,
+                cert,
+            },
         );
         let mut normal = NormalPeer::new(peer, business, instance);
         normal.cert = Some(cert);
@@ -242,12 +272,20 @@ impl BootstrapPeer {
     /// to other normal peers" (§4.4).
     pub fn register_user(&mut self, name: &str, home_peer: PeerId) -> Result<UserId> {
         if !self.peer_list.contains_key(&home_peer) {
-            return Err(Error::Membership(format!("{home_peer} is not a participant")));
+            return Err(Error::Membership(format!(
+                "{home_peer} is not a participant"
+            )));
         }
         let user = UserId::new(self.next_user);
         self.next_user += 1;
-        self.users
-            .insert(user, UserRecord { user, name: name.to_owned(), home_peer });
+        self.users.insert(
+            user,
+            UserRecord {
+                user,
+                name: name.to_owned(),
+                home_peer,
+            },
+        );
         Ok(user)
     }
 
@@ -304,6 +342,7 @@ impl BootstrapPeer {
                 }
                 self.blacklist_instance(pid, record.instance, BlacklistReason::FailedOver);
                 self.peer_list.get_mut(&pid).expect("listed").instance = new_instance;
+                self.failovers += 1;
                 epoch_events.push(MaintenanceEvent::FailOver {
                     peer: pid,
                     old_instance: record.instance,
@@ -318,8 +357,10 @@ impl BootstrapPeer {
                     // --- auto-scaling (Algorithm 1 lines 12–17) ------
                     if let Some(bigger) = cloud.shape(record.instance)?.upgrade() {
                         cloud.upgrade_instance(record.instance, bigger)?;
-                        epoch_events
-                            .push(MaintenanceEvent::AutoScale { peer: pid, shape: bigger });
+                        epoch_events.push(MaintenanceEvent::AutoScale {
+                            peer: pid,
+                            shape: bigger,
+                        });
                     }
                 }
             }
@@ -369,15 +410,14 @@ mod tests {
     use bestpeer_common::{ColumnDef, ColumnType, Row, Value};
 
     fn schemas() -> Vec<TableSchema> {
-        vec![TableSchema::new(
-            "t",
-            vec![ColumnDef::new("id", ColumnType::Int)],
-            vec![0],
-        )
-        .unwrap()]
+        vec![TableSchema::new("t", vec![ColumnDef::new("id", ColumnType::Int)], vec![0]).unwrap()]
     }
 
-    fn setup() -> (BootstrapPeer, SimCloud<Database>, BTreeMap<PeerId, NormalPeer>) {
+    fn setup() -> (
+        BootstrapPeer,
+        SimCloud<Database>,
+        BTreeMap<PeerId, NormalPeer>,
+    ) {
         let mut boot = BootstrapPeer::new(schemas(), 0xB00);
         let mut cloud: SimCloud<Database> = SimCloud::new();
         let mut peers = BTreeMap::new();
@@ -417,7 +457,9 @@ mod tests {
         // Resources reclaimed at the next epoch.
         let before = cloud.running_count();
         let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
-        assert!(events.iter().any(|e| matches!(e, MaintenanceEvent::Released { instances: 1 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MaintenanceEvent::Released { instances: 1 })));
         assert_eq!(cloud.running_count(), before - 1);
     }
 
@@ -443,7 +485,9 @@ mod tests {
         for _ in 0..boot.fail_threshold - 1 {
             let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
             assert!(
-                !events.iter().any(|e| matches!(e, MaintenanceEvent::FailOver { .. })),
+                !events
+                    .iter()
+                    .any(|e| matches!(e, MaintenanceEvent::FailOver { .. })),
                 "below the miss threshold: no fail-over yet"
             );
         }
@@ -452,7 +496,12 @@ mod tests {
             .iter()
             .find(|e| matches!(e, MaintenanceEvent::FailOver { .. }))
             .expect("failover event");
-        if let MaintenanceEvent::FailOver { peer, old_instance: o, new_instance } = failover {
+        if let MaintenanceEvent::FailOver {
+            peer,
+            old_instance: o,
+            new_instance,
+        } = failover
+        {
             assert_eq!(*peer, pid);
             assert_eq!(*o, old_instance);
             assert_ne!(*new_instance, old_instance);
@@ -461,7 +510,9 @@ mod tests {
         let restored = &peers[&pid].db;
         assert_eq!(restored.table("t").unwrap().len(), 1);
         // The dead instance was released in the same epoch.
-        assert!(events.iter().any(|e| matches!(e, MaintenanceEvent::Released { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MaintenanceEvent::Released { .. })));
     }
 
     #[test]
@@ -480,8 +531,16 @@ mod tests {
         let (mut boot, mut cloud, mut peers) = setup();
         let pid = *peers.keys().next().unwrap();
         let instance = peers[&pid].instance;
-        let down = InstanceMetrics { cpu_utilization: 0.1, storage_used: 0.1, responsive: false };
-        let up = InstanceMetrics { cpu_utilization: 0.1, storage_used: 0.1, responsive: true };
+        let down = InstanceMetrics {
+            cpu_utilization: 0.1,
+            storage_used: 0.1,
+            responsive: false,
+        };
+        let up = InstanceMetrics {
+            cpu_utilization: 0.1,
+            storage_used: 0.1,
+            responsive: true,
+        };
         // Two misses, then a hiccup heals before the third.
         cloud.set_metrics(instance, down).unwrap();
         boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
@@ -495,7 +554,9 @@ mod tests {
         cloud.set_metrics(instance, down).unwrap();
         boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
         let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
-        assert!(!events.iter().any(|e| matches!(e, MaintenanceEvent::FailOver { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, MaintenanceEvent::FailOver { .. })));
         assert_eq!(peers[&pid].instance, instance, "instance untouched");
     }
 
@@ -510,12 +571,16 @@ mod tests {
             cloud.inject_crash(peers[&pid].instance).unwrap();
             boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
         }
-        assert!(boot.events().len() <= 4, "history capped: {}", boot.events().len());
+        assert!(
+            boot.events().len() <= 4,
+            "history capped: {}",
+            boot.events().len()
+        );
         // The retained tail is the most recent activity.
-        assert!(boot
-            .events()
-            .iter()
-            .any(|e| matches!(e, MaintenanceEvent::FailOver { .. } | MaintenanceEvent::Released { .. })));
+        assert!(boot.events().iter().any(|e| matches!(
+            e,
+            MaintenanceEvent::FailOver { .. } | MaintenanceEvent::Released { .. }
+        )));
     }
 
     #[test]
@@ -540,7 +605,11 @@ mod tests {
         cloud
             .set_metrics(
                 peers[&pid].instance,
-                InstanceMetrics { cpu_utilization: 0.1, storage_used: 0.1, responsive: false },
+                InstanceMetrics {
+                    cpu_utilization: 0.1,
+                    storage_used: 0.1,
+                    responsive: false,
+                },
             )
             .unwrap();
         boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
@@ -556,18 +625,30 @@ mod tests {
         cloud
             .set_metrics(
                 peers[&pid].instance,
-                InstanceMetrics { cpu_utilization: 0.99, storage_used: 0.2, responsive: true },
+                InstanceMetrics {
+                    cpu_utilization: 0.99,
+                    storage_used: 0.2,
+                    responsive: true,
+                },
             )
             .unwrap();
         let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
         assert!(events.iter().any(|e| matches!(
             e,
-            MaintenanceEvent::AutoScale { shape: InstanceType::M1_LARGE, .. }
+            MaintenanceEvent::AutoScale {
+                shape: InstanceType::M1_LARGE,
+                ..
+            }
         )));
-        assert_eq!(cloud.shape(peers[&pid].instance).unwrap(), InstanceType::M1_LARGE);
+        assert_eq!(
+            cloud.shape(peers[&pid].instance).unwrap(),
+            InstanceType::M1_LARGE
+        );
         // A second overloaded epoch has nowhere to scale: no event.
         let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
-        assert!(!events.iter().any(|e| matches!(e, MaintenanceEvent::AutoScale { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, MaintenanceEvent::AutoScale { .. })));
     }
 
     #[test]

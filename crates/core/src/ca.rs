@@ -38,7 +38,11 @@ impl CertificateAuthority {
     /// A CA with the given secret (the bootstrap peer picks it at
     /// network-creation time).
     pub fn new(secret: u64) -> Self {
-        CertificateAuthority { secret, next_serial: 1, revoked: HashSet::new() }
+        CertificateAuthority {
+            secret,
+            next_serial: 1,
+            revoked: HashSet::new(),
+        }
     }
 
     fn tag_for(&self, peer: PeerId, serial: u64) -> u64 {
@@ -55,7 +59,11 @@ impl CertificateAuthority {
     pub fn issue(&mut self, peer: PeerId) -> Certificate {
         let serial = self.next_serial;
         self.next_serial += 1;
-        Certificate { peer, serial, tag: self.tag_for(peer, serial) }
+        Certificate {
+            peer,
+            serial,
+            tag: self.tag_for(peer, serial),
+        }
     }
 
     /// Verify a certificate: authentic and not revoked.

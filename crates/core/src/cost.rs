@@ -195,8 +195,7 @@ pub fn latency_mapreduce(p: &CostParams, g: &ProcessingGraph) -> f64 {
     let mut lat = g.depth() as f64 * startup_secs;
     for (level, s_i) in g.levels.iter().zip(&s) {
         let t = level.partitions.max(1.0);
-        lat += (prev / t + level.size / t + 2.0 * s_i / t) / p.mu
-            + (3.0 * s_i / t) / p.net_mu;
+        lat += (prev / t + level.size / t + 2.0 * s_i / t) / p.mu + (3.0 * s_i / t) / p.net_mu;
         prev = *s_i;
     }
     lat * p.mr_scale
@@ -220,7 +219,11 @@ pub struct EngineDecision {
 pub fn decide(p: &CostParams, g: &ProcessingGraph) -> EngineDecision {
     let p2p_cost = latency_parallel_p2p(p, g);
     let mr_cost = latency_mapreduce(p, g);
-    EngineDecision { p2p_cost, mr_cost, choose_p2p: p2p_cost <= mr_cost }
+    EngineDecision {
+        p2p_cost,
+        mr_cost,
+        choose_p2p: p2p_cost <= mr_cost,
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +231,13 @@ mod tests {
     use super::*;
 
     fn join_level(size: f64, partitions: f64, selectivity: f64) -> LevelSpec {
-        LevelSpec { op: LevelOp::Join, table: "t".into(), size, partitions, selectivity }
+        LevelSpec {
+            op: LevelOp::Join,
+            table: "t".into(),
+            size,
+            partitions,
+            selectivity,
+        }
     }
 
     /// A graph whose intermediate sizes are pinned to `s` values, over
@@ -245,12 +254,21 @@ mod tests {
                 join_level(size, t, sel)
             })
             .collect();
-        ProcessingGraph { levels, driving_bytes: driving }
+        ProcessingGraph {
+            levels,
+            driving_bytes: driving,
+        }
     }
 
     #[test]
     fn basic_cost_components() {
-        let p = CostParams { alpha: 1.0, beta_bp: 2.0, gamma: 3.0, mu: 10.0, ..Default::default() };
+        let p = CostParams {
+            alpha: 1.0,
+            beta_bp: 2.0,
+            gamma: 3.0,
+            mu: 10.0,
+            ..Default::default()
+        };
         // (1+2)*100 + 3*100/10 = 330
         assert_eq!(cost_basic(&p, 100.0), 330.0);
     }
@@ -267,7 +285,13 @@ mod tests {
 
     #[test]
     fn monetary_costs_follow_equations() {
-        let p = CostParams { alpha: 1.0, beta_bp: 1.0, beta_mr: 1.0, phi: 5.0, ..Default::default() };
+        let p = CostParams {
+            alpha: 1.0,
+            beta_bp: 1.0,
+            beta_mr: 1.0,
+            phi: 5.0,
+            ..Default::default()
+        };
         let g = ProcessingGraph {
             levels: vec![join_level(100.0, 4.0, 0.1), join_level(50.0, 4.0, 0.2)],
             driving_bytes: 1.0,
@@ -295,7 +319,10 @@ mod tests {
         let p = CostParams::default();
         let g = graph_with_sizes(1.0e10, &[1.0e10, 1.0e10, 1.0e10], 50.0);
         let d = decide(&p, &g);
-        assert!(!d.choose_p2p, "MapReduce should win on deep large jobs: {d:?}");
+        assert!(
+            !d.choose_p2p,
+            "MapReduce should win on deep large jobs: {d:?}"
+        );
     }
 
     #[test]
@@ -305,9 +332,7 @@ mod tests {
         // from P2P to MapReduce.
         let p = CostParams::default();
         let per_node = 6.0e7;
-        let graph = |nodes: f64| {
-            graph_with_sizes(per_node * nodes, &[per_node * nodes; 3], nodes)
-        };
+        let graph = |nodes: f64| graph_with_sizes(per_node * nodes, &[per_node * nodes; 3], nodes);
         let small = decide(&p, &graph(5.0));
         let large = decide(&p, &graph(80.0));
         assert!(small.choose_p2p, "small cluster: {small:?}");

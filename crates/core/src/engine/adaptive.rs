@@ -56,18 +56,26 @@ impl GlobalStats {
         self.tables.get(table).map_or(0.0, |t| t.1 as f64)
     }
     fn partitions(&self, table: &str) -> f64 {
-        self.tables.get(table).map_or(1.0, |t| (t.2 as f64).max(1.0))
+        self.tables
+            .get(table)
+            .map_or(1.0, |t| (t.2 as f64).max(1.0))
     }
 
     /// Fraction of a table's tuples satisfying the query's predicates on
     /// it, from the histogram when available (1.0 otherwise).
     fn predicate_selectivity(&self, stmt: &SelectStmt, table: &str) -> f64 {
-        let Some(hist) = self.histograms.get(table) else { return 1.0 };
+        let Some(hist) = self.histograms.get(table) else {
+            return 1.0;
+        };
         let mut region = QueryRegion::unbounded(hist.columns.len());
         let mut constrained = false;
         for p in &stmt.predicates {
-            let Some((cref, op, lit)) = p.as_column_literal() else { continue };
-            let Some(dim) = hist.dim_of(&cref.column) else { continue };
+            let Some((cref, op, lit)) = p.as_column_literal() else {
+                continue;
+            };
+            let Some(dim) = hist.dim_of(&cref.column) else {
+                continue;
+            };
             let x = lit.numeric_rank();
             use bestpeer_sql::ast::CmpOp::*;
             region = match op {
@@ -148,7 +156,10 @@ pub fn build_processing_graph(
             selectivity: 0.1,
         });
     }
-    Ok(ProcessingGraph { levels, driving_bytes })
+    Ok(ProcessingGraph {
+        levels,
+        driving_bytes,
+    })
 }
 
 /// Algorithm 2: predict both costs, run the cheaper engine.
@@ -162,7 +173,10 @@ pub fn execute(
     let graph = build_processing_graph(stmt, stats, &ctx.from_schemas(stmt)?)?;
     let decision = cost::decide(params, &graph);
     let (output, ran) = if decision.choose_p2p {
-        (parallel::execute(ctx, submitter, stmt)?, ChosenEngine::ParallelP2P)
+        (
+            parallel::execute(ctx, submitter, stmt)?,
+            ChosenEngine::ParallelP2P,
+        )
     } else {
         (mr::execute(ctx, submitter, stmt)?, ChosenEngine::MapReduce)
     };
@@ -170,6 +184,9 @@ pub fn execute(
 }
 
 /// (Internal helper exposed for the cost-model benches.)
-pub fn final_binding_of(stmt: &SelectStmt, schemas: &[bestpeer_common::TableSchema]) -> Result<Binding> {
+pub fn final_binding_of(
+    stmt: &SelectStmt,
+    schemas: &[bestpeer_common::TableSchema],
+) -> Result<Binding> {
     Ok(decompose(stmt, schemas)?.final_binding().clone())
 }

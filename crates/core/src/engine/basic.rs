@@ -22,19 +22,23 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use bestpeer_common::{codec, Error, PeerId, Result, Row, TableSchema, Value};
+use bestpeer_common::{codec, Error, PeerId, Result, TableSchema, Value};
 use bestpeer_simnet::{Phase, Task, Trace};
 use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::bloom::BloomFilter;
 use bestpeer_sql::decompose::{decompose, Decomposition};
 use bestpeer_sql::dist::split_aggregate;
-use bestpeer_sql::exec::{execute_select, ResultSet};
+use bestpeer_sql::exec::execute_select;
 use bestpeer_storage::{Database, MemTable};
 
 use super::{EngineCtx, EngineOutput};
 
 /// Execute `stmt` with the basic strategy on behalf of `submitter`.
-pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) -> Result<EngineOutput> {
+pub fn execute(
+    ctx: &mut EngineCtx<'_>,
+    submitter: PeerId,
+    stmt: &SelectStmt,
+) -> Result<EngineOutput> {
     let mut trace = Trace::new();
     let located = ctx.locate(submitter, stmt, &mut trace)?;
 
@@ -81,18 +85,17 @@ pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) ->
         }
         trace.push(fetch);
         let rs = dist.combine.apply(&partial_cols, &partial_rows)?;
-        trace.push(
-            Phase::new("combine").task(Task::on(submitter).cpu(total_bytes * 2)),
-        );
-        return Ok((apply_order_limit(stmt, rs), trace));
+        trace.push(Phase::new("combine").task(Task::on(submitter).cpu(total_bytes * 2)));
+        let mut rs = rs;
+        bestpeer_sql::apply_order_limit(stmt, &mut rs);
+        return Ok((rs, trace));
     }
 
     // ---- fetch-and-process ---------------------------------------
     // Fetch the most selective table first so the Bloom filter built
     // from it prunes the bigger sides before they cross the network.
     let schemas = ctx.from_schemas(stmt)?;
-    let (stmt_ord, schemas) =
-        bestpeer_sql::decompose::reorder_for_selectivity(stmt, &schemas);
+    let (stmt_ord, schemas) = bestpeer_sql::decompose::reorder_for_selectivity(stmt, &schemas);
     let stmt = &stmt_ord;
     let decomp = decompose(stmt, &schemas)?;
     let mut temp = Database::new();
@@ -124,8 +127,7 @@ pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) ->
                         }
                     }
                     let mut ship = Phase::new(format!("bloom-ship:{}", part.table));
-                    let mut build =
-                        Task::on(submitter).cpu(values.len() as u64 * 8);
+                    let mut build = Task::on(submitter).cpu(values.len() as u64 * 8);
                     for owner in &owners {
                         build = build.send(*owner, f.byte_size());
                     }
@@ -192,7 +194,9 @@ fn temp_schema(
     schemas: &[TableSchema],
 ) -> Result<TableSchema> {
     let (table, _) = binding.col(0);
-    let table = table.clone().ok_or_else(|| Error::Internal("unqualified binding".into()))?;
+    let table = table
+        .clone()
+        .ok_or_else(|| Error::Internal("unqualified binding".into()))?;
     let global = schemas
         .iter()
         .find(|s| s.name == table)
@@ -218,61 +222,6 @@ fn column_values(db: &Database, table: &str, column: &str) -> Result<Vec<Value>>
     let t = db.table(table)?;
     let idx = t.schema().column_index(column)?;
     Ok(t.scan().map(|r| r.get(idx).clone()).collect())
-}
-
-/// Coordinator-side ORDER BY / LIMIT for the partial-aggregation path
-/// (the combine step returns unordered rows).
-fn apply_order_limit(stmt: &SelectStmt, mut rs: ResultSet) -> ResultSet {
-    if !stmt.order_by.is_empty() {
-        let binding = bestpeer_sql::plan::Binding::from_cols(
-            rs.columns.iter().map(|c| (None, c.clone())).collect(),
-        );
-        let keys: Vec<(bestpeer_sql::Expr, bool)> = stmt
-            .order_by
-            .iter()
-            .map(|k| {
-                let mut e = k.expr.clone();
-                // Aliases and aggregate displays both appear as output
-                // column names after combining.
-                for it in &stmt.projections {
-                    if let bestpeer_sql::Expr::Column(c) = &e {
-                        if Some(c.column.as_str()) == it.alias.as_deref() {
-                            e = bestpeer_sql::Expr::col(c.column.clone());
-                        }
-                    }
-                }
-                (e, k.desc)
-            })
-            .collect();
-        let mut keyed: Vec<(Vec<Value>, Row)> = rs
-            .rows
-            .drain(..)
-            .map(|r| {
-                let kv = keys
-                    .iter()
-                    .map(|(e, _)| {
-                        bestpeer_sql::plan::eval(e, &r, &binding).unwrap_or(Value::Null)
-                    })
-                    .collect();
-                (kv, r)
-            })
-            .collect();
-        keyed.sort_by(|(a, _), (b, _)| {
-            for ((x, y), (_, desc)) in a.iter().zip(b.iter()).zip(&keys) {
-                let ord = x.cmp(y);
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        rs.rows = keyed.into_iter().map(|(_, r)| r).collect();
-    }
-    if let Some(n) = stmt.limit {
-        rs.rows.truncate(n);
-    }
-    rs
 }
 
 /// Statistics a caller can extract from a basic-engine trace.

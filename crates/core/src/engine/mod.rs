@@ -74,7 +74,8 @@ impl EngineCtx<'_> {
             )));
         }
         self.faults.note_serve(owner);
-        self.peer(owner)?.serve_subquery(stmt, self.role, self.query_ts)
+        self.peer(owner)?
+            .serve_subquery(stmt, self.role, self.query_ts)
     }
 
     /// The schema of one global table.
@@ -102,10 +103,11 @@ impl EngineCtx<'_> {
         let located = self.locator.peers_for_query(self.overlay, stmt)?;
         let hops = self.locator.stats().hops - hops_before;
         if hops > 0 {
-            trace.push(Phase::new("locate").task(
-                Task::on(submitter)
-                    .fixed(SimTime::from_micros(hops * self.config.hop_latency.as_micros())),
-            ));
+            trace.push(
+                Phase::new("locate").task(Task::on(submitter).fixed(SimTime::from_micros(
+                    hops * self.config.hop_latency.as_micros(),
+                ))),
+            );
         }
         Ok(located.into_iter().collect())
     }

@@ -52,9 +52,10 @@ impl LocalSource for PeerSource<'_> {
             )));
         }
         self.faults.note_serve(peer);
-        let p = self.peers.get(&peer).ok_or_else(|| {
-            bestpeer_common::Error::Network(format!("{peer} is not a live peer"))
-        })?;
+        let p = self
+            .peers
+            .get(&peer)
+            .ok_or_else(|| bestpeer_common::Error::Network(format!("{peer} is not a live peer")))?;
         // A peer whose partition lacks the table contributes nothing.
         if !stmt.from.iter().all(|t| p.db.has_table(t)) {
             return Ok((ResultSet::default(), 0));
@@ -68,9 +69,7 @@ impl LocalSource for PeerSource<'_> {
             .iter()
             .find(|s| s.name == table)
             .cloned()
-            .ok_or_else(|| {
-                bestpeer_common::Error::Catalog(format!("no global table `{table}`"))
-            })
+            .ok_or_else(|| bestpeer_common::Error::Catalog(format!("no global table `{table}`")))
     }
 }
 
@@ -78,7 +77,11 @@ impl LocalSource for PeerSource<'_> {
 /// mounted over the normal peers for the job chain ("a Hadoop
 /// distributed file system is mounted at system start time to serve as
 /// the temporal storage media for MapReduce jobs").
-pub fn execute(ctx: &mut EngineCtx<'_>, _submitter: PeerId, stmt: &SelectStmt) -> Result<EngineOutput> {
+pub fn execute(
+    ctx: &mut EngineCtx<'_>,
+    _submitter: PeerId,
+    stmt: &SelectStmt,
+) -> Result<EngineOutput> {
     let workers: Vec<PeerId> = ctx.peers.keys().copied().collect();
     let engine = MapReduceEngine::new(workers.clone(), ctx.config.mr);
     let mut hdfs = Hdfs::new(workers, ctx.config.hdfs_replication);
@@ -89,5 +92,10 @@ pub fn execute(ctx: &mut EngineCtx<'_>, _submitter: PeerId, stmt: &SelectStmt) -
         query_ts: ctx.query_ts,
         faults: ctx.faults,
     };
-    run_stmt(stmt, &source, &engine, &mut hdfs)
+    let (mut rs, trace) = run_stmt(stmt, &source, &engine, &mut hdfs)?;
+    // Idempotent re-application: the ordering/truncation contract all
+    // engines share is enforced at the engine boundary, not left to a
+    // compiler-internal detail of `run_stmt`.
+    bestpeer_sql::apply_order_limit(stmt, &mut rs);
+    Ok((rs, trace))
 }

@@ -55,6 +55,11 @@ pub struct OnlineOutput {
     /// aggregation keeps streaming estimates from the survivors instead
     /// of failing the whole run).
     pub degraded: bool,
+    /// How many owning peers were skipped because they were down.
+    pub skipped_peers: u32,
+    /// Telemetry for the run (the network layer fills this in; engines
+    /// constructed directly leave the default).
+    pub report: bestpeer_telemetry::QueryReport,
 }
 
 /// Run a single-aggregate query (`SUM`, `COUNT`, or `AVG`, one table, no
@@ -71,7 +76,9 @@ pub fn execute(
         ));
     }
     if stmt.projections.len() != 1 {
-        return Err(Error::Plan("online aggregation takes exactly one aggregate".into()));
+        return Err(Error::Plan(
+            "online aggregation takes exactly one aggregate".into(),
+        ));
     }
     let func = match &stmt.projections[0].expr {
         Expr::Agg { func, .. } => *func,
@@ -103,6 +110,7 @@ pub fn execute(
     let mut partial_cols = Vec::new();
     let mut estimates = Vec::with_capacity(n);
     let mut degraded = false;
+    let mut skipped_peers = 0u32;
     let mut stage = 0usize;
     for owner in owners.iter() {
         // Graceful degradation: a downed peer's partition is skipped
@@ -111,6 +119,7 @@ pub fn execute(
             Ok(served) => served,
             Err(e) if e.kind() == "unavailable" => {
                 degraded = true;
+                skipped_peers += 1;
                 continue;
             }
             Err(e) => return Err(e),
@@ -159,7 +168,14 @@ pub fn execute(
 
     let final_result = dist.combine.apply(&partial_cols, &partial_rows)?;
     trace.push(Phase::new("online-final").task(Task::on(submitter).cpu(1024)));
-    Ok(OnlineOutput { estimates, final_result, trace, degraded })
+    Ok(OnlineOutput {
+        estimates,
+        final_result,
+        trace,
+        degraded,
+        skipped_peers,
+        report: Default::default(),
+    })
 }
 
 /// Estimate after `k = sums.len()` of `n` peers, with a ~95% interval
@@ -187,8 +203,7 @@ fn estimate_stage(func: AggFunc, sums: &[f64], counts: &[f64], n: usize) -> Onli
         f64::INFINITY
     } else {
         let mean = total_sum / k as f64;
-        let var: f64 =
-            sums.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (k as f64 - 1.0);
+        let var: f64 = sums.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (k as f64 - 1.0);
         // 95% normal quantile, scaled to the total, with the
         // finite-population correction factor sqrt((n-k)/n).
         let fpc = ((n - k) as f64 / n as f64).sqrt();
@@ -205,7 +220,12 @@ fn estimate_stage(func: AggFunc, sums: &[f64], counts: &[f64], n: usize) -> Onli
             _ => unreachable!(),
         }
     };
-    OnlineEstimate { peers_reported: k, peers_total: n, estimate, half_width }
+    OnlineEstimate {
+        peers_reported: k,
+        peers_total: n,
+        estimate,
+        half_width,
+    }
 }
 
 #[cfg(test)]

@@ -25,14 +25,17 @@ use bestpeer_sql::plan::{eval, eval_bool, rewrite_post_agg, AggItem, Binding};
 use super::{EngineCtx, EngineOutput};
 
 /// Execute `stmt` with the parallel P2P strategy.
-pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) -> Result<EngineOutput> {
+pub fn execute(
+    ctx: &mut EngineCtx<'_>,
+    submitter: PeerId,
+    stmt: &SelectStmt,
+) -> Result<EngineOutput> {
     let mut trace = Trace::new();
     let located = ctx.locate(submitter, stmt, &mut trace)?;
     // The replicated-join pipeline starts from the most selective
     // table — the "small table" of the replicated join (§5.3).
     let schemas = ctx.from_schemas(stmt)?;
-    let (stmt_ord, schemas) =
-        bestpeer_sql::decompose::reorder_for_selectivity(stmt, &schemas);
+    let (stmt_ord, schemas) = bestpeer_sql::decompose::reorder_for_selectivity(stmt, &schemas);
     let stmt = &stmt_ord;
     let decomp = decompose(stmt, &schemas)?;
 
@@ -95,9 +98,14 @@ pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) ->
             if stmt.is_aggregate() && k + 1 == decomp.joins.len() {
                 // Last join feeds the GROUP BY level hash-partitioned:
                 // each node receives ~1/n of the output, not a replica.
-                let share = out_bytes / nodes_after.len().max(1) as u64;
-                for n in &nodes_after {
-                    task = task.send(*n, share);
+                // The remainder of the integer division is spread over
+                // the first nodes so the shares sum to out_bytes
+                // exactly — the trace must account for every byte sent.
+                let n = nodes_after.len().max(1) as u64;
+                let (share, rem) = (out_bytes / n, out_bytes % n);
+                for (i, node) in nodes_after.iter().enumerate() {
+                    let extra = u64::from((i as u64) < rem);
+                    task = task.send(*node, share + extra);
                 }
             } else {
                 for n in &nodes_after {
@@ -151,7 +159,9 @@ pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) ->
             let out = aggregate_rows(&rows, &inter_binding, &group, &aggs)?;
             let out_bytes = codec::batch_encoded_size(&out);
             phase.push(
-                Task::on(node).cpu(2 * in_bytes + out_bytes).send(submitter, out_bytes),
+                Task::on(node)
+                    .cpu(2 * in_bytes + out_bytes)
+                    .send(submitter, out_bytes),
             );
             agg_out.extend(out);
         }
@@ -179,7 +189,11 @@ pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) ->
             .collect::<Result<_>>()?;
         let out_bytes = codec::batch_encoded_size(&rows);
         trace.push(Phase::new("root").task(Task::on(submitter).cpu(out_bytes)));
-        let rs = ResultSet { columns: projs.into_iter().map(|(_, n)| n).collect(), rows };
+        let mut rs = ResultSet {
+            columns: projs.into_iter().map(|(_, n)| n).collect(),
+            rows,
+        };
+        bestpeer_sql::apply_order_limit(stmt, &mut rs);
         return Ok((rs, trace));
     }
 
@@ -196,7 +210,10 @@ pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) ->
             })
             .collect()
     } else {
-        stmt.projections.iter().map(|it| (it.expr.clone(), it.output_name())).collect()
+        stmt.projections
+            .iter()
+            .map(|it| (it.expr.clone(), it.output_name()))
+            .collect()
     };
     let rows: Vec<Row> = inter_rows
         .iter()
@@ -211,10 +228,12 @@ pub fn execute(ctx: &mut EngineCtx<'_>, submitter: PeerId, stmt: &SelectStmt) ->
         .collect::<Result<_>>()?;
     let out_bytes = codec::batch_encoded_size(&rows);
     trace.push(Phase::new("root").task(Task::on(submitter).cpu(out_bytes)));
-    Ok((
-        ResultSet { columns: projs.into_iter().map(|(_, n)| n).collect(), rows },
-        trace,
-    ))
+    let mut rs = ResultSet {
+        columns: projs.into_iter().map(|(_, n)| n).collect(),
+        rows,
+    };
+    bestpeer_sql::apply_order_limit(stmt, &mut rs);
+    Ok((rs, trace))
 }
 
 /// Hash join of the broadcast intermediate against one local partition.
@@ -275,7 +294,11 @@ fn collect_agg_items(stmt: &SelectStmt) -> Vec<AggItem> {
             Expr::Agg { func, arg } => {
                 let name = e.to_string();
                 if !out.iter().any(|a| a.name == name) {
-                    out.push(AggItem { func: *func, arg: arg.as_deref().cloned(), name });
+                    out.push(AggItem {
+                        func: *func,
+                        arg: arg.as_deref().cloned(),
+                        name,
+                    });
                 }
             }
             Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
@@ -299,10 +322,10 @@ fn collect_agg_items(stmt: &SelectStmt) -> Vec<AggItem> {
     out
 }
 
+/// Group-key → partition hash. Must be the workspace's stable hash:
+/// std's `DefaultHasher` is "not guaranteed stable across releases",
+/// which would let a toolchain upgrade silently re-route the shuffle
+/// and change every trace (breaking chaos-replay determinism).
 fn hash_of(v: &Value) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut h = DefaultHasher::new();
-    v.hash(&mut h);
-    h.finish()
+    bestpeer_common::stable_hash(v)
 }

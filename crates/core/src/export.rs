@@ -63,8 +63,9 @@ pub fn export_tables(
             let bytes = codec::batch_encoded_size(&rs.rows);
             total += rs.rows.len();
             let placement = hdfs.append_part(&path, rs.rows)?;
-            let mut task =
-                Task::on(peer.id).disk(stats.bytes_scanned + bytes).cpu(bytes);
+            let mut task = Task::on(peer.id)
+                .disk(stats.bytes_scanned + bytes)
+                .cpu(bytes);
             for replica in placement.iter().skip(1) {
                 task = task.send(*replica, bytes);
             }
@@ -115,8 +116,7 @@ mod tests {
         .unwrap();
         let mut out = BTreeMap::new();
         for p in 0..3u64 {
-            let mut peer =
-                NormalPeer::new(PeerId::new(p), format!("b{p}"), InstanceId::new(p));
+            let mut peer = NormalPeer::new(PeerId::new(p), format!("b{p}"), InstanceId::new(p));
             peer.db.create_table(schema.clone()).unwrap();
             for i in 0..4i64 {
                 peer.db
@@ -142,8 +142,7 @@ mod tests {
         let peers = peers();
         let ids: Vec<PeerId> = peers.keys().copied().collect();
         let mut hdfs = Hdfs::new(ids, 2);
-        let report =
-            export_tables(&peers, &["sales"], &full_role(), 0, &mut hdfs).unwrap();
+        let report = export_tables(&peers, &["sales"], &full_role(), 0, &mut hdfs).unwrap();
         assert_eq!(report.rows_per_table["sales"], 12);
         assert_eq!(hdfs.read("/export/sales").unwrap().len(), 12);
         assert_eq!(report.trace.phases.len(), 1);
@@ -158,7 +157,10 @@ mod tests {
         let narrow = Role::new("narrow").plus(AccessRule::read("sales", "id"));
         export_tables(&peers, &["sales"], &narrow, 0, &mut hdfs).unwrap();
         let rows = hdfs.read("/export/sales").unwrap();
-        assert!(rows.iter().all(|r| r.get(1).is_null()), "amount masked in HDFS");
+        assert!(
+            rows.iter().all(|r| r.get(1).is_null()),
+            "amount masked in HDFS"
+        );
         assert!(rows.iter().all(|r| !r.get(0).is_null()));
     }
 
@@ -174,8 +176,7 @@ mod tests {
             name: "sum-exported".into(),
             map: Box::new(|row, out| out.push((Value::Int(0), row.clone()))),
             reduce: Some(Box::new(|_, rows, out| {
-                let total: i64 =
-                    rows.iter().map(|r| r.get(1).as_int().unwrap_or(0)).sum();
+                let total: i64 = rows.iter().map(|r| r.get(1).as_int().unwrap_or(0)).sum();
                 out.push(Row::new(vec![Value::Int(total)]));
             })),
             input: exported_input("sales"),
@@ -193,6 +194,10 @@ mod tests {
         let mut hdfs = Hdfs::new(ids, 2);
         export_tables(&peers, &["sales"], &full_role(), 0, &mut hdfs).unwrap();
         export_tables(&peers, &["sales"], &full_role(), 0, &mut hdfs).unwrap();
-        assert_eq!(hdfs.read("/export/sales").unwrap().len(), 12, "no duplicates");
+        assert_eq!(
+            hdfs.read("/export/sales").unwrap().len(),
+            12,
+            "no duplicates"
+        );
     }
 }

@@ -208,9 +208,10 @@ impl FaultState {
     /// stays a complete account of availability transitions.
     pub fn mark_failed_over(&self, peer: PeerId) {
         if self.down.borrow_mut().remove(&peer) {
-            self.log
-                .borrow_mut()
-                .push(FaultRecord { at: self.clock.get(), action: FaultAction::Recover(peer) });
+            self.log.borrow_mut().push(FaultRecord {
+                at: self.clock.get(),
+                action: FaultAction::Recover(peer),
+            });
         }
     }
 
@@ -244,8 +245,14 @@ mod tests {
         let f = FaultState::new();
         let p = PeerId::new(7);
         f.schedule([
-            ScheduledFault { at: 2, action: FaultAction::Crash(p) },
-            ScheduledFault { at: 4, action: FaultAction::Recover(p) },
+            ScheduledFault {
+                at: 2,
+                action: FaultAction::Crash(p),
+            },
+            ScheduledFault {
+                at: 4,
+                action: FaultAction::Recover(p),
+            },
         ]);
         assert!(!f.is_down(p));
         f.tick(); // t=1
@@ -258,8 +265,20 @@ mod tests {
         assert!(!f.is_down(p));
         let log = f.log();
         assert_eq!(log.len(), 2);
-        assert_eq!(log[0], FaultRecord { at: 2, action: FaultAction::Crash(p) });
-        assert_eq!(log[1], FaultRecord { at: 4, action: FaultAction::Recover(p) });
+        assert_eq!(
+            log[0],
+            FaultRecord {
+                at: 2,
+                action: FaultAction::Crash(p)
+            }
+        );
+        assert_eq!(
+            log[1],
+            FaultRecord {
+                at: 4,
+                action: FaultAction::Recover(p)
+            }
+        );
     }
 
     #[test]
@@ -269,7 +288,10 @@ mod tests {
         f.tick();
         f.tick();
         f.tick();
-        f.schedule([ScheduledFault { at: 1, action: FaultAction::Crash(p) }]);
+        f.schedule([ScheduledFault {
+            at: 1,
+            action: FaultAction::Crash(p),
+        }]);
         assert!(!f.is_down(p), "lazy: applies on the next operation");
         f.tick();
         assert!(f.is_down(p));
@@ -282,7 +304,10 @@ mod tests {
         let p = PeerId::new(3);
         f.schedule([ScheduledFault {
             at: 1,
-            action: FaultAction::SlowLink { peer: p, extra: SimTime::from_micros(250) },
+            action: FaultAction::SlowLink {
+                peer: p,
+                extra: SimTime::from_micros(250),
+            },
         }]);
         f.tick();
         f.note_serve(p);
@@ -290,7 +315,10 @@ mod tests {
         f.note_serve(PeerId::new(9)); // not slowed
         assert_eq!(f.take_slow_latency(), SimTime::from_micros(500));
         assert_eq!(f.take_slow_latency(), SimTime::ZERO, "drained");
-        f.schedule([ScheduledFault { at: 2, action: FaultAction::FastLink(p) }]);
+        f.schedule([ScheduledFault {
+            at: 2,
+            action: FaultAction::FastLink(p),
+        }]);
         f.tick();
         f.note_serve(p);
         assert_eq!(f.take_slow_latency(), SimTime::ZERO, "link healed");
@@ -300,7 +328,10 @@ mod tests {
     fn failed_over_peers_are_logged_as_recovered() {
         let f = FaultState::new();
         let p = PeerId::new(5);
-        f.schedule([ScheduledFault { at: 1, action: FaultAction::Crash(p) }]);
+        f.schedule([ScheduledFault {
+            at: 1,
+            action: FaultAction::Crash(p),
+        }]);
         f.tick();
         assert!(f.is_down(p));
         f.mark_failed_over(p);
@@ -315,7 +346,10 @@ mod tests {
     #[test]
     fn drop_counter_drains_once() {
         let f = FaultState::new();
-        f.schedule([ScheduledFault { at: 1, action: FaultAction::DropIndexInserts(3) }]);
+        f.schedule([ScheduledFault {
+            at: 1,
+            action: FaultAction::DropIndexInserts(3),
+        }]);
         f.tick();
         assert_eq!(f.take_pending_drops(), 3);
         assert_eq!(f.take_pending_drops(), 0);

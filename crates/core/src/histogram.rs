@@ -55,7 +55,11 @@ impl Bucket {
 
     /// Center point (used by iDistance).
     fn center(&self) -> Vec<f64> {
-        self.lo.iter().zip(&self.hi).map(|(l, h)| (l + h) / 2.0).collect()
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (l + h) / 2.0)
+            .collect()
     }
 }
 
@@ -70,7 +74,9 @@ pub struct QueryRegion {
 impl QueryRegion {
     /// The unconstrained region over `dims` dimensions.
     pub fn unbounded(dims: usize) -> Self {
-        QueryRegion { bounds: vec![(f64::NEG_INFINITY, f64::INFINITY); dims] }
+        QueryRegion {
+            bounds: vec![(f64::NEG_INFINITY, f64::INFINITY); dims],
+        }
     }
 
     /// Constrain one dimension.
@@ -229,7 +235,11 @@ fn mhist(points: Vec<Vec<f64>>, dims: usize, max_buckets: usize) -> Vec<Bucket> 
     }
 
     if points.is_empty() {
-        return vec![Bucket { lo: vec![0.0; dims], hi: vec![0.0; dims], count: 0 }];
+        return vec![Bucket {
+            lo: vec![0.0; dims],
+            hi: vec![0.0; dims],
+            count: 0,
+        }];
     }
     let mut work = vec![Work { points }];
     while work.len() < max_buckets {
@@ -242,7 +252,9 @@ fn mhist(points: Vec<Vec<f64>>, dims: usize, max_buckets: usize) -> Vec<Bucket> 
                 }
             }
         }
-        let Some((i, d, split, _)) = choice else { break };
+        let Some((i, d, split, _)) = choice else {
+            break;
+        };
         let Work { points } = work.swap_remove(i);
         let (left, right): (Vec<Vec<f64>>, Vec<Vec<f64>>) =
             points.into_iter().partition(|p| p[d] <= split);
@@ -253,7 +265,11 @@ fn mhist(points: Vec<Vec<f64>>, dims: usize, max_buckets: usize) -> Vec<Bucket> 
     work.into_iter()
         .map(|w| {
             let (lo, hi) = bounds(&w.points, dims);
-            Bucket { lo, hi, count: w.points.len() as u64 }
+            Bucket {
+                lo,
+                hi,
+                count: w.points.len() as u64,
+            }
         })
         .collect()
 }
@@ -305,7 +321,9 @@ pub fn reference_points(hist: &Histogram, n: usize) -> Vec<Vec<f64>> {
     (0..n.max(1))
         .map(|i| {
             let t = (i as f64 + 0.5) / n.max(1) as f64;
-            (0..dims).map(|d| lo[d] + t * (hi[d] - lo[d]).max(0.0)).collect()
+            (0..dims)
+                .map(|d| lo[d] + t * (hi[d] - lo[d]).max(0.0))
+                .collect()
         })
         .collect()
 }
@@ -321,17 +339,17 @@ pub struct PublishedBucket {
 
 /// Publish every bucket of `hist` into the overlay under its iDistance
 /// key. Returns the hops spent.
-pub fn publish_histogram(
-    overlay: &mut Overlay<PublishedBucket>,
-    hist: &Histogram,
-) -> Result<u32> {
+pub fn publish_histogram(overlay: &mut Overlay<PublishedBucket>, hist: &Histogram) -> Result<u32> {
     let refs = reference_points(hist, IDIST_REFS);
     let mut hops = 0;
     for b in &hist.buckets {
         let key = idistance_key(&b.center(), &refs);
         hops += overlay.insert(
             key,
-            PublishedBucket { table: hist.table.clone(), bucket: b.clone() },
+            PublishedBucket {
+                table: hist.table.clone(),
+                bucket: b.clone(),
+            },
         )?;
     }
     Ok(hops)
@@ -354,7 +372,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new(schema);
         for (a, b) in points {
-            t.insert(Row::new(vec![Value::Int(*a), Value::Int(*b)])).unwrap();
+            t.insert(Row::new(vec![Value::Int(*a), Value::Int(*b)]))
+                .unwrap();
         }
         t
     }
@@ -417,7 +436,10 @@ mod tests {
         let wide = QueryRegion::unbounded(2).constrain(0, 0.0, 99.0);
         let e_narrow = estimate_join_size(&hx, &narrow, &hy, &narrow);
         let e_wide = estimate_join_size(&hx, &wide, &hy, &wide);
-        assert!(e_wide > e_narrow, "wider region must estimate more join tuples");
+        assert!(
+            e_wide > e_narrow,
+            "wider region must estimate more join tuples"
+        );
     }
 
     #[test]

@@ -114,16 +114,26 @@ pub fn publish_peer(
         let name = table.schema().name.clone();
         hops += overlay.insert(
             table_key(&name),
-            IndexEntry::Table(TableIndexEntry { table: name.clone(), peer }),
+            IndexEntry::Table(TableIndexEntry {
+                table: name.clone(),
+                peer,
+            }),
         )?;
         for col in table.schema().column_names() {
-            columns.entry(col.to_owned()).or_default().push(name.clone());
+            columns
+                .entry(col.to_owned())
+                .or_default()
+                .push(name.clone());
         }
     }
     for (column, tables) in columns {
         hops += overlay.insert(
             column_key(&column),
-            IndexEntry::Column(ColumnIndexEntry { column, peer, tables }),
+            IndexEntry::Column(ColumnIndexEntry {
+                column,
+                peer,
+                tables,
+            }),
         )?;
     }
     for (table, column) in range_columns {
@@ -209,7 +219,11 @@ impl PeerLocator {
     /// A locator; `cache_enabled` toggles the §5.2 optimization (the
     /// ablation benchmark runs both ways).
     pub fn new(cache_enabled: bool) -> Self {
-        PeerLocator { cache: BTreeMap::new(), cache_enabled, stats: LocatorStats::default() }
+        PeerLocator {
+            cache: BTreeMap::new(),
+            cache_enabled,
+            stats: LocatorStats::default(),
+        }
     }
 
     /// Locator statistics.
@@ -252,7 +266,9 @@ impl PeerLocator {
         if !range_entries.is_empty() {
             let mut result: Option<HashSet<PeerId>> = None;
             for p in &stmt.predicates {
-                let Some((cref, op, lit)) = p.as_column_literal() else { continue };
+                let Some((cref, op, lit)) = p.as_column_literal() else {
+                    continue;
+                };
                 let indexed: Vec<&RangeIndexEntry> = range_entries
                     .iter()
                     .filter_map(|e| match e {
@@ -313,8 +329,7 @@ impl PeerLocator {
             });
         }
         if saw_column_index {
-            let mut peers: Vec<PeerId> =
-                column_result.unwrap_or_default().into_iter().collect();
+            let mut peers: Vec<PeerId> = column_result.unwrap_or_default().into_iter().collect();
             peers.sort_unstable();
             return Ok((peers, IndexUsed::Column));
         }
@@ -413,8 +428,7 @@ mod tests {
     fn range_index_prunes_to_single_peer() {
         let (mut overlay, _) = network(6);
         let mut loc = PeerLocator::new(true);
-        let stmt =
-            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 3").unwrap();
+        let stmt = parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 3").unwrap();
         let (peers, used) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
         assert_eq!(used, IndexUsed::Range);
         assert_eq!(peers, vec![PeerId::new(3)]);
@@ -424,8 +438,7 @@ mod tests {
     fn range_index_handles_inequalities() {
         let (mut overlay, _) = network(6);
         let mut loc = PeerLocator::new(true);
-        let stmt =
-            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey >= 4").unwrap();
+        let stmt = parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey >= 4").unwrap();
         let (peers, used) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
         assert_eq!(used, IndexUsed::Range);
         assert_eq!(peers, vec![PeerId::new(4), PeerId::new(5)]);
@@ -437,8 +450,7 @@ mod tests {
         let mut loc = PeerLocator::new(true);
         // Predicate on o_orderkey, which has no range index: the range
         // lookup yields no applicable entries, so the column index wins.
-        let stmt =
-            parse_select("SELECT o_orderkey FROM orders WHERE o_orderkey > 100").unwrap();
+        let stmt = parse_select("SELECT o_orderkey FROM orders WHERE o_orderkey > 100").unwrap();
         let (peers, used) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
         assert_eq!(used, IndexUsed::Column);
         assert_eq!(peers.len(), 4);
@@ -473,12 +485,15 @@ mod tests {
     fn cache_avoids_repeated_searches() {
         let (mut overlay, _) = network(5);
         let mut loc = PeerLocator::new(true);
-        let stmt =
-            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 2").unwrap();
+        let stmt = parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 2").unwrap();
         loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
         let misses_after_first = loc.stats().cache_misses;
         loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
-        assert_eq!(loc.stats().cache_misses, misses_after_first, "second lookup cached");
+        assert_eq!(
+            loc.stats().cache_misses,
+            misses_after_first,
+            "second lookup cached"
+        );
         assert!(loc.stats().cache_hits > 0);
         loc.invalidate();
         loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
@@ -489,8 +504,7 @@ mod tests {
     fn no_cache_always_searches() {
         let (mut overlay, _) = network(5);
         let mut loc = PeerLocator::new(false);
-        let stmt =
-            parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 2").unwrap();
+        let stmt = parse_select("SELECT o_orderkey FROM orders WHERE o_nationkey = 2").unwrap();
         loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
         loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();
         assert_eq!(loc.stats().cache_hits, 0);

@@ -39,7 +39,12 @@ pub struct DataLoader {
 impl DataLoader {
     /// A loader applying `mapping` onto the global schema.
     pub fn new(mapping: SchemaMapping, global_schemas: Vec<TableSchema>) -> Self {
-        DataLoader { mapping, global_schemas, snapshots: BTreeMap::new(), next_timestamp: 1 }
+        DataLoader {
+            mapping,
+            global_schemas,
+            snapshots: BTreeMap::new(),
+            next_timestamp: 1,
+        }
     }
 
     /// The schema mapping in use.
@@ -131,7 +136,9 @@ mod tests {
 
     fn loader() -> DataLoader {
         let mapping = SchemaMapping::new().with_table(
-            TableMap::new("src", "items").column("id", "item_id").column("qty", "item_qty"),
+            TableMap::new("src", "items")
+                .column("id", "item_id")
+                .column("qty", "item_qty"),
         );
         DataLoader::new(mapping, vec![global_schema()])
     }
@@ -140,7 +147,8 @@ mod tests {
         let mut p = Database::new();
         p.create_table(local_schema()).unwrap();
         for (id, qty) in rows {
-            p.insert("src", Row::new(vec![Value::Int(*id), Value::Int(*qty)])).unwrap();
+            p.insert("src", Row::new(vec![Value::Int(*id), Value::Int(*qty)]))
+                .unwrap();
         }
         p
     }
@@ -149,7 +157,9 @@ mod tests {
     fn initial_load_is_full() {
         let mut l = loader();
         let mut db = Database::new();
-        let report = l.refresh(&production(&[(1, 10), (2, 20)]), &mut db).unwrap();
+        let report = l
+            .refresh(&production(&[(1, 10), (2, 20)]), &mut db)
+            .unwrap();
         assert_eq!(report.inserts, 2);
         assert_eq!(report.deletes, 0);
         assert_eq!(report.timestamp, 1);
@@ -161,9 +171,12 @@ mod tests {
     fn refresh_applies_only_deltas() {
         let mut l = loader();
         let mut db = Database::new();
-        l.refresh(&production(&[(1, 10), (2, 20), (3, 30)]), &mut db).unwrap();
+        l.refresh(&production(&[(1, 10), (2, 20), (3, 30)]), &mut db)
+            .unwrap();
         // id 2 updated, id 3 deleted, id 4 inserted.
-        let report = l.refresh(&production(&[(1, 10), (2, 99), (4, 40)]), &mut db).unwrap();
+        let report = l
+            .refresh(&production(&[(1, 10), (2, 99), (4, 40)]), &mut db)
+            .unwrap();
         assert_eq!(report.inserts, 2, "update counts as delete+insert");
         assert_eq!(report.deletes, 2);
         assert_eq!(report.timestamp, 2);
@@ -195,9 +208,14 @@ mod tests {
     fn refresh_maintains_secondary_indices() {
         let mut l = loader();
         let mut db = Database::new();
-        l.refresh(&production(&[(1, 10), (2, 20)]), &mut db).unwrap();
-        db.table_mut("items").unwrap().create_index("item_qty").unwrap();
-        l.refresh(&production(&[(1, 10), (2, 55)]), &mut db).unwrap();
+        l.refresh(&production(&[(1, 10), (2, 20)]), &mut db)
+            .unwrap();
+        db.table_mut("items")
+            .unwrap()
+            .create_index("item_qty")
+            .unwrap();
+        l.refresh(&production(&[(1, 10), (2, 55)]), &mut db)
+            .unwrap();
         let ids = db
             .table("items")
             .unwrap()

@@ -12,11 +12,12 @@ use std::collections::BTreeMap;
 use bestpeer_cloud::{CloudProvider, SimCloud};
 use bestpeer_common::{Error, PeerId, Result, Row, TableSchema, UserId};
 use bestpeer_mapreduce::MrConfig;
-use bestpeer_simnet::{Phase, SimTime, Task, Trace};
+use bestpeer_simnet::{Cluster, Phase, ResourceConfig, SimTime, Task, Trace};
 use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::exec::ResultSet;
 use bestpeer_sql::parse_select;
 use bestpeer_storage::Database;
+use bestpeer_telemetry::{EngineSelection, MetricsRegistry, QueryReport};
 
 use crate::access::Role;
 use crate::bootstrap::{BootstrapPeer, MaintenanceEvent};
@@ -61,6 +62,9 @@ pub struct NetworkConfig {
     /// Query-path retry policy (bounded attempts, exponential backoff,
     /// stale-snapshot resubmit budget).
     pub retry: RetryPolicy,
+    /// Simulated testbed rates used to time traces when assembling
+    /// per-query telemetry reports.
+    pub resources: ResourceConfig,
 }
 
 impl Default for NetworkConfig {
@@ -78,6 +82,7 @@ impl Default for NetworkConfig {
             cost: CostParams::default(),
             ca_secret: 0xBE57_FEE8,
             retry: RetryPolicy::default(),
+            resources: ResourceConfig::default(),
         }
     }
 }
@@ -93,6 +98,16 @@ pub enum EngineChoice {
     MapReduce,
     /// Algorithm 2: pick ParallelP2P or MapReduce by predicted cost.
     Adaptive,
+}
+
+/// The stable name an engine goes by in metrics and query reports.
+fn engine_label(e: EngineChoice) -> &'static str {
+    match e {
+        EngineChoice::Basic => "basic",
+        EngineChoice::ParallelP2P => "parallel-p2p",
+        EngineChoice::MapReduce => "mapreduce",
+        EngineChoice::Adaptive => "adaptive",
+    }
 }
 
 /// A completed query: result, cost trace, and planner diagnostics.
@@ -115,6 +130,10 @@ pub struct QueryOutput {
     /// aggregation degrades; exact engines retry until identical-result
     /// success or error out).
     pub degraded: bool,
+    /// The query's telemetry record: per-phase simulated latency and
+    /// byte totals (reconciling exactly with `trace`), retry/backoff
+    /// accounting, and the adaptive planner's prediction.
+    pub report: QueryReport,
 }
 
 /// The whole corporate network.
@@ -133,6 +152,9 @@ pub struct BestPeerNetwork {
     /// How much of the fault log has been synchronised into the cloud /
     /// overlay / databases.
     fault_sync_cursor: usize,
+    /// Network-wide metrics (query counts, byte totals, latency
+    /// histograms, bootstrap health). Virtual-time only.
+    metrics: MetricsRegistry,
 }
 
 impl BestPeerNetwork {
@@ -150,6 +172,7 @@ impl BestPeerNetwork {
             stats: None,
             faults: FaultState::new(),
             fault_sync_cursor: 0,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -165,6 +188,31 @@ impl BestPeerNetwork {
         &mut self.config.cost
     }
 
+    /// The network-wide metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry (tests, custom gauges).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Fold one query's measured `(μ, φ)` into the cost parameters with
+    /// smoothing factor `w` — the §5.5 feedback loop, driven by the
+    /// telemetry report instead of a guess. Returns false (and changes
+    /// nothing) when the report carries no timed work to measure.
+    pub fn apply_cost_feedback(&mut self, report: &QueryReport, w: f64) -> bool {
+        match (report.measured_mu(), report.measured_phi()) {
+            (Some(mu), Some(phi)) => {
+                self.config.cost.feedback(mu, phi, w);
+                self.metrics.inc("cost.feedback_applied");
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Live peer ids, ascending.
     pub fn peer_ids(&self) -> Vec<PeerId> {
         self.peers.keys().copied().collect()
@@ -172,7 +220,9 @@ impl BestPeerNetwork {
 
     /// Borrow a peer.
     pub fn peer(&self, id: PeerId) -> Result<&NormalPeer> {
-        self.peers.get(&id).ok_or_else(|| Error::Network(format!("no peer {id}")))
+        self.peers
+            .get(&id)
+            .ok_or_else(|| Error::Network(format!("no peer {id}")))
     }
 
     /// Mutably borrow a peer (loading, local administration).
@@ -301,7 +351,11 @@ impl BestPeerNetwork {
     /// highest query timestamp that will not be rejected under
     /// Definition 2.
     pub fn consistent_timestamp(&self) -> u64 {
-        self.peers.values().map(|p| p.db.load_timestamp()).min().unwrap_or(0)
+        self.peers
+            .values()
+            .map(|p| p.db.load_timestamp())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Gather global statistics (per-table sizes + optional histograms
@@ -519,8 +573,7 @@ impl BestPeerNetwork {
         loop {
             self.sync_faults()?;
             attempts += 1;
-            let outcome =
-                self.run_engine_once(submitter, &stmt, &role, &schemas, engine, query_ts);
+            let outcome = self.run_engine_once(submitter, &stmt, &role, &schemas, engine, query_ts);
             // Latency accrued at slowed links is charged either way.
             let slow = self.faults.take_slow_latency();
             if slow > SimTime::ZERO {
@@ -530,6 +583,19 @@ impl BestPeerNetwork {
                 Ok((result, trace, used, decision)) => {
                     let mut full = pre;
                     full.phases.extend(trace.phases);
+                    let mut report = QueryReport::from_trace(
+                        engine_label(used),
+                        &full,
+                        &Cluster::new(self.config.resources),
+                    );
+                    report.attempts = attempts;
+                    report.resubmits = resubmits;
+                    report.selection = decision.map(|d| EngineSelection {
+                        predicted_p2p_secs: d.p2p_cost,
+                        predicted_mr_secs: d.mr_cost,
+                        chose_p2p: d.choose_p2p,
+                    });
+                    self.record_query_metrics(&report);
                     return Ok(QueryOutput {
                         result,
                         trace: full,
@@ -538,19 +604,21 @@ impl BestPeerNetwork {
                         attempts,
                         resubmits,
                         degraded: false,
+                        report,
                     });
                 }
                 Err(e) if e.kind() == "unavailable" => {
                     down_retries += 1;
                     if down_retries >= policy.max_attempts {
+                        self.metrics.inc("queries.failed");
+                        self.metrics.inc("queries.failed.timeout");
                         return Err(Error::Timeout(format!(
                             "retry budget exhausted after {attempts} attempts: {e}"
                         )));
                     }
                     pre.push(
-                        Phase::new(format!("retry-backoff-{down_retries}")).task(
-                            Task::on(submitter).fixed(policy.backoff(down_retries + 1)),
-                        ),
+                        Phase::new(format!("retry-backoff-{down_retries}"))
+                            .task(Task::on(submitter).fixed(policy.backoff(down_retries + 1))),
                     );
                     // One maintenance epoch elapses per backoff period:
                     // the failure detector counts the missed heartbeat
@@ -559,6 +627,8 @@ impl BestPeerNetwork {
                 }
                 Err(e) if e.kind() == "stale-snapshot" => {
                     if resubmits >= policy.max_resubmits {
+                        self.metrics.inc("queries.failed");
+                        self.metrics.inc("queries.failed.stale_snapshot");
                         return Err(e);
                     }
                     resubmits += 1;
@@ -567,9 +637,50 @@ impl BestPeerNetwork {
                             .task(Task::on(submitter).fixed(policy.base_backoff)),
                     );
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.metrics.inc("queries.failed");
+                    return Err(e);
+                }
             }
         }
+    }
+
+    /// Fold one completed query's report into the registry: totals,
+    /// per-engine counts, retry/resubmit accounting, latency histogram,
+    /// and the adaptive planner's prediction accuracy.
+    fn record_query_metrics(&mut self, report: &QueryReport) {
+        let m = &mut self.metrics;
+        m.inc("queries.total");
+        m.inc(&format!("engine.{}.queries", report.engine));
+        m.inc_by(
+            "queries.retries",
+            u64::from(report.attempts.saturating_sub(1)),
+        );
+        m.inc_by("queries.resubmits", u64::from(report.resubmits));
+        m.inc_by("queries.degraded_peers", u64::from(report.degraded_peers));
+        m.inc_by("bytes.network", report.network_bytes());
+        m.inc_by("bytes.disk", report.disk_bytes());
+        m.inc_by("bytes.cpu", report.cpu_bytes());
+        m.observe("query.latency_secs", report.total_latency.as_secs_f64());
+        m.observe("query.backoff_secs", report.backoff().as_secs_f64());
+        if let Some(sel) = &report.selection {
+            m.inc(if sel.chose_p2p {
+                "adaptive.chose_p2p"
+            } else {
+                "adaptive.chose_mr"
+            });
+            let predicted = if sel.chose_p2p {
+                sel.predicted_p2p_secs
+            } else {
+                sel.predicted_mr_secs
+            };
+            m.observe(
+                "adaptive.prediction_error_secs",
+                (predicted - report.total_latency.as_secs_f64()).abs(),
+            );
+        }
+        // Virtual time advances by the simulated latency of each query.
+        m.tick(report.total_latency);
     }
 
     /// One Algorithm 1 maintenance epoch (fail-over, auto-scaling,
@@ -579,7 +690,9 @@ impl BestPeerNetwork {
     /// BATON node recovers from adjacent replicas, and its index entries
     /// are republished.
     pub fn maintenance_tick(&mut self) -> Result<Vec<MaintenanceEvent>> {
-        let events = self.bootstrap.maintenance_tick(&mut self.cloud, &mut self.peers)?;
+        let events = self
+            .bootstrap
+            .maintenance_tick(&mut self.cloud, &mut self.peers)?;
         for e in &events {
             if let MaintenanceEvent::FailOver { peer, .. } = e {
                 // Logs a Recover record; the sync below heals the
@@ -591,6 +704,17 @@ impl BestPeerNetwork {
         if !events.is_empty() {
             self.invalidate_caches();
         }
+        // Publish the failure detector's health after every epoch.
+        let health = self.bootstrap.health();
+        self.metrics.inc("bootstrap.epochs");
+        self.metrics
+            .set_gauge("bootstrap.heartbeat_misses", health.heartbeat_misses as f64);
+        self.metrics
+            .set_gauge("bootstrap.suspected_peers", health.suspected_peers as f64);
+        self.metrics
+            .set_gauge("bootstrap.blacklist_size", health.blacklist_size as f64);
+        self.metrics
+            .set_gauge("bootstrap.failovers", health.failovers as f64);
         Ok(events)
     }
 
@@ -633,6 +757,11 @@ impl BestPeerNetwork {
             out.trace
                 .push(Phase::new("fault-slowdown").task(Task::on(submitter).fixed(slow)));
         }
+        let mut report =
+            QueryReport::from_trace("online", &out.trace, &Cluster::new(self.config.resources));
+        report.degraded_peers = out.skipped_peers;
+        self.record_query_metrics(&report);
+        out.report = report;
         Ok(out)
     }
 
@@ -646,12 +775,8 @@ impl BestPeerNetwork {
         query_ts: u64,
     ) -> Result<(bestpeer_mapreduce::Hdfs, crate::export::ExportReport)> {
         let role = self.bootstrap.role(role)?.clone();
-        let mut hdfs = bestpeer_mapreduce::Hdfs::new(
-            self.peer_ids(),
-            self.config.hdfs_replication,
-        );
-        let report =
-            crate::export::export_tables(&self.peers, tables, &role, query_ts, &mut hdfs)?;
+        let mut hdfs = bestpeer_mapreduce::Hdfs::new(self.peer_ids(), self.config.hdfs_replication);
+        let report = crate::export::export_tables(&self.peers, tables, &role, query_ts, &mut hdfs)?;
         Ok((hdfs, report))
     }
 }

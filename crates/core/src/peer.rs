@@ -143,8 +143,7 @@ impl NormalPeer {
         } else {
             for (i, item) in stmt.projections.iter().enumerate() {
                 if let Expr::Column(c) = &item.expr {
-                    let table =
-                        self.owning_table(stmt, &c.column, c.table.as_deref())?;
+                    let table = self.owning_table(stmt, &c.column, c.table.as_deref())?;
                     plain.push((i, table, c.column.clone()));
                 }
             }
@@ -175,7 +174,9 @@ impl NormalPeer {
                 }
             }
         }
-        Err(Error::Plan(format!("cannot resolve column `{column}` to a table")))
+        Err(Error::Plan(format!(
+            "cannot resolve column `{column}` to a table"
+        )))
     }
 }
 
@@ -234,8 +235,7 @@ mod tests {
     #[test]
     fn ranged_column_masked_value_wise() {
         let p = peer();
-        let stmt =
-            parse_select("SELECT l_extendedprice, l_shipdate FROM lineitem").unwrap();
+        let stmt = parse_select("SELECT l_extendedprice, l_shipdate FROM lineitem").unwrap();
         let (rs, _) = p.serve_subquery(&stmt, &sales_role(), 0).unwrap();
         let prices: Vec<&Value> = rs.rows.iter().map(|r| r.get(0)).collect();
         assert_eq!(prices[0], &Value::Float(50.0));
@@ -248,15 +248,17 @@ mod tests {
         let p = peer();
         let stmt = parse_select("SELECT l_orderkey, l_shipdate FROM lineitem").unwrap();
         let (rs, _) = p.serve_subquery(&stmt, &sales_role(), 0).unwrap();
-        assert!(rs.rows.iter().all(|r| r.get(0).is_null()), "no rule on l_orderkey");
+        assert!(
+            rs.rows.iter().all(|r| r.get(0).is_null()),
+            "no rule on l_orderkey"
+        );
         assert!(rs.rows.iter().all(|r| !r.get(1).is_null()));
     }
 
     #[test]
     fn predicate_on_unreadable_column_denied() {
         let p = peer();
-        let stmt =
-            parse_select("SELECT l_shipdate FROM lineitem WHERE l_orderkey = 1").unwrap();
+        let stmt = parse_select("SELECT l_shipdate FROM lineitem WHERE l_orderkey = 1").unwrap();
         let err = p.serve_subquery(&stmt, &sales_role(), 0).unwrap_err();
         assert_eq!(err.kind(), "access-denied");
     }
@@ -276,8 +278,8 @@ mod tests {
             "R",
             &[("lineitem", &["l_orderkey", "l_extendedprice", "l_shipdate"])],
         );
-        let stmt = parse_select("SELECT l_orderkey FROM lineitem WHERE l_extendedprice > 60.0")
-            .unwrap();
+        let stmt =
+            parse_select("SELECT l_orderkey FROM lineitem WHERE l_extendedprice > 60.0").unwrap();
         let (rs, _) = p.serve_subquery(&stmt, &role, 0).unwrap();
         assert_eq!(rs.rows.len(), 2);
         assert!(rs.rows.iter().all(|r| !r.get(0).is_null()));
@@ -288,7 +290,10 @@ mod tests {
         let p = peer();
         let stmt = parse_select("SELECT * FROM lineitem").unwrap();
         let (rs, _) = p.serve_subquery(&stmt, &sales_role(), 0).unwrap();
-        assert_eq!(rs.columns, vec!["l_orderkey", "l_extendedprice", "l_shipdate"]);
+        assert_eq!(
+            rs.columns,
+            vec!["l_orderkey", "l_extendedprice", "l_shipdate"]
+        );
         assert!(rs.rows.iter().all(|r| r.get(0).is_null()));
         assert!(rs.rows.iter().any(|r| !r.get(1).is_null()));
     }

@@ -9,8 +9,8 @@
 //! backoff period — which is what lets the heartbeat failure detector
 //! accumulate misses and eventually fail the dead peer over.
 //!
-//! Stale-snapshot rejections ([`Error::StaleSnapshot`]
-//! (bestpeer_common::Error::StaleSnapshot)) get their own, separate
+//! Stale-snapshot rejections
+//! ([`bestpeer_common::Error::StaleSnapshot`]) get their own, separate
 //! resubmit budget: the query is automatically resubmitted in case the
 //! lagging peer's loader catches up; when the budget runs out the
 //! original stale-snapshot error surfaces to the client unchanged.
@@ -49,7 +49,11 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// A policy that never retries (the pre-fault-tolerance behaviour).
     pub fn none() -> Self {
-        RetryPolicy { max_attempts: 1, max_resubmits: 0, ..RetryPolicy::default() }
+        RetryPolicy {
+            max_attempts: 1,
+            max_resubmits: 0,
+            ..RetryPolicy::default()
+        }
     }
 
     /// The backoff charged before attempt `next_attempt` (2-based: the

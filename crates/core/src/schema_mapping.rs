@@ -111,9 +111,7 @@ impl SchemaMapping {
             .tables
             .iter()
             .find(|t| t.local_table == local_table)
-            .ok_or_else(|| {
-                Error::Catalog(format!("no mapping for local table `{local_table}`"))
-            })?;
+            .ok_or_else(|| Error::Catalog(format!("no mapping for local table `{local_table}`")))?;
         let mut out = vec![Value::Null; global_schema.arity()];
         for (local_col, global_col) in &tm.columns {
             let li = local_schema.column_index(local_col)?;
@@ -143,16 +141,11 @@ impl SchemaMapping {
                 .iter()
                 .find(|s| s.name == tm.global_table)
                 .ok_or_else(|| {
-                    Error::Catalog(format!(
-                        "global schema has no table `{}`",
-                        tm.global_table
-                    ))
+                    Error::Catalog(format!("global schema has no table `{}`", tm.global_table))
                 })?;
             let rows: Vec<Row> = local
                 .scan()
-                .map(|r| {
-                    self.transform_row(&tm.local_table, local.schema(), global_schema, r)
-                })
+                .map(|r| self.transform_row(&tm.local_table, local.schema(), global_schema, r))
                 .collect::<Result<_>>()?;
             out.push((tm.global_table.clone(), rows));
         }

@@ -1,0 +1,272 @@
+//! Cross-engine result consistency and telemetry reconciliation.
+//!
+//! The engine suite in `engines.rs` sorts rows before comparing — which
+//! is exactly what masked the bug where only the basic engine applied
+//! `ORDER BY` / `LIMIT`. These tests compare row *sequences*: every
+//! engine must return the same rows in the same order with the same
+//! truncation, matching the centralized reference.
+//!
+//! The second half is a property-style sweep asserting every
+//! `QueryOutput`'s telemetry report reconciles exactly with its trace
+//! (byte-for-byte, microsecond-for-microsecond), including through the
+//! JSON export and under injected faults.
+
+use bestpeer_common::{Row, Value};
+use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer_core::Role;
+use bestpeer_simnet::Cluster;
+use bestpeer_sql::{execute_select, parse_select};
+use bestpeer_storage::Database;
+use bestpeer_telemetry::{Json, QueryReport};
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::{schema, Q1, Q2, Q3, Q4, Q5};
+
+/// Queries whose answers are order-sensitive: each `ORDER BY` key list
+/// determines the row sequence uniquely (no ties at the LIMIT cutoff),
+/// so any engine disagreement is a real consistency bug, not a
+/// tie-break artifact.
+const ORDERED_QUERIES: &[&str] = &[
+    // Plain scan: sort keys end in the unique (l_orderkey, l_linenumber).
+    "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem \
+     WHERE l_quantity > 45 \
+     ORDER BY l_quantity DESC, l_orderkey, l_linenumber LIMIT 10",
+    // Aggregate ordered by its output alias; group key is unique.
+    "SELECT l_nationkey, SUM(l_quantity) AS qty FROM lineitem \
+     GROUP BY l_nationkey ORDER BY qty DESC LIMIT 3",
+    // Aggregate ordered by the aggregate *expression* (no alias in the
+    // key) — exercises the projection-match rewrite.
+    "SELECT l_nationkey, COUNT(*) AS n FROM lineitem \
+     GROUP BY l_nationkey ORDER BY COUNT(*) DESC, l_nationkey LIMIT 4",
+    // Join with ORDER BY + LIMIT across both tables' columns.
+    "SELECT l_orderkey, l_linenumber, o_orderdate, l_quantity \
+     FROM lineitem, orders \
+     WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1998-06-01' \
+     ORDER BY o_orderdate DESC, l_orderkey, l_linenumber LIMIT 8",
+    // Qualified column names in the ORDER BY keys.
+    "SELECT o_orderdate, l_orderkey, l_linenumber FROM lineitem, orders \
+     WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1998-08-01' \
+     ORDER BY orders.o_orderdate, lineitem.l_orderkey, lineitem.l_linenumber \
+     LIMIT 12",
+    // ORDER BY without LIMIT: the whole sequence must match.
+    "SELECT l_nationkey, SUM(l_extendedprice) AS v FROM lineitem \
+     GROUP BY l_nationkey ORDER BY l_nationkey",
+];
+
+const ENGINES: &[EngineChoice] = &[
+    EngineChoice::Basic,
+    EngineChoice::ParallelP2P,
+    EngineChoice::MapReduce,
+];
+
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(&str, Vec<&str>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &borrowed)
+}
+
+fn setup(n: usize, rows: usize) -> (BestPeerNetwork, Database) {
+    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    net.define_role(full_read_role());
+    let mut central = Database::new();
+    for s in schema::all_tables() {
+        central.create_table(s).unwrap();
+    }
+    for node in 0..n {
+        let id = net.join(&format!("business-{node}")).unwrap();
+        let data = DbGen::new(TpchConfig::tiny(node as u64).with_rows(rows)).generate();
+        for (table, rows) in &data {
+            if (table == "nation" || table == "region") && node > 0 {
+                continue;
+            }
+            central.bulk_insert(table, rows.clone()).unwrap();
+        }
+        net.load_peer(id, data, 1).unwrap();
+        for (t, c) in schema::secondary_indices() {
+            net.peer_mut(id)
+                .unwrap()
+                .db
+                .table_mut(t)
+                .unwrap()
+                .create_index(c)
+                .unwrap();
+        }
+    }
+    (net, central)
+}
+
+/// Sequence equality — order matters, floats compared with a relative
+/// tolerance (partial aggregation sums in a different order).
+fn rows_seq_eq(a: &[Row], b: &[Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.arity() == rb.arity()
+                && ra
+                    .values()
+                    .iter()
+                    .zip(rb.values())
+                    .all(|(va, vb)| match (va, vb) {
+                        (Value::Float(x), Value::Float(y)) => {
+                            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+                        }
+                        _ => va == vb,
+                    })
+        })
+}
+
+#[test]
+fn engines_agree_on_order_by_and_limit() {
+    let (mut net, central) = setup(3, 2000);
+    let submitter = net.peer_ids()[0];
+    for sql in ORDERED_QUERIES {
+        let stmt = parse_select(sql).unwrap();
+        let (want, _) = execute_select(&stmt, &central).unwrap();
+        for &engine in ENGINES {
+            let out = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+            assert!(
+                rows_seq_eq(&out.result.rows, &want.rows),
+                "{engine:?} disagrees with centralized on\n  {sql}\n got {} rows: {:?}\n want {} rows: {:?}",
+                out.result.rows.len(),
+                &out.result.rows[..out.result.rows.len().min(3)],
+                want.rows.len(),
+                &want.rows[..want.rows.len().min(3)],
+            );
+            if let Some(limit) = stmt.limit {
+                assert!(
+                    out.result.rows.len() <= limit,
+                    "{engine:?} ignored LIMIT {limit} on {sql}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_each_other_on_benchmark_queries() {
+    // Q1–Q5 carry no ORDER BY, so sequences may differ; but after a
+    // canonical sort every engine must produce the identical multiset.
+    let (mut net, _) = setup(3, 2000);
+    let submitter = net.peer_ids()[0];
+    for sql in [Q1, Q2, Q3, Q4, Q5] {
+        let mut reference: Option<Vec<Row>> = None;
+        for &engine in ENGINES {
+            let out = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+            let mut rows = out.result.rows;
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(want) => assert!(
+                    rows_seq_eq(&rows, want),
+                    "{engine:?} differs from the first engine on {sql}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_query_report_reconciles_with_its_trace() {
+    // Property-style sweep: across engines × queries, the telemetry
+    // report must account for its trace exactly — same per-phase bytes,
+    // same participants, latencies summing to the simulated end-to-end
+    // latency to the microsecond — and survive the JSON export.
+    let (mut net, _) = setup(3, 1500);
+    let submitter = net.peer_ids()[0];
+    let sim = Cluster::new(net.config().resources);
+    let queries: Vec<&str> = [Q1, Q2, Q3, Q4, Q5]
+        .into_iter()
+        .chain(ORDERED_QUERIES.iter().copied())
+        .collect();
+    for sql in queries {
+        for &engine in ENGINES {
+            let out = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+            let rep = &out.report;
+            assert!(
+                rep.reconciles_with(&out.trace, &sim),
+                "{engine:?} report does not reconcile on {sql}"
+            );
+            assert_eq!(rep.attempts, 1, "fault-free path");
+            assert_eq!(rep.backoff(), bestpeer_simnet::SimTime::ZERO);
+            assert!(!rep.participants.is_empty());
+            assert!(rep.measured_mu().unwrap() > 0.0);
+            assert!(rep.measured_phi().unwrap() >= 0.0);
+            // The exported document carries the same record.
+            let text = rep.to_json().render();
+            let back = QueryReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert!(
+                back.reconciles_with(&out.trace, &sim),
+                "{engine:?} JSON round-trip broke reconciliation on {sql}"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_charges_retry_backoff_under_failover() {
+    // Crash a data peer and let one submit_query ride the retry loop:
+    // the report must still reconcile with the full trace, and the
+    // backoff accounting must separate overhead from productive work.
+    let (mut net, _) = setup(3, 800);
+    net.backup_all().unwrap();
+    let submitter = net.peer_ids()[0];
+    let victim = net.peer_ids()[2];
+    net.crash_data_peer(victim).unwrap();
+    net.peer_mut(victim).unwrap().db = Database::new();
+
+    let out = net
+        .submit_query(
+            submitter,
+            "SELECT COUNT(*) FROM lineitem",
+            "R",
+            EngineChoice::Basic,
+            0,
+        )
+        .unwrap();
+    let rep = &out.report;
+    assert!(out.attempts >= 2, "the first attempt hit the crashed peer");
+    assert_eq!(rep.attempts, out.attempts);
+    assert!(
+        rep.backoff() > bestpeer_simnet::SimTime::ZERO,
+        "backoff charged"
+    );
+    assert_eq!(rep.work_latency() + rep.backoff(), rep.total_latency);
+    let sim = Cluster::new(net.config().resources);
+    assert!(
+        rep.reconciles_with(&out.trace, &sim),
+        "report covers retries too"
+    );
+}
+
+#[test]
+fn online_aggregation_report_reconciles_and_counts_degraded_peers() {
+    let (mut net, _) = setup(4, 800);
+    let submitter = net.peer_ids()[0];
+    let sql = "SELECT SUM(l_quantity) AS q FROM lineitem";
+    let out = net.submit_online_aggregate(submitter, sql, "R", 0).unwrap();
+    let sim = Cluster::new(net.config().resources);
+    assert!(out.report.reconciles_with(&out.trace, &sim));
+    assert_eq!(out.report.engine, "online");
+    assert_eq!(out.report.degraded_peers, 0);
+
+    // Crash one owner: the run degrades gracefully and the report says
+    // so.
+    let victim = net.peer_ids()[3];
+    net.crash_data_peer(victim).unwrap();
+    let out = net.submit_online_aggregate(submitter, sql, "R", 0).unwrap();
+    assert!(out.degraded);
+    assert_eq!(out.report.degraded_peers, 1);
+    assert!(out
+        .report
+        .reconciles_with(&out.trace, &Cluster::new(net.config().resources)));
+}

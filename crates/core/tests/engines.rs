@@ -19,20 +19,21 @@ fn full_read_role() -> Role {
         .map(|t| {
             (
                 t.name.as_str(),
-                t.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+                t.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>(),
             )
         })
         .collect();
-    let borrowed: Vec<(&str, &[&str])> =
-        spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
     Role::full_read("R", &borrowed)
 }
 
 /// A network of `n` peers each loaded with one TPC-H partition, plus the
 /// centralized union database.
 fn setup(n: usize, rows: usize) -> (BestPeerNetwork, Database) {
-    let mut net =
-        BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
     net.define_role(full_read_role());
     let mut central = Database::new();
     for s in schema::all_tables() {
@@ -50,7 +51,13 @@ fn setup(n: usize, rows: usize) -> (BestPeerNetwork, Database) {
         // Secondary indices of paper Table 4, then load + publish.
         net.load_peer(id, data, 1).unwrap();
         for (t, c) in schema::secondary_indices() {
-            net.peer_mut(id).unwrap().db.table_mut(t).unwrap().create_index(c).unwrap();
+            net.peer_mut(id)
+                .unwrap()
+                .db
+                .table_mut(t)
+                .unwrap()
+                .create_index(c)
+                .unwrap();
         }
     }
     (net, central)
@@ -60,12 +67,16 @@ fn rows_approx_eq(a: &[Row], b: &[Row]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(ra, rb)| {
             ra.arity() == rb.arity()
-                && ra.values().iter().zip(rb.values()).all(|(va, vb)| match (va, vb) {
-                    (Value::Float(x), Value::Float(y)) => {
-                        (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
-                    }
-                    _ => va == vb,
-                })
+                && ra
+                    .values()
+                    .iter()
+                    .zip(rb.values())
+                    .all(|(va, vb)| match (va, vb) {
+                        (Value::Float(x), Value::Float(y)) => {
+                            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+                        }
+                        _ => va == vb,
+                    })
         })
 }
 
@@ -118,16 +129,24 @@ fn adaptive_engine_matches_and_reports_decision() {
     let (mut net, central) = setup(3, 2000);
     check(&mut net, &central, Q5, EngineChoice::Adaptive);
     let submitter = net.peer_ids()[0];
-    let out = net.submit_query(submitter, Q5, "R", EngineChoice::Adaptive, 0).unwrap();
+    let out = net
+        .submit_query(submitter, Q5, "R", EngineChoice::Adaptive, 0)
+        .unwrap();
     let d = out.decision.expect("adaptive records its cost comparison");
     assert!(d.p2p_cost > 0.0 && d.mr_cost > 0.0);
-    assert!(matches!(out.engine, EngineChoice::ParallelP2P | EngineChoice::MapReduce));
+    assert!(matches!(
+        out.engine,
+        EngineChoice::ParallelP2P | EngineChoice::MapReduce
+    ));
 }
 
 #[test]
 fn bloom_join_reduces_network_volume_without_changing_results() {
     let cfg_on = NetworkConfig::default();
-    let cfg_off = NetworkConfig { bloom_join: false, ..NetworkConfig::default() };
+    let cfg_off = NetworkConfig {
+        bloom_join: false,
+        ..NetworkConfig::default()
+    };
 
     let run = |cfg: NetworkConfig| {
         let mut net = BestPeerNetwork::new(schema::all_tables(), cfg);
@@ -142,7 +161,9 @@ fn bloom_join_reduces_network_volume_without_changing_results() {
         // prunes most lineitem tuples at the owners.
         let sql = "SELECT o_orderdate, l_quantity FROM orders, lineitem \
                    WHERE o_orderkey = l_orderkey AND o_orderdate > DATE '1998-07-01'";
-        let out = net.submit_query(submitter, sql, "R", EngineChoice::Basic, 0).unwrap();
+        let out = net
+            .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+            .unwrap();
         (out.result.rows.len(), out.trace.network_bytes())
     };
     let (rows_on, bytes_on) = run(cfg_on);
@@ -156,27 +177,33 @@ fn bloom_join_reduces_network_volume_without_changing_results() {
 
 #[test]
 fn single_peer_optimization_skips_processing_phase() {
-    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig {
-        range_index_columns: vec![("orders".into(), "o_nationkey".into())],
-        ..NetworkConfig::default()
-    });
+    let mut net = BestPeerNetwork::new(
+        schema::all_tables(),
+        NetworkConfig {
+            range_index_columns: vec![("orders".into(), "o_nationkey".into())],
+            ..NetworkConfig::default()
+        },
+    );
     net.define_role(full_read_role());
     // Each peer holds one nation's data.
     for nation in 0..3i64 {
         let id = net.join(&format!("nation-{nation}")).unwrap();
         let data = DbGen::new(
-            TpchConfig::tiny(nation as u64).with_rows(1000).for_nation(nation),
+            TpchConfig::tiny(nation as u64)
+                .with_rows(1000)
+                .for_nation(nation),
         )
         .generate();
         net.load_peer(id, data, 1).unwrap();
     }
     let submitter = net.peer_ids()[0];
     let sql = "SELECT o_orderkey, o_totalprice FROM orders WHERE o_nationkey = 2";
-    let out = net.submit_query(submitter, sql, "R", EngineChoice::Basic, 0).unwrap();
+    let out = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
     assert!(!out.result.is_empty());
     // Exactly one execution phase on the single owner, no process phase.
-    let labels: Vec<&str> =
-        out.trace.phases.iter().map(|p| p.label.as_str()).collect();
+    let labels: Vec<&str> = out.trace.phases.iter().map(|p| p.label.as_str()).collect();
     assert!(labels.contains(&"single-peer-exec"), "labels: {labels:?}");
     assert!(!labels.contains(&"process"));
     // All returned orders belong to nation 2's peer.
@@ -201,7 +228,10 @@ fn access_control_masks_across_the_network() {
         .unwrap();
     assert!(!out.result.is_empty());
     assert!(out.result.rows.iter().all(|r| !r.get(0).is_null()));
-    assert!(out.result.rows.iter().all(|r| r.get(1).is_null()), "prices masked");
+    assert!(
+        out.result.rows.iter().all(|r| r.get(1).is_null()),
+        "prices masked"
+    );
     // A predicate over the masked column is denied outright.
     let err = net
         .submit_query(
@@ -229,7 +259,9 @@ fn stale_snapshot_rejected_until_peers_catch_up() {
     for id in net.peer_ids() {
         net.peer_mut(id).unwrap().db.set_load_timestamp(2);
     }
-    assert!(net.submit_query(submitter, Q1, "R", EngineChoice::Basic, 2).is_ok());
+    assert!(net
+        .submit_query(submitter, Q1, "R", EngineChoice::Basic, 2)
+        .is_ok());
 }
 
 #[test]
@@ -250,12 +282,16 @@ fn membership_churn_keeps_queries_correct() {
         }
     }
     net.load_peer(id, filtered, 1).unwrap();
-    let after = net.submit_query(submitter, Q2, "R", EngineChoice::Basic, 0).unwrap();
+    let after = net
+        .submit_query(submitter, Q2, "R", EngineChoice::Basic, 0)
+        .unwrap();
     assert_ne!(before.result.rows, after.result.rows);
 
     // It departs again; the original result returns.
     net.leave(id).unwrap();
-    let gone = net.submit_query(submitter, Q2, "R", EngineChoice::Basic, 0).unwrap();
+    let gone = net
+        .submit_query(submitter, Q2, "R", EngineChoice::Basic, 0)
+        .unwrap();
     let (a, b) = (&before.result.rows[0], &gone.result.rows[0]);
     let (x, y) = (a.get(0).as_f64().unwrap(), b.get(0).as_f64().unwrap());
     assert!((x - y).abs() < 1e-6 * x.abs().max(1.0));

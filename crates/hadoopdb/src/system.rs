@@ -31,8 +31,13 @@ impl HadoopDb {
     pub fn new(n: usize, cfg: MrConfig, replication: usize) -> Self {
         assert!(n > 0, "cluster needs at least one worker");
         let peers: Vec<PeerId> = (0..n as u64).map(PeerId::new).collect();
-        let workers =
-            peers.iter().map(|&peer| Worker { peer, db: Database::new() }).collect();
+        let workers = peers
+            .iter()
+            .map(|&peer| Worker {
+                peer,
+                db: Database::new(),
+            })
+            .collect();
         HadoopDb {
             workers,
             engine: MapReduceEngine::new(peers.clone(), cfg),
@@ -120,7 +125,10 @@ mod tests {
     fn schema() -> TableSchema {
         TableSchema::new(
             "t",
-            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("v", ColumnType::Int)],
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("v", ColumnType::Int),
+            ],
             vec![0],
         )
         .unwrap()
@@ -137,6 +145,11 @@ mod tests {
             .unwrap();
         h.create_index_everywhere("t", "v").unwrap();
         assert_eq!(h.workers()[0].db.table("t").unwrap().len(), 1);
-        assert!(h.workers()[1].db.table("t").unwrap().index_on("v").is_some());
+        assert!(h.workers()[1]
+            .db
+            .table("t")
+            .unwrap()
+            .index_on("v")
+            .is_some());
     }
 }

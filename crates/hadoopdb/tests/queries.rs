@@ -49,12 +49,16 @@ fn rows_approx_eq(a: &[bestpeer_common::Row], b: &[bestpeer_common::Row]) -> boo
     a.len() == b.len()
         && a.iter().zip(b).all(|(ra, rb)| {
             ra.arity() == rb.arity()
-                && ra.values().iter().zip(rb.values()).all(|(va, vb)| match (va, vb) {
-                    (Value::Float(x), Value::Float(y)) => {
-                        (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
-                    }
-                    _ => va == vb,
-                })
+                && ra
+                    .values()
+                    .iter()
+                    .zip(rb.values())
+                    .all(|(va, vb)| match (va, vb) {
+                        (Value::Float(x), Value::Float(y)) => {
+                            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+                        }
+                        _ => va == vb,
+                    })
         })
 }
 
@@ -132,7 +136,11 @@ fn startup_cost_appears_in_every_job() {
         .count();
     assert_eq!(map_phases, 4);
     for p in trace.phases.iter().filter(|p| p.label.contains(":map")) {
-        assert!(p.tasks.iter().all(|t| t.fixed >= startup), "phase {}", p.label);
+        assert!(
+            p.tasks.iter().all(|t| t.fixed >= startup),
+            "phase {}",
+            p.label
+        );
     }
 }
 

@@ -1,8 +1,5 @@
 //! Job execution: map tasks, pull shuffle, reduce tasks, HDFS output.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
-
 use bestpeer_common::{codec, PeerId, Result, Row, Value};
 use bestpeer_simnet::{Phase, SimTime, Task, Trace};
 
@@ -79,15 +76,16 @@ impl MapReduceEngine {
     pub fn run_job(&self, job: &MapReduceJob, hdfs: &mut Hdfs) -> Result<JobOutcome> {
         // (worker, rows, explicit disk bytes or None = encoded row bytes)
         let inputs: Vec<(PeerId, Vec<Row>, Option<u64>)> = match &job.input {
-            JobInput::Local(parts) => {
-                parts.iter().map(|(w, r)| (*w, r.clone(), None)).collect()
-            }
-            JobInput::LocalWithCost(parts) => {
-                parts.iter().map(|(w, r, d)| (*w, r.clone(), Some(*d))).collect()
-            }
-            JobInput::HdfsFile(path) => {
-                hdfs.parts(path)?.into_iter().map(|(w, r)| (w, r, None)).collect()
-            }
+            JobInput::Local(parts) => parts.iter().map(|(w, r)| (*w, r.clone(), None)).collect(),
+            JobInput::LocalWithCost(parts) => parts
+                .iter()
+                .map(|(w, r, d)| (*w, r.clone(), Some(*d)))
+                .collect(),
+            JobInput::HdfsFile(path) => hdfs
+                .parts(path)?
+                .into_iter()
+                .map(|(w, r)| (w, r, None))
+                .collect(),
         };
         let n_red = job.reducers.max(1);
         let out_path = Self::output_path(&job.name);
@@ -129,8 +127,10 @@ impl MapReduceEngine {
                         continue;
                     }
                     let host = self.reducer_host(slot);
-                    let bytes: u64 =
-                        pairs.iter().map(|(k, r)| k.byte_size() + r.byte_size()).sum();
+                    let bytes: u64 = pairs
+                        .iter()
+                        .map(|(k, r)| k.byte_size() + r.byte_size())
+                        .sum();
                     task = task.send(host, bytes);
                     reducer_inputs[slot].extend(pairs);
                 }
@@ -155,8 +155,10 @@ impl MapReduceEngine {
             let mut all_out = Vec::new();
             for (slot, pairs) in reducer_inputs.into_iter().enumerate() {
                 let host = self.reducer_host(slot);
-                let in_bytes: u64 =
-                    pairs.iter().map(|(k, r)| k.byte_size() + r.byte_size()).sum();
+                let in_bytes: u64 = pairs
+                    .iter()
+                    .map(|(k, r)| k.byte_size() + r.byte_size())
+                    .sum();
                 // Sort-merge grouping (reducers merge sorted runs).
                 let mut groups: std::collections::BTreeMap<Value, Vec<Row>> =
                     std::collections::BTreeMap::new();
@@ -183,20 +185,23 @@ impl MapReduceEngine {
             phases.push(reduce_phase);
             all_out
         } else {
-            map_only_output.into_iter().flat_map(|(_, rows)| rows).collect()
+            map_only_output
+                .into_iter()
+                .flat_map(|(_, rows)| rows)
+                .collect()
         };
 
-        Ok(JobOutcome { output, output_path: out_path, phases })
+        Ok(JobOutcome {
+            output,
+            output_path: out_path,
+            phases,
+        })
     }
 
     /// Execute a chain of jobs (each later job typically reads the
     /// previous job's HDFS output); returns the final output and the
     /// combined trace.
-    pub fn run_chain(
-        &self,
-        jobs: &[MapReduceJob],
-        hdfs: &mut Hdfs,
-    ) -> Result<(Vec<Row>, Trace)> {
+    pub fn run_chain(&self, jobs: &[MapReduceJob], hdfs: &mut Hdfs) -> Result<(Vec<Row>, Trace)> {
         let mut trace = Trace::new();
         let mut last_output = Vec::new();
         for job in jobs {
@@ -214,10 +219,10 @@ impl MapReduceEngine {
     }
 }
 
+/// Shuffle-partition hash: the workspace's stable hash, so reducer
+/// routing (and hence every trace) survives toolchain upgrades.
 fn hash_value(v: &Value) -> u64 {
-    let mut h = DefaultHasher::new();
-    v.hash(&mut h);
-    h.finish()
+    bestpeer_common::stable_hash(v)
 }
 
 #[cfg(test)]
@@ -297,19 +302,25 @@ mod tests {
         let outcome = eng.run_job(&sum_by_key_job(2), &mut fs).unwrap();
         assert_eq!(outcome.phases.len(), 2, "map + reduce phases");
         let map_phase = &outcome.phases[0];
-        assert!(map_phase
-            .tasks
-            .iter()
-            .all(|t| t.fixed >= SimTime::from_secs(12)), "startup charged on map tasks");
+        assert!(
+            map_phase
+                .tasks
+                .iter()
+                .all(|t| t.fixed >= SimTime::from_secs(12)),
+            "startup charged on map tasks"
+        );
         assert!(
             map_phase.tasks.iter().any(|t| !t.sends.is_empty()),
             "shuffle traffic present"
         );
         let reduce_phase = &outcome.phases[1];
-        assert!(reduce_phase
-            .tasks
-            .iter()
-            .all(|t| t.fixed >= SimTime::from_secs(2)), "poll delay charged on reducers");
+        assert!(
+            reduce_phase
+                .tasks
+                .iter()
+                .all(|t| t.fixed >= SimTime::from_secs(2)),
+            "poll delay charged on reducers"
+        );
     }
 
     #[test]
@@ -330,7 +341,7 @@ mod tests {
         let outcome = eng.run_job(&job, &mut fs).unwrap();
         assert_eq!(outcome.phases.len(), 1, "no reduce phase");
         assert_eq!(outcome.output.len(), 2); // amounts 10 and 20
-        // Map-only output replicated to other datanodes.
+                                             // Map-only output replicated to other datanodes.
         assert!(outcome.phases[0].tasks.iter().any(|t| !t.sends.is_empty()));
     }
 
@@ -369,7 +380,11 @@ mod tests {
         let mut fs = Hdfs::new(workers(2), 3);
         eng.run_job(&sum_by_key_job(1), &mut fs).unwrap();
         let second = eng.run_job(&sum_by_key_job(1), &mut fs).unwrap();
-        assert_eq!(fs.read(&second.output_path).unwrap().len(), 3, "no duplicate parts");
+        assert_eq!(
+            fs.read(&second.output_path).unwrap().len(),
+            3,
+            "no duplicate parts"
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ impl Hdfs {
     /// Mount a file system over `workers` with the given replication
     /// factor (the paper's benchmark uses 3).
     pub fn new(workers: Vec<PeerId>, replication: usize) -> Self {
-        Hdfs { files: BTreeMap::new(), workers, replication: replication.max(1), next_block: 0 }
+        Hdfs {
+            files: BTreeMap::new(),
+            workers,
+            replication: replication.max(1),
+            next_block: 0,
+        }
     }
 
     /// The configured replication factor.
@@ -41,7 +46,9 @@ impl Hdfs {
     /// Create an empty file; error if it exists.
     pub fn create(&mut self, path: &str) -> Result<()> {
         if self.files.contains_key(path) {
-            return Err(Error::Execution(format!("hdfs file `{path}` already exists")));
+            return Err(Error::Execution(format!(
+                "hdfs file `{path}` already exists"
+            )));
         }
         self.files.insert(path.to_owned(), HdfsFile::default());
         Ok(())

@@ -71,7 +71,7 @@ pub fn run_stmt(
     } else {
         join_pipeline(stmt, workers, engine, hdfs)?
     };
-    apply_order_limit(stmt, &mut rs)?;
+    bestpeer_sql::apply_order_limit(stmt, &mut rs);
     Ok((rs, trace))
 }
 
@@ -127,8 +127,7 @@ fn single_job_aggregate(
     let k = dist.combine.group_cols.len();
     let combine = dist.combine.clone();
     let partial_cols_for_reduce = partial_cols.clone();
-    let columns: Vec<String> =
-        combine.final_projs.iter().map(|(_, n)| n.clone()).collect();
+    let columns: Vec<String> = combine.final_projs.iter().map(|(_, n)| n.clone()).collect();
     let job = MapReduceJob {
         name: "aggregate".into(),
         map: Box::new(move |row, out| out.push((group_key_of(row, k), row.clone()))),
@@ -180,7 +179,10 @@ fn join_pipeline(
     for t in &stmt.from {
         let schema = workers.table_schema(t)?;
         let binding = Binding::from_cols(
-            needed_columns(stmt, &schema).into_iter().map(|c| (Some(t.clone()), c)).collect(),
+            needed_columns(stmt, &schema)
+                .into_iter()
+                .map(|c| (Some(t.clone()), c))
+                .collect(),
         );
         let mut preds = Vec::new();
         for (i, p) in stmt.predicates.iter().enumerate() {
@@ -259,12 +261,21 @@ fn join_pipeline(
             }
         });
         current = out_binding.clone();
-        steps.push(JoinStep { table_idx: ti, keys, residuals: level_residuals, out_binding });
+        steps.push(JoinStep {
+            table_idx: ti,
+            keys,
+            residuals: level_residuals,
+            out_binding,
+        });
     }
     if !residual.is_empty() {
         return Err(Error::Plan(format!(
             "unresolvable predicates: {}",
-            residual.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+            residual
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         )));
     }
 
@@ -313,51 +324,51 @@ fn join_pipeline(
         let residuals = step.residuals.clone();
         let out_binding = step.out_binding.clone();
         // The last join of a non-aggregate query projects in the reducer.
-        let project: Option<(Vec<Expr>, Binding)> =
-            if k == final_step && !stmt.is_aggregate() {
-                let exprs: Vec<Expr> =
-                    final_projections(stmt, &out_binding)?.into_iter().map(|(e, _)| e).collect();
-                Some((exprs, out_binding.clone()))
-            } else {
-                None
-            };
-        let reduce: crate::job::ReduceFn =
-            Box::new(move |_key, rows, out| {
-                let mut left = Vec::new();
-                let mut right = Vec::new();
-                for r in rows {
-                    let tag = r.get(0).as_int().unwrap_or(0);
-                    let stripped = Row::new(r.values()[1..].to_vec());
-                    if tag == 0 {
-                        left.push(stripped);
-                    } else {
-                        right.push(stripped);
-                    }
+        let project: Option<(Vec<Expr>, Binding)> = if k == final_step && !stmt.is_aggregate() {
+            let exprs: Vec<Expr> = final_projections(stmt, &out_binding)?
+                .into_iter()
+                .map(|(e, _)| e)
+                .collect();
+            Some((exprs, out_binding.clone()))
+        } else {
+            None
+        };
+        let reduce: crate::job::ReduceFn = Box::new(move |_key, rows, out| {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for r in rows {
+                let tag = r.get(0).as_int().unwrap_or(0);
+                let stripped = Row::new(r.values()[1..].to_vec());
+                if tag == 0 {
+                    left.push(stripped);
+                } else {
+                    right.push(stripped);
                 }
-                for a in &left {
-                    for b in &right {
-                        let joined = a.concat(b);
-                        let keep = residuals
-                            .iter()
-                            .all(|p| eval_bool(p, &joined, &out_binding).unwrap_or(false));
-                        if !keep {
-                            continue;
-                        }
-                        match &project {
-                            Some((exprs, binding)) => {
-                                if let Ok(vals) = exprs
-                                    .iter()
-                                    .map(|e| eval(e, &joined, binding))
-                                    .collect::<Result<Vec<_>>>()
-                                {
-                                    out.push(Row::new(vals));
-                                }
+            }
+            for a in &left {
+                for b in &right {
+                    let joined = a.concat(b);
+                    let keep = residuals
+                        .iter()
+                        .all(|p| eval_bool(p, &joined, &out_binding).unwrap_or(false));
+                    if !keep {
+                        continue;
+                    }
+                    match &project {
+                        Some((exprs, binding)) => {
+                            if let Ok(vals) = exprs
+                                .iter()
+                                .map(|e| eval(e, &joined, binding))
+                                .collect::<Result<Vec<_>>>()
+                            {
+                                out.push(Row::new(vals));
                             }
-                            None => out.push(joined),
                         }
+                        None => out.push(joined),
                     }
                 }
-            });
+            }
+        });
         let _ = left_arity;
         let job = MapReduceJob {
             name: format!("join{k}"),
@@ -393,27 +404,24 @@ fn join_pipeline(
         let red_group = group.clone();
         let red_aggs = aggs.clone();
         let projs = final_agg_projections(stmt, &group, &aggs);
-        let reduce: crate::job::ReduceFn =
-            Box::new(move |_key, rows, out| {
-                if let Ok(agg_rows) =
-                    aggregate_rows(rows, &red_binding, &red_group, &red_aggs)
-                {
-                    // Binding of aggregate output: group displays + agg names.
-                    let mut cols: Vec<(Option<String>, String)> =
-                        red_group.iter().map(|g| (None, g.to_string())).collect();
-                    cols.extend(red_aggs.iter().map(|a| (None, a.name.clone())));
-                    let b = Binding::from_cols(cols);
-                    for r in agg_rows {
-                        if let Ok(vals) = projs
-                            .iter()
-                            .map(|(e, _)| eval(e, &r, &b))
-                            .collect::<Result<Vec<_>>>()
-                        {
-                            out.push(Row::new(vals));
-                        }
+        let reduce: crate::job::ReduceFn = Box::new(move |_key, rows, out| {
+            if let Ok(agg_rows) = aggregate_rows(rows, &red_binding, &red_group, &red_aggs) {
+                // Binding of aggregate output: group displays + agg names.
+                let mut cols: Vec<(Option<String>, String)> =
+                    red_group.iter().map(|g| (None, g.to_string())).collect();
+                cols.extend(red_aggs.iter().map(|a| (None, a.name.clone())));
+                let b = Binding::from_cols(cols);
+                for r in agg_rows {
+                    if let Ok(vals) = projs
+                        .iter()
+                        .map(|(e, _)| eval(e, &r, &b))
+                        .collect::<Result<Vec<_>>>()
+                    {
+                        out.push(Row::new(vals));
                     }
                 }
-            });
+            }
+        });
         let agg_job = MapReduceJob {
             name: "final-agg".into(),
             map,
@@ -436,8 +444,7 @@ fn join_pipeline(
             let b = Binding::from_cols(cols);
             let projs = final_agg_projections(stmt, &group, &aggs);
             for r in agg_rows {
-                let vals: Result<Vec<Value>> =
-                    projs.iter().map(|(e, _)| eval(e, &r, &b)).collect();
+                let vals: Result<Vec<Value>> = projs.iter().map(|(e, _)| eval(e, &r, &b)).collect();
                 rows.push(Row::new(vals?));
             }
         }
@@ -447,8 +454,10 @@ fn join_pipeline(
             .collect();
         Ok((ResultSet { columns, rows }, trace))
     } else {
-        let columns =
-            final_projections(stmt, &final_binding)?.into_iter().map(|(_, n)| n).collect();
+        let columns = final_projections(stmt, &final_binding)?
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
         let rows = hdfs.read(&last_path)?;
         Ok((ResultSet { columns, rows }, trace))
     }
@@ -464,10 +473,8 @@ fn needed_columns(stmt: &SelectStmt, schema: &bestpeer_common::TableSchema) -> V
         .columns
         .iter()
         .filter(|c| {
-            refs.iter().any(|r| {
-                r.column == c.name
-                    && r.table.as_deref().is_none_or(|t| t == schema.name)
-            })
+            refs.iter()
+                .any(|r| r.column == c.name && r.table.as_deref().is_none_or(|t| t == schema.name))
         })
         .map(|c| c.name.clone())
         .collect();
@@ -522,10 +529,7 @@ fn composite_group_key(group: &[Expr], row: &Row, b: &Binding) -> Value {
 
 /// The final projection expressions and names for a non-aggregate query
 /// against the joined binding (`SELECT *` expands).
-fn final_projections(
-    stmt: &SelectStmt,
-    binding: &Binding,
-) -> Result<Vec<(Expr, String)>> {
+fn final_projections(stmt: &SelectStmt, binding: &Binding) -> Result<Vec<(Expr, String)>> {
     if stmt.projections.is_empty() {
         Ok((0..binding.arity())
             .map(|i| {
@@ -553,7 +557,11 @@ fn collect_agg_items(stmt: &SelectStmt) -> Vec<AggItem> {
             Expr::Agg { func, arg } => {
                 let name = e.to_string();
                 if !out.iter().any(|a| a.name == name) {
-                    out.push(AggItem { func: *func, arg: arg.as_deref().cloned(), name });
+                    out.push(AggItem {
+                        func: *func,
+                        arg: arg.as_deref().cloned(),
+                        name,
+                    });
                 }
             }
             Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
@@ -588,54 +596,4 @@ fn final_agg_projections(
         .iter()
         .map(|it| (rewrite_post_agg(&it.expr, group), it.output_name()))
         .collect()
-}
-
-/// Coordinator-side ORDER BY / LIMIT over the final result (the
-/// benchmark queries use neither; provided for completeness).
-fn apply_order_limit(stmt: &SelectStmt, rs: &mut ResultSet) -> Result<()> {
-    if !stmt.order_by.is_empty() {
-        let b = Binding::from_cols(rs.columns.iter().map(|c| (None, c.clone())).collect());
-        let keys: Vec<(Expr, bool)> = stmt
-            .order_by
-            .iter()
-            .map(|k| {
-                // Try alias substitution, then post-aggregate rewriting.
-                let mut e = k.expr.clone();
-                for it in &stmt.projections {
-                    if let (Expr::Column(c), Some(alias)) = (&e, &it.alias) {
-                        if c.table.is_none() && &c.column == alias {
-                            e = Expr::Column(ColumnRef::new(alias.clone()));
-                        }
-                    }
-                }
-                (e, k.desc)
-            })
-            .collect();
-        let mut keyed: Vec<(Vec<Value>, Row)> = rs
-            .rows
-            .drain(..)
-            .map(|r| {
-                let kv: Vec<Value> = keys
-                    .iter()
-                    .map(|(e, _)| eval(e, &r, &b).unwrap_or(Value::Null))
-                    .collect();
-                (kv, r)
-            })
-            .collect();
-        keyed.sort_by(|(ka, _), (kb, _)| {
-            for ((a, b), (_, desc)) in ka.iter().zip(kb.iter()).zip(&keys) {
-                let ord = a.cmp(b);
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        rs.rows = keyed.into_iter().map(|(_, r)| r).collect();
-    }
-    if let Some(n) = stmt.limit {
-        rs.rows.truncate(n);
-    }
-    Ok(())
 }

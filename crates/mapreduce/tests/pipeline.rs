@@ -59,13 +59,18 @@ fn source(workers: usize) -> Dbs {
             let eid = (w as i64) * 100 + i;
             db.insert(
                 "emp",
-                Row::new(vec![Value::Int(eid), Value::Int(i % 3), Value::Int(1000 + i * 100)]),
+                Row::new(vec![
+                    Value::Int(eid),
+                    Value::Int(i % 3),
+                    Value::Int(1000 + i * 100),
+                ]),
             )
             .unwrap();
         }
         if w == 0 {
             for (d, n) in [(0, "eng"), (1, "ops"), (2, "hr")] {
-                db.insert("dept", Row::new(vec![Value::Int(d), Value::str(n)])).unwrap();
+                db.insert("dept", Row::new(vec![Value::Int(d), Value::str(n)]))
+                    .unwrap();
             }
         }
         out.push((PeerId::new(w as u64), db));
@@ -97,7 +102,10 @@ fn join_with_dimension_table_on_one_worker() {
         .iter()
         .map(|r| (r.get(0).to_string(), r.get(1).as_int().unwrap()))
         .collect();
-    assert_eq!(got, vec![("eng".into(), 6), ("hr".into(), 6), ("ops".into(), 6)]);
+    assert_eq!(
+        got,
+        vec![("eng".into(), 6), ("hr".into(), 6), ("ops".into(), 6)]
+    );
 }
 
 #[test]

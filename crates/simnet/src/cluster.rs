@@ -89,7 +89,10 @@ impl Cluster {
     /// A cluster with the given resource rates. Peers are materialized
     /// lazily the first time a trace touches them.
     pub fn new(cfg: ResourceConfig) -> Self {
-        Cluster { cfg, peers: HashMap::new() }
+        Cluster {
+            cfg,
+            peers: HashMap::new(),
+        }
     }
 
     /// The configured rates.
@@ -105,6 +108,23 @@ impl Cluster {
         outcomes[0].latency()
     }
 
+    /// Per-phase latencies of a single query on an idle cluster. The
+    /// phases are booked on one persistent cluster exactly as
+    /// [`Cluster::run`] would book them, so the returned spans sum to
+    /// [`Cluster::single_query_latency`] to the microsecond — telemetry
+    /// reports rely on that reconciliation.
+    pub fn single_query_phase_latencies(&self, trace: &Trace) -> Vec<SimTime> {
+        let mut c = Cluster::new(self.cfg);
+        let mut at = SimTime::ZERO;
+        let mut spans = Vec::with_capacity(trace.phases.len());
+        for phase in &trace.phases {
+            let end = c.book_phase(at, phase);
+            spans.push(end.saturating_sub(at));
+            at = end;
+        }
+        spans
+    }
+
     /// Replay a batch of `(arrival, trace)` queries under queueing; the
     /// returned outcomes are index-aligned with the input.
     pub fn run(&mut self, queries: Vec<(SimTime, Trace)>) -> Vec<QueryOutcome> {
@@ -118,11 +138,19 @@ impl Cluster {
         let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
         let mut outcomes: Vec<QueryOutcome> = queries
             .iter()
-            .map(|(arr, _)| QueryOutcome { arrival: *arr, completion: *arr })
+            .map(|(arr, _)| QueryOutcome {
+                arrival: *arr,
+                completion: *arr,
+            })
             .collect();
         let mut seq = 0u64;
         for (i, (arr, _)) in queries.iter().enumerate() {
-            heap.push(Reverse(Ev { at: *arr, seq, query: i, phase: 0 }));
+            heap.push(Reverse(Ev {
+                at: *arr,
+                seq,
+                query: i,
+                phase: 0,
+            }));
             seq += 1;
         }
         while let Some(Reverse(ev)) = heap.pop() {
@@ -131,36 +159,50 @@ impl Cluster {
                 outcomes[ev.query].completion = ev.at;
                 continue;
             }
-            let phase = &trace.phases[ev.phase];
-            let mut phase_end = ev.at;
-            for task in &phase.tasks {
-                let res = self.peers.entry(task.node).or_default();
-                // Disk, then CPU (plus fixed overhead), then NIC.
-                let disk_start = ev.at.max(res.disk_free_at);
-                let disk_end =
-                    disk_start + transfer_time(self.cfg.scaled(task.disk_bytes), self.cfg.disk_bytes_per_sec);
-                res.disk_free_at = disk_end;
-                let cpu_start = disk_end.max(res.cpu_free_at);
-                let cpu_end = cpu_start
-                    + transfer_time(self.cfg.scaled(task.cpu_bytes), self.cfg.cpu_bytes_per_sec)
-                    + task.fixed;
-                res.cpu_free_at = cpu_end;
-                let mut task_end = cpu_end;
-                for send in &task.sends {
-                    let res = self.peers.entry(task.node).or_default();
-                    let nic_start = cpu_end.max(res.nic_free_at);
-                    let nic_end = nic_start
-                        + transfer_time(self.cfg.scaled(send.bytes), self.cfg.net_bytes_per_sec);
-                    res.nic_free_at = nic_end;
-                    let delivered = nic_end + self.cfg.msg_latency;
-                    task_end = task_end.max(delivered);
-                }
-                phase_end = phase_end.max(task_end);
-            }
-            heap.push(Reverse(Ev { at: phase_end, seq, query: ev.query, phase: ev.phase + 1 }));
+            let phase_end = self.book_phase(ev.at, &trace.phases[ev.phase]);
+            heap.push(Reverse(Ev {
+                at: phase_end,
+                seq,
+                query: ev.query,
+                phase: ev.phase + 1,
+            }));
             seq += 1;
         }
         outcomes
+    }
+
+    /// Book one phase's tasks onto the resource servers starting no
+    /// earlier than `at`; returns when the phase's last task delivers.
+    fn book_phase(&mut self, at: SimTime, phase: &crate::trace::Phase) -> SimTime {
+        let mut phase_end = at;
+        for task in &phase.tasks {
+            let res = self.peers.entry(task.node).or_default();
+            // Disk, then CPU (plus fixed overhead), then NIC.
+            let disk_start = at.max(res.disk_free_at);
+            let disk_end = disk_start
+                + transfer_time(
+                    self.cfg.scaled(task.disk_bytes),
+                    self.cfg.disk_bytes_per_sec,
+                );
+            res.disk_free_at = disk_end;
+            let cpu_start = disk_end.max(res.cpu_free_at);
+            let cpu_end = cpu_start
+                + transfer_time(self.cfg.scaled(task.cpu_bytes), self.cfg.cpu_bytes_per_sec)
+                + task.fixed;
+            res.cpu_free_at = cpu_end;
+            let mut task_end = cpu_end;
+            for send in &task.sends {
+                let res = self.peers.entry(task.node).or_default();
+                let nic_start = cpu_end.max(res.nic_free_at);
+                let nic_end = nic_start
+                    + transfer_time(self.cfg.scaled(send.bytes), self.cfg.net_bytes_per_sec);
+                res.nic_free_at = nic_end;
+                let delivered = nic_end + self.cfg.msg_latency;
+                task_end = task_end.max(delivered);
+            }
+            phase_end = phase_end.max(task_end);
+        }
+        phase_end
     }
 }
 
@@ -186,9 +228,8 @@ mod tests {
     #[test]
     fn single_task_latency_adds_stages() {
         // 100B disk (1 s) + 100B cpu (1 s) + send 100B (1 s) = 3 s.
-        let trace = Trace::new().phase(
-            Phase::new("one").task(Task::on(p(1)).disk(100).cpu(100).send(p(0), 100)),
-        );
+        let trace = Trace::new()
+            .phase(Phase::new("one").task(Task::on(p(1)).disk(100).cpu(100).send(p(0), 100)));
         let c = Cluster::new(cfg());
         assert_eq!(c.single_query_latency(&trace), SimTime::from_secs(3));
     }
@@ -230,8 +271,8 @@ mod tests {
 
     #[test]
     fn fixed_overhead_is_charged() {
-        let trace = Trace::new()
-            .phase(Phase::new("x").task(Task::on(p(1)).fixed(SimTime::from_secs(12))));
+        let trace =
+            Trace::new().phase(Phase::new("x").task(Task::on(p(1)).fixed(SimTime::from_secs(12))));
         let c = Cluster::new(cfg());
         assert_eq!(c.single_query_latency(&trace), SimTime::from_secs(12));
     }
@@ -240,8 +281,7 @@ mod tests {
     fn message_latency_applies_per_transfer() {
         let mut c = cfg();
         c.msg_latency = SimTime::from_millis(250);
-        let trace =
-            Trace::new().phase(Phase::new("s").task(Task::on(p(1)).send(p(2), 100)));
+        let trace = Trace::new().phase(Phase::new("s").task(Task::on(p(1)).send(p(2), 100)));
         let cl = Cluster::new(c);
         assert_eq!(
             cl.single_query_latency(&trace),
@@ -278,6 +318,21 @@ mod tests {
         let mut cl = Cluster::new(cfg());
         let outs = cl.run(vec![(SimTime::ZERO, t1), (SimTime::ZERO, t2)]);
         assert!(outs.iter().all(|o| o.latency() == SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn phase_latencies_sum_to_total_latency() {
+        // Same peer reused across phases: the per-phase booking must
+        // carry resource state forward to reconcile with `run`.
+        let trace = Trace::new()
+            .phase(Phase::new("a").task(Task::on(p(1)).disk(100).send(p(2), 50)))
+            .phase(Phase::new("b").task(Task::on(p(2)).cpu(100)))
+            .phase(Phase::new("c").task(Task::on(p(1)).disk(30).cpu(20).send(p(0), 10)));
+        let c = Cluster::new(cfg());
+        let spans = c.single_query_phase_latencies(&trace);
+        assert_eq!(spans.len(), 3);
+        let total: u64 = spans.iter().map(|s| s.as_micros()).sum();
+        assert_eq!(total, c.single_query_latency(&trace).as_micros());
     }
 
     #[test]

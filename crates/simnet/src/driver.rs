@@ -47,11 +47,21 @@ pub fn run_open_loop(
     // divided by the window. (Counting the full drain time instead would
     // let one backlogged server's queue dominate the denominator and
     // understate aggregate throughput.)
-    let first = outcomes.iter().map(|o| o.arrival).min().unwrap_or(SimTime::ZERO);
-    let window_end = outcomes.iter().map(|o| o.arrival).max().unwrap_or(SimTime::ZERO);
+    let first = outcomes
+        .iter()
+        .map(|o| o.arrival)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    let window_end = outcomes
+        .iter()
+        .map(|o| o.arrival)
+        .max()
+        .unwrap_or(SimTime::ZERO);
     let window = window_end.saturating_sub(first).as_secs_f64().max(1e-9);
-    let completed_in_window =
-        outcomes.iter().filter(|o| o.completion <= window_end).count();
+    let completed_in_window = outcomes
+        .iter()
+        .filter(|o| o.completion <= window_end)
+        .count();
     LoadPoint {
         offered_qps: qps,
         achieved_qps: completed_in_window as f64 / window,
@@ -67,7 +77,10 @@ pub fn sweep_throughput(
     rates: &[f64],
     n_queries: usize,
 ) -> Vec<LoadPoint> {
-    rates.iter().map(|&qps| run_open_loop(cfg, traces, qps, n_queries)).collect()
+    rates
+        .iter()
+        .map(|&qps| run_open_loop(cfg, traces, qps, n_queries))
+        .collect()
 }
 
 #[cfg(test)]
@@ -103,8 +116,15 @@ mod tests {
     fn above_saturation_throughput_caps_and_latency_grows() {
         // Offer 400 q/s against a 100 q/s server.
         let p = run_open_loop(cfg(), &[light(1)], 400.0, 400);
-        assert!(p.achieved_qps < 120.0, "throughput capped near 100, got {}", p.achieved_qps);
-        assert!(p.mean_latency > SimTime::from_millis(100), "queueing delay should dominate");
+        assert!(
+            p.achieved_qps < 120.0,
+            "throughput capped near 100, got {}",
+            p.achieved_qps
+        );
+        assert!(
+            p.mean_latency > SimTime::from_millis(100),
+            "queueing delay should dominate"
+        );
     }
 
     #[test]

@@ -18,8 +18,7 @@ pub fn percentile(times: &[SimTime], q: f64) -> SimTime {
     }
     let mut sorted: Vec<SimTime> = times.to_vec();
     sorted.sort_unstable();
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
-        .clamp(1, sorted.len());
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
 

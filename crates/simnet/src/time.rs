@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn transfer_time_rounds_up() {
         // 100 MB at 100 MB/s = 1 s
-        assert_eq!(transfer_time(100_000_000, 100_000_000), SimTime::from_secs(1));
+        assert_eq!(
+            transfer_time(100_000_000, 100_000_000),
+            SimTime::from_secs(1)
+        );
         // 1 byte at 1 GB/s rounds up to 1 µs
         assert_eq!(transfer_time(1, 1_000_000_000), SimTime::from_micros(1));
         assert_eq!(transfer_time(0, 100), SimTime::ZERO);

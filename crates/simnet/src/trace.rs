@@ -40,7 +40,13 @@ pub struct Task {
 impl Task {
     /// A task on `node` with no work; use the builder methods to add.
     pub fn on(node: PeerId) -> Self {
-        Task { node, disk_bytes: 0, cpu_bytes: 0, fixed: SimTime::ZERO, sends: Vec::new() }
+        Task {
+            node,
+            disk_bytes: 0,
+            cpu_bytes: 0,
+            fixed: SimTime::ZERO,
+            sends: Vec::new(),
+        }
     }
 
     /// Add disk bytes.
@@ -80,7 +86,10 @@ pub struct Phase {
 impl Phase {
     /// An empty named phase.
     pub fn new(label: impl Into<String>) -> Self {
-        Phase { label: label.into(), tasks: Vec::new() }
+        Phase {
+            label: label.into(),
+            tasks: Vec::new(),
+        }
     }
 
     /// Append a task.
@@ -131,12 +140,20 @@ impl Trace {
 
     /// Total bytes read from disk across all peers.
     pub fn disk_bytes(&self) -> u64 {
-        self.phases.iter().flat_map(|p| &p.tasks).map(|t| t.disk_bytes).sum()
+        self.phases
+            .iter()
+            .flat_map(|p| &p.tasks)
+            .map(|t| t.disk_bytes)
+            .sum()
     }
 
     /// Total CPU bytes across all peers.
     pub fn cpu_bytes(&self) -> u64 {
-        self.phases.iter().flat_map(|p| &p.tasks).map(|t| t.cpu_bytes).sum()
+        self.phases
+            .iter()
+            .flat_map(|p| &p.tasks)
+            .map(|t| t.cpu_bytes)
+            .sum()
     }
 
     /// Peers that appear anywhere in the trace.
@@ -159,10 +176,23 @@ mod tests {
 
     fn sample() -> Trace {
         let p1 = Phase::new("fetch")
-            .task(Task::on(PeerId::new(1)).disk(100).cpu(100).send(PeerId::new(0), 40))
-            .task(Task::on(PeerId::new(2)).disk(200).cpu(200).send(PeerId::new(0), 60));
-        let p2 = Phase::new("process")
-            .task(Task::on(PeerId::new(0)).cpu(100).fixed(SimTime::from_millis(5)));
+            .task(
+                Task::on(PeerId::new(1))
+                    .disk(100)
+                    .cpu(100)
+                    .send(PeerId::new(0), 40),
+            )
+            .task(
+                Task::on(PeerId::new(2))
+                    .disk(200)
+                    .cpu(200)
+                    .send(PeerId::new(0), 60),
+            );
+        let p2 = Phase::new("process").task(
+            Task::on(PeerId::new(0))
+                .cpu(100)
+                .fixed(SimTime::from_millis(5)),
+        );
         Trace::new().phase(p1).phase(p2)
     }
 
@@ -185,7 +215,11 @@ mod tests {
 
     #[test]
     fn builders_accumulate() {
-        let task = Task::on(PeerId::new(3)).disk(1).disk(2).cpu(5).fixed(SimTime::from_micros(7));
+        let task = Task::on(PeerId::new(3))
+            .disk(1)
+            .disk(2)
+            .cpu(5)
+            .fixed(SimTime::from_micros(7));
         assert_eq!(task.disk_bytes, 3);
         assert_eq!(task.cpu_bytes, 5);
         assert_eq!(task.fixed, SimTime::from_micros(7));

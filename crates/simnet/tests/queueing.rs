@@ -47,9 +47,8 @@ fn utilization_law_at_the_knee() {
 fn pipeline_stages_overlap_across_queries() {
     // disk 10 ms then cpu 10 ms: a single query takes 20 ms, but the
     // stages pipeline across queries, so capacity is ~100 q/s, not 50.
-    let t = Trace::new().phase(
-        Phase::new("p").task(Task::on(PeerId::new(1)).disk(10_000).cpu(10_000)),
-    );
+    let t =
+        Trace::new().phase(Phase::new("p").task(Task::on(PeerId::new(1)).disk(10_000).cpu(10_000)));
     let p = driver::run_open_loop(cfg(1_000_000), &[t], 90.0, 600);
     assert!(
         p.achieved_qps > 80.0,
@@ -88,7 +87,10 @@ fn slow_link_dominates_a_fan_in() {
 fn byte_scale_preserves_ratios() {
     let t = job(1, 10);
     let base = Cluster::new(cfg(1_000_000)).single_query_latency(&t);
-    let scaled = Cluster::new(ResourceConfig { byte_scale: 7.0, ..cfg(1_000_000) })
-        .single_query_latency(&t);
+    let scaled = Cluster::new(ResourceConfig {
+        byte_scale: 7.0,
+        ..cfg(1_000_000)
+    })
+    .single_query_latency(&t);
     assert_eq!(scaled.as_micros(), base.as_micros() * 7);
 }

@@ -17,12 +17,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// An unqualified reference.
     pub fn new(column: impl Into<String>) -> Self {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 
     /// A table-qualified reference.
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: Some(table.into()), column: column.into() }
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -197,7 +203,11 @@ impl Expr {
 
     /// Shorthand comparison builder.
     pub fn cmp(left: Expr, op: CmpOp, right: Expr) -> Expr {
-        Expr::Cmp { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Cmp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// Does this expression contain an aggregate call?
@@ -242,7 +252,12 @@ impl Expr {
     /// If this expression is an equi-join predicate `colA = colB` between
     /// two *different* columns, return the pair.
     pub fn as_equi_join(&self) -> Option<(&ColumnRef, &ColumnRef)> {
-        if let Expr::Cmp { left, op: CmpOp::Eq, right } = self {
+        if let Expr::Cmp {
+            left,
+            op: CmpOp::Eq,
+            right,
+        } = self
+        {
             if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
                 if a != b {
                     return Some((a, b));
@@ -349,7 +364,10 @@ impl SelectStmt {
 
     /// The equi-join conjuncts (column = column across tables).
     pub fn join_predicates(&self) -> Vec<&Expr> {
-        self.predicates.iter().filter(|p| p.as_equi_join().is_some()).collect()
+        self.predicates
+            .iter()
+            .filter(|p| p.as_equi_join().is_some())
+            .collect()
     }
 
     /// Number of joins implied by the FROM list (|tables| − 1, min 0).
@@ -433,7 +451,14 @@ mod tests {
 
     #[test]
     fn cmp_flip_round_trips() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             // a op b == b flip(op) a
             let (a, b) = (Value::Int(1), Value::Int(2));
@@ -466,7 +491,10 @@ mod tests {
 
     #[test]
     fn agg_detection() {
-        let sum = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))) };
+        let sum = Expr::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::col("x"))),
+        };
         assert!(sum.contains_agg());
         let nested = Expr::Arith {
             left: Box::new(sum),
@@ -483,10 +511,17 @@ mod tests {
             Box::new(Expr::cmp(Expr::col("a"), CmpOp::Gt, Expr::lit(1i64))),
             Box::new(Expr::Or(
                 Box::new(Expr::cmp(Expr::col("b"), CmpOp::Eq, Expr::col("c"))),
-                Box::new(Expr::Agg { func: AggFunc::Max, arg: Some(Box::new(Expr::col("d"))) }),
+                Box::new(Expr::Agg {
+                    func: AggFunc::Max,
+                    arg: Some(Box::new(Expr::col("d"))),
+                }),
             )),
         );
-        let cols: Vec<_> = e.referenced_columns().iter().map(|c| c.column.clone()).collect();
+        let cols: Vec<_> = e
+            .referenced_columns()
+            .iter()
+            .map(|c| c.column.clone())
+            .collect();
         assert_eq!(cols, vec!["a", "b", "c", "d"]);
     }
 
@@ -494,16 +529,29 @@ mod tests {
     fn display_round_trip_shape() {
         let stmt = SelectStmt {
             projections: vec![
-                SelectItem { expr: Expr::col("n_name"), alias: None },
                 SelectItem {
-                    expr: Expr::Agg { func: AggFunc::Count, arg: None },
+                    expr: Expr::col("n_name"),
+                    alias: None,
+                },
+                SelectItem {
+                    expr: Expr::Agg {
+                        func: AggFunc::Count,
+                        arg: None,
+                    },
                     alias: Some("cnt".into()),
                 },
             ],
             from: vec!["nation".into(), "region".into()],
-            predicates: vec![Expr::cmp(Expr::col("n_regionkey"), CmpOp::Eq, Expr::col("r_regionkey"))],
+            predicates: vec![Expr::cmp(
+                Expr::col("n_regionkey"),
+                CmpOp::Eq,
+                Expr::col("r_regionkey"),
+            )],
             group_by: vec![Expr::col("n_name")],
-            order_by: vec![OrderKey { expr: Expr::col("n_name"), desc: true }],
+            order_by: vec![OrderKey {
+                expr: Expr::col("n_name"),
+                desc: true,
+            }],
             limit: Some(5),
         };
         let s = stmt.to_string();

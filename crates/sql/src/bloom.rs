@@ -27,7 +27,12 @@ impl BloomFilter {
         let m = (-(n * p.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil();
         let nbits = (m as u64).max(64);
         let k = ((m / n) * std::f64::consts::LN_2).round().clamp(1.0, 16.0) as u32;
-        BloomFilter { bits: vec![0u64; nbits.div_ceil(64) as usize], nbits, k, items: 0 }
+        BloomFilter {
+            bits: vec![0u64; nbits.div_ceil(64) as usize],
+            nbits,
+            k,
+            items: 0,
+        }
     }
 
     /// Insert a key.
@@ -55,15 +60,11 @@ impl BloomFilter {
     }
 
     fn hashes(&self, v: &Value) -> (u64, u64) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut a = DefaultHasher::new();
-        v.hash(&mut a);
-        let h1 = a.finish();
-        let mut b = DefaultHasher::new();
-        h1.hash(&mut b);
-        0xDEAD_BEEF_u64.hash(&mut b);
-        let h2 = b.finish() | 1; // odd, so it cycles all residues
+        // Stable across builds: filters cross the network, and a peer
+        // on a newer toolchain must probe the same bits the builder
+        // set.
+        let h1 = bestpeer_common::stable_hash(v);
+        let h2 = bestpeer_common::mix64(h1) | 1; // odd, so it cycles all residues
         (h1, h2)
     }
 
@@ -105,7 +106,9 @@ mod tests {
         for i in 0..1000i64 {
             f.insert(&Value::Int(i));
         }
-        let fp = (1000..21_000i64).filter(|i| f.contains(&Value::Int(*i))).count();
+        let fp = (1000..21_000i64)
+            .filter(|i| f.contains(&Value::Int(*i)))
+            .count();
         let rate = fp as f64 / 20_000.0;
         assert!(rate < 0.05, "false positive rate {rate} too high");
     }

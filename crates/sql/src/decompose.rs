@@ -67,9 +67,8 @@ pub fn needed_columns(stmt: &SelectStmt, schema: &TableSchema) -> Vec<String> {
         .columns
         .iter()
         .filter(|c| {
-            refs.iter().any(|r| {
-                r.column == c.name && r.table.as_deref().is_none_or(|t| t == schema.name)
-            })
+            refs.iter()
+                .any(|r| r.column == c.name && r.table.as_deref().is_none_or(|t| t == schema.name))
         })
         .map(|c| c.name.clone())
         .collect();
@@ -178,15 +177,11 @@ pub fn decompose(stmt: &SelectStmt, schemas: &[TableSchema]) -> Result<Decomposi
         'outer: for (ri, &ti) in remaining.iter().enumerate() {
             for (pi, p) in residual.iter().enumerate() {
                 if let Some((a, b)) = p.as_equi_join() {
-                    if let (Ok(l), Ok(r)) =
-                        (current.resolve(a), parts[ti].binding.resolve(b))
-                    {
+                    if let (Ok(l), Ok(r)) = (current.resolve(a), parts[ti].binding.resolve(b)) {
                         chosen = Some((ri, pi, l, r));
                         break 'outer;
                     }
-                    if let (Ok(l), Ok(r)) =
-                        (current.resolve(b), parts[ti].binding.resolve(a))
-                    {
+                    if let (Ok(l), Ok(r)) = (current.resolve(b), parts[ti].binding.resolve(a)) {
                         chosen = Some((ri, pi, l, r));
                         break 'outer;
                     }
@@ -212,12 +207,21 @@ pub fn decompose(stmt: &SelectStmt, schemas: &[TableSchema]) -> Result<Decomposi
             }
         });
         current = out_binding.clone();
-        joins.push(JoinStep { part: ti, keys, residuals: level_residuals, out_binding });
+        joins.push(JoinStep {
+            part: ti,
+            keys,
+            residuals: level_residuals,
+            out_binding,
+        });
     }
     if !residual.is_empty() {
         return Err(bestpeer_common::Error::Plan(format!(
             "unresolvable predicates: {}",
-            residual.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+            residual
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         )));
     }
     Ok(Decomposition { parts, joins })
@@ -232,7 +236,9 @@ mod tests {
     fn schema(name: &str, cols: &[&str]) -> TableSchema {
         TableSchema::new(
             name,
-            cols.iter().map(|c| ColumnDef::new(*c, ColumnType::Int)).collect(),
+            cols.iter()
+                .map(|c| ColumnDef::new(*c, ColumnType::Int))
+                .collect(),
             vec![],
         )
         .unwrap()
@@ -240,8 +246,7 @@ mod tests {
 
     #[test]
     fn single_table_pushdown() {
-        let stmt =
-            parse_select("SELECT a FROM t WHERE a > 1 AND b = 2 ORDER BY c").unwrap();
+        let stmt = parse_select("SELECT a FROM t WHERE a > 1 AND b = 2 ORDER BY c").unwrap();
         let d = decompose(&stmt, &[schema("t", &["a", "b", "c", "unused"])]).unwrap();
         assert!(d.joins.is_empty());
         let part = &d.parts[0];
@@ -278,8 +283,7 @@ mod tests {
 
     #[test]
     fn cross_join_fallback_and_residuals() {
-        let stmt =
-            parse_select("SELECT a1 FROM t1, t2 WHERE a1 + a2 > 3").unwrap();
+        let stmt = parse_select("SELECT a1 FROM t1, t2 WHERE a1 + a2 > 3").unwrap();
         let d = decompose(&stmt, &[schema("t1", &["a1"]), schema("t2", &["a2"])]).unwrap();
         assert_eq!(d.joins.len(), 1);
         assert!(d.joins[0].keys.is_none(), "no equi-join predicate");

@@ -58,7 +58,9 @@ pub struct DistAgg {
 /// coordinator combine step. Fails on non-aggregate statements.
 pub fn split_aggregate(stmt: &SelectStmt) -> Result<DistAgg> {
     if !stmt.is_aggregate() {
-        return Err(Error::Plan("split_aggregate on a non-aggregate query".into()));
+        return Err(Error::Plan(
+            "split_aggregate on a non-aggregate query".into(),
+        ));
     }
     if stmt.projections.is_empty() {
         return Err(Error::Plan("aggregate query cannot use SELECT *".into()));
@@ -79,7 +81,10 @@ pub fn split_aggregate(stmt: &SelectStmt) -> Result<DistAgg> {
     for (i, g) in stmt.group_by.iter().enumerate() {
         let name = format!("g{i}");
         group_cols.push(name.clone());
-        partial_projs.push(SelectItem { expr: g.clone(), alias: Some(name) });
+        partial_projs.push(SelectItem {
+            expr: g.clone(),
+            alias: Some(name),
+        });
     }
     let mut specs = Vec::new();
     for (j, (func, arg)) in agg_calls.iter().enumerate() {
@@ -87,7 +92,10 @@ pub fn split_aggregate(stmt: &SelectStmt) -> Result<DistAgg> {
             AggFunc::Sum => {
                 let col = format!("a{j}");
                 partial_projs.push(SelectItem {
-                    expr: Expr::Agg { func: AggFunc::Sum, arg: arg.clone().map(Box::new) },
+                    expr: Expr::Agg {
+                        func: AggFunc::Sum,
+                        arg: arg.clone().map(Box::new),
+                    },
                     alias: Some(col.clone()),
                 });
                 specs.push(CombineSpec::Sum(col));
@@ -95,7 +103,10 @@ pub fn split_aggregate(stmt: &SelectStmt) -> Result<DistAgg> {
             AggFunc::Count => {
                 let col = format!("a{j}");
                 partial_projs.push(SelectItem {
-                    expr: Expr::Agg { func: AggFunc::Count, arg: arg.clone().map(Box::new) },
+                    expr: Expr::Agg {
+                        func: AggFunc::Count,
+                        arg: arg.clone().map(Box::new),
+                    },
                     alias: Some(col.clone()),
                 });
                 // Counts are merged by summation.
@@ -104,7 +115,10 @@ pub fn split_aggregate(stmt: &SelectStmt) -> Result<DistAgg> {
             AggFunc::Min | AggFunc::Max => {
                 let col = format!("a{j}");
                 partial_projs.push(SelectItem {
-                    expr: Expr::Agg { func: *func, arg: arg.clone().map(Box::new) },
+                    expr: Expr::Agg {
+                        func: *func,
+                        arg: arg.clone().map(Box::new),
+                    },
                     alias: Some(col.clone()),
                 });
                 specs.push(if *func == AggFunc::Min {
@@ -117,11 +131,17 @@ pub fn split_aggregate(stmt: &SelectStmt) -> Result<DistAgg> {
                 let sum_col = format!("a{j}_s");
                 let cnt_col = format!("a{j}_c");
                 partial_projs.push(SelectItem {
-                    expr: Expr::Agg { func: AggFunc::Sum, arg: arg.clone().map(Box::new) },
+                    expr: Expr::Agg {
+                        func: AggFunc::Sum,
+                        arg: arg.clone().map(Box::new),
+                    },
                     alias: Some(sum_col.clone()),
                 });
                 partial_projs.push(SelectItem {
-                    expr: Expr::Agg { func: AggFunc::Count, arg: arg.clone().map(Box::new) },
+                    expr: Expr::Agg {
+                        func: AggFunc::Count,
+                        arg: arg.clone().map(Box::new),
+                    },
                     alias: Some(cnt_col.clone()),
                 });
                 specs.push(CombineSpec::AvgPair { sum_col, cnt_col });
@@ -150,7 +170,14 @@ pub fn split_aggregate(stmt: &SelectStmt) -> Result<DistAgg> {
         })
         .collect();
 
-    Ok(DistAgg { partial, combine: Combine { group_cols, specs, final_projs } })
+    Ok(DistAgg {
+        partial,
+        combine: Combine {
+            group_cols,
+            specs,
+            final_projs,
+        },
+    })
 }
 
 fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>, seen: &mut Vec<String>) {
@@ -210,9 +237,8 @@ impl Combine {
     /// Merge partial rows (with the given column names, as produced by
     /// the partial statement) into the final result set.
     pub fn apply(&self, partial_columns: &[String], rows: &[Row]) -> Result<ResultSet> {
-        let binding = Binding::from_cols(
-            partial_columns.iter().map(|c| (None, c.clone())).collect(),
-        );
+        let binding =
+            Binding::from_cols(partial_columns.iter().map(|c| (None, c.clone())).collect());
         let col_idx = |name: &str| -> Result<usize> {
             partial_columns
                 .iter()
@@ -341,7 +367,8 @@ mod tests {
         )
         .unwrap();
         for (k, q) in rows {
-            db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*q)])).unwrap();
+            db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*q)]))
+                .unwrap();
         }
         db
     }
@@ -423,7 +450,10 @@ mod tests {
     fn empty_everywhere_yields_sql_semantics() {
         let stmt = parse_select("SELECT COUNT(*), SUM(q) FROM t").unwrap();
         let dist = split_aggregate(&stmt).unwrap();
-        let rs = dist.combine.apply(&["a0".into(), "a1".into()], &[]).unwrap();
+        let rs = dist
+            .combine
+            .apply(&["a0".into(), "a1".into()], &[])
+            .unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0].get(0), &Value::Null); // no partials at all
     }

@@ -77,14 +77,30 @@ pub fn execute_select(stmt: &SelectStmt, db: &Database) -> Result<(ResultSet, Ex
     let mut stats = ExecStats::default();
     let rows = run(&plan, db, &mut stats)?;
     stats.rows_output = rows.len() as u64;
-    Ok((ResultSet { columns: plan.output_names(), rows }, stats))
+    Ok((
+        ResultSet {
+            columns: plan.output_names(),
+            rows,
+        },
+        stats,
+    ))
 }
 
 /// Execute a plan, materializing its output rows.
 pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Row>> {
     match plan {
-        Plan::Scan { table, filters, binding } => scan(db.table(table)?, filters, binding, stats),
-        Plan::HashJoin { left, right, left_key, right_key, .. } => {
+        Plan::Scan {
+            table,
+            filters,
+            binding,
+        } => scan(db.table(table)?, filters, binding, stats),
+        Plan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            ..
+        } => {
             let l = run(left, db, stats)?;
             let r = run(right, db, stats)?;
             Ok(hash_join(&l, &r, *left_key, *right_key))
@@ -100,7 +116,11 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Row>
             }
             Ok(out)
         }
-        Plan::Filter { input, predicates, binding } => {
+        Plan::Filter {
+            input,
+            predicates,
+            binding,
+        } => {
             let rows = run(input, db, stats)?;
             let mut out = Vec::new();
             for row in rows {
@@ -110,11 +130,17 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Row>
             }
             Ok(out)
         }
-        Plan::Aggregate { input, group, aggs, .. } => {
+        Plan::Aggregate {
+            input, group, aggs, ..
+        } => {
             let rows = run(input, db, stats)?;
             aggregate_rows(&rows, input.binding(), group, aggs)
         }
-        Plan::Sort { input, keys, binding } => {
+        Plan::Sort {
+            input,
+            keys,
+            binding,
+        } => {
             let mut rows = run(input, db, stats)?;
             sort_rows(&mut rows, keys, binding)?;
             Ok(rows)
@@ -125,7 +151,10 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Row>
             rows.iter()
                 .map(|row| {
                     Ok(Row::new(
-                        exprs.iter().map(|e| eval(e, row, b)).collect::<Result<Vec<_>>>()?,
+                        exprs
+                            .iter()
+                            .map(|e| eval(e, row, b))
+                            .collect::<Result<Vec<_>>>()?,
                     ))
                 })
                 .collect()
@@ -159,8 +188,12 @@ fn scan(
     // Find sargable predicates over indexed columns.
     let mut best: Option<(usize, Vec<u64>)> = None; // (pred idx, row ids)
     for (i, p) in filters.iter().enumerate() {
-        let Some((cref, op, lit)) = p.as_column_literal() else { continue };
-        let Some(idx) = table.index_on(&cref.column) else { continue };
+        let Some((cref, op, lit)) = p.as_column_literal() else {
+            continue;
+        };
+        let Some(idx) = table.index_on(&cref.column) else {
+            continue;
+        };
         let ids = match op {
             CmpOp::Eq => idx.lookup_eq(lit),
             CmpOp::Lt => idx.lookup_range(Bound::Unbounded, Bound::Excluded(lit)),
@@ -256,7 +289,10 @@ impl Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Sum => Acc::Sum(Value::Null),
-            AggFunc::Avg => Acc::Avg { sum: Value::Null, count: 0 },
+            AggFunc::Avg => Acc::Avg {
+                sum: Value::Null,
+                count: 0,
+            },
             AggFunc::Min => Acc::Min(Value::Null),
             AggFunc::Max => Acc::Max(Value::Null),
         }
@@ -344,8 +380,10 @@ pub fn aggregate_rows(
         states.push((Vec::new(), aggs.iter().map(|a| Acc::new(a.func)).collect()));
     }
     for row in rows {
-        let key: Vec<Value> =
-            group.iter().map(|g| eval(g, row, input_binding)).collect::<Result<_>>()?;
+        let key: Vec<Value> = group
+            .iter()
+            .map(|g| eval(g, row, input_binding))
+            .collect::<Result<_>>()?;
         let slot = match groups.get(&key) {
             Some(&s) => s,
             None => {
@@ -378,7 +416,10 @@ fn sort_rows(rows: &mut [Row], keys: &[(Expr, bool)], b: &Binding) -> Result<()>
     // Precompute key tuples to keep comparisons fallible-free.
     let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
-        let kv: Vec<Value> = keys.iter().map(|(e, _)| eval(e, row, b)).collect::<Result<_>>()?;
+        let kv: Vec<Value> = keys
+            .iter()
+            .map(|(e, _)| eval(e, row, b))
+            .collect::<Result<_>>()?;
         keyed.push((kv, i));
     }
     keyed.sort_by(|(ka, ia), (kb, ib)| {
@@ -397,6 +438,116 @@ fn sort_rows(rows: &mut [Row], keys: &[(Expr, bool)], b: &Binding) -> Result<()>
         rows[dst] = snapshot[src].clone();
     }
     Ok(())
+}
+
+/// Coordinator-side `ORDER BY` / `LIMIT` over an assembled result set.
+///
+/// The distributed engines (basic partial-aggregation, parallel,
+/// MapReduce) assemble their final rows outside a local plan tree, so
+/// the planner's Sort/Limit operators never run; each engine must apply
+/// ordering and truncation itself over `rs`. This is the one shared
+/// implementation — every engine funnels through it so all engines
+/// agree with the single-site executor on row order and truncation.
+///
+/// Order keys are evaluated against the *output* columns of `rs`, which
+/// requires rewriting them from table-space to output-space:
+/// projection expressions map to their output names, aggregate calls
+/// and group expressions map to their display columns, and table
+/// qualification is stripped when the bare name identifies exactly one
+/// output column. Keys that still fail to evaluate sort as NULL rather
+/// than erroring — a coordinator must not reject rows it already paid
+/// to ship.
+pub fn apply_order_limit(stmt: &SelectStmt, rs: &mut ResultSet) {
+    if !stmt.order_by.is_empty() {
+        let binding = Binding::from_cols(rs.columns.iter().map(|c| (None, c.clone())).collect());
+        let keys: Vec<(Expr, bool)> = stmt
+            .order_by
+            .iter()
+            .map(|k| (order_key_expr(&k.expr, stmt, &rs.columns), k.desc))
+            .collect();
+        let mut keyed: Vec<(Vec<Value>, Row)> = rs
+            .rows
+            .drain(..)
+            .map(|r| {
+                let kv: Vec<Value> = keys
+                    .iter()
+                    .map(|(e, _)| eval(e, &r, &binding).unwrap_or(Value::Null))
+                    .collect();
+                (kv, r)
+            })
+            .collect();
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for ((a, b), (_, desc)) in ka.iter().zip(kb.iter()).zip(&keys) {
+                let ord = a.cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal // sort_by is stable: original order holds
+        });
+        rs.rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    if let Some(n) = stmt.limit {
+        rs.rows.truncate(n);
+    }
+}
+
+/// Rewrite one ORDER BY key from table-space to the output-column space
+/// of an assembled result set (columns `out`).
+fn order_key_expr(e: &Expr, stmt: &SelectStmt, out: &[String]) -> Expr {
+    // A key that is exactly a projected expression sorts by that output
+    // column (covers `ORDER BY sum(x)` when projected with any alias).
+    for it in &stmt.projections {
+        if &it.expr == e {
+            let name = it.output_name();
+            if out.contains(&name) {
+                return Expr::col(name);
+            }
+        }
+    }
+    // Aggregate output carries group/aggregate display columns; map the
+    // key's aggregate calls and group expressions onto them.
+    let e = if stmt.is_aggregate() {
+        crate::plan::rewrite_post_agg(e, &stmt.group_by)
+    } else {
+        e.clone()
+    };
+    strip_unique_qualifiers(e, out)
+}
+
+/// Replace `t.c` with `c` wherever exactly one output column is named
+/// `c` — assembled results bind columns unqualified, so a qualified ref
+/// would otherwise fail to resolve.
+fn strip_unique_qualifiers(e: Expr, out: &[String]) -> Expr {
+    match e {
+        Expr::Column(c) => {
+            if c.table.is_some() && out.iter().filter(|n| **n == c.column).count() == 1 {
+                Expr::col(c.column)
+            } else {
+                Expr::Column(c)
+            }
+        }
+        Expr::Cmp { left, op, right } => Expr::Cmp {
+            left: Box::new(strip_unique_qualifiers(*left, out)),
+            op,
+            right: Box::new(strip_unique_qualifiers(*right, out)),
+        },
+        Expr::Arith { left, op, right } => Expr::Arith {
+            left: Box::new(strip_unique_qualifiers(*left, out)),
+            op,
+            right: Box::new(strip_unique_qualifiers(*right, out)),
+        },
+        Expr::And(a, b) => Expr::And(
+            Box::new(strip_unique_qualifiers(*a, out)),
+            Box::new(strip_unique_qualifiers(*b, out)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(strip_unique_qualifiers(*a, out)),
+            Box::new(strip_unique_qualifiers(*b, out)),
+        ),
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -433,9 +584,12 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        for (ok, qty, price, day) in
-            [(1, 5, 10.0, 100), (1, 3, 20.0, 200), (2, 7, 30.0, 300), (3, 1, 5.0, 400)]
-        {
+        for (ok, qty, price, day) in [
+            (1, 5, 10.0, 100),
+            (1, 3, 20.0, 200),
+            (2, 7, 30.0, 300),
+            (3, 1, 5.0, 400),
+        ] {
             db.insert(
                 "lineitem",
                 Row::new(vec![
@@ -448,7 +602,8 @@ mod tests {
             .unwrap();
         }
         for (ok, st) in [(1, "open"), (2, "done"), (3, "open")] {
-            db.insert("orders", Row::new(vec![Value::Int(ok), Value::str(st)])).unwrap();
+            db.insert("orders", Row::new(vec![Value::Int(ok), Value::str(st)]))
+                .unwrap();
         }
         db
     }
@@ -461,7 +616,10 @@ mod tests {
     #[test]
     fn simple_selection_and_projection() {
         let db = db();
-        let rs = query("SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 3", &db);
+        let rs = query(
+            "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 3",
+            &db,
+        );
         assert_eq!(rs.columns, vec!["l_orderkey", "l_quantity"]);
         assert_eq!(rs.len(), 2);
         assert!(rs.rows.iter().all(|r| r.get(1).as_int().unwrap() > 3));
@@ -523,7 +681,10 @@ mod tests {
     #[test]
     fn global_aggregate_over_empty_input_yields_one_row() {
         let db = db();
-        let rs = query("SELECT COUNT(*), SUM(l_quantity) FROM lineitem WHERE l_quantity > 999", &db);
+        let rs = query(
+            "SELECT COUNT(*), SUM(l_quantity) FROM lineitem WHERE l_quantity > 999",
+            &db,
+        );
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0].get(0), &Value::Int(0));
         assert!(rs.rows[0].get(1).is_null());
@@ -548,13 +709,19 @@ mod tests {
     fn arithmetic_in_aggregate() {
         let db = db();
         let rs = query("SELECT SUM(l_quantity * l_price) FROM lineitem", &db);
-        assert_eq!(rs.rows[0].get(0), &Value::Float(5.0 * 10.0 + 3.0 * 20.0 + 7.0 * 30.0 + 5.0));
+        assert_eq!(
+            rs.rows[0].get(0),
+            &Value::Float(5.0 * 10.0 + 3.0 * 20.0 + 7.0 * 30.0 + 5.0)
+        );
     }
 
     #[test]
     fn index_scan_is_used_when_available() {
         let mut db = db();
-        db.table_mut("lineitem").unwrap().create_index("l_shipdate").unwrap();
+        db.table_mut("lineitem")
+            .unwrap()
+            .create_index("l_shipdate")
+            .unwrap();
         let stmt =
             parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1970-07-01'")
                 .unwrap();

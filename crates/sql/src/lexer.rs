@@ -169,7 +169,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
                 {
                     is_float = true;
                     i += 1;
@@ -200,7 +202,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token::Ident(input[start..i].to_owned()));
             }
             other => {
-                return Err(Error::Parse(format!("unexpected character `{other}` at byte {i}")));
+                return Err(Error::Parse(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )));
             }
         }
     }
@@ -234,7 +238,10 @@ mod tests {
     #[test]
     fn lexes_numbers() {
         let toks = lex("3 3.25 0.5").unwrap();
-        assert_eq!(toks, vec![Token::Int(3), Token::Float(3.25), Token::Float(0.5)]);
+        assert_eq!(
+            toks,
+            vec![Token::Int(3), Token::Float(3.25), Token::Float(0.5)]
+        );
     }
 
     #[test]
@@ -242,7 +249,12 @@ mod tests {
         let toks = lex("1 - 2 -- trailing comment\n3").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Int(1), Token::Symbol(Sym::Minus), Token::Int(2), Token::Int(3)]
+            vec![
+                Token::Int(1),
+                Token::Symbol(Sym::Minus),
+                Token::Int(2),
+                Token::Int(3)
+            ]
         );
     }
 

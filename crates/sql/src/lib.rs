@@ -24,6 +24,6 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{Expr, SelectStmt};
-pub use exec::{execute_select, ExecStats, ResultSet};
 pub use dist::{split_aggregate, Combine, DistAgg};
+pub use exec::{apply_order_limit, execute_select, ExecStats, ResultSet};
 pub use parser::parse_select;

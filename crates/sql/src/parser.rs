@@ -22,9 +22,7 @@
 
 use bestpeer_common::{Error, Result, Value};
 
-use crate::ast::{
-    AggFunc, ArithOp, CmpOp, ColumnRef, Expr, OrderKey, SelectItem, SelectStmt,
-};
+use crate::ast::{AggFunc, ArithOp, CmpOp, ColumnRef, Expr, OrderKey, SelectItem, SelectStmt};
 use crate::lexer::{lex, Sym, Token};
 
 /// Parse a single `SELECT` statement.
@@ -83,7 +81,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected keyword {kw}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -100,14 +101,19 @@ impl Parser {
         if self.eat_symbol(s) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {s:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -154,11 +160,20 @@ impl Parser {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => limit = Some(n as usize),
                 other => {
-                    return Err(Error::Parse(format!("expected LIMIT count, found {other:?}")))
+                    return Err(Error::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
                 }
             }
         }
-        Ok(SelectStmt { projections, from, predicates, group_by, order_by, limit })
+        Ok(SelectStmt {
+            projections,
+            from,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>> {
@@ -176,7 +191,11 @@ impl Parser {
 
     fn select_item(&mut self) -> Result<SelectItem> {
         let expr = self.expr()?;
-        let alias = if self.eat_keyword("AS") { Some(self.ident()?) } else { None };
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(SelectItem { expr, alias })
     }
 
@@ -212,7 +231,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.add_expr()?;
-            Ok(Expr::Cmp { left: Box::new(left), op, right: Box::new(right) })
+            Ok(Expr::Cmp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            })
         } else {
             Ok(left)
         }
@@ -228,7 +251,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.mul_expr()?;
-            left = Expr::Arith { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Arith {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -243,7 +270,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.primary()?;
-            left = Expr::Arith { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Arith {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -292,7 +323,10 @@ impl Parser {
                         }
                         let arg = self.expr()?;
                         self.expect_symbol(Sym::RParen)?;
-                        return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+                        return Ok(Expr::Agg {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        });
                     }
                 }
                 // Plain or qualified column.
@@ -308,7 +342,9 @@ impl Parser {
                     Ok(Expr::Column(ColumnRef::new(id.to_ascii_lowercase())))
                 }
             }
-            other => Err(Error::Parse(format!("expected expression, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 }
@@ -358,10 +394,9 @@ mod tests {
 
     #[test]
     fn parses_aggregate_with_arithmetic() {
-        let stmt = parse_select(
-            "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem")
+                .unwrap();
         assert!(stmt.is_aggregate());
         assert_eq!(stmt.projections[0].output_name(), "revenue");
         assert!(stmt.projections[0].expr.contains_agg());
@@ -405,8 +440,7 @@ mod tests {
 
     #[test]
     fn or_kept_within_single_conjunct() {
-        let stmt =
-            parse_select("SELECT a FROM t WHERE a = 1 OR a = 2 AND b = 3").unwrap();
+        let stmt = parse_select("SELECT a FROM t WHERE a = 1 OR a = 2 AND b = 3").unwrap();
         // AND binds tighter than OR: one top-level conjunct (the OR).
         assert_eq!(stmt.predicates.len(), 1);
         assert!(matches!(stmt.predicates[0], Expr::Or(_, _)));

@@ -75,7 +75,9 @@ impl Binding {
 
     /// Whether every column referenced by `e` resolves in this binding.
     pub fn covers(&self, e: &Expr) -> bool {
-        e.referenced_columns().iter().all(|c| self.resolve(c).is_ok())
+        e.referenced_columns()
+            .iter()
+            .all(|c| self.resolve(c).is_ok())
     }
 }
 
@@ -111,12 +113,12 @@ pub fn eval(e: &Expr, row: &Row, b: &Binding) -> Result<Value> {
                 }
             }
         }
-        Expr::And(x, y) => {
-            Ok(Value::Int((eval_bool(x, row, b)? && eval_bool(y, row, b)?) as i64))
-        }
-        Expr::Or(x, y) => {
-            Ok(Value::Int((eval_bool(x, row, b)? || eval_bool(y, row, b)?) as i64))
-        }
+        Expr::And(x, y) => Ok(Value::Int(
+            (eval_bool(x, row, b)? && eval_bool(y, row, b)?) as i64,
+        )),
+        Expr::Or(x, y) => Ok(Value::Int(
+            (eval_bool(x, row, b)? || eval_bool(y, row, b)?) as i64,
+        )),
         Expr::Agg { .. } => Err(Error::Plan(format!(
             "aggregate `{e}` evaluated outside an aggregation context"
         ))),
@@ -268,7 +270,13 @@ impl Plan {
                 }
                 out.push('\n');
             }
-            Plan::HashJoin { left, right, left_key, right_key, binding } => {
+            Plan::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                binding,
+            } => {
                 let (_, lname) = binding.col(*left_key);
                 let (_, rname) = binding.col(left.binding().arity() + *right_key);
                 out.push_str(&format!("{pad}HashJoin on {lname} = {rname}\n"));
@@ -280,12 +288,16 @@ impl Plan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            Plan::Filter { input, predicates, .. } => {
+            Plan::Filter {
+                input, predicates, ..
+            } => {
                 let fs: Vec<String> = predicates.iter().map(|f| f.to_string()).collect();
                 out.push_str(&format!("{pad}Filter [{}]\n", fs.join(" AND ")));
                 input.explain_into(depth + 1, out);
             }
-            Plan::Aggregate { input, group, aggs, .. } => {
+            Plan::Aggregate {
+                input, group, aggs, ..
+            } => {
                 let gs: Vec<String> = group.iter().map(|g| g.to_string()).collect();
                 let as_: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
                 out.push_str(&format!(
@@ -357,7 +369,11 @@ pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
                 pushed[i] = true;
             }
         }
-        scans.push(Plan::Scan { table: table.clone(), filters, binding });
+        scans.push(Plan::Scan {
+            table: table.clone(),
+            filters,
+            binding,
+        });
     }
     for (i, p) in stmt.predicates.iter().enumerate() {
         if !pushed[i] {
@@ -402,7 +418,11 @@ pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
             None => {
                 let right = pending.remove(0);
                 let binding = plan.binding().concat(right.binding());
-                plan = Plan::CrossJoin { left: Box::new(plan), right: Box::new(right), binding };
+                plan = Plan::CrossJoin {
+                    left: Box::new(plan),
+                    right: Box::new(right),
+                    binding,
+                };
             }
         }
         // Any remaining predicate now covered becomes an eager filter.
@@ -421,13 +441,21 @@ pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
         };
         if !covered.is_empty() {
             let binding = plan.binding().clone();
-            plan = Plan::Filter { input: Box::new(plan), predicates: covered, binding };
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicates: covered,
+                binding,
+            };
         }
     }
     if !remaining.is_empty() {
         return Err(Error::Plan(format!(
             "unresolvable predicate(s): {}",
-            remaining.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+            remaining
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         )));
     }
 
@@ -483,28 +511,48 @@ pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
                 .map(|(e, d)| (rewrite_post_agg(e, &stmt.group_by), *d))
                 .collect();
             let binding = plan.binding().clone();
-            plan = Plan::Sort { input: Box::new(plan), keys, binding };
+            plan = Plan::Sort {
+                input: Box::new(plan),
+                keys,
+                binding,
+            };
         }
         let names: Vec<String> = rewritten.iter().map(|(_, n)| n.clone()).collect();
         let exprs: Vec<Expr> = rewritten.into_iter().map(|(e, _)| e).collect();
-        let binding =
-            Binding::from_cols(names.iter().map(|n| (None, n.clone())).collect());
-        plan = Plan::Project { input: Box::new(plan), exprs, names, binding };
+        let binding = Binding::from_cols(names.iter().map(|n| (None, n.clone())).collect());
+        plan = Plan::Project {
+            input: Box::new(plan),
+            exprs,
+            names,
+            binding,
+        };
     } else {
         if !order_by.is_empty() {
             let binding = plan.binding().clone();
-            plan = Plan::Sort { input: Box::new(plan), keys: order_by, binding };
+            plan = Plan::Sort {
+                input: Box::new(plan),
+                keys: order_by,
+                binding,
+            };
         }
         let names: Vec<String> = projections.iter().map(SelectItem::output_name).collect();
         let exprs: Vec<Expr> = projections.into_iter().map(|it| it.expr).collect();
-        let binding =
-            Binding::from_cols(names.iter().map(|n| (None, n.clone())).collect());
-        plan = Plan::Project { input: Box::new(plan), exprs, names, binding };
+        let binding = Binding::from_cols(names.iter().map(|n| (None, n.clone())).collect());
+        plan = Plan::Project {
+            input: Box::new(plan),
+            exprs,
+            names,
+            binding,
+        };
     }
 
     if let Some(n) = stmt.limit {
         let binding = plan.binding().clone();
-        plan = Plan::Limit { input: Box::new(plan), n, binding };
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+            binding,
+        };
     }
     Ok(plan)
 }
@@ -550,7 +598,11 @@ fn collect_aggs(e: &Expr, out: &mut Vec<AggItem>, seen: &mut HashSet<String>) {
         Expr::Agg { func, arg } => {
             let name = e.to_string();
             if seen.insert(name.clone()) {
-                out.push(AggItem { func: *func, arg: arg.as_deref().cloned(), name });
+                out.push(AggItem {
+                    func: *func,
+                    arg: arg.as_deref().cloned(),
+                    name,
+                });
             }
         }
         Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
@@ -681,10 +733,9 @@ mod tests {
     #[test]
     fn join_becomes_hash_join() {
         let db = test_db();
-        let stmt = parse_select(
-            "SELECT l_quantity FROM lineitem, orders WHERE l_orderkey = o_orderkey",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT l_quantity FROM lineitem, orders WHERE l_orderkey = o_orderkey")
+                .unwrap();
         let plan = plan_select(&stmt, &db).unwrap();
         fn has_hash_join(p: &Plan) -> bool {
             match p {
@@ -748,7 +799,10 @@ mod tests {
         assert!(text.contains("Project [o_orderkey, q]"), "{text}");
         assert!(text.contains("Sort [SUM(l_quantity) DESC]"), "{text}");
         assert!(text.contains("Aggregate group=[o_orderkey]"), "{text}");
-        assert!(text.contains("HashJoin on l_orderkey = o_orderkey"), "{text}");
+        assert!(
+            text.contains("HashJoin on l_orderkey = o_orderkey"),
+            "{text}"
+        );
         assert!(text.contains("Scan orders [o_totalprice > 10"), "{text}");
         assert!(text.contains("Scan lineitem"), "{text}");
     }
@@ -757,9 +811,15 @@ mod tests {
     fn eval_arithmetic_and_booleans() {
         let b = Binding::from_cols(vec![(None, "x".into()), (None, "y".into())]);
         let row = Row::new(vec![Value::Int(4), Value::Float(0.5)]);
-        let e = parse_select("SELECT x * (1 - y) FROM t").unwrap().projections[0].expr.clone();
+        let e = parse_select("SELECT x * (1 - y) FROM t")
+            .unwrap()
+            .projections[0]
+            .expr
+            .clone();
         assert_eq!(eval(&e, &row, &b).unwrap(), Value::Float(2.0));
-        let p = parse_select("SELECT a FROM t WHERE x >= 4 AND y < 1").unwrap().predicates[0]
+        let p = parse_select("SELECT a FROM t WHERE x >= 4 AND y < 1")
+            .unwrap()
+            .predicates[0]
             .clone();
         assert!(eval_bool(&p, &row, &b).unwrap());
     }

@@ -21,10 +21,17 @@ fn db() -> Database {
     )
     .unwrap();
     for (a, b, s) in [(1, 10, "x"), (2, 20, "y"), (3, 30, "x"), (4, 40, "z")] {
-        db.insert("t", Row::new(vec![Value::Int(a), Value::Int(b), Value::str(s)]))
-            .unwrap();
+        db.insert(
+            "t",
+            Row::new(vec![Value::Int(a), Value::Int(b), Value::str(s)]),
+        )
+        .unwrap();
     }
-    db.insert("t", Row::new(vec![Value::Null, Value::Null, Value::str("n")])).unwrap();
+    db.insert(
+        "t",
+        Row::new(vec![Value::Null, Value::Null, Value::str("n")]),
+    )
+    .unwrap();
     db
 }
 
@@ -56,8 +63,16 @@ fn and_binds_tighter_than_or() {
 
 #[test]
 fn null_never_satisfies_comparisons() {
-    assert_eq!(q("SELECT a FROM t WHERE b > 0").len(), 4, "NULL row filtered");
-    assert_eq!(q("SELECT a FROM t WHERE b <> 10").len(), 3, "NULL excluded from <> too");
+    assert_eq!(
+        q("SELECT a FROM t WHERE b > 0").len(),
+        4,
+        "NULL row filtered"
+    );
+    assert_eq!(
+        q("SELECT a FROM t WHERE b <> 10").len(),
+        3,
+        "NULL excluded from <> too"
+    );
 }
 
 #[test]
@@ -88,7 +103,10 @@ fn division_by_zero_yields_null() {
 #[test]
 fn order_by_with_nulls_first() {
     let rows = q("SELECT a FROM t ORDER BY a");
-    assert!(rows[0].get(0).is_null(), "NULL sorts first in our total order");
+    assert!(
+        rows[0].get(0).is_null(),
+        "NULL sorts first in our total order"
+    );
     assert_eq!(rows[4].get(0), &Value::Int(4));
 }
 

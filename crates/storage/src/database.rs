@@ -27,7 +27,10 @@ impl Database {
     /// Create a table from its schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
         if self.tables.contains_key(&schema.name) {
-            return Err(Error::Catalog(format!("table `{}` already exists", schema.name)));
+            return Err(Error::Catalog(format!(
+                "table `{}` already exists",
+                schema.name
+            )));
         }
         self.tables.insert(schema.name.clone(), Table::new(schema));
         Ok(())
@@ -180,8 +183,12 @@ mod tests {
         let mut db = Database::new();
         db.create_table(schema("a")).unwrap();
         db.create_table(schema("b")).unwrap();
-        db.insert("b", Row::new(vec![Value::Int(1), Value::str("x")])).unwrap();
-        let names: Vec<_> = db.non_empty_tables().map(|t| t.schema().name.clone()).collect();
+        db.insert("b", Row::new(vec![Value::Int(1), Value::str("x")]))
+            .unwrap();
+        let names: Vec<_> = db
+            .non_empty_tables()
+            .map(|t| t.schema().name.clone())
+            .collect();
         assert_eq!(names, vec!["b"]);
     }
 }

@@ -33,7 +33,11 @@ impl Rabin {
         for (b, entry) in table.iter_mut().enumerate() {
             let mut v = (b as u32) << 24;
             for _ in 0..8 {
-                v = if v & 0x8000_0000 != 0 { (v << 1) ^ POLY } else { v << 1 };
+                v = if v & 0x8000_0000 != 0 {
+                    (v << 1) ^ POLY
+                } else {
+                    v << 1
+                };
             }
             *entry = v;
         }
@@ -74,7 +78,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(fingerprint(b"lineitem|1|17|sh"), fingerprint(b"lineitem|1|17|sh"));
+        assert_eq!(
+            fingerprint(b"lineitem|1|17|sh"),
+            fingerprint(b"lineitem|1|17|sh")
+        );
     }
 
     #[test]

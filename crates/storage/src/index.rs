@@ -21,7 +21,11 @@ pub struct SecondaryIndex {
 impl SecondaryIndex {
     /// An empty index over column `column`.
     pub fn new(column: usize) -> Self {
-        SecondaryIndex { column, map: BTreeMap::new(), entries: 0 }
+        SecondaryIndex {
+            column,
+            map: BTreeMap::new(),
+            entries: 0,
+        }
     }
 
     /// Register `row_id` under `key`.

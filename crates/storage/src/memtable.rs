@@ -7,7 +7,6 @@
 //! rows accumulate per destination table up to a byte budget; when the
 //! budget is exceeded the buffer is flushed with one bulk insert.
 
-
 use bestpeer_common::{Result, Row};
 
 use crate::database::Database;
@@ -30,7 +29,13 @@ pub struct MemTable {
 impl MemTable {
     /// A MemTable feeding `table` with the given byte budget.
     pub fn new(table: impl Into<String>, budget: u64) -> Self {
-        MemTable { table: table.into(), rows: Vec::new(), bytes: 0, budget, flushes: 0 }
+        MemTable {
+            table: table.into(),
+            rows: Vec::new(),
+            bytes: 0,
+            budget,
+            flushes: 0,
+        }
     }
 
     /// A MemTable with the paper's default 100 MB budget.

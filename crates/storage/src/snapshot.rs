@@ -13,9 +13,9 @@
 
 use std::cmp::Ordering;
 
+use bestpeer_common::bytes::BytesMut;
 use bestpeer_common::codec;
 use bestpeer_common::Row;
-use bestpeer_common::bytes::BytesMut;
 
 use crate::fingerprint::Rabin;
 
@@ -71,7 +71,10 @@ impl Snapshot {
         let old = &self.entries;
         let new = &newer.entries;
         while i < old.len() && j < new.len() {
-            let ord = old[i].0.cmp(&new[j].0).then_with(|| old[i].1.cmp(&new[j].1));
+            let ord = old[i]
+                .0
+                .cmp(&new[j].0)
+                .then_with(|| old[i].1.cmp(&new[j].1));
             match ord {
                 Ordering::Equal => {
                     i += 1;

@@ -73,22 +73,27 @@ mod tests {
         )
         .unwrap();
         let mut t = Table::new(schema);
-        t.insert(Row::new(vec![Value::Int(5), Value::Float(1.5)])).unwrap();
-        t.insert(Row::new(vec![Value::Int(2), Value::Float(9.0)])).unwrap();
+        t.insert(Row::new(vec![Value::Int(5), Value::Float(1.5)]))
+            .unwrap();
+        t.insert(Row::new(vec![Value::Int(2), Value::Float(9.0)]))
+            .unwrap();
 
         let s = TableStats::from_table(&t);
         assert_eq!(s.rows, 2);
         assert_eq!(s.bytes, t.byte_size());
         assert_eq!(s.range_of("k"), Some((&Value::Int(2), &Value::Int(5))));
-        assert_eq!(s.range_of("v"), Some((&Value::Float(1.5), &Value::Float(9.0))));
+        assert_eq!(
+            s.range_of("v"),
+            Some((&Value::Float(1.5), &Value::Float(9.0)))
+        );
         assert_eq!(s.range_of("missing"), None);
         assert_eq!(s.avg_row_bytes(), t.byte_size() / 2);
     }
 
     #[test]
     fn empty_table_has_no_ranges() {
-        let schema = TableSchema::new("t", vec![ColumnDef::new("k", ColumnType::Int)], vec![0])
-            .unwrap();
+        let schema =
+            TableSchema::new("t", vec![ColumnDef::new("k", ColumnType::Int)], vec![0]).unwrap();
         let t = Table::new(schema);
         let s = TableStats::from_table(&t);
         assert_eq!(s.rows, 0);

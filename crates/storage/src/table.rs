@@ -208,9 +208,10 @@ impl Table {
             }
             out = Some(match out {
                 None => (v.clone(), v.clone()),
-                Some((lo, hi)) => {
-                    (if *v < lo { v.clone() } else { lo }, if *v > hi { v.clone() } else { hi })
-                }
+                Some((lo, hi)) => (
+                    if *v < lo { v.clone() } else { lo },
+                    if *v > hi { v.clone() } else { hi },
+                ),
             });
         }
         Ok(out)

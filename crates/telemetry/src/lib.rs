@@ -1,0 +1,28 @@
+//! Deterministic observability for the BestPeer++ query path.
+//!
+//! The paper's pay-as-you-go strategy (§5.5) closes a feedback loop over
+//! *measured* query behaviour — which requires the measured side to be
+//! visible in the first place. This crate provides it without ever
+//! touching a wall clock (everything keys off simnet virtual time, so a
+//! run's telemetry is exactly reproducible):
+//!
+//! - [`metrics::MetricsRegistry`] — named counters, gauges, and
+//!   histograms with JSON ([`metrics::MetricsRegistry::render_json`])
+//!   and human-text ([`metrics::MetricsRegistry::render_text`])
+//!   exporters;
+//! - [`report::QueryReport`] — the per-query record assembled from a
+//!   simnet [`bestpeer_simnet::Trace`]: per-phase simulated latency and
+//!   disk/CPU/network bytes, participants, retry/backoff accounting,
+//!   and (for the adaptive engine) the predicted `C_BP`/`C_MR` next to
+//!   the actual cost, ready to feed the cost model's feedback loop;
+//! - [`json::Json`] — the minimal JSON document model both exporters
+//!   share (the workspace builds with no registry access, so the
+//!   encoder/decoder is in-tree).
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+
+pub use json::Json;
+pub use metrics::{HistogramSnapshot, MetricsRegistry};
+pub use report::{EngineSelection, PhaseReport, QueryReport};

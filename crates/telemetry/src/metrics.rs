@@ -1,0 +1,341 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Deliberately wall-clock free: the registry's clock is simnet virtual
+//! time, advanced by whoever owns the registry as simulated work
+//! completes. Metrics are stored in a `BTreeMap`, so both exporters
+//! emit names in a stable sorted order — two identical runs produce
+//! byte-identical dumps.
+
+use std::collections::BTreeMap;
+
+use bestpeer_simnet::SimTime;
+
+use crate::json::Json;
+
+/// Histogram bucket upper bounds (an implicit `+Inf` bucket follows).
+/// Exponential in decades: observations range from sub-millisecond
+/// latencies (seconds) to multi-gigabyte traffic (bytes), and a fixed
+/// bound set keeps snapshots comparable across runs.
+pub const BUCKET_BOUNDS: [f64; 10] = [0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1e3, 1e6, 1e9, 1e12];
+
+/// Aggregated view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Cumulative counts per [`BUCKET_BOUNDS`] bound, then `+Inf`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        buckets: [u64; BUCKET_BOUNDS.len() + 1],
+    },
+}
+
+/// The registry: a sorted map of named metrics plus the virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    clock: SimTime,
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry at virtual time zero.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Advance the virtual clock (monotonic: earlier times are ignored).
+    pub fn advance_clock(&mut self, to: SimTime) {
+        self.clock = self.clock.max(to);
+    }
+
+    /// Advance the virtual clock by a span.
+    pub fn tick(&mut self, span: SimTime) {
+        self.clock += span;
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Increment counter `name` by `delta` (creating it at 0). A name
+    /// already registered as another kind is left untouched — metric
+    /// kinds are fixed at first use.
+    pub fn inc_by(&mut self, name: &str, delta: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += delta,
+            _ => debug_assert!(false, "metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.inc_by(name, 1);
+    }
+
+    /// The value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(v) => *v = value,
+            _ => debug_assert!(false, "metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        let m = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Histogram {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                buckets: [0; BUCKET_BOUNDS.len() + 1],
+            });
+        match m {
+            Metric::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => {
+                *count += 1;
+                *sum += value;
+                *min = min.min(value);
+                *max = max.max(value);
+                let slot = BUCKET_BOUNDS
+                    .iter()
+                    .position(|b| value <= *b)
+                    .unwrap_or(BUCKET_BOUNDS.len());
+                buckets[slot] += 1;
+            }
+            _ => debug_assert!(false, "metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// A snapshot of histogram `name` (cumulative bucket counts).
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            }) => {
+                let mut cum = 0;
+                let mut out = Vec::with_capacity(buckets.len());
+                for (i, c) in buckets.iter().enumerate() {
+                    cum += c;
+                    let bound = BUCKET_BOUNDS.get(i).copied().unwrap_or(f64::INFINITY);
+                    out.push((bound, cum));
+                }
+                Some(HistogramSnapshot {
+                    count: *count,
+                    sum: *sum,
+                    min: if *count == 0 { 0.0 } else { *min },
+                    max: if *count == 0 { 0.0 } else { *max },
+                    buckets: out,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// All metric names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.metrics.keys().map(String::as_str).collect()
+    }
+
+    /// Export every metric as one JSON object. Counters render as
+    /// numbers, gauges as numbers, histograms as objects with
+    /// `count`/`sum`/`min`/`max`/`mean`.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj().set("sim_time_secs", self.clock.as_secs_f64());
+        let mut body = Json::obj();
+        for (name, m) in &self.metrics {
+            let v = match m {
+                Metric::Counter(v) => Json::Num(*v as f64),
+                Metric::Gauge(v) => Json::Num(*v),
+                Metric::Histogram { .. } => {
+                    let h = self.histogram(name).expect("kind just matched");
+                    Json::obj()
+                        .set("count", h.count)
+                        .set("sum", h.sum)
+                        .set("min", h.min)
+                        .set("max", h.max)
+                        .set("mean", h.mean())
+                }
+            };
+            body = body.set(name, v);
+        }
+        root = root.set("metrics", body);
+        root
+    }
+
+    /// The JSON export rendered to a string.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// A human-readable dump, one metric per line, sorted by name.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# metrics at t={} (virtual)", self.clock);
+        for (name, m) in &self.metrics {
+            match m {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Metric::Histogram { .. } => {
+                    let h = self.histogram(name).expect("kind just matched");
+                    let _ = writeln!(
+                        out,
+                        "{name} count={} sum={:.6} min={:.6} max={:.6} mean={:.6}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.mean()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.inc("queries.total");
+        r.inc_by("queries.total", 2);
+        assert_eq!(r.counter("queries.total"), 3);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("blacklist.size", 2.0);
+        r.set_gauge("blacklist.size", 1.0);
+        assert_eq!(r.gauge("blacklist.size"), Some(1.0));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let mut r = MetricsRegistry::new();
+        for v in [0.5, 1.5, 2.5, 100.0] {
+            r.observe("lat", v);
+        }
+        let h = r.histogram("lat").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 104.5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.mean(), 26.125);
+        // Cumulative counts are monotone and end at `count`.
+        let last = h.buckets.last().unwrap();
+        assert!(last.0.is_infinite());
+        assert_eq!(last.1, 4);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut r = MetricsRegistry::new();
+        r.advance_clock(SimTime::from_secs(5));
+        r.advance_clock(SimTime::from_secs(3));
+        assert_eq!(r.now(), SimTime::from_secs(5));
+        r.tick(SimTime::from_secs(2));
+        assert_eq!(r.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b.counter");
+        r.set_gauge("a.gauge", 1.5);
+        r.observe("c.hist", 2.0);
+        let text = r.render_text();
+        let b = text.find("b.counter").unwrap();
+        let a = text.find("a.gauge").unwrap();
+        let c = text.find("c.hist").unwrap();
+        assert!(a < b && b < c, "sorted by name:\n{text}");
+
+        let json = crate::json::Json::parse(&r.render_json()).unwrap();
+        let metrics = json.get("metrics").unwrap();
+        assert_eq!(metrics.get("b.counter").unwrap().as_u64(), Some(1));
+        assert_eq!(metrics.get("a.gauge").unwrap().as_f64(), Some(1.5));
+        assert_eq!(
+            metrics
+                .get("c.hist")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(r.render_json(), r.render_json(), "byte-identical re-export");
+    }
+}

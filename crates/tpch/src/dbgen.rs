@@ -17,17 +17,43 @@ use crate::schema;
 
 /// TPC-H nation names, indexed by nation key (0–24).
 pub const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
-    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
-    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
-    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 /// TPC-H region names, indexed by region key (0–4).
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PART_TYPES: [&str; 6] = [
     "ECONOMY ANODIZED STEEL",
     "LARGE BRUSHED BRASS",
@@ -58,7 +84,12 @@ pub struct TpchConfig {
 impl TpchConfig {
     /// A small partition suitable for tests and simulated benchmarks.
     pub fn tiny(node_index: u64) -> Self {
-        TpchConfig { lineitem_rows: 3_000, seed: 42, node_index, nation: None }
+        TpchConfig {
+            lineitem_rows: 3_000,
+            seed: 42,
+            node_index,
+            nation: None,
+        }
     }
 
     /// Partition sized to `rows` lineitems.
@@ -88,13 +119,19 @@ impl DbGen {
         let rng = Rng::seed_from_u64(cfg.seed ^ cfg.node_index.wrapping_mul(0x9E37_79B9));
         // Generous stride keeps per-node key spaces disjoint.
         let key_offset = (cfg.node_index as i64) * 100_000_000_000;
-        DbGen { cfg, rng, key_offset }
+        DbGen {
+            cfg,
+            rng,
+            key_offset,
+        }
     }
 
     /// Generate all eight tables.
     pub fn generate(&mut self) -> BTreeMap<String, Vec<Row>> {
-        let names: Vec<String> =
-            schema::all_tables().iter().map(|t| t.name.clone()).collect();
+        let names: Vec<String> = schema::all_tables()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect();
         self.generate_tables(&names)
     }
 
@@ -223,8 +260,7 @@ impl DbGen {
         for p in 0..parts {
             for s in 0..fanout {
                 let partkey = self.key_offset + p as i64 + 1;
-                let suppkey =
-                    self.key_offset + ((p + s) % suppliers.max(1)) as i64 + 1;
+                let suppkey = self.key_offset + ((p + s) % suppliers.max(1)) as i64 + 1;
                 let nk = self.nationkey();
                 rows.push(Row::new(vec![
                     Value::Int(partkey),
@@ -244,8 +280,7 @@ impl DbGen {
         (0..n)
             .map(|i| {
                 let key = self.key_offset + i as i64 + 1;
-                let cust =
-                    self.key_offset + self.rng.random_range(0..customers.max(1) as i64) + 1;
+                let cust = self.key_offset + self.rng.random_range(0..customers.max(1) as i64) + 1;
                 let status = ["O", "F", "P"][self.rng.random_range(0..3usize)];
                 let nk = self.nationkey();
                 Row::new(vec![
@@ -275,8 +310,7 @@ impl DbGen {
                 let order_idx = (i / 4).min(orders.saturating_sub(1));
                 let orderkey = self.key_offset + order_idx as i64 + 1;
                 let linenumber = (i % 4) as i64 + 1;
-                let partkey =
-                    self.key_offset + self.rng.random_range(0..parts.max(1) as i64) + 1;
+                let partkey = self.key_offset + self.rng.random_range(0..parts.max(1) as i64) + 1;
                 let suppkey =
                     self.key_offset + self.rng.random_range(0..suppliers.max(1) as i64) + 1;
                 let qty = self.rng.random_range(1..=50i64);
@@ -362,8 +396,16 @@ mod tests {
     fn keys_are_disjoint_across_nodes() {
         let a = DbGen::new(TpchConfig::tiny(0)).generate();
         let b = DbGen::new(TpchConfig::tiny(1)).generate();
-        let max_a = a["orders"].iter().map(|r| r.get(0).as_int().unwrap()).max().unwrap();
-        let min_b = b["orders"].iter().map(|r| r.get(0).as_int().unwrap()).min().unwrap();
+        let max_a = a["orders"]
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .max()
+            .unwrap();
+        let min_b = b["orders"]
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .min()
+            .unwrap();
         assert!(max_a < min_b);
     }
 
@@ -382,11 +424,8 @@ mod tests {
     #[test]
     fn nation_pinning() {
         let cfg = TpchConfig::tiny(0).for_nation(7);
-        let data = DbGen::new(cfg).generate_tables(&[
-            "supplier".into(),
-            "partsupp".into(),
-            "part".into(),
-        ]);
+        let data =
+            DbGen::new(cfg).generate_tables(&["supplier".into(), "partsupp".into(), "part".into()]);
         let schemas = schema::all_tables();
         for (table, rows) in &data {
             let s = schemas.iter().find(|s| &s.name == table).unwrap();
@@ -405,8 +444,16 @@ mod tests {
         let data = DbGen::new(TpchConfig::tiny(0)).generate();
         load_into(&mut db, &schema::all_tables(), data, true).unwrap();
         assert_eq!(db.table("nation").unwrap().len(), 25);
-        assert!(db.table("lineitem").unwrap().index_on("l_shipdate").is_some());
-        assert!(db.table("lineitem").unwrap().index_on("l_commitdate").is_some());
+        assert!(db
+            .table("lineitem")
+            .unwrap()
+            .index_on("l_shipdate")
+            .is_some());
+        assert!(db
+            .table("lineitem")
+            .unwrap()
+            .index_on("l_commitdate")
+            .is_some());
         // Primary keys were unique; bulk load succeeded entirely.
         assert_eq!(db.table("lineitem").unwrap().len(), 3000);
     }
@@ -418,12 +465,13 @@ mod tests {
         let cut_commit = days_from_civil(1998, 10, 1);
         let hits = data["lineitem"]
             .iter()
-            .filter(|r| {
-                r.get(8) > &Value::Date(cut_ship) && r.get(9) > &Value::Date(cut_commit)
-            })
+            .filter(|r| r.get(8) > &Value::Date(cut_ship) && r.get(9) > &Value::Date(cut_commit))
             .count();
         let frac = hits as f64 / 20_000.0;
-        assert!(frac > 0.0001 && frac < 0.02, "selectivity {frac} out of band");
+        assert!(
+            frac > 0.0001 && frac < 0.02,
+            "selectivity {frac} out of band"
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 /// Q1 — simple selection on `l_shipdate` / `l_commitdate` (§6.1.6).
 /// Yields roughly 0.1% of `lineitem` per peer.
-pub const Q1: &str = "SELECT l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity, l_extendedprice \
+pub const Q1: &str =
+    "SELECT l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity, l_extendedprice \
      FROM lineitem \
      WHERE l_shipdate > DATE '1998-11-05' AND l_commitdate > DATE '1998-10-01'";
 
@@ -23,7 +24,8 @@ pub const Q3: &str = "SELECT l_orderkey, o_orderdate, l_quantity, l_extendedpric
      WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1998-06-01'";
 
 /// Q4 — join plus aggregation over `partsupp` and `part` (§6.1.9).
-pub const Q4: &str = "SELECT p_type, SUM(ps_supplycost * ps_availqty) AS total_cost, COUNT(*) AS parts \
+pub const Q4: &str =
+    "SELECT p_type, SUM(ps_supplycost * ps_availqty) AS total_cost, COUNT(*) AS parts \
      FROM partsupp, part \
      WHERE ps_partkey = p_partkey AND p_size < 10 \
      GROUP BY p_type";
@@ -31,7 +33,8 @@ pub const Q4: &str = "SELECT p_type, SUM(ps_supplycost * ps_availqty) AS total_c
 /// Q5 — multi-table join with aggregation (§6.1.10). Three joins plus a
 /// GROUP BY: HadoopDB's SMS planner compiles this into four MapReduce
 /// jobs.
-pub const Q5: &str = "SELECT c_mktsegment, SUM(l_extendedprice * (1 - l_discount)) AS revenue, COUNT(*) AS items \
+pub const Q5: &str =
+    "SELECT c_mktsegment, SUM(l_extendedprice * (1 - l_discount)) AS revenue, COUNT(*) AS items \
      FROM customer, orders, lineitem, supplier \
      WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey \
        AND o_orderdate > DATE '1996-01-01' \
@@ -39,7 +42,13 @@ pub const Q5: &str = "SELECT c_mktsegment, SUM(l_extendedprice * (1 - l_discount
 
 /// All five performance-benchmark queries, with their figure numbers.
 pub fn performance_queries() -> Vec<(&'static str, u32, &'static str)> {
-    vec![("Q1", 6, Q1), ("Q2", 7, Q2), ("Q3", 8, Q3), ("Q4", 9, Q4), ("Q5", 10, Q5)]
+    vec![
+        ("Q1", 6, Q1),
+        ("Q2", 7, Q2),
+        ("Q3", 8, Q3),
+        ("Q4", 9, Q4),
+        ("Q5", 10, Q5),
+    ]
 }
 
 /// The *retailer benchmark query* sent by supplier peers (heavy-weight:

@@ -220,10 +220,8 @@ mod tests {
 
     #[test]
     fn subschemas_partition_the_business_tables() {
-        let sup: Vec<String> =
-            supplier_tables().iter().map(|t| t.name.clone()).collect();
-        let ret: Vec<String> =
-            retailer_tables().iter().map(|t| t.name.clone()).collect();
+        let sup: Vec<String> = supplier_tables().iter().map(|t| t.name.clone()).collect();
+        let ret: Vec<String> = retailer_tables().iter().map(|t| t.name.clone()).collect();
         for business in ["supplier", "partsupp", "part"] {
             assert!(sup.iter().any(|n| n == business));
             assert!(!ret.iter().any(|n| n == business));

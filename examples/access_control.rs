@@ -58,7 +58,9 @@ fn main() {
                WHERE l_shipdate > DATE '1998-06-01'";
 
     for role in ["auditor", "sales", "trainee"] {
-        let out = net.submit_query(id, sql, role, EngineChoice::Basic, 0).unwrap();
+        let out = net
+            .submit_query(id, sql, role, EngineChoice::Basic, 0)
+            .unwrap();
         let rows = &out.result.rows;
         let masked_keys = rows.iter().filter(|r| r.get(0).is_null()).count();
         let masked_prices = rows.iter().filter(|r| r.get(1).is_null()).count();

@@ -19,10 +19,14 @@ fn main() {
     let tables = schema::all_tables();
     let spec: Vec<(&str, Vec<&str>)> = tables
         .iter()
-        .map(|t| (t.name.as_str(), t.columns.iter().map(|c| c.name.as_str()).collect()))
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns.iter().map(|c| c.name.as_str()).collect(),
+            )
+        })
         .collect();
-    let borrowed: Vec<(&str, &[&str])> =
-        spec.iter().map(|(t, c)| (*t, c.as_slice())).collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, c)| (*t, c.as_slice())).collect();
     net.define_role(Role::full_read("analyst", &borrowed));
     for node in 0..n {
         let id = net.join(&format!("business-{node}")).unwrap();
@@ -31,11 +35,20 @@ fn main() {
     }
     let submitter = net.peer_ids()[0];
     // Simulate the paper's 1 GB/node by scaling bytes 2000x (3k of 6M rows).
-    let sim = Cluster::new(ResourceConfig { byte_scale: 2_000.0, ..ResourceConfig::default() });
+    let sim = Cluster::new(ResourceConfig {
+        byte_scale: 2_000.0,
+        ..ResourceConfig::default()
+    });
 
     println!("Q5 (three joins + aggregation) on {n} peers:\n");
-    for engine in [EngineChoice::ParallelP2P, EngineChoice::MapReduce, EngineChoice::Adaptive] {
-        let out = net.submit_query(submitter, Q5, "analyst", engine, 0).unwrap();
+    for engine in [
+        EngineChoice::ParallelP2P,
+        EngineChoice::MapReduce,
+        EngineChoice::Adaptive,
+    ] {
+        let out = net
+            .submit_query(submitter, Q5, "analyst", engine, 0)
+            .unwrap();
         let latency = sim.single_query_latency(&out.trace);
         print!(
             "{:>12?}: {} result rows, simulated latency {latency}, {} MB over the network",

@@ -20,10 +20,14 @@ fn main() {
     let tables = schema::all_tables();
     let spec: Vec<(&str, Vec<&str>)> = tables
         .iter()
-        .map(|t| (t.name.as_str(), t.columns.iter().map(|c| c.name.as_str()).collect()))
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns.iter().map(|c| c.name.as_str()).collect(),
+            )
+        })
         .collect();
-    let borrowed: Vec<(&str, &[&str])> =
-        spec.iter().map(|(t, c)| (*t, c.as_slice())).collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, c)| (*t, c.as_slice())).collect();
     net.define_role(Role::full_read("analyst", &borrowed));
 
     for (i, name) in ["acme", "globex"].iter().enumerate() {
@@ -31,7 +35,9 @@ fn main() {
         let data = DbGen::new(TpchConfig::tiny(i as u64).with_rows(2_000)).generate();
         net.load_peer(id, data, 1).unwrap();
     }
-    let [acme, globex] = net.peer_ids()[..] else { unreachable!() };
+    let [acme, globex] = net.peer_ids()[..] else {
+        unreachable!()
+    };
 
     // The periodic backup cycle (§2.1: EBS backups in four-minute windows).
     let backed_up = net.backup_all().unwrap();
@@ -47,7 +53,11 @@ fn main() {
     net.cloud
         .set_metrics(
             net.peer(globex).unwrap().instance,
-            InstanceMetrics { cpu_utilization: 0.97, storage_used: 0.4, responsive: true },
+            InstanceMetrics {
+                cpu_utilization: 0.97,
+                storage_used: 0.4,
+                responsive: true,
+            },
         )
         .unwrap();
 
@@ -72,12 +82,24 @@ fn main() {
     // paper blocks affected queries until recovery completes; here
     // recovery already happened within the epoch).
     let out = net
-        .submit_query(globex, "SELECT COUNT(*) FROM lineitem", "analyst", EngineChoice::Basic, 0)
+        .submit_query(
+            globex,
+            "SELECT COUNT(*) FROM lineitem",
+            "analyst",
+            EngineChoice::Basic,
+            0,
+        )
         .unwrap();
-    println!("post-failover network-wide lineitem count: {}", out.result.rows[0].get(0));
+    println!(
+        "post-failover network-wide lineitem count: {}",
+        out.result.rows[0].get(0)
+    );
 
     // Pay-as-you-go: the ledger metered every instance-hour, including
     // the replacement instance and the upgraded shape.
     net.cloud.advance_clock(3_600_000_000);
-    println!("accrued bill after one hour: {} cents", net.cloud.bill_cents());
+    println!(
+        "accrued bill after one hour: {} cents",
+        net.cloud.bill_cents()
+    );
 }

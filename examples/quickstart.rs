@@ -19,10 +19,14 @@ fn main() {
     let tables = schema::all_tables();
     let spec: Vec<(&str, Vec<&str>)> = tables
         .iter()
-        .map(|t| (t.name.as_str(), t.columns.iter().map(|c| c.name.as_str()).collect()))
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns.iter().map(|c| c.name.as_str()).collect(),
+            )
+        })
         .collect();
-    let borrowed: Vec<(&str, &[&str])> =
-        spec.iter().map(|(t, c)| (*t, c.as_slice())).collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, c)| (*t, c.as_slice())).collect();
     net.define_role(Role::full_read("analyst", &borrowed));
 
     // 2. Three businesses join; each gets a dedicated (simulated) cloud
@@ -35,7 +39,10 @@ fn main() {
         let id = net.join(name).expect("admission");
         let data = DbGen::new(TpchConfig::tiny(i as u64).with_rows(4_000)).generate();
         net.load_peer(id, data, 1).expect("load");
-        println!("{name} joined as {id} on instance {}", net.peer(id).unwrap().instance);
+        println!(
+            "{name} joined as {id} on instance {}",
+            net.peer(id).unwrap().instance
+        );
     }
 
     // 3. A user at the first peer runs an analytical query. The basic

@@ -23,7 +23,10 @@ fn main() {
         .collect();
     let mut net = BestPeerNetwork::new(
         schema::all_tables(),
-        NetworkConfig { range_index_columns: range_cols, ..NetworkConfig::default() },
+        NetworkConfig {
+            range_index_columns: range_cols,
+            ..NetworkConfig::default()
+        },
     );
 
     // Two roles (§6.2.1): suppliers may read retailer tables, retailers
@@ -54,16 +57,23 @@ fn main() {
     net.define_role(retailer_role);
 
     // One supplier and one retailer peer per nation.
-    let sup_tables: Vec<String> =
-        ["supplier", "partsupp", "part"].iter().map(|s| s.to_string()).collect();
-    let ret_tables: Vec<String> =
-        ["lineitem", "orders", "customer"].iter().map(|s| s.to_string()).collect();
+    let sup_tables: Vec<String> = ["supplier", "partsupp", "part"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ret_tables: Vec<String> = ["lineitem", "orders", "customer"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut sup_ids = Vec::new();
     let mut ret_ids = Vec::new();
     for (nation, name) in NATIONS.iter().enumerate().take(nations) {
         let id = net.join(&format!("{name}-supplies")).unwrap();
-        let cfg = TpchConfig::tiny(nation as u64).with_rows(2_000).for_nation(nation as i64);
-        net.load_peer(id, DbGen::new(cfg).generate_tables(&sup_tables), 1).unwrap();
+        let cfg = TpchConfig::tiny(nation as u64)
+            .with_rows(2_000)
+            .for_nation(nation as i64);
+        net.load_peer(id, DbGen::new(cfg).generate_tables(&sup_tables), 1)
+            .unwrap();
         sup_ids.push(id);
     }
     for (nation, name) in NATIONS.iter().enumerate().take(nations) {
@@ -71,36 +81,62 @@ fn main() {
         let cfg = TpchConfig::tiny((nations + nation) as u64)
             .with_rows(2_000)
             .for_nation(nation as i64);
-        net.load_peer(id, DbGen::new(cfg).generate_tables(&ret_tables), 1).unwrap();
+        net.load_peer(id, DbGen::new(cfg).generate_tables(&ret_tables), 1)
+            .unwrap();
         ret_ids.push(id);
     }
 
     // A retailer asks a supplier for low-stock parts (light query).
     let out = net
-        .submit_query(ret_ids[0], &queries::supplier_query(1), "retailer", EngineChoice::Basic, 0)
+        .submit_query(
+            ret_ids[0],
+            &queries::supplier_query(1),
+            "retailer",
+            EngineChoice::Basic,
+            0,
+        )
         .unwrap();
     println!(
         "retailer -> {}'s supplier: {} low-stock part rows via {:?} phases: {:?}",
         NATIONS[1],
         out.result.len(),
         out.engine,
-        out.trace.phases.iter().map(|p| p.label.clone()).collect::<Vec<_>>()
+        out.trace
+            .phases
+            .iter()
+            .map(|p| p.label.clone())
+            .collect::<Vec<_>>()
     );
 
     // A supplier asks a retailer for per-customer revenue (heavy query).
     let out = net
-        .submit_query(sup_ids[0], &queries::retailer_query(2), "supplier", EngineChoice::Basic, 0)
+        .submit_query(
+            sup_ids[0],
+            &queries::retailer_query(2),
+            "supplier",
+            EngineChoice::Basic,
+            0,
+        )
         .unwrap();
     println!(
         "supplier -> {}'s retailer: revenue for {} customers (single-peer optimized: {})",
         NATIONS[2],
         out.result.len(),
-        out.trace.phases.iter().any(|p| p.label == "single-peer-exec"),
+        out.trace
+            .phases
+            .iter()
+            .any(|p| p.label == "single-peer-exec"),
     );
 
     // Access control bites: a retailer cannot read another retailer.
     let err = net
-        .submit_query(ret_ids[0], &queries::retailer_query(1), "retailer", EngineChoice::Basic, 0)
+        .submit_query(
+            ret_ids[0],
+            &queries::retailer_query(1),
+            "retailer",
+            EngineChoice::Basic,
+            0,
+        )
         .unwrap_err();
     println!("retailer reading retailer data is denied: {err}");
 }

@@ -16,6 +16,8 @@
 //!   (the paper's Amazon EC2/RDS/EBS/CloudWatch stand-in).
 //! - [`simnet`] — the deterministic discrete-event simulator used to
 //!   measure latency and throughput.
+//! - [`telemetry`] — the virtual-time metrics registry, per-query
+//!   reports, and JSON exporters (DESIGN.md §10).
 //! - [`mapreduce`] — a mini MapReduce framework with a simulated HDFS.
 //! - [`hadoopdb`] — the HadoopDB baseline the paper benchmarks against.
 //! - [`core`] — the BestPeer++ system itself: bootstrap peer, normal
@@ -38,4 +40,5 @@ pub use bestpeer_mapreduce as mapreduce;
 pub use bestpeer_simnet as simnet;
 pub use bestpeer_sql as sql;
 pub use bestpeer_storage as storage;
+pub use bestpeer_telemetry as telemetry;
 pub use bestpeer_tpch as tpch;

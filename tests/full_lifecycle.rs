@@ -65,7 +65,9 @@ fn corporate_network_end_to_end() {
         EngineChoice::MapReduce,
         EngineChoice::Adaptive,
     ] {
-        let out = net.submit_query(submitter, sql, "analyst", engine, 0).unwrap();
+        let out = net
+            .submit_query(submitter, sql, "analyst", engine, 0)
+            .unwrap();
         let mut got: Vec<(String, i64)> = out
             .result
             .rows
@@ -96,7 +98,10 @@ fn corporate_network_end_to_end() {
                     bestpeer::common::ColumnDef::new("sid", bestpeer::common::ColumnType::Int),
                     bestpeer::common::ColumnDef::new("sname", bestpeer::common::ColumnType::Str),
                     bestpeer::common::ColumnDef::new("country", bestpeer::common::ColumnType::Int),
-                    bestpeer::common::ColumnDef::new("balance", bestpeer::common::ColumnType::Float),
+                    bestpeer::common::ColumnDef::new(
+                        "balance",
+                        bestpeer::common::ColumnType::Float,
+                    ),
                 ],
                 vec![0],
             )
@@ -121,7 +126,9 @@ fn corporate_network_end_to_end() {
             .column("country", "s_nationkey")
             .column("balance", "s_acctbal"),
     );
-    let report = net.refresh_from_production(id, &production, mapping.clone()).unwrap();
+    let report = net
+        .refresh_from_production(id, &production, mapping.clone())
+        .unwrap();
     assert_eq!(report.inserts, 1);
     // Second refresh with an update: only the delta applies.
     production
@@ -140,7 +147,9 @@ fn corporate_network_end_to_end() {
             ]),
         )
         .unwrap();
-    let report = net.refresh_from_production(id, &production, mapping).unwrap();
+    let report = net
+        .refresh_from_production(id, &production, mapping)
+        .unwrap();
     assert_eq!((report.inserts, report.deletes), (1, 1));
     let out = net
         .submit_query(
@@ -164,7 +173,13 @@ fn corporate_network_end_to_end() {
     net.crash_data_peer(victim).unwrap();
     net.peer_mut(victim).unwrap().db = Database::new();
     let out = net
-        .submit_query(submitter, "SELECT COUNT(*) FROM lineitem", "analyst", EngineChoice::Basic, 0)
+        .submit_query(
+            submitter,
+            "SELECT COUNT(*) FROM lineitem",
+            "analyst",
+            EngineChoice::Basic,
+            0,
+        )
         .unwrap();
     assert_eq!(out.result.rows[0].get(0), &Value::Int(4 * 1_500));
     assert!(out.attempts >= 2, "the first attempt hit the crashed peer");
@@ -182,13 +197,22 @@ fn corporate_network_end_to_end() {
     net.maintenance_tick().unwrap(); // reclaims the blacklisted instance
     assert_eq!(net.bootstrap.peer_count(), 3);
     let out = net
-        .submit_query(submitter, "SELECT COUNT(*) FROM lineitem", "analyst", EngineChoice::Basic, 0)
+        .submit_query(
+            submitter,
+            "SELECT COUNT(*) FROM lineitem",
+            "analyst",
+            EngineChoice::Basic,
+            0,
+        )
         .unwrap();
     assert_eq!(out.result.rows[0].get(0), &Value::Int(3 * 1_500));
 
     net.cloud.advance_clock(3_600_000_000);
     assert!(net.cloud.bill_cents() > 0, "pay-as-you-go meters ran");
-    assert!(net.cloud.state(net.peer(submitter).unwrap().instance).is_ok());
+    assert!(net
+        .cloud
+        .state(net.peer(submitter).unwrap().instance)
+        .is_ok());
 }
 
 #[test]
@@ -202,13 +226,29 @@ fn timestamp_semantics_across_engines() {
     }
     let submitter = net.peer_ids()[0];
     assert_eq!(net.consistent_timestamp(), 3);
-    for engine in [EngineChoice::Basic, EngineChoice::ParallelP2P, EngineChoice::MapReduce] {
+    for engine in [
+        EngineChoice::Basic,
+        EngineChoice::ParallelP2P,
+        EngineChoice::MapReduce,
+    ] {
         // At the consistent timestamp: fine. Beyond it: rejected.
         assert!(net
-            .submit_query(submitter, "SELECT COUNT(*) FROM orders", "analyst", engine, 3)
+            .submit_query(
+                submitter,
+                "SELECT COUNT(*) FROM orders",
+                "analyst",
+                engine,
+                3
+            )
             .is_ok());
         let err = net
-            .submit_query(submitter, "SELECT COUNT(*) FROM orders", "analyst", engine, 4)
+            .submit_query(
+                submitter,
+                "SELECT COUNT(*) FROM orders",
+                "analyst",
+                engine,
+                4,
+            )
             .unwrap_err();
         assert_eq!(err.kind(), "stale-snapshot", "{engine:?}");
     }

@@ -122,7 +122,10 @@ fn partial_aggregation_is_partition_invariant() {
     let mut rng = Rng::seed_from_u64(0x0B57_0003);
     let schema = TableSchema::new(
         "t",
-        vec![ColumnDef::new("k", ColumnType::Int), ColumnDef::new("v", ColumnType::Int)],
+        vec![
+            ColumnDef::new("k", ColumnType::Int),
+            ColumnDef::new("v", ColumnType::Int),
+        ],
         vec![],
     )
     .unwrap();
@@ -144,7 +147,8 @@ fn partial_aggregation_is_partition_invariant() {
             let mut db = Database::new();
             db.create_table(schema.clone()).unwrap();
             for (k, v) in part {
-                db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*v)])).unwrap();
+                db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*v)]))
+                    .unwrap();
             }
             let (rs, _) = execute_select(&dist.partial, &db).unwrap();
             partial_cols = rs.columns;
@@ -155,7 +159,8 @@ fn partial_aggregation_is_partition_invariant() {
         let mut db = Database::new();
         db.create_table(schema.clone()).unwrap();
         for (k, v) in &rows {
-            db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*v)])).unwrap();
+            db.insert("t", Row::new(vec![Value::Int(*k), Value::Int(*v)]))
+                .unwrap();
         }
         let (mut central, _) = execute_select(&stmt, &db).unwrap();
         distributed.rows.sort();
@@ -186,8 +191,11 @@ fn codec_round_trips_any_batch() {
         3 => Value::Date(rng.next_u64() as i32),
         _ => {
             let len = rng.random_range(0..20usize);
-            let alphabet: Vec<char> =
-                ('a'..='z').chain('A'..='Z').chain('0'..='9').chain([' ']).collect();
+            let alphabet: Vec<char> = ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain([' '])
+                .collect();
             Value::Str(
                 (0..len)
                     .map(|_| alphabet[rng.random_range(0..alphabet.len())])

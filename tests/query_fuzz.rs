@@ -3,6 +3,7 @@
 //! that the Basic, ParallelP2P, and MapReduce engines return exactly what a
 //! centralized database returns over the union of all partitions.
 
+use bestpeer::common::rng::Rng;
 use bestpeer::common::{Row, Value};
 use bestpeer::core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
 use bestpeer::core::{AccessRule, Role};
@@ -10,7 +11,6 @@ use bestpeer::sql::{execute_select, parse_select};
 use bestpeer::storage::Database;
 use bestpeer::tpch::dbgen::{DbGen, TpchConfig};
 use bestpeer::tpch::schema;
-use bestpeer::common::rng::Rng;
 
 fn analyst() -> Role {
     let mut role = Role::new("analyst");
@@ -109,12 +109,15 @@ fn random_query(rng: &mut Rng) -> String {
 fn rows_approx_eq(a: &[Row], b: &[Row]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(ra, rb)| {
-            ra.values().iter().zip(rb.values()).all(|(va, vb)| match (va, vb) {
-                (Value::Float(x), Value::Float(y)) => {
-                    (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
-                }
-                _ => va == vb,
-            })
+            ra.values()
+                .iter()
+                .zip(rb.values())
+                .all(|(va, vb)| match (va, vb) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+                    }
+                    _ => va == vb,
+                })
         })
 }
 
@@ -132,7 +135,11 @@ fn random_queries_agree_with_centralized_execution() {
         if !want.rows.is_empty() {
             nonempty += 1;
         }
-        for engine in [EngineChoice::Basic, EngineChoice::ParallelP2P, EngineChoice::MapReduce] {
+        for engine in [
+            EngineChoice::Basic,
+            EngineChoice::ParallelP2P,
+            EngineChoice::MapReduce,
+        ] {
             let out = net
                 .submit_query(submitter, &sql, "analyst", engine, 0)
                 .unwrap_or_else(|e| panic!("#{i} {engine:?} {sql}: {e}"));
@@ -146,5 +153,8 @@ fn random_queries_agree_with_centralized_execution() {
             );
         }
     }
-    assert!(nonempty > 20, "fuzzer should produce mostly non-trivial queries");
+    assert!(
+        nonempty > 20,
+        "fuzzer should produce mostly non-trivial queries"
+    );
 }
