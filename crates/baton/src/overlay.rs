@@ -609,6 +609,14 @@ impl<V: Clone> Overlay<V> {
         self.drop_inserts = 0;
     }
 
+    /// How many future inserts are still armed to be dropped. Delta
+    /// index maintenance checks this: while a lossy window is open, a
+    /// diff against remembered state would silently skip entries the
+    /// fault already ate, so publishers fall back to a full republish.
+    pub fn pending_insert_drops(&self) -> u32 {
+        self.drop_inserts
+    }
+
     /// Insert an index item. Routes to the owner, stores the value, and
     /// (when enabled) replicates it to the owner's adjacent nodes.
     pub fn insert(&mut self, key: Key, value: V) -> Result<u32> {

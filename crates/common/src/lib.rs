@@ -26,6 +26,6 @@ pub mod value;
 pub use error::{Error, Result};
 pub use hash::{mix64, stable_hash};
 pub use ids::{InstanceId, PeerId, UserId};
-pub use row::Row;
+pub use row::{Row, SharedRow};
 pub use schema::{ColumnDef, ColumnType, TableSchema};
 pub use value::Value;

@@ -1,6 +1,17 @@
 //! Rows: fixed-arity sequences of [`Value`]s.
 
+use std::sync::Arc;
+
 use crate::value::Value;
+
+/// A reference-counted row handle.
+///
+/// The executor's operator pipeline passes rows as `Arc<Row>` so that a
+/// scan→filter→sort→limit chain moves pointers instead of deep-cloning
+/// every tuple at every stage. Cost accounting still charges *logical*
+/// bytes ([`Row::byte_size`]) regardless of how many handles share the
+/// allocation.
+pub type SharedRow = Arc<Row>;
 
 /// A single tuple. The column order is defined by the owning table's
 /// [`crate::schema::TableSchema`] (or, for intermediate results, by the
@@ -82,6 +93,11 @@ impl std::ops::Index<usize> for Row {
 /// Total bytes of a batch of rows; convenience for the cost model.
 pub fn batch_bytes(rows: &[Row]) -> u64 {
     rows.iter().map(Row::byte_size).sum()
+}
+
+/// Total logical bytes of a batch of shared rows.
+pub fn shared_batch_bytes(rows: &[SharedRow]) -> u64 {
+    rows.iter().map(|r| r.byte_size()).sum()
 }
 
 #[cfg(test)]

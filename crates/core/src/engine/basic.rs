@@ -87,7 +87,9 @@ pub fn execute(
         let rs = dist.combine.apply(&partial_cols, &partial_rows)?;
         trace.push(Phase::new("combine").task(Task::on(submitter).cpu(total_bytes * 2)));
         let mut rs = rs;
-        bestpeer_sql::apply_order_limit(stmt, &mut rs);
+        if bestpeer_sql::apply_order_limit(stmt, &mut rs) {
+            ctx.note_topk();
+        }
         return Ok((rs, trace));
     }
 
@@ -172,7 +174,8 @@ pub fn execute(
 
     // Processing step at the submitting peer.
     let local_stmt = rewrite_for_temp(stmt, &decomp);
-    let (rs, _) = execute_select(&local_stmt, &temp)?;
+    let (rs, pstats) = execute_select(&local_stmt, &temp)?;
+    ctx.note_exec(&pstats);
     let out_bytes = codec::batch_encoded_size(&rs.rows);
     trace.push(
         Phase::new("process").task(

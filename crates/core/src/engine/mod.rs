@@ -20,6 +20,7 @@ pub mod mr;
 pub mod online;
 pub mod parallel;
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use bestpeer_common::{Error, PeerId, Result, TableSchema};
@@ -52,6 +53,11 @@ pub struct EngineCtx<'a> {
     /// The network's fault-injection state; every subquery served ticks
     /// its virtual clock, so scheduled faults land mid-query.
     pub faults: &'a FaultState,
+    /// Execution counters accumulated across every subquery this query
+    /// touches (rows shared vs cloned, top-K short-circuits, …); a
+    /// `Cell` because [`EngineCtx::serve`] takes `&self`. The network
+    /// folds these into the telemetry registry after the engine runs.
+    pub exec: Cell<ExecStats>,
 }
 
 impl EngineCtx<'_> {
@@ -74,8 +80,27 @@ impl EngineCtx<'_> {
             )));
         }
         self.faults.note_serve(owner);
-        self.peer(owner)?
-            .serve_subquery(stmt, self.role, self.query_ts)
+        let (rs, stats) = self
+            .peer(owner)?
+            .serve_subquery(stmt, self.role, self.query_ts)?;
+        self.note_exec(&stats);
+        Ok((rs, stats))
+    }
+
+    /// Fold one execution's stats into the query-wide counters.
+    pub fn note_exec(&self, stats: &ExecStats) {
+        let mut agg = self.exec.get();
+        agg.merge(stats);
+        self.exec.set(agg);
+    }
+
+    /// Record one coordinator-side top-K short-circuit (an engine's
+    /// [`bestpeer_sql::apply_order_limit`] answered `ORDER BY … LIMIT`
+    /// with the bounded heap instead of a full sort).
+    pub fn note_topk(&self) {
+        let mut agg = self.exec.get();
+        agg.topk_short_circuits += 1;
+        self.exec.set(agg);
     }
 
     /// The schema of one global table.

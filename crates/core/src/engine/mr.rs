@@ -96,6 +96,8 @@ pub fn execute(
     // Idempotent re-application: the ordering/truncation contract all
     // engines share is enforced at the engine boundary, not left to a
     // compiler-internal detail of `run_stmt`.
-    bestpeer_sql::apply_order_limit(stmt, &mut rs);
+    if bestpeer_sql::apply_order_limit(stmt, &mut rs) {
+        ctx.note_topk();
+    }
     Ok((rs, trace))
 }

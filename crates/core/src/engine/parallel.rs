@@ -193,7 +193,9 @@ pub fn execute(
             columns: projs.into_iter().map(|(_, n)| n).collect(),
             rows,
         };
-        bestpeer_sql::apply_order_limit(stmt, &mut rs);
+        if bestpeer_sql::apply_order_limit(stmt, &mut rs) {
+            ctx.note_topk();
+        }
         return Ok((rs, trace));
     }
 
@@ -232,7 +234,9 @@ pub fn execute(
         columns: projs.into_iter().map(|(_, n)| n).collect(),
         rows,
     };
-    bestpeer_sql::apply_order_limit(stmt, &mut rs);
+    if bestpeer_sql::apply_order_limit(stmt, &mut rs) {
+        ctx.note_topk();
+    }
     Ok((rs, trace))
 }
 

@@ -33,7 +33,10 @@ pub struct Bucket {
 impl Bucket {
     /// Fraction of this bucket's volume overlapping the query region
     /// (`Area_o / Area` of the paper, computed dimension-wise; point
-    /// dimensions contribute 1 when inside, 0 when outside).
+    /// *bucket* dimensions contribute 1 when inside, 0 when outside,
+    /// and a point *query* dimension (an equality predicate) against a
+    /// non-degenerate bucket contributes `1/width` under the paper's
+    /// uniform-spread assumption rather than annihilating the estimate).
     pub fn overlap_fraction(&self, region: &QueryRegion) -> f64 {
         let mut frac = 1.0;
         for (i, (l, h)) in self.lo.iter().zip(&self.hi).enumerate() {
@@ -45,10 +48,17 @@ impl Bucket {
             }
             let width = h - l;
             if width <= 0.0 {
-                // Point dimension: fully in or fully out (handled above).
+                // Point bucket dimension: fully in or fully out
+                // (handled above).
                 continue;
             }
-            frac *= (inter_hi - inter_lo) / width;
+            if inter_hi == inter_lo {
+                // Degenerate intersection within a non-degenerate
+                // bucket — one value out of a spread of `width`.
+                frac *= 1.0 / width;
+            } else {
+                frac *= (inter_hi - inter_lo) / width;
+            }
         }
         frac
     }
@@ -471,6 +481,74 @@ mod tests {
         // All buckets are retrievable by a full-domain range sweep.
         let (found, _) = overlay.search_range(0, u64::MAX - 1).unwrap();
         assert_eq!(found.len(), h.buckets.len());
+    }
+
+    #[test]
+    fn point_query_against_nondegenerate_bucket_contributes_one_over_width() {
+        let b = Bucket {
+            lo: vec![0.0],
+            hi: vec![10.0],
+            count: 100,
+        };
+        let hit = QueryRegion::unbounded(1).constrain(0, 5.0, 5.0);
+        assert!((b.overlap_fraction(&hit) - 0.1).abs() < 1e-12);
+        // Outside the bucket still annihilates.
+        let miss = QueryRegion::unbounded(1).constrain(0, 11.0, 11.0);
+        assert_eq!(b.overlap_fraction(&miss), 0.0);
+    }
+
+    #[test]
+    fn point_bucket_is_all_or_nothing() {
+        let b = Bucket {
+            lo: vec![5.0],
+            hi: vec![5.0],
+            count: 7,
+        };
+        let inside = QueryRegion::unbounded(1).constrain(0, 5.0, 5.0);
+        assert_eq!(b.overlap_fraction(&inside), 1.0);
+        let straddle = QueryRegion::unbounded(1).constrain(0, 4.0, 6.0);
+        assert_eq!(b.overlap_fraction(&straddle), 1.0);
+        let outside = QueryRegion::unbounded(1).constrain(0, 0.0, 4.0);
+        assert_eq!(b.overlap_fraction(&outside), 0.0);
+    }
+
+    #[test]
+    fn mixed_point_and_range_dimensions() {
+        // Dimension 0 spans [0, 10]; dimension 1 is a point bucket at 3.
+        let b = Bucket {
+            lo: vec![0.0, 3.0],
+            hi: vec![10.0, 3.0],
+            count: 50,
+        };
+        // Equality on the spread dimension, unconstrained on the point
+        // dimension: 1/width of the spread.
+        let r = QueryRegion::unbounded(2).constrain(0, 4.0, 4.0);
+        assert!((b.overlap_fraction(&r) - 0.1).abs() < 1e-12);
+        // Half-range on dimension 0, equality hit on the point
+        // dimension: the point dim contributes 1.
+        let r2 = QueryRegion::unbounded(2)
+            .constrain(0, 0.0, 5.0)
+            .constrain(1, 3.0, 3.0);
+        assert!((b.overlap_fraction(&r2) - 0.5).abs() < 1e-12);
+        // Equality miss on the point dimension annihilates.
+        let r3 = QueryRegion::unbounded(2).constrain(1, 4.0, 4.0);
+        assert_eq!(b.overlap_fraction(&r3), 0.0);
+    }
+
+    #[test]
+    fn equality_predicate_estimate_is_nonzero() {
+        let pts: Vec<(i64, i64)> = (0..100).map(|i| (i % 10, i)).collect();
+        let t = table_with(&pts);
+        let h = Histogram::build(&t, &["a", "b"], 4).unwrap();
+        let dim = h.dim_of("a").unwrap();
+        let region = QueryRegion::unbounded(2).constrain(dim, 3.0, 3.0);
+        let est = h.estimated_count(&region);
+        assert!(
+            est > 0.0,
+            "equality predicate must not annihilate the estimate, got {est}"
+        );
+        // And the estimate stays bounded by the relation size.
+        assert!(est <= h.estimated_size() as f64);
     }
 
     #[test]

@@ -98,27 +98,31 @@ pub fn range_key(table: &str) -> Key {
     hash_key(&format!("R:{table}"))
 }
 
-/// Publish all index entries for one peer's database: a table entry and
-/// per-column entries for every non-empty table, plus range entries for
-/// the columns in `range_columns` (§6.2.2 builds them on nation keys).
-/// Returns the routing hops spent.
-pub fn publish_peer(
-    overlay: &mut IndexOverlay,
+/// The complete index-entry set one peer should have published for its
+/// current database: a table entry and per-column entries for every
+/// non-empty table, plus range entries for the columns in
+/// `range_columns` (§6.2.2 builds them on nation keys). Deterministic
+/// order (tables sorted, then columns sorted, then configured ranges).
+///
+/// This is the unit of delta index maintenance: the network remembers
+/// the last published set per peer and, on refresh, only touches the
+/// overlay for entries that changed.
+pub fn peer_entries(
     peer: PeerId,
     db: &Database,
     range_columns: &[(String, String)],
-) -> Result<u32> {
-    let mut hops = 0;
+) -> Result<Vec<(Key, IndexEntry)>> {
+    let mut out = Vec::new();
     let mut columns: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for table in db.non_empty_tables() {
         let name = table.schema().name.clone();
-        hops += overlay.insert(
+        out.push((
             table_key(&name),
             IndexEntry::Table(TableIndexEntry {
                 table: name.clone(),
                 peer,
             }),
-        )?;
+        ));
         for col in table.schema().column_names() {
             columns
                 .entry(col.to_owned())
@@ -127,21 +131,21 @@ pub fn publish_peer(
         }
     }
     for (column, tables) in columns {
-        hops += overlay.insert(
+        out.push((
             column_key(&column),
             IndexEntry::Column(ColumnIndexEntry {
                 column,
                 peer,
                 tables,
             }),
-        )?;
+        ));
     }
     for (table, column) in range_columns {
         if !db.has_table(table) || db.table(table)?.is_empty() {
             continue;
         }
         if let Some((min, max)) = db.table(table)?.column_min_max(column)? {
-            hops += overlay.insert(
+            out.push((
                 range_key(table),
                 IndexEntry::Range(RangeIndexEntry {
                     table: table.clone(),
@@ -150,19 +154,54 @@ pub fn publish_peer(
                     max,
                     peer,
                 }),
-            )?;
+            ));
         }
+    }
+    Ok(out)
+}
+
+/// Insert a batch of index entries into the overlay; returns hops.
+pub fn publish_entries(overlay: &mut IndexOverlay, entries: &[(Key, IndexEntry)]) -> Result<u32> {
+    let mut hops = 0;
+    for (key, entry) in entries {
+        hops += overlay.insert(*key, entry.clone())?;
     }
     Ok(hops)
 }
 
-/// Remove every index entry the peer previously published (departure).
-pub fn unpublish_peer(
+/// Remove a batch of previously published entries (exact match on the
+/// remembered entry, scoped to `peer`); returns hops.
+pub fn remove_entries(
+    overlay: &mut IndexOverlay,
+    peer: PeerId,
+    entries: &[(Key, IndexEntry)],
+) -> Result<u32> {
+    let mut hops = 0;
+    for (key, entry) in entries {
+        let (_, h) = overlay.remove(*key, |e| e.peer() == peer && e == entry)?;
+        hops += h;
+    }
+    Ok(hops)
+}
+
+/// Publish all index entries for one peer's database. Returns the
+/// routing hops spent.
+pub fn publish_peer(
     overlay: &mut IndexOverlay,
     peer: PeerId,
     db: &Database,
     range_columns: &[(String, String)],
 ) -> Result<u32> {
+    publish_entries(overlay, &peer_entries(peer, db, range_columns)?)
+}
+
+/// Remove every index entry the peer may have published under its
+/// current database (departure / full-republish sweep). Probes the
+/// table, range, and column keys of every non-empty table and strips
+/// all of the peer's entries there; range entries live under the same
+/// per-table keys regardless of which columns are configured, so no
+/// range-column list is needed.
+pub fn unpublish_peer(overlay: &mut IndexOverlay, peer: PeerId, db: &Database) -> Result<u32> {
     let mut hops = 0;
     let mut columns: HashSet<String> = HashSet::new();
     for table in db.non_empty_tables() {
@@ -179,7 +218,6 @@ pub fn unpublish_peer(
         let (_, h) = overlay.remove(column_key(&column), |e| e.peer() == peer)?;
         hops += h;
     }
-    let _ = range_columns;
     Ok(hops)
 }
 
@@ -514,13 +552,7 @@ mod tests {
     #[test]
     fn unpublish_removes_peer_everywhere() {
         let (mut overlay, dbs) = network(4);
-        unpublish_peer(
-            &mut overlay,
-            PeerId::new(1),
-            &dbs[1],
-            &[("orders".into(), "o_nationkey".into())],
-        )
-        .unwrap();
+        unpublish_peer(&mut overlay, PeerId::new(1), &dbs[1]).unwrap();
         let mut loc = PeerLocator::new(false);
         let stmt = parse_select("SELECT o_orderkey FROM orders").unwrap();
         let (peers, _) = loc.peers_for_table(&mut overlay, &stmt, "orders").unwrap();

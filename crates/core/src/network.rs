@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use bestpeer_baton::Key;
 use bestpeer_cloud::{CloudProvider, SimCloud};
 use bestpeer_common::{Error, PeerId, Result, Row, TableSchema, UserId};
 use bestpeer_mapreduce::MrConfig;
@@ -26,7 +27,7 @@ use crate::engine::adaptive::{self, GlobalStats};
 use crate::engine::{basic, mr, parallel, EngineCtx};
 use crate::fault::{FaultAction, FaultRecord, FaultState, ScheduledFault};
 use crate::histogram::Histogram;
-use crate::indexer::{self, IndexOverlay, PeerLocator};
+use crate::indexer::{self, IndexEntry, IndexOverlay, PeerLocator};
 use crate::loader::RefreshReport;
 use crate::peer::NormalPeer;
 use crate::retry::RetryPolicy;
@@ -146,6 +147,12 @@ pub struct BestPeerNetwork {
     pub cloud: SimCloud<Database>,
     peers: BTreeMap<PeerId, NormalPeer>,
     overlay: IndexOverlay,
+    /// Delta index maintenance: each peer's last published entry set.
+    /// `publish_indices` diffs the current entries against this and only
+    /// touches the overlay for the difference; the map entry is dropped
+    /// (forcing the next publish to be a full sweep) when overlay faults
+    /// may have made the remembered view diverge.
+    published: BTreeMap<PeerId, Vec<(Key, IndexEntry)>>,
     locators: BTreeMap<PeerId, PeerLocator>,
     stats: Option<GlobalStats>,
     faults: FaultState,
@@ -168,6 +175,7 @@ impl BestPeerNetwork {
             cloud: SimCloud::new(),
             peers: BTreeMap::new(),
             overlay,
+            published: BTreeMap::new(),
             locators: BTreeMap::new(),
             stats: None,
             faults: FaultState::new(),
@@ -255,12 +263,14 @@ impl BestPeerNetwork {
             .peers
             .remove(&id)
             .ok_or_else(|| Error::Network(format!("no peer {id}")))?;
-        indexer::unpublish_peer(
-            &mut self.overlay,
-            id,
-            &peer.db,
-            &self.config.range_index_columns,
-        )?;
+        // Withdraw the remembered entry set first — it covers entries
+        // for tables that have since been emptied or dropped, which a
+        // probe of the current database would miss — then probe-sweep
+        // for anything published before tracking began.
+        if let Some(prev) = self.published.remove(&id) {
+            indexer::remove_entries(&mut self.overlay, id, &prev)?;
+        }
+        indexer::unpublish_peer(&mut self.overlay, id, &peer.db)?;
         self.overlay.leave(id)?;
         self.bootstrap.depart(id)?;
         self.locators.remove(&id);
@@ -298,13 +308,54 @@ impl BestPeerNetwork {
     }
 
     /// (Re-)publish one peer's BATON index entries.
+    ///
+    /// Delta maintenance: when the peer's previously published entry set
+    /// is remembered and the overlay is delivering inserts reliably,
+    /// only the difference between the old and new sets touches the
+    /// overlay — a refresh that changes one table no longer sweeps every
+    /// index key. Entries for tables that became empty or were dropped
+    /// are in the remembered set, so they are withdrawn correctly (the
+    /// old probe-by-current-database sweep missed them and left dead
+    /// peers routable). The full unpublish/republish sweep remains the
+    /// fallback when no state is remembered, and while a lossy-insert
+    /// fault window is open (a diff would silently skip entries the
+    /// fault already ate); if any of this publish's inserts were
+    /// dropped, the remembered state is discarded so the next publish
+    /// heals with a full sweep.
     pub fn publish_indices(&mut self, id: PeerId) -> Result<u32> {
         let range_cols = self.config.range_index_columns.clone();
-        let peer = self.peer(id)?;
-        // Withdraw stale entries first so re-publication is idempotent.
-        let db = peer.db.clone();
-        indexer::unpublish_peer(&mut self.overlay, id, &db, &range_cols)?;
-        let hops = indexer::publish_peer(&mut self.overlay, id, &db, &range_cols)?;
+        let db = self.peer(id)?.db.clone();
+        let target = indexer::peer_entries(id, &db, &range_cols)?;
+        let dropped_before = self.overlay.stats().dropped_inserts;
+        let lossy = self.overlay.pending_insert_drops() > 0;
+        let hops = match self.published.get(&id) {
+            Some(prev) if !lossy => {
+                let (to_remove, to_insert) = diff_entries(prev, &target);
+                let mut hops = indexer::remove_entries(&mut self.overlay, id, &to_remove)?;
+                hops += indexer::publish_entries(&mut self.overlay, &to_insert)?;
+                self.metrics.inc("index.delta_publishes");
+                self.metrics
+                    .inc_by("index.delta_inserts", to_insert.len() as u64);
+                self.metrics
+                    .inc_by("index.delta_removes", to_remove.len() as u64);
+                hops
+            }
+            _ => {
+                if let Some(prev) = self.published.get(&id) {
+                    let prev = prev.clone();
+                    indexer::remove_entries(&mut self.overlay, id, &prev)?;
+                }
+                indexer::unpublish_peer(&mut self.overlay, id, &db)?;
+                let hops = indexer::publish_entries(&mut self.overlay, &target)?;
+                self.metrics.inc("index.full_publishes");
+                hops
+            }
+        };
+        if self.overlay.stats().dropped_inserts > dropped_before {
+            self.published.remove(&id);
+        } else {
+            self.published.insert(id, target);
+        }
         self.invalidate_caches();
         Ok(hops)
     }
@@ -449,6 +500,10 @@ impl BestPeerNetwork {
         for rec in &new {
             match rec.action {
                 FaultAction::Crash(p) => {
+                    // A node crash can take other peers' entries stored
+                    // at it down too; every remembered publish state is
+                    // now suspect, so force full republishes next time.
+                    self.published.clear();
                     if self.overlay.contains(p) {
                         self.overlay.crash(p)?;
                     }
@@ -469,6 +524,10 @@ impl BestPeerNetwork {
                             m.responsive = true;
                             let _ = self.cloud.set_metrics(instance, m);
                         }
+                        // Recovery must republish in full: the crash may
+                        // have lost entries the remembered state still
+                        // claims are present.
+                        self.published.remove(&p);
                         self.publish_indices(p)?;
                     }
                 }
@@ -511,19 +570,20 @@ impl BestPeerNetwork {
             role,
             query_ts,
             faults: &self.faults,
+            exec: std::cell::Cell::new(Default::default()),
         };
-        match engine {
+        let out = match engine {
             EngineChoice::Basic => {
                 let (rs, tr) = basic::execute(&mut ctx, submitter, stmt)?;
-                Ok((rs, tr, EngineChoice::Basic, None))
+                (rs, tr, EngineChoice::Basic, None)
             }
             EngineChoice::ParallelP2P => {
                 let (rs, tr) = parallel::execute(&mut ctx, submitter, stmt)?;
-                Ok((rs, tr, EngineChoice::ParallelP2P, None))
+                (rs, tr, EngineChoice::ParallelP2P, None)
             }
             EngineChoice::MapReduce => {
                 let (rs, tr) = mr::execute(&mut ctx, submitter, stmt)?;
-                Ok((rs, tr, EngineChoice::MapReduce, None))
+                (rs, tr, EngineChoice::MapReduce, None)
             }
             EngineChoice::Adaptive => {
                 let stats = self.stats.as_ref().expect("collected before the loop");
@@ -533,9 +593,20 @@ impl BestPeerNetwork {
                     adaptive::ChosenEngine::ParallelP2P => EngineChoice::ParallelP2P,
                     adaptive::ChosenEngine::MapReduce => EngineChoice::MapReduce,
                 };
-                Ok((rs, tr, used, Some(report.decision)))
+                (rs, tr, used, Some(report.decision))
             }
-        }
+        };
+        let exec = ctx.exec.get();
+        self.record_exec_metrics(&exec);
+        Ok(out)
+    }
+
+    /// Fold one attempt's execution counters into the registry.
+    fn record_exec_metrics(&mut self, exec: &bestpeer_sql::ExecStats) {
+        let m = &mut self.metrics;
+        m.inc_by("exec.rows_shared", exec.rows_shared);
+        m.inc_by("exec.rows_cloned", exec.rows_cloned);
+        m.inc_by("exec.topk_short_circuits", exec.topk_short_circuits);
     }
 
     /// Submit a SQL query from `submitter` under `role`, stamped with
@@ -750,8 +821,11 @@ impl BestPeerNetwork {
             role: &role,
             query_ts,
             faults: &self.faults,
+            exec: std::cell::Cell::new(Default::default()),
         };
         let mut out = crate::engine::online::execute(&mut ctx, submitter, &stmt)?;
+        let exec = ctx.exec.get();
+        self.record_exec_metrics(&exec);
         let slow = self.faults.take_slow_latency();
         if slow > SimTime::ZERO {
             out.trace
@@ -779,4 +853,33 @@ impl BestPeerNetwork {
         let report = crate::export::export_tables(&self.peers, tables, &role, query_ts, &mut hdfs)?;
         Ok((hdfs, report))
     }
+}
+
+/// A peer's published index entries, keyed by overlay position.
+type EntrySet = Vec<(Key, IndexEntry)>;
+
+/// Multiset difference between a peer's previously published entry set
+/// and its current one: `(to_remove, to_insert)`. Matched pairs are
+/// consumed one-for-one so duplicate entries (e.g. two range entries
+/// under the same per-table key) diff correctly.
+fn diff_entries(prev: &[(Key, IndexEntry)], next: &[(Key, IndexEntry)]) -> (EntrySet, EntrySet) {
+    let mut matched = vec![false; next.len()];
+    let mut to_remove = Vec::new();
+    for p in prev {
+        match next
+            .iter()
+            .enumerate()
+            .find(|(j, n)| !matched[*j] && *n == p)
+        {
+            Some((j, _)) => matched[j] = true,
+            None => to_remove.push(p.clone()),
+        }
+    }
+    let to_insert = next
+        .iter()
+        .zip(&matched)
+        .filter(|(_, m)| !**m)
+        .map(|(n, _)| n.clone())
+        .collect();
+    (to_remove, to_insert)
 }

@@ -11,7 +11,7 @@
 //! (byte-for-byte, microsecond-for-microsecond), including through the
 //! JSON export and under injected faults.
 
-use bestpeer_common::{Row, Value};
+use bestpeer_common::{ColumnDef, ColumnType, Row, TableSchema, Value};
 use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
 use bestpeer_core::Role;
 use bestpeer_simnet::Cluster;
@@ -170,6 +170,106 @@ fn engines_agree_with_each_other_on_benchmark_queries() {
                     rows_seq_eq(&rows, want),
                     "{engine:?} differs from the first engine on {sql}"
                 ),
+            }
+        }
+    }
+}
+
+/// Deterministic splitmix-style generator for the property sweeps (no
+/// `rand` dependency; same sequence on every run).
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    }
+}
+
+#[test]
+fn topk_equals_full_sort_truncate_on_random_rows() {
+    // Property: the bounded top-K heap under `ORDER BY … LIMIT k` must
+    // produce a byte-identical sequence to sort-everything-then-truncate
+    // — including under heavy duplicate keys and NULLs, where only the
+    // shared tie-break (original row order) separates equal rows. The
+    // no-LIMIT statement takes the full-sort path, so truncating its
+    // output *is* the reference.
+    let schema = TableSchema::new(
+        "obs",
+        vec![
+            ColumnDef::new("k", ColumnType::Int),
+            ColumnDef::new("v", ColumnType::Int),
+            ColumnDef::new("id", ColumnType::Int),
+        ],
+        vec![],
+    )
+    .unwrap();
+    let mut next = lcg(0xBE57_9EE2);
+    for round in 0..8u32 {
+        let mut db = Database::new();
+        db.create_table(schema.clone()).unwrap();
+        let n = 50 + (next() % 400) as usize;
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            // ~7 distinct keys over hundreds of rows → ties everywhere;
+            // ~20% NULLs in each sort column.
+            let k = if next().is_multiple_of(5) {
+                Value::Null
+            } else {
+                Value::Int((next() % 7) as i64)
+            };
+            let v = if next().is_multiple_of(5) {
+                Value::Null
+            } else {
+                Value::Int((next() % 13) as i64)
+            };
+            rows.push(Row::new(vec![k, v, Value::Int(i as i64)]));
+        }
+        db.bulk_insert("obs", rows).unwrap();
+        for order in ["ORDER BY k DESC, v", "ORDER BY k, v DESC", "ORDER BY v, k"] {
+            let full = parse_select(&format!("SELECT k, v, id FROM obs {order}")).unwrap();
+            let (want_all, _) = execute_select(&full, &db).unwrap();
+            for limit in [1usize, 2, 7, 25, 10_000] {
+                let stmt = parse_select(&format!("SELECT k, v, id FROM obs {order} LIMIT {limit}"))
+                    .unwrap();
+                let (got, _) = execute_select(&stmt, &db).unwrap();
+                let want: Vec<Row> = want_all.rows.iter().take(limit).cloned().collect();
+                assert!(
+                    rows_seq_eq(&got.rows, &want),
+                    "round {round}: top-K diverged from full sort on `{order} LIMIT {limit}`\n got {:?}\n want {:?}",
+                    &got.rows[..got.rows.len().min(5)],
+                    &want[..want.len().min(5)],
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_topk_matches_full_sort_reference() {
+    // The same property through every distributed engine: random LIMITs
+    // over duplicate-heavy sort columns must equal the centralized
+    // full-sort-then-truncate reference, row for row. A trailing unique
+    // key (l_orderkey, l_linenumber) keeps inter-engine sequences
+    // deterministic at the cutoff.
+    let (mut net, central) = setup(3, 1200);
+    let submitter = net.peer_ids()[0];
+    let mut next = lcg(0x70_9EE2);
+    for col in ["l_quantity", "l_nationkey", "l_discount"] {
+        for dir in ["", " DESC"] {
+            let limit = 1 + (next() % 20) as usize;
+            let order = format!("ORDER BY {col}{dir}, l_orderkey, l_linenumber");
+            let full = format!("SELECT {col}, l_orderkey, l_linenumber FROM lineitem {order}");
+            let sql = format!("{full} LIMIT {limit}");
+            let (want_all, _) = execute_select(&parse_select(&full).unwrap(), &central).unwrap();
+            let want: Vec<Row> = want_all.rows.iter().take(limit).cloned().collect();
+            for &engine in ENGINES {
+                let out = net.submit_query(submitter, &sql, "R", engine, 0).unwrap();
+                assert!(
+                    rows_seq_eq(&out.result.rows, &want),
+                    "{engine:?} top-K disagrees with full-sort reference on {sql}"
+                );
             }
         }
     }

@@ -1,0 +1,205 @@
+//! Delta BATON index maintenance (PR 3 tentpole) and the stale-entry
+//! regression it fixes.
+//!
+//! Before delta maintenance, `publish_indices` unpublished using the
+//! peer's *current* database: a table that had been emptied or dropped
+//! since the last publish was no longer probed, so its old entries
+//! stayed in the overlay forever and kept routing queries to a peer
+//! that no longer held the data. The network now remembers each peer's
+//! last published entry set and diffs against it, which both removes
+//! stale entries exactly and makes an unchanged refresh free.
+
+use bestpeer_core::indexer::PeerLocator;
+use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer_core::Role;
+use bestpeer_sql::parse_select;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::schema;
+
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(&str, Vec<&str>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &borrowed)
+}
+
+fn setup(n: usize, rows: usize) -> BestPeerNetwork {
+    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    net.define_role(full_read_role());
+    for node in 0..n {
+        let id = net.join(&format!("business-{node}")).unwrap();
+        let data = DbGen::new(TpchConfig::tiny(node as u64).with_rows(rows)).generate();
+        net.load_peer(id, data, 1).unwrap();
+    }
+    net
+}
+
+/// Empty one table in a peer's database while keeping its schema (the
+/// shape a production refresh produces when the business truncates a
+/// relation).
+fn empty_table(net: &mut BestPeerNetwork, id: bestpeer_common::PeerId, table: &str) {
+    let db = &mut net.peer_mut(id).unwrap().db;
+    let schema = db.table(table).unwrap().schema().clone();
+    db.drop_table(table).unwrap();
+    db.create_table(schema).unwrap();
+}
+
+#[test]
+fn refreshed_peer_with_emptied_table_is_no_longer_routed() {
+    let mut net = setup(3, 400);
+    let victim = net.peer_ids()[1];
+    let stmt = parse_select("SELECT o_orderkey FROM orders").unwrap();
+
+    // Sanity: the victim currently owns orders data and is routable.
+    let mut loc = PeerLocator::new(false);
+    let (peers, _) = loc
+        .peers_for_table(net.overlay_mut(), &stmt, "orders")
+        .unwrap();
+    assert!(peers.contains(&victim), "victim should start out routable");
+
+    // The business truncates `orders`; the periodic refresh republishes.
+    empty_table(&mut net, victim, "orders");
+    net.publish_indices(victim).unwrap();
+
+    // Regression: the overlay must no longer route orders queries to
+    // the victim — the old code left the victim's table/column/range
+    // entries behind because the unpublish sweep probed by the *new*
+    // (empty) database.
+    let mut loc = PeerLocator::new(false);
+    let (peers, _) = loc
+        .peers_for_table(net.overlay_mut(), &stmt, "orders")
+        .unwrap();
+    assert!(
+        !peers.contains(&victim),
+        "stale index entries still route orders to the emptied peer"
+    );
+    assert!(!peers.is_empty(), "other owners must remain routable");
+
+    // End to end: the query answers from the remaining owners only.
+    let expect: i64 = net
+        .peer_ids()
+        .iter()
+        .map(|&p| {
+            net.peer(p)
+                .unwrap()
+                .db
+                .table("orders")
+                .map(|t| t.len() as i64)
+                .unwrap_or(0)
+        })
+        .sum();
+    let submitter = net.peer_ids()[0];
+    for engine in [
+        EngineChoice::Basic,
+        EngineChoice::ParallelP2P,
+        EngineChoice::MapReduce,
+    ] {
+        let out = net
+            .submit_query(
+                submitter,
+                "SELECT COUNT(*) AS n FROM orders",
+                "R",
+                engine,
+                0,
+            )
+            .unwrap();
+        assert_eq!(
+            out.result.rows[0].get(0),
+            &bestpeer_common::Value::Int(expect),
+            "{engine:?} count must cover exactly the remaining owners"
+        );
+    }
+}
+
+#[test]
+fn unchanged_refresh_is_free_under_delta_maintenance() {
+    let mut net = setup(3, 400);
+    let id = net.peer_ids()[0];
+    let delta_before = net.metrics().counter("index.delta_publishes");
+
+    // Nothing changed since the load-time publish: the diff is empty
+    // and the refresh must not touch the overlay at all.
+    let hops = net.publish_indices(id).unwrap();
+    assert_eq!(hops, 0, "no-op refresh must spend zero overlay hops");
+    assert_eq!(
+        net.metrics().counter("index.delta_publishes"),
+        delta_before + 1,
+        "the refresh must take the delta path"
+    );
+    assert_eq!(net.metrics().counter("index.delta_inserts"), 0);
+    assert_eq!(net.metrics().counter("index.delta_removes"), 0);
+}
+
+#[test]
+fn single_table_change_touches_only_that_tables_entries() {
+    let mut net = setup(3, 400);
+    let id = net.peer_ids()[0];
+    let total_entries = bestpeer_core::indexer::peer_entries(
+        id,
+        &net.peer(id).unwrap().db,
+        &net.config().range_index_columns,
+    )
+    .unwrap()
+    .len() as u64;
+
+    empty_table(&mut net, id, "supplier");
+    let hops = net.publish_indices(id).unwrap();
+    assert!(hops > 0, "removing stale supplier entries costs some hops");
+
+    // The delta only removed supplier's table entry, its column
+    // entries, and (possibly) a range entry — far fewer operations
+    // than a full unpublish/republish of every entry the peer owns.
+    let touched =
+        net.metrics().counter("index.delta_inserts") + net.metrics().counter("index.delta_removes");
+    assert!(
+        touched > 0 && touched < total_entries / 2,
+        "delta touched {touched} of {total_entries} entries; expected a small fraction"
+    );
+
+    // Routing reflects the change immediately.
+    let stmt = parse_select("SELECT s_suppkey FROM supplier").unwrap();
+    let mut loc = PeerLocator::new(false);
+    let (peers, _) = loc
+        .peers_for_table(net.overlay_mut(), &stmt, "supplier")
+        .unwrap();
+    assert!(!peers.contains(&id));
+}
+
+#[test]
+fn crash_recovery_falls_back_to_full_republish() {
+    let mut net = setup(3, 400);
+    net.backup_all().unwrap();
+    let victim = net.peer_ids()[2];
+    let full_before = net.metrics().counter("index.full_publishes");
+
+    // A crash may take remembered entries down with the overlay node's
+    // replicas, so recovery must not trust any peer's remembered state:
+    // the recover-time publish and the next refresh of *any* peer run
+    // the full sweep, after which delta maintenance resumes.
+    net.crash_data_peer(victim).unwrap();
+    net.recover_data_peer(victim).unwrap();
+    assert!(
+        net.metrics().counter("index.full_publishes") > full_before,
+        "recovery must republish with the full sweep"
+    );
+
+    let delta_before = net.metrics().counter("index.delta_publishes");
+    let other = net.peer_ids()[0];
+    net.publish_indices(other).unwrap();
+    net.publish_indices(other).unwrap();
+    assert!(
+        net.metrics().counter("index.delta_publishes") > delta_before,
+        "delta maintenance resumes once state is re-remembered"
+    );
+}

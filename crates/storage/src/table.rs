@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::ops::Bound;
 
-use bestpeer_common::{Error, Result, Row, TableSchema, Value};
+use bestpeer_common::{Error, Result, Row, SharedRow, TableSchema, Value};
 
 use crate::index::SecondaryIndex;
 
@@ -16,8 +16,10 @@ pub type RowId = u64;
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    /// Slot storage; `None` marks a deleted row (tombstone).
-    rows: Vec<Option<Row>>,
+    /// Slot storage; `None` marks a deleted row (tombstone). Rows are
+    /// held behind [`SharedRow`] handles so the executor can scan without
+    /// deep-cloning each tuple.
+    rows: Vec<Option<SharedRow>>,
     /// Primary-key index; empty primary key disables uniqueness checking.
     primary: BTreeMap<Vec<Value>, RowId>,
     /// Secondary indices, keyed by indexed column name.
@@ -109,7 +111,7 @@ impl Table {
         }
         self.live_rows += 1;
         self.live_bytes += row.byte_size();
-        self.rows.push(Some(row));
+        self.rows.push(Some(SharedRow::new(row)));
         Ok(rid)
     }
 
@@ -144,6 +146,8 @@ impl Table {
         let row = slot
             .take()
             .ok_or_else(|| Error::Internal(format!("row id {rid} already deleted")))?;
+        // Reclaim the allocation when no query result still shares it.
+        let row = SharedRow::try_unwrap(row).unwrap_or_else(|shared| (*shared).clone());
         for idx in self.secondary.values_mut() {
             idx.remove(row.get(idx.column), rid);
         }
@@ -155,12 +159,21 @@ impl Table {
     /// Look up a row by primary key.
     pub fn get_by_key(&self, key: &[Value]) -> Option<&Row> {
         let rid = *self.primary.get(key)?;
-        self.rows[rid as usize].as_ref()
+        self.rows[rid as usize].as_deref()
     }
 
     /// Fetch a row by id (None if deleted / out of range).
     pub fn get(&self, rid: RowId) -> Option<&Row> {
-        self.rows.get(rid as usize).and_then(Option::as_ref)
+        self.rows.get(rid as usize).and_then(Option::as_deref)
+    }
+
+    /// Fetch a shared handle to a row by id. Cloning the handle is a
+    /// reference-count bump, not a deep copy.
+    pub fn get_shared(&self, rid: RowId) -> Option<SharedRow> {
+        self.rows
+            .get(rid as usize)
+            .and_then(Option::as_ref)
+            .cloned()
     }
 
     /// Find the id of some live row equal to `row` (content match).
@@ -168,13 +181,18 @@ impl Table {
     pub fn find_row_id(&self, row: &Row) -> Option<RowId> {
         self.rows
             .iter()
-            .position(|slot| slot.as_ref() == Some(row))
+            .position(|slot| slot.as_deref() == Some(row))
             .map(|i| i as RowId)
     }
 
     /// Iterate over all live rows.
     pub fn scan(&self) -> impl Iterator<Item = &Row> {
-        self.rows.iter().filter_map(Option::as_ref)
+        self.rows.iter().filter_map(Option::as_deref)
+    }
+
+    /// Iterate over all live rows as shared handles (zero-copy scan).
+    pub fn scan_shared(&self) -> impl Iterator<Item = SharedRow> + '_ {
+        self.rows.iter().filter_map(|s| s.as_ref().cloned())
     }
 
     /// Row ids matching `column = key` via a secondary index, or `None`

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> exec micro-bench (writes BENCH_exec.json; asserts 2x rows/sec, 5x fewer refresh hops)"
+cargo run --release -q -p bestpeer-bench --bin exec_bench
+
 echo "==> cargo test -q (root package: integration tests + examples)"
 cargo test -q
 
