@@ -20,6 +20,7 @@ fn graph(levels: usize) -> ProcessingGraph {
                 size: 1.0e8,
                 partitions: 50.0,
                 selectivity: 1e-6,
+                warm: 0.0,
             })
             .collect(),
         driving_bytes: 1.0e8,

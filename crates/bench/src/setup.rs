@@ -68,6 +68,11 @@ pub fn full_read_role() -> Role {
 pub fn build_bestpeer(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
     let config = NetworkConfig {
         resources: resource_config(bench),
+        // The paper's Figures 6–11 measure cold single-shot executions
+        // (and the adaptive figure runs both engines over one network);
+        // the result cache would let the second engine read the first
+        // engine's fetches. Cache impact is measured by `cache_bench`.
+        result_cache: false,
         ..NetworkConfig::default()
     };
     let mut net = BestPeerNetwork::new(schema::all_tables(), config);

@@ -9,8 +9,10 @@
 //! nation key pins each query to a single peer, so the single-peer
 //! optimization applies and the network scales out (§6.2.3).
 
+use bestpeer_common::rng::Rng;
+use bestpeer_common::{stable_hash, Value};
 use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
-use bestpeer_simnet::{driver, Trace};
+use bestpeer_simnet::{driver, Cluster, Trace};
 use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
 use bestpeer_tpch::{queries, schema};
 
@@ -26,8 +28,22 @@ pub enum WorkloadKind {
 }
 
 /// Build the §6.2.1 supply-chain network: `n/2` suppliers and `n/2`
-/// retailers, one nation each.
+/// retailers, one nation each. The result cache is off: the Figure
+/// 12–14 traces are collected once per `(submitter, nation)` pair and
+/// replayed by the open-loop driver, so a warmed trace would mispredict
+/// the steady-state cost of its template. Use
+/// [`build_supply_chain_cached`] for repeated-template workloads.
 pub fn build_supply_chain(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
+    build_supply_chain_cached(n, bench, false)
+}
+
+/// [`build_supply_chain`] with an explicit result-cache switch (the
+/// cache benchmark builds one network per setting).
+pub fn build_supply_chain_cached(
+    n: usize,
+    bench: &BenchConfig,
+    result_cache: bool,
+) -> BestPeerNetwork {
     assert!(
         n >= 2 && n.is_multiple_of(2),
         "need an even number of peers"
@@ -41,6 +57,7 @@ pub fn build_supply_chain(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
         schema::all_tables(),
         NetworkConfig {
             range_index_columns: range_cols,
+            result_cache,
             ..NetworkConfig::default()
         },
     );
@@ -197,6 +214,110 @@ fn queries_for(qps: f64) -> usize {
     ((qps * 10.0) as usize).clamp(200, 4_000)
 }
 
+/// Outcome of one repeated-template workload run (the cache benchmark
+/// runs the same seeded sequence with the result cache on and off and
+/// compares these).
+#[derive(Debug, Clone, Default)]
+pub struct RepeatedRun {
+    /// Per-query simulated latency in seconds, in submission order.
+    pub latencies_secs: Vec<f64>,
+    /// Per-query result digests, in submission order — byte-identical
+    /// results produce equal digests, so two runs of the same sequence
+    /// can be diffed without keeping every row around.
+    pub digests: Vec<u64>,
+    /// Result-cache hits summed over all queries.
+    pub cache_hits: u64,
+    /// Result-cache misses summed over all queries.
+    pub cache_misses: u64,
+    /// Queries answered at least partially from the result cache.
+    pub warm_queries: u64,
+}
+
+impl RepeatedRun {
+    /// Mean simulated latency across the run, seconds.
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.latencies_secs.is_empty() {
+            return 0.0;
+        }
+        self.latencies_secs.iter().sum::<f64>() / self.latencies_secs.len() as f64
+    }
+}
+
+/// A deterministic digest of a result set (column names + all rows).
+fn result_digest(rs: &bestpeer_sql::exec::ResultSet) -> u64 {
+    stable_hash(&Value::str(format!("{:?}\u{1}{:?}", rs.columns, rs.rows)))
+}
+
+/// Draw a 0-based rank from the Zipfian CDF.
+fn zipf_sample(rng: &mut Rng, cdf: &[f64]) -> usize {
+    let u = rng.random_unit();
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
+}
+
+/// The repeated-query workload of the cache benchmark: `queries`
+/// arrivals whose templates are drawn Zipf(`theta`)-distributed from the
+/// cross-side `(submitter, nation)` template pool, so a small set of hot
+/// templates dominates — the regime §5.2's caching targets. Equal seeds
+/// produce equal template sequences regardless of cache configuration,
+/// which is what makes warm-versus-cold result diffing meaningful.
+pub fn run_repeated_templates(
+    net: &mut BestPeerNetwork,
+    kind: WorkloadKind,
+    bench: &BenchConfig,
+    queries: usize,
+    theta: f64,
+    seed: u64,
+) -> RepeatedRun {
+    let ids = net.peer_ids();
+    let nations = ids.len() / 2;
+    let submitters: Vec<_> = match kind {
+        WorkloadKind::Supplier => ids[nations..].to_vec(),
+        WorkloadKind::Retailer => ids[..nations].to_vec(),
+    };
+    let mut pool = Vec::new();
+    for &submitter in &submitters {
+        for nation in 0..nations as i64 {
+            let sql = match kind {
+                WorkloadKind::Supplier => queries::supplier_query(nation),
+                WorkloadKind::Retailer => queries::retailer_query(nation),
+            };
+            pool.push((submitter, sql));
+        }
+    }
+    assert!(!pool.is_empty(), "need at least one template");
+    let weights: Vec<f64> = (0..pool.len())
+        .map(|r| 1.0 / ((r + 1) as f64).powf(theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    let cdf: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect();
+
+    let sim = Cluster::new(resource_config(bench));
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut run = RepeatedRun::default();
+    for _ in 0..queries {
+        let (submitter, sql) = &pool[zipf_sample(&mut rng, &cdf)];
+        let out = net
+            .submit_query(*submitter, sql, "R", EngineChoice::Basic, 0)
+            .expect("repeated-template query");
+        run.latencies_secs
+            .push(sim.single_query_latency(&out.trace).as_secs_f64());
+        run.digests.push(result_digest(&out.result));
+        run.cache_hits += out.report.cache_hits;
+        run.cache_misses += out.report.cache_misses;
+        if out.report.is_warm() {
+            run.warm_queries += 1;
+        }
+    }
+    run
+}
+
 /// Find the saturated throughput by doubling the offered rate until the
 /// achieved rate stops keeping up, then refining once.
 pub fn saturated_qps(cfg: bestpeer_simnet::ResourceConfig, traces: &[Trace]) -> f64 {
@@ -263,6 +384,25 @@ mod tests {
         assert!(
             pts[0].supplier_qps > pts[0].retailer_qps,
             "light supplier queries must sustain more q/s: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_templates_hit_the_cache_without_diverging() {
+        let run_with = |cache: bool| {
+            let mut net = build_supply_chain_cached(4, &tiny(), cache);
+            run_repeated_templates(&mut net, WorkloadKind::Supplier, &tiny(), 40, 1.2, 99)
+        };
+        let cold = run_with(false);
+        let warm = run_with(true);
+        assert_eq!(cold.digests, warm.digests, "results must be identical");
+        assert_eq!(cold.cache_hits, 0);
+        assert!(warm.cache_hits > 0, "repeated templates must hit: {warm:?}");
+        assert!(
+            warm.mean_latency_secs() < cold.mean_latency_secs(),
+            "warm {} vs cold {}",
+            warm.mean_latency_secs(),
+            cold.mean_latency_secs()
         );
     }
 

@@ -98,6 +98,11 @@ pub struct LevelSpec {
     pub partitions: f64,
     /// `g(i)` — the selectivity of the level.
     pub selectivity: f64,
+    /// Fraction of this level's base read expected to be answered from
+    /// the submitter's result cache (`0.0` = fully cold, `1.0` = fully
+    /// warm). The latency estimators discount the `S(T_i)` scan term by
+    /// `1 − warm`, so the adaptive planner sees cheaper warm plans.
+    pub warm: f64,
 }
 
 /// The processing graph of a query (Definition 3): `L = x + f(y)` levels
@@ -175,7 +180,9 @@ pub fn latency_parallel_p2p(p: &CostParams, g: &ProcessingGraph) -> f64 {
     let mut lat = 0.0;
     for (level, s_i) in g.levels.iter().zip(&s) {
         let t = level.partitions.max(1.0);
-        lat += (prev + level.size / t + s_i) / p.mu + s_i / p.net_mu;
+        // Cached base reads skip the storage scan (`warm` of them).
+        let scan = (1.0 - level.warm.clamp(0.0, 1.0)) * level.size / t;
+        lat += (prev + scan + s_i) / p.mu + s_i / p.net_mu;
         prev = *s_i;
     }
     lat * p.p2p_scale
@@ -195,7 +202,9 @@ pub fn latency_mapreduce(p: &CostParams, g: &ProcessingGraph) -> f64 {
     let mut lat = g.depth() as f64 * startup_secs;
     for (level, s_i) in g.levels.iter().zip(&s) {
         let t = level.partitions.max(1.0);
-        lat += (prev / t + level.size / t + 2.0 * s_i / t) / p.mu + (3.0 * s_i / t) / p.net_mu;
+        // Warm map inputs read from the submitter's cache, not storage.
+        let scan = (1.0 - level.warm.clamp(0.0, 1.0)) * level.size / t;
+        lat += (prev / t + scan + 2.0 * s_i / t) / p.mu + (3.0 * s_i / t) / p.net_mu;
         prev = *s_i;
     }
     lat * p.mr_scale
@@ -237,6 +246,7 @@ mod tests {
             size,
             partitions,
             selectivity,
+            warm: 0.0,
         }
     }
 
@@ -400,6 +410,7 @@ mod tests {
                     size: 1.0,
                     partitions: 4.0,
                     selectivity: 0.1,
+                    warm: 0.0,
                 },
             ],
             driving_bytes: 1e6,
@@ -408,5 +419,25 @@ mod tests {
         assert_eq!(sizes[1], sizes[0] * 0.1);
         assert!(cost_parallel_p2p(&p, &g) > 0.0);
         assert!(latency_parallel_p2p(&p, &g) > 0.0);
+    }
+
+    #[test]
+    fn warm_levels_cost_less_in_both_latency_models() {
+        let p = CostParams::default();
+        let cold = ProcessingGraph {
+            levels: vec![join_level(1e8, 4.0, 0.01)],
+            driving_bytes: 1e6,
+        };
+        let mut warm = cold.clone();
+        warm.levels[0].warm = 0.75;
+        assert!(latency_parallel_p2p(&p, &warm) < latency_parallel_p2p(&p, &cold));
+        assert!(latency_mapreduce(&p, &warm) < latency_mapreduce(&p, &cold));
+        // Fully warm removes the scan term entirely; the shuffle and
+        // intermediate terms are unchanged (warm hits still produce the
+        // same output bytes).
+        let mut hot = cold.clone();
+        hot.levels[0].warm = 1.0;
+        assert!(latency_parallel_p2p(&p, &hot) < latency_parallel_p2p(&p, &warm));
+        assert_eq!(hot.intermediate_sizes(), cold.intermediate_sizes());
     }
 }

@@ -135,6 +135,7 @@ pub fn build_processing_graph(
             size: t_bytes,
             partitions: stats.partitions(&part.table),
             selectivity: g,
+            warm: 0.0,
         });
         prev_s = out_bytes;
         inter_rows = out_rows;
@@ -154,6 +155,7 @@ pub fn build_processing_graph(
             // planner's default reduction when no histogram applies.
             partitions,
             selectivity: 0.1,
+            warm: 0.0,
         });
     }
     Ok(ProcessingGraph {
@@ -170,7 +172,23 @@ pub fn execute(
     stats: &GlobalStats,
     params: &CostParams,
 ) -> Result<(EngineOutput, AdaptiveReport)> {
-    let graph = build_processing_graph(stmt, stats, &ctx.from_schemas(stmt)?)?;
+    let mut graph = build_processing_graph(stmt, stats, &ctx.from_schemas(stmt)?)?;
+    // Cache-aware costing: the fraction of a base table already resident
+    // in the submitter's result cache is read from memory, not scanned.
+    {
+        let cache = ctx.rescache.borrow();
+        if cache.enabled() {
+            for level in &mut graph.levels {
+                if level.op == LevelOp::Join && !level.table.is_empty() {
+                    let total = stats.bytes(&level.table);
+                    if total > 0.0 {
+                        level.warm =
+                            (cache.table_bytes(&level.table) as f64 / total).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+    }
     let decision = cost::decide(params, &graph);
     let (output, ran) = if decision.choose_p2p {
         (

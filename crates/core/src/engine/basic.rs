@@ -47,16 +47,18 @@ pub fn execute(
         let all: HashSet<PeerId> = located.values().flatten().copied().collect();
         if all.len() == 1 {
             let owner = *all.iter().next().expect("non-empty");
-            let (rs, stats) = ctx.serve(owner, stmt)?;
+            let (rs, stats, warm) = ctx.serve_cached(owner, stmt)?;
             let out_bytes = codec::batch_encoded_size(&rs.rows);
-            trace.push(
-                Phase::new("single-peer-exec").task(
-                    Task::on(owner)
-                        .disk(stats.bytes_scanned)
-                        .cpu(stats.bytes_scanned + out_bytes)
-                        .send(submitter, out_bytes),
-                ),
-            );
+            // A warm hit replays the result from the submitter's cache:
+            // no owner disk scan, no tuple shipping — just local CPU.
+            trace.push(Phase::new("single-peer-exec").task(if warm {
+                Task::on(submitter).cpu(out_bytes)
+            } else {
+                Task::on(owner)
+                    .disk(stats.bytes_scanned)
+                    .cpu(stats.bytes_scanned + out_bytes)
+                    .send(submitter, out_bytes)
+            }));
             return Ok((rs, trace));
         }
     }
@@ -71,15 +73,17 @@ pub fn execute(
         let mut partial_cols = Vec::new();
         let mut total_bytes = 0u64;
         for owner in owners {
-            let (rs, stats) = ctx.serve(owner, &dist.partial)?;
+            let (rs, stats, warm) = ctx.serve_cached(owner, &dist.partial)?;
             let out_bytes = codec::batch_encoded_size(&rs.rows);
             total_bytes += out_bytes;
-            fetch.push(
+            fetch.push(if warm {
+                Task::on(submitter).cpu(out_bytes)
+            } else {
                 Task::on(owner)
                     .disk(stats.bytes_scanned)
                     .cpu(stats.bytes_scanned + out_bytes)
-                    .send(submitter, out_bytes),
-            );
+                    .send(submitter, out_bytes)
+            });
             partial_cols = rs.columns;
             partial_rows.extend(rs.rows);
         }
@@ -146,7 +150,10 @@ pub fn execute(
         let mut fetch = Phase::new(format!("fetch:{}", part.table));
         let mut memtable = MemTable::new(part.table.clone(), ctx.config.memtable_budget);
         for owner in owners {
-            let (mut rs, stats) = ctx.serve(owner, &part.subquery)?;
+            // The cache stores the owner's pre-bloom result; the bloom
+            // prune below runs at the submitter either way, so warm and
+            // cold fetches stage byte-identical rows.
+            let (mut rs, stats, warm) = ctx.serve_cached(owner, &part.subquery)?;
             if let Some((filter, key_pos)) = &bloom {
                 rs.rows.retain(|row| {
                     let v = row.get(*key_pos);
@@ -155,12 +162,14 @@ pub fn execute(
             }
             let out_bytes = codec::batch_encoded_size(&rs.rows);
             fetched_bytes += out_bytes;
-            fetch.push(
+            fetch.push(if warm {
+                Task::on(submitter).cpu(out_bytes)
+            } else {
                 Task::on(owner)
                     .disk(stats.bytes_scanned)
                     .cpu(stats.bytes_scanned + out_bytes)
-                    .send(submitter, out_bytes),
-            );
+                    .send(submitter, out_bytes)
+            });
             for row in rs.rows {
                 memtable.push(&mut temp, row)?;
             }

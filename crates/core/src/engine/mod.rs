@@ -20,7 +20,7 @@ pub mod mr;
 pub mod online;
 pub mod parallel;
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 use bestpeer_common::{Error, PeerId, Result, TableSchema};
@@ -33,6 +33,7 @@ use crate::fault::FaultState;
 use crate::indexer::{IndexOverlay, PeerLocator};
 use crate::network::NetworkConfig;
 use crate::peer::NormalPeer;
+use crate::rescache::ResultCache;
 
 /// Everything an engine needs to process one query.
 pub struct EngineCtx<'a> {
@@ -58,6 +59,10 @@ pub struct EngineCtx<'a> {
     /// `Cell` because [`EngineCtx::serve`] takes `&self`. The network
     /// folds these into the telemetry registry after the engine runs.
     pub exec: Cell<ExecStats>,
+    /// The submitting peer's remote-fetch result cache (level 2 of the
+    /// caching subsystem; consulted by [`EngineCtx::serve_cached`]). A
+    /// `RefCell` because serving takes `&self`.
+    pub rescache: &'a RefCell<ResultCache>,
 }
 
 impl EngineCtx<'_> {
@@ -85,6 +90,64 @@ impl EngineCtx<'_> {
             .serve_subquery(stmt, self.role, self.query_ts)?;
         self.note_exec(&stats);
         Ok((rs, stats))
+    }
+
+    /// Run a subquery like [`EngineCtx::serve`], but consult the
+    /// submitter's result cache first: a repeated pushed-down subquery
+    /// against an unchanged owner is
+    /// answered from memory instead of re-fetched. The third return
+    /// value is `true` on a warm hit; the caller charges the hit where
+    /// the cached result is consumed — the basic engine replays the
+    /// fetch at the submitter (no owner disk, no tuple shipping), while
+    /// the parallel and MapReduce engines memoize the owner's partition
+    /// scan in place (no disk or scan CPU; placement, shuffle, and the
+    /// level's parallel structure stay exactly as cold, so a hit can
+    /// only shorten queue timelines).
+    ///
+    /// Correctness is preserved exactly: a hit still runs the full
+    /// fault preamble (clock tick, crash check, slow-link charge) and
+    /// the owner's snapshot check, so crashes, retries, and
+    /// stale-snapshot rejections land identically to a cold run — only
+    /// the data movement differs. Entries are validated against the
+    /// owner's current `load_timestamp` and dropped on mismatch.
+    pub fn serve_cached(
+        &self,
+        owner: PeerId,
+        stmt: &SelectStmt,
+    ) -> Result<(ResultSet, ExecStats, bool)> {
+        if !self.rescache.borrow().enabled() {
+            let (rs, stats) = self.serve(owner, stmt)?;
+            return Ok((rs, stats, false));
+        }
+        // The fault preamble of `serve`, verbatim — the cache must not
+        // mask a crash scheduled for this operation.
+        self.faults.tick();
+        if self.faults.is_down(owner) {
+            return Err(Error::Unavailable(format!(
+                "data peer {owner} is down (crashed mid-query)"
+            )));
+        }
+        self.faults.note_serve(owner);
+        let peer = self.peer(owner)?;
+        let load_ts = peer.db.load_timestamp();
+        // The owner's own snapshot check (Definition 2), applied before
+        // the cache so a hit cannot outrun the loader.
+        if load_ts < self.query_ts {
+            return Err(Error::StaleSnapshot(format!(
+                "peer {owner} data timestamp {load_ts} is older than query timestamp {}",
+                self.query_ts
+            )));
+        }
+        let fp = ResultCache::fingerprint(stmt, &self.role.name);
+        if let Some(rs) = self.rescache.borrow_mut().get(owner, fp, load_ts) {
+            return Ok((rs, ExecStats::default(), true));
+        }
+        let (rs, stats) = peer.serve_subquery(stmt, self.role, self.query_ts)?;
+        self.note_exec(&stats);
+        self.rescache
+            .borrow_mut()
+            .insert(owner, fp, stmt.from.clone(), rs.clone(), load_ts);
+        Ok((rs, stats, false))
     }
 
     /// Fold one execution's stats into the query-wide counters.

@@ -13,6 +13,7 @@
 //! [`LocalSource`]: map tasks read from the normal peers through the
 //! access-controlled, snapshot-checked subquery interface.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use bestpeer_common::{PeerId, Result, TableSchema};
@@ -24,6 +25,7 @@ use bestpeer_sql::exec::ResultSet;
 use crate::access::Role;
 use crate::fault::FaultState;
 use crate::peer::NormalPeer;
+use crate::rescache::ResultCache;
 
 use super::{EngineCtx, EngineOutput};
 
@@ -37,6 +39,10 @@ struct PeerSource<'a> {
     role: &'a Role,
     query_ts: u64,
     faults: &'a FaultState,
+    /// The submitter's result cache: a map task whose pushed-down scan
+    /// is cached reads it from memory (zero input-scan bytes) instead
+    /// of re-running the owner-side subquery.
+    cache: &'a RefCell<ResultCache>,
 }
 
 impl LocalSource for PeerSource<'_> {
@@ -59,6 +65,26 @@ impl LocalSource for PeerSource<'_> {
         // A peer whose partition lacks the table contributes nothing.
         if !stmt.from.iter().all(|t| p.db.has_table(t)) {
             return Ok((ResultSet::default(), 0));
+        }
+        if self.cache.borrow().enabled() {
+            let load_ts = p.db.load_timestamp();
+            // The owner's snapshot check (Definition 2) applies to warm
+            // and cold map tasks alike.
+            if load_ts < self.query_ts {
+                return Err(bestpeer_common::Error::StaleSnapshot(format!(
+                    "peer {peer} data timestamp {load_ts} is older than query timestamp {}",
+                    self.query_ts
+                )));
+            }
+            let fp = ResultCache::fingerprint(stmt, &self.role.name);
+            if let Some(rs) = self.cache.borrow_mut().get(peer, fp, load_ts) {
+                return Ok((rs, 0));
+            }
+            let (rs, stats) = p.serve_subquery(stmt, self.role, self.query_ts)?;
+            self.cache
+                .borrow_mut()
+                .insert(peer, fp, stmt.from.clone(), rs.clone(), load_ts);
+            return Ok((rs, stats.bytes_scanned));
         }
         let (rs, stats) = p.serve_subquery(stmt, self.role, self.query_ts)?;
         Ok((rs, stats.bytes_scanned))
@@ -91,6 +117,7 @@ pub fn execute(
         role: ctx.role,
         query_ts: ctx.query_ts,
         faults: ctx.faults,
+        cache: ctx.rescache,
     };
     let (mut rs, trace) = run_stmt(stmt, &source, &engine, &mut hdfs)?;
     // Idempotent re-application: the ordering/truncation contract all

@@ -53,11 +53,22 @@ pub fn execute(
     let mut inter_binding: Binding = part0.binding.clone();
     let mut phase = Phase::new(format!("scan:{}", part0.table));
     for owner in owners0 {
-        let (rs, stats) = ctx.serve(owner, &part0.subquery)?;
+        let (rs, stats, warm) = ctx.serve_cached(owner, &part0.subquery)?;
         let out_bytes = codec::batch_encoded_size(&rs.rows);
-        let mut task = Task::on(owner)
-            .disk(stats.bytes_scanned)
-            .cpu(stats.bytes_scanned + out_bytes);
+        // In this engine the pushed-down partition scan is consumed at
+        // the owner itself (its output feeds the owner's broadcast), so
+        // a warm hit memoizes the scan *at the owner*: the disk read
+        // and scan CPU vanish, while placement, broadcast, and the
+        // parallel structure stay exactly as cold — a hit can only
+        // shorten every queue's timeline, never re-serialize the level
+        // through a single peer.
+        let mut task = if warm {
+            Task::on(owner).cpu(out_bytes)
+        } else {
+            Task::on(owner)
+                .disk(stats.bytes_scanned)
+                .cpu(stats.bytes_scanned + out_bytes)
+        };
         // Replicated to every node of the next level.
         for n in &next_nodes {
             task = task.send(*n, out_bytes);
@@ -83,7 +94,7 @@ pub fn execute(
         let mut phase = Phase::new(format!("join:{}", part.table));
         let mut next_rows = Vec::new();
         for owner in &owners {
-            let (rs, stats) = ctx.serve(*owner, &part.subquery)?;
+            let (rs, stats, warm) = ctx.serve_cached(*owner, &part.subquery)?;
             let joined = local_join(
                 &inter_rows,
                 &rs.rows,
@@ -92,9 +103,16 @@ pub fn execute(
                 &step.out_binding,
             )?;
             let out_bytes = codec::batch_encoded_size(&joined);
-            let mut task = Task::on(*owner)
-                .disk(stats.bytes_scanned)
-                .cpu(inter_bytes + stats.bytes_scanned + out_bytes);
+            // Warm: the owner's partition scan is memoized, so its join
+            // task probes the broadcast intermediate against the cached
+            // partition — no disk, no scan CPU, same placement.
+            let mut task = if warm {
+                Task::on(*owner).cpu(inter_bytes + out_bytes)
+            } else {
+                Task::on(*owner)
+                    .disk(stats.bytes_scanned)
+                    .cpu(inter_bytes + stats.bytes_scanned + out_bytes)
+            };
             if stmt.is_aggregate() && k + 1 == decomp.joins.len() {
                 // Last join feeds the GROUP BY level hash-partitioned:
                 // each node receives ~1/n of the output, not a replica.

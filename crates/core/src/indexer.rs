@@ -269,9 +269,21 @@ impl PeerLocator {
         self.stats
     }
 
-    /// Drop all cached entries (membership/index-change notification).
+    /// Drop all cached entries — the fallback notification for
+    /// crash/recovery and lossy-insert windows, where the set of
+    /// changed keys is unknown.
     pub fn invalidate(&mut self) {
         self.cache.clear();
+    }
+
+    /// Drop only the cache lines under `keys` (fine-grained
+    /// invalidation: `publish_indices` knows exactly which BATON keys
+    /// its delta touched, so an unrelated peer's refresh no longer
+    /// evicts the whole cache).
+    pub fn invalidate_keys(&mut self, keys: &[Key]) {
+        for k in keys {
+            self.cache.remove(k);
+        }
     }
 
     fn lookup(&mut self, overlay: &mut IndexOverlay, key: Key) -> Result<Vec<IndexEntry>> {

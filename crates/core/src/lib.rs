@@ -29,6 +29,10 @@
 //! - [`fault`] / [`retry`] — deterministic mid-query fault injection
 //!   (virtual-clock fault schedules) and the bounded-retry policy that
 //!   rides the query path over crashes, recoveries, and stale snapshots;
+//! - [`rescache`] — the byte-budgeted remote-fetch result cache each
+//!   processing peer keeps (level 2 of the caching subsystem; level 1
+//!   is the [`indexer`] entry cache), invalidated through the same
+//!   delta-index notifications;
 //! - [`network`] — the assembled corporate network and its client API.
 
 pub mod access;
@@ -43,6 +47,7 @@ pub mod indexer;
 pub mod loader;
 pub mod network;
 pub mod peer;
+pub mod rescache;
 pub mod retry;
 pub mod schema_mapping;
 

@@ -7,6 +7,7 @@
 //! which runs one of the four engines and returns both the real result
 //! and the cost trace for the simulator.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use bestpeer_baton::Key;
@@ -27,9 +28,10 @@ use crate::engine::adaptive::{self, GlobalStats};
 use crate::engine::{basic, mr, parallel, EngineCtx};
 use crate::fault::{FaultAction, FaultRecord, FaultState, ScheduledFault};
 use crate::histogram::Histogram;
-use crate::indexer::{self, IndexEntry, IndexOverlay, PeerLocator};
+use crate::indexer::{self, IndexEntry, IndexOverlay, LocatorStats, PeerLocator};
 use crate::loader::RefreshReport;
 use crate::peer::NormalPeer;
+use crate::rescache::{CacheStats, ResultCache};
 use crate::retry::RetryPolicy;
 use crate::schema_mapping::SchemaMapping;
 
@@ -66,6 +68,13 @@ pub struct NetworkConfig {
     /// Simulated testbed rates used to time traces when assembling
     /// per-query telemetry reports.
     pub resources: ResourceConfig,
+    /// Cache remote-fetch results at the processing peer (level 2 of
+    /// the caching subsystem; level 1 is `index_cache`). Repeated
+    /// pushed-down subqueries against unchanged owners are answered
+    /// from memory; invalidation rides the delta-index notifications.
+    pub result_cache: bool,
+    /// Byte budget of each peer's result cache (LRU beyond it).
+    pub result_cache_budget: u64,
 }
 
 impl Default for NetworkConfig {
@@ -84,6 +93,8 @@ impl Default for NetworkConfig {
             ca_secret: 0xBE57_FEE8,
             retry: RetryPolicy::default(),
             resources: ResourceConfig::default(),
+            result_cache: true,
+            result_cache_budget: 32 * 1024 * 1024,
         }
     }
 }
@@ -154,6 +165,9 @@ pub struct BestPeerNetwork {
     /// may have made the remembered view diverge.
     published: BTreeMap<PeerId, Vec<(Key, IndexEntry)>>,
     locators: BTreeMap<PeerId, PeerLocator>,
+    /// Per-submitter remote-fetch result caches (level 2). `RefCell`
+    /// because engines consult them through a shared [`EngineCtx`].
+    rescaches: BTreeMap<PeerId, RefCell<ResultCache>>,
     stats: Option<GlobalStats>,
     faults: FaultState,
     /// How much of the fault log has been synchronised into the cloud /
@@ -177,6 +191,7 @@ impl BestPeerNetwork {
             overlay,
             published: BTreeMap::new(),
             locators: BTreeMap::new(),
+            rescaches: BTreeMap::new(),
             stats: None,
             faults: FaultState::new(),
             fault_sync_cursor: 0,
@@ -252,7 +267,10 @@ impl BestPeerNetwork {
         let id = peer.id;
         self.overlay.join(id)?;
         self.peers.insert(id, peer);
-        self.invalidate_caches();
+        // A join changes no index entries (the newcomer publishes on
+        // load), so cached lookups stay valid; only the global
+        // statistics must be regathered.
+        self.stats = None;
         Ok(id)
     }
 
@@ -267,20 +285,55 @@ impl BestPeerNetwork {
         // for tables that have since been emptied or dropped, which a
         // probe of the current database would miss — then probe-sweep
         // for anything published before tracking began.
+        let mut changed_keys: Vec<Key> = Vec::new();
         if let Some(prev) = self.published.remove(&id) {
+            changed_keys.extend(prev.iter().map(|(k, _)| *k));
             indexer::remove_entries(&mut self.overlay, id, &prev)?;
         }
+        let range_cols = self.config.range_index_columns.clone();
+        changed_keys.extend(
+            indexer::peer_entries(id, &peer.db, &range_cols)?
+                .iter()
+                .map(|(k, _)| *k),
+        );
         indexer::unpublish_peer(&mut self.overlay, id, &peer.db)?;
         self.overlay.leave(id)?;
         self.bootstrap.depart(id)?;
         self.locators.remove(&id);
-        self.invalidate_caches();
+        self.rescaches.remove(&id);
+        // Fine-grained notification: only lookups under the departed
+        // peer's index keys are stale, and only results fetched *from*
+        // it can no longer be trusted.
+        self.invalidate_changed(id, &changed_keys);
         Ok(())
     }
 
+    /// Full cache invalidation — the fallback for crash/recovery and
+    /// lossy-insert windows, where the set of changed index keys is
+    /// unknown. Routine refreshes and membership changes use
+    /// [`BestPeerNetwork::invalidate_changed`] instead.
     fn invalidate_caches(&mut self) {
         for l in self.locators.values_mut() {
             l.invalidate();
+        }
+        for c in self.rescaches.values_mut() {
+            c.get_mut().purge_all();
+        }
+        self.stats = None;
+    }
+
+    /// Fine-grained notification after `peer`'s entries changed under
+    /// `keys`: every submitter drops exactly those index-cache lines,
+    /// plus any cached results fetched from `peer` (a data change can
+    /// leave the index delta empty — e.g. inserts within the published
+    /// min–max — so result invalidation keys on the peer, not the
+    /// delta).
+    fn invalidate_changed(&mut self, peer: PeerId, keys: &[Key]) {
+        for l in self.locators.values_mut() {
+            l.invalidate_keys(keys);
+        }
+        for c in self.rescaches.values_mut() {
+            c.get_mut().invalidate_peer(peer);
         }
         self.stats = None;
     }
@@ -328,9 +381,20 @@ impl BestPeerNetwork {
         let target = indexer::peer_entries(id, &db, &range_cols)?;
         let dropped_before = self.overlay.stats().dropped_inserts;
         let lossy = self.overlay.pending_insert_drops() > 0;
+        // `Some(keys)` = delta publish touching exactly those BATON
+        // keys (fine-grained invalidation); `None` = full sweep (full
+        // invalidation fallback).
+        let mut delta_keys: Option<Vec<Key>> = None;
         let hops = match self.published.get(&id) {
             Some(prev) if !lossy => {
                 let (to_remove, to_insert) = diff_entries(prev, &target);
+                let mut keys: Vec<Key> = to_remove
+                    .iter()
+                    .chain(to_insert.iter())
+                    .map(|(k, _)| *k)
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
                 let mut hops = indexer::remove_entries(&mut self.overlay, id, &to_remove)?;
                 hops += indexer::publish_entries(&mut self.overlay, &to_insert)?;
                 self.metrics.inc("index.delta_publishes");
@@ -338,6 +402,7 @@ impl BestPeerNetwork {
                     .inc_by("index.delta_inserts", to_insert.len() as u64);
                 self.metrics
                     .inc_by("index.delta_removes", to_remove.len() as u64);
+                delta_keys = Some(keys);
                 hops
             }
             _ => {
@@ -353,10 +418,16 @@ impl BestPeerNetwork {
         };
         if self.overlay.stats().dropped_inserts > dropped_before {
             self.published.remove(&id);
+            // Some of this publish's inserts were eaten by the fault:
+            // the caches' view may be arbitrarily stale — fall back.
+            delta_keys = None;
         } else {
             self.published.insert(id, target);
         }
-        self.invalidate_caches();
+        match delta_keys {
+            Some(keys) => self.invalidate_changed(id, &keys),
+            None => self.invalidate_caches(),
+        }
         Ok(hops)
     }
 
@@ -386,7 +457,14 @@ impl BestPeerNetwork {
     /// Define a standard role at the bootstrap peer.
     pub fn define_role(&mut self, role: Role) {
         self.bootstrap.define_role(role);
-        self.invalidate_caches();
+        // Roles don't touch index entries, so routing caches stay
+        // valid — but cached results were masked under the old
+        // definition (the cache key carries only the role *name*), so
+        // every result cache is purged.
+        for c in self.rescaches.values_mut() {
+            c.get_mut().purge_all();
+        }
+        self.stats = None;
     }
 
     /// Register a user (broadcast through the bootstrap peer) and assign
@@ -561,6 +639,12 @@ impl BestPeerNetwork {
             .locators
             .entry(submitter)
             .or_insert_with(|| PeerLocator::new(self.config.index_cache));
+        let rescache = self.rescaches.entry(submitter).or_insert_with(|| {
+            RefCell::new(ResultCache::new(
+                self.config.result_cache,
+                self.config.result_cache_budget,
+            ))
+        });
         let mut ctx = EngineCtx {
             peers: &self.peers,
             overlay: &mut self.overlay,
@@ -571,6 +655,7 @@ impl BestPeerNetwork {
             query_ts,
             faults: &self.faults,
             exec: std::cell::Cell::new(Default::default()),
+            rescache: &*rescache,
         };
         let out = match engine {
             EngineChoice::Basic => {
@@ -637,6 +722,7 @@ impl BestPeerNetwork {
             self.collect_statistics(&[])?;
         }
         let policy = self.config.retry.clone();
+        let (loc0, res0) = self.cache_counters(submitter);
         let mut pre = Trace::new(); // backoff/slowdown phases across attempts
         let mut attempts = 0u32;
         let mut down_retries = 0u32;
@@ -666,6 +752,22 @@ impl BestPeerNetwork {
                         predicted_mr_secs: d.mr_cost,
                         chose_p2p: d.choose_p2p,
                     });
+                    // Cache accounting across every attempt of this
+                    // query (counters are monotone, so end − start).
+                    let (loc1, res1) = self.cache_counters(submitter);
+                    report.index_cache_hits = loc1.cache_hits - loc0.cache_hits;
+                    report.index_cache_misses = loc1.cache_misses - loc0.cache_misses;
+                    report.cache_hits = res1.hits - res0.hits;
+                    report.cache_misses = res1.misses - res0.misses;
+                    self.metrics
+                        .inc_by("cache.result.evictions", res1.evictions - res0.evictions);
+                    let resident: u64 = self
+                        .rescaches
+                        .values()
+                        .map(|c| c.borrow().stats().bytes)
+                        .sum();
+                    self.metrics
+                        .set_gauge("cache.result.bytes", resident as f64);
                     self.record_query_metrics(&report);
                     return Ok(QueryOutput {
                         result,
@@ -716,12 +818,38 @@ impl BestPeerNetwork {
         }
     }
 
+    /// The submitter's cache counters (level 1 locator + level 2 result
+    /// cache), zero if the submitter has no cache state yet.
+    fn cache_counters(&self, submitter: PeerId) -> (LocatorStats, CacheStats) {
+        let loc = self
+            .locators
+            .get(&submitter)
+            .map(|l| l.stats())
+            .unwrap_or_default();
+        let res = self
+            .rescaches
+            .get(&submitter)
+            .map(|c| c.borrow().stats())
+            .unwrap_or_default();
+        (loc, res)
+    }
+
     /// Fold one completed query's report into the registry: totals,
-    /// per-engine counts, retry/resubmit accounting, latency histogram,
-    /// and the adaptive planner's prediction accuracy.
+    /// per-engine counts, retry/resubmit accounting, cache accounting,
+    /// latency histogram, and the adaptive planner's prediction
+    /// accuracy.
     fn record_query_metrics(&mut self, report: &QueryReport) {
         let m = &mut self.metrics;
         m.inc("queries.total");
+        m.inc_by("cache.result.hits", report.cache_hits);
+        m.inc_by("cache.result.misses", report.cache_misses);
+        m.inc_by("cache.index.hits", report.index_cache_hits);
+        m.inc_by("cache.index.misses", report.index_cache_misses);
+        m.inc(if report.is_warm() {
+            "queries.warm"
+        } else {
+            "queries.cold"
+        });
         m.inc(&format!("engine.{}.queries", report.engine));
         m.inc_by(
             "queries.retries",
@@ -812,6 +940,15 @@ impl BestPeerNetwork {
             .locators
             .entry(submitter)
             .or_insert_with(|| PeerLocator::new(self.config.index_cache));
+        // The online engine streams progressive estimates and never
+        // consults the result cache, but the context carries it for
+        // uniformity.
+        let rescache = self.rescaches.entry(submitter).or_insert_with(|| {
+            RefCell::new(ResultCache::new(
+                self.config.result_cache,
+                self.config.result_cache_budget,
+            ))
+        });
         let mut ctx = EngineCtx {
             peers: &self.peers,
             overlay: &mut self.overlay,
@@ -822,6 +959,7 @@ impl BestPeerNetwork {
             query_ts,
             faults: &self.faults,
             exec: std::cell::Cell::new(Default::default()),
+            rescache: &*rescache,
         };
         let mut out = crate::engine::online::execute(&mut ctx, submitter, &stmt)?;
         let exec = ctx.exec.get();

@@ -1,0 +1,321 @@
+//! Query-path caching (PR 4 tentpole): warm/cold result parity, hit
+//! accounting through the telemetry report, and the fine-grained
+//! invalidation regression the PR fixes.
+//!
+//! Before per-(table, peer) invalidation, every `publish_indices` call
+//! ended in `invalidate_caches()`: refreshing *any* peer — even when
+//! the delta touched a single unrelated table — evicted every
+//! submitter's index-entry cache and the whole result cache, so the
+//! steady-state workload the paper warms up for (§6.2) never stayed
+//! warm. The network now derives the changed BATON keys from the delta
+//! entry sets and invalidates exactly those, keeping unrelated cached
+//! state resident.
+
+use bestpeer_common::{PeerId, Row, Value};
+use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer_core::Role;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::schema;
+
+const ENGINES: &[EngineChoice] = &[
+    EngineChoice::Basic,
+    EngineChoice::ParallelP2P,
+    EngineChoice::MapReduce,
+];
+
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(&str, Vec<&str>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &borrowed)
+}
+
+fn setup_with(n: usize, rows: usize, result_cache: bool) -> BestPeerNetwork {
+    let mut net = BestPeerNetwork::new(
+        schema::all_tables(),
+        NetworkConfig {
+            result_cache,
+            ..NetworkConfig::default()
+        },
+    );
+    net.define_role(full_read_role());
+    for node in 0..n {
+        let id = net.join(&format!("business-{node}")).unwrap();
+        let data = DbGen::new(TpchConfig::tiny(node as u64).with_rows(rows)).generate();
+        net.load_peer(id, data, 1).unwrap();
+    }
+    net
+}
+
+fn setup(n: usize, rows: usize) -> BestPeerNetwork {
+    setup_with(n, rows, true)
+}
+
+/// Empty one table while keeping its schema (what a business truncation
+/// looks like to the refresh path).
+fn empty_table(net: &mut BestPeerNetwork, id: PeerId, table: &str) {
+    let db = &mut net.peer_mut(id).unwrap().db;
+    let schema = db.table(table).unwrap().schema().clone();
+    db.drop_table(table).unwrap();
+    db.create_table(schema).unwrap();
+}
+
+#[test]
+fn repeated_query_turns_warm_with_identical_rows() {
+    for &engine in ENGINES {
+        let mut net = setup(3, 400);
+        let submitter = net.peer_ids()[0];
+        let sql = "SELECT l_nationkey, SUM(l_quantity) AS q FROM lineitem \
+                   GROUP BY l_nationkey ORDER BY l_nationkey";
+        let cold = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+        assert_eq!(cold.report.cache_hits, 0, "{engine:?} first run is cold");
+        assert!(!cold.report.is_warm());
+
+        let warm = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+        assert!(
+            warm.report.cache_hits > 0,
+            "{engine:?} repeat must hit the result cache: {:?}",
+            warm.report
+        );
+        assert!(warm.report.is_warm());
+        assert_eq!(
+            warm.result.rows, cold.result.rows,
+            "{engine:?} warm rows must be byte-identical to cold"
+        );
+        assert!(
+            warm.trace.disk_bytes() < cold.trace.disk_bytes(),
+            "{engine:?} warm run must skip owner-side scans"
+        );
+    }
+}
+
+#[test]
+fn cache_disabled_network_never_reports_warm_queries() {
+    let mut net = setup_with(3, 400, false);
+    let submitter = net.peer_ids()[0];
+    let sql = "SELECT COUNT(*) AS n FROM orders";
+    for _ in 0..3 {
+        let out = net
+            .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+            .unwrap();
+        assert_eq!(out.report.cache_hits, 0);
+        assert!(!out.report.is_warm());
+    }
+    assert_eq!(net.metrics().counter("queries.warm"), 0);
+    assert_eq!(net.metrics().counter("queries.cold"), 3);
+}
+
+#[test]
+fn unrelated_refresh_no_longer_evicts_other_caches() {
+    let mut net = setup(3, 400);
+    let submitter = net.peer_ids()[0];
+    let victim = net.peer_ids()[1];
+    let sql = "SELECT COUNT(*) AS n FROM orders";
+
+    // Warm both cache levels for the orders query.
+    let first = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    let warm = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    assert!(warm.report.index_cache_hits > 0, "{:?}", warm.report);
+    assert!(warm.report.cache_hits > 0);
+
+    // The victim truncates `supplier` — a table the query never reads —
+    // and the periodic refresh republishes its delta.
+    empty_table(&mut net, victim, "supplier");
+    net.publish_indices(victim).unwrap();
+
+    // Regression: the refresh's changed keys are all supplier entries,
+    // so the submitter's cached orders index entries must survive (the
+    // old global invalidation made this query re-route from scratch).
+    let after = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    assert_eq!(
+        after.report.index_cache_misses, 0,
+        "unrelated refresh must not evict the orders index cache: {:?}",
+        after.report
+    );
+    assert!(after.report.index_cache_hits > 0);
+    // Result-cache invalidation is per data peer (conservative: a data
+    // change can alter results without an index delta), so the entries
+    // fetched from the two untouched owners stay warm.
+    assert!(
+        after.report.cache_hits > 0,
+        "untouched owners' results must stay cached: {:?}",
+        after.report
+    );
+    assert_eq!(after.result.rows, first.result.rows, "orders are unchanged");
+}
+
+#[test]
+fn refresh_of_a_read_table_invalidates_that_peers_results() {
+    let mut net = setup(3, 400);
+    let submitter = net.peer_ids()[0];
+    let victim = net.peer_ids()[1];
+    let sql = "SELECT COUNT(*) AS n FROM orders";
+
+    let cold = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    net.submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+
+    // The victim's orders disappear; after its refresh the cached count
+    // must drop by exactly the victim's contribution — a stale cache
+    // would keep returning the old total.
+    let victim_orders = net.peer(victim).unwrap().db.table("orders").unwrap().len() as i64;
+    assert!(victim_orders > 0);
+    empty_table(&mut net, victim, "orders");
+    net.publish_indices(victim).unwrap();
+
+    let after = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    let Value::Int(before_n) = cold.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    let Value::Int(after_n) = after.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    assert_eq!(
+        *after_n,
+        before_n - victim_orders,
+        "cached results must reflect the refreshed data"
+    );
+}
+
+/// Deterministic splitmix-style generator (no `rand` dependency).
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    }
+}
+
+#[test]
+fn randomized_mutating_workload_is_warm_cold_identical() {
+    // Property sweep: the same seeded sequence of queries, bulk inserts,
+    // and table truncations — across all three engines — must produce
+    // byte-identical per-query rows with the result cache on and off.
+    // Every mutation is followed by the owner's index refresh, which is
+    // the maintenance contract the invalidation protocol rides on.
+    const QUERIES: &[&str] = &[
+        "SELECT COUNT(*) AS n FROM orders",
+        "SELECT l_nationkey, SUM(l_quantity) AS q FROM lineitem \
+         GROUP BY l_nationkey ORDER BY l_nationkey",
+        "SELECT o_orderdate, l_quantity FROM orders, lineitem \
+         WHERE o_orderkey = l_orderkey AND o_orderdate > DATE '1998-06-01' \
+         ORDER BY o_orderdate, l_orderkey, l_linenumber LIMIT 20",
+        "SELECT COUNT(*) AS n FROM supplier",
+    ];
+    const MUTABLE_TABLES: &[&str] = &["orders", "supplier"];
+
+    let mut warm_net = setup_with(3, 300, true);
+    let mut cold_net = setup_with(3, 300, false);
+    let mut next = lcg(0xCACE_5EED);
+    let mut warm_hits = 0;
+    for step in 0..40u32 {
+        let r = next();
+        if step > 0 && r.is_multiple_of(5) {
+            // Mutation step, applied identically to both networks.
+            let which = (next() % 3) as usize;
+            let table = MUTABLE_TABLES[(next() % MUTABLE_TABLES.len() as u64) as usize];
+            if next().is_multiple_of(2) {
+                let extra =
+                    DbGen::new(TpchConfig::tiny(1000 + u64::from(step)).with_rows(120)).generate();
+                let rows: Vec<Row> = extra[table].iter().take(30).cloned().collect();
+                for net in [&mut warm_net, &mut cold_net] {
+                    let id = net.peer_ids()[which];
+                    net.peer_mut(id)
+                        .unwrap()
+                        .db
+                        .bulk_insert(table, rows.clone())
+                        .unwrap();
+                    net.publish_indices(id).unwrap();
+                }
+            } else {
+                for net in [&mut warm_net, &mut cold_net] {
+                    let id = net.peer_ids()[which];
+                    empty_table(net, id, table);
+                    net.publish_indices(id).unwrap();
+                }
+            }
+            continue;
+        }
+        let sql = QUERIES[(r % QUERIES.len() as u64) as usize];
+        let engine = ENGINES[(next() % ENGINES.len() as u64) as usize];
+        let warm_sub = warm_net.peer_ids()[0];
+        let cold_sub = cold_net.peer_ids()[0];
+        let w = warm_net
+            .submit_query(warm_sub, sql, "R", engine, 0)
+            .unwrap();
+        let c = cold_net
+            .submit_query(cold_sub, sql, "R", engine, 0)
+            .unwrap();
+        assert_eq!(
+            w.result.rows, c.result.rows,
+            "step {step}: {engine:?} diverged on {sql}"
+        );
+        assert_eq!(c.report.cache_hits, 0, "cache-off network must stay cold");
+        warm_hits += w.report.cache_hits;
+    }
+    assert!(
+        warm_hits > 0,
+        "the sweep must actually exercise warm paths to mean anything"
+    );
+}
+
+#[test]
+fn leave_and_rejoin_keep_cached_state_correct() {
+    let mut net = setup(3, 300);
+    let submitter = net.peer_ids()[0];
+    let leaver = net.peer_ids()[2];
+    let sql = "SELECT COUNT(*) AS n FROM lineitem";
+
+    let cold = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    net.submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+
+    let leaver_rows = net
+        .peer(leaver)
+        .unwrap()
+        .db
+        .table("lineitem")
+        .unwrap()
+        .len() as i64;
+    net.leave(leaver).unwrap();
+
+    let after = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    let Value::Int(before_n) = cold.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    let Value::Int(after_n) = after.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    assert_eq!(
+        *after_n,
+        before_n - leaver_rows,
+        "the departed peer's cached partials must not leak into results"
+    );
+}

@@ -81,6 +81,14 @@ pub struct QueryReport {
     /// The byte multiplier the cluster applied when simulating (so
     /// measured rates are expressed at the paper's data scale).
     pub byte_scale: f64,
+    /// Result-cache (level 2) hits across this query's remote fetches.
+    pub cache_hits: u64,
+    /// Result-cache misses (real fetches) across this query.
+    pub cache_misses: u64,
+    /// Index-entry cache (level 1, §5.2) hits during peer location.
+    pub index_cache_hits: u64,
+    /// Index-entry cache misses (BATON searches) during peer location.
+    pub index_cache_misses: u64,
 }
 
 impl Default for QueryReport {
@@ -98,6 +106,10 @@ impl Default for QueryReport {
             degraded_peers: 0,
             selection: None,
             byte_scale: 1.0,
+            cache_hits: 0,
+            cache_misses: 0,
+            index_cache_hits: 0,
+            index_cache_misses: 0,
         }
     }
 }
@@ -141,7 +153,17 @@ impl QueryReport {
             degraded_peers: 0,
             selection: None,
             byte_scale: cluster.config().byte_scale,
+            cache_hits: 0,
+            cache_misses: 0,
+            index_cache_hits: 0,
+            index_cache_misses: 0,
         }
+    }
+
+    /// Warm/cold classification: a query is *warm* when at least one of
+    /// its remote fetches was answered from the result cache.
+    pub fn is_warm(&self) -> bool {
+        self.cache_hits > 0
     }
 
     /// Total network bytes across phases.
@@ -264,6 +286,11 @@ impl QueryReport {
             .set("disk_bytes", self.disk_bytes())
             .set("cpu_bytes", self.cpu_bytes())
             .set("byte_scale", self.byte_scale)
+            .set("cache_hits", self.cache_hits)
+            .set("cache_misses", self.cache_misses)
+            .set("index_cache_hits", self.index_cache_hits)
+            .set("index_cache_misses", self.index_cache_misses)
+            .set("warm", self.is_warm())
             .set("participants", participants)
             .set("phases", phases);
         if let Some(sel) = &self.selection {
@@ -354,8 +381,19 @@ impl QueryReport {
             degraded_peers: num("degraded_peers")? as u32,
             selection,
             byte_scale: num("byte_scale")?,
+            // Cache fields postdate the format; absent means cold (0).
+            cache_hits: opt_count(j, "cache_hits"),
+            cache_misses: opt_count(j, "cache_misses"),
+            index_cache_hits: opt_count(j, "index_cache_hits"),
+            index_cache_misses: opt_count(j, "index_cache_misses"),
         })
     }
+}
+
+/// An optional non-negative count field (0 when absent — older
+/// serializations predate the cache fields).
+fn opt_count(j: &Json, k: &str) -> u64 {
+    j.get(k).and_then(Json::as_u64).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -442,6 +480,10 @@ mod tests {
         rep.attempts = 3;
         rep.resubmits = 1;
         rep.degraded_peers = 2;
+        rep.cache_hits = 4;
+        rep.cache_misses = 2;
+        rep.index_cache_hits = 9;
+        rep.index_cache_misses = 3;
         rep.selection = Some(EngineSelection {
             predicted_p2p_secs: 1.5,
             predicted_mr_secs: 14.25,
@@ -457,5 +499,35 @@ mod tests {
         assert_eq!(back.phases, rep.phases);
         assert_eq!(back.participants, rep.participants);
         assert_eq!(back.total_latency, rep.total_latency);
+        assert_eq!(back.cache_hits, 4);
+        assert_eq!(back.cache_misses, 2);
+        assert_eq!(back.index_cache_hits, 9);
+        assert_eq!(back.index_cache_misses, 3);
+        assert!(back.is_warm());
+    }
+
+    #[test]
+    fn json_without_cache_fields_parses_as_cold() {
+        let tr = sample_trace();
+        let rep = QueryReport::from_trace("basic", &tr, &cluster());
+        let mut text = rep.to_json().render();
+        for k in [
+            "\"cache_hits\"",
+            "\"cache_misses\"",
+            "\"index_cache_hits\"",
+            "\"index_cache_misses\"",
+            "\"warm\"",
+        ] {
+            assert!(text.contains(k), "serialized report carries {k}");
+        }
+        // Simulate a pre-cache serialization by renaming the keys away.
+        text = text
+            .replace("cache_hits", "x_hits")
+            .replace("cache_misses", "x_misses")
+            .replace("\"warm\"", "\"x_warm\"");
+        let back = QueryReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.cache_hits, 0);
+        assert_eq!(back.index_cache_misses, 0);
+        assert!(!back.is_warm());
     }
 }

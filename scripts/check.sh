@@ -1,28 +1,61 @@
 #!/usr/bin/env bash
-# Repo-wide verification gate: build, full test suite, and lint.
-# CI runs exactly this script; run it locally before pushing.
+# Repo-wide verification gate. CI runs exactly these phases; run the
+# script locally before pushing.
+#
+#   scripts/check.sh         # everything (lint + test)
+#   scripts/check.sh lint    # fmt + clippy + rustdoc only
+#   scripts/check.sh test    # build + benches + tests + bench gate only
+#
+# The split mirrors the two CI jobs so a red job maps to one phase.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+phase="${1:-all}"
+case "$phase" in
+  all|lint|test) ;;
+  *) echo "usage: $0 [lint|test]" >&2; exit 2 ;;
+esac
 
-echo "==> cargo build --release"
-cargo build --release
+run_lint() {
+  echo "==> cargo fmt --all --check"
+  cargo fmt --all --check
 
-echo "==> exec micro-bench (writes BENCH_exec.json; asserts 2x rows/sec, 5x fewer refresh hops)"
-cargo run --release -q -p bestpeer-bench --bin exec_bench
+  echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q (root package: integration tests + examples)"
-cargo test -q
+  echo "==> cargo doc --workspace --no-deps (rustdoc warnings denied)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
 
-echo "==> cargo test -q --workspace (every crate)"
-cargo test -q --workspace
+run_test() {
+  echo "==> cargo build --release"
+  cargo build --release
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+  echo "==> exec micro-bench (writes BENCH_exec.json; asserts 2x rows/sec, 5x fewer refresh hops)"
+  cargo run --release -q -p bestpeer-bench --bin exec_bench
 
-echo "==> cargo doc --workspace --no-deps (rustdoc warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+  echo "==> cache bench (writes BENCH_cache.json; asserts byte-identical results, >=30% latency cut)"
+  cargo run --release -q -p bestpeer-bench --bin cache_bench
 
-echo "==> all checks passed"
+  echo "==> bench-regression gate (fresh BENCH_*.json vs baselines/, fail on >30% regression)"
+  ./scripts/bench_compare.sh
+
+  echo "==> figures smoke run (writes figures_output.txt)"
+  cargo run --release -q -p bestpeer-bench --bin figures -- \
+    --all --sizes 4,8 --rows 1200 --steps 3 | tee figures_output.txt
+
+  echo "==> cargo test -q (root package: integration tests + examples)"
+  cargo test -q
+
+  echo "==> cargo test -q --workspace (every crate)"
+  cargo test -q --workspace
+}
+
+if [ "$phase" = "lint" ] || [ "$phase" = "all" ]; then
+  run_lint
+fi
+if [ "$phase" = "test" ] || [ "$phase" = "all" ]; then
+  run_test
+fi
+
+echo "==> all checks passed ($phase)"
