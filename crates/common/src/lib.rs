@@ -18,6 +18,7 @@ pub mod codec;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod pool;
 pub mod rng;
 pub mod row;
 pub mod schema;

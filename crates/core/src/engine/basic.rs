@@ -72,8 +72,11 @@ pub fn execute(
         let mut partial_rows = Vec::new();
         let mut partial_cols = Vec::new();
         let mut total_bytes = 0u64;
-        for owner in owners {
-            let (rs, stats, warm) = ctx.serve_cached(owner, &dist.partial)?;
+        // One batched serve: preamble and merge stay in owner order, so
+        // the trace is identical to the old per-owner loop; only the
+        // cache-miss executions run concurrently.
+        let served = ctx.serve_cached_batch(&owners, &dist.partial)?;
+        for (&owner, (rs, stats, warm)) in owners.iter().zip(served) {
             let out_bytes = codec::batch_encoded_size(&rs.rows);
             total_bytes += out_bytes;
             fetch.push(if warm {
@@ -149,11 +152,11 @@ pub fn execute(
 
         let mut fetch = Phase::new(format!("fetch:{}", part.table));
         let mut memtable = MemTable::new(part.table.clone(), ctx.config.memtable_budget);
-        for owner in owners {
+        let served = ctx.serve_cached_batch(&owners, &part.subquery)?;
+        for (&owner, (mut rs, stats, warm)) in owners.iter().zip(served) {
             // The cache stores the owner's pre-bloom result; the bloom
             // prune below runs at the submitter either way, so warm and
             // cold fetches stage byte-identical rows.
-            let (mut rs, stats, warm) = ctx.serve_cached(owner, &part.subquery)?;
             if let Some((filter, key_pos)) = &bloom {
                 rs.rows.retain(|row| {
                     let v = row.get(*key_pos);

@@ -150,6 +150,136 @@ impl EngineCtx<'_> {
         Ok((rs, stats, false))
     }
 
+    /// Serve the same pushed-down statement at several owners, fanning
+    /// the pure execution work out to pool workers while preserving the
+    /// one-at-a-time semantics of [`EngineCtx::serve_cached`] exactly.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Preamble, sequential, in owner order** — fault-clock tick,
+    ///    crash check, slow-link charge, peer lookup, snapshot check,
+    ///    cache probe, and (on a miss) access control. The first failure
+    ///    stops the phase: owners after it never tick, exactly as if the
+    ///    loop had returned early.
+    /// 2. **Execution, parallel** — each cache miss runs
+    ///    [`NormalPeer::execute_subquery`] (pure `&self`) on a pool
+    ///    worker.
+    /// 3. **Merge, sequential, in owner order** — exec stats fold in,
+    ///    cache inserts land, and results come back in owner order; a
+    ///    preamble failure from phase 1 surfaces only after the earlier
+    ///    owners' misses have executed and been cached, matching the
+    ///    sequential path's cache state on error.
+    ///
+    /// Because phase 1 is order-identical to the sequential loop and
+    /// phase 3 merges in owner order, results, traces, fault landings,
+    /// and stats are byte-identical at any thread count.
+    pub fn serve_cached_batch(
+        &self,
+        owners: &[PeerId],
+        stmt: &SelectStmt,
+    ) -> Result<Vec<(ResultSet, ExecStats, bool)>> {
+        enum Prepared<'p> {
+            Hit(ResultSet),
+            /// A miss to execute; `cache_key` is `(fingerprint, load_ts)`
+            /// when the result should be admitted to the cache.
+            Miss {
+                peer: &'p NormalPeer,
+                cache_key: Option<(u64, u64)>,
+            },
+        }
+        let cached = self.rescache.borrow().enabled();
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(owners.len());
+        let mut preamble_err: Option<Error> = None;
+        for &owner in owners {
+            self.faults.tick();
+            if self.faults.is_down(owner) {
+                preamble_err = Some(Error::Unavailable(format!(
+                    "data peer {owner} is down (crashed mid-query)"
+                )));
+                break;
+            }
+            self.faults.note_serve(owner);
+            let peer = match self.peer(owner) {
+                Ok(p) => p,
+                Err(e) => {
+                    preamble_err = Some(e);
+                    break;
+                }
+            };
+            if !cached {
+                match peer.precheck_subquery(stmt, self.role, self.query_ts) {
+                    Ok(()) => prepared.push(Prepared::Miss {
+                        peer,
+                        cache_key: None,
+                    }),
+                    Err(e) => {
+                        preamble_err = Some(e);
+                        break;
+                    }
+                }
+                continue;
+            }
+            let load_ts = peer.db.load_timestamp();
+            if load_ts < self.query_ts {
+                preamble_err = Some(Error::StaleSnapshot(format!(
+                    "peer {owner} data timestamp {load_ts} is older than query timestamp {}",
+                    self.query_ts
+                )));
+                break;
+            }
+            let fp = ResultCache::fingerprint(stmt, &self.role.name);
+            if let Some(rs) = self.rescache.borrow_mut().get(owner, fp, load_ts) {
+                prepared.push(Prepared::Hit(rs));
+                continue;
+            }
+            match peer.precheck_subquery(stmt, self.role, self.query_ts) {
+                Ok(()) => prepared.push(Prepared::Miss {
+                    peer,
+                    cache_key: Some((fp, load_ts)),
+                }),
+                Err(e) => {
+                    preamble_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let misses: Vec<&NormalPeer> = prepared
+            .iter()
+            .filter_map(|p| match p {
+                Prepared::Miss { peer, .. } => Some(*peer),
+                Prepared::Hit(_) => None,
+            })
+            .collect();
+        let role = self.role;
+        let executed =
+            bestpeer_common::pool::run_tasks(&misses, |_, peer| peer.execute_subquery(stmt, role));
+        let mut out = Vec::with_capacity(prepared.len());
+        let mut executed = executed.into_iter();
+        for (p, &owner) in prepared.into_iter().zip(owners) {
+            match p {
+                Prepared::Hit(rs) => out.push((rs, ExecStats::default(), true)),
+                Prepared::Miss { cache_key, .. } => {
+                    let (rs, stats) = executed.next().expect("one result per miss")?;
+                    self.note_exec(&stats);
+                    if let Some((fp, load_ts)) = cache_key {
+                        self.rescache.borrow_mut().insert(
+                            owner,
+                            fp,
+                            stmt.from.clone(),
+                            rs.clone(),
+                            load_ts,
+                        );
+                    }
+                    out.push((rs, stats, false));
+                }
+            }
+        }
+        match preamble_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
     /// Fold one execution's stats into the query-wide counters.
     pub fn note_exec(&self, stats: &ExecStats) {
         let mut agg = self.exec.get();

@@ -90,6 +90,115 @@ impl LocalSource for PeerSource<'_> {
         Ok((rs, stats.bytes_scanned))
     }
 
+    /// Batched map-task input: phase 1 replays [`PeerSource::run_local`]'s
+    /// preamble (fault tick, crash check, lookup, snapshot check, cache
+    /// probe, access check) sequentially in peer order — stopping at the
+    /// first failure so later peers never tick — then the cache-miss
+    /// subqueries execute on pool workers and merge back in peer order
+    /// (with their cache inserts). Results, errors, fault landings, and
+    /// cache state are identical to the sequential loop at any thread
+    /// count.
+    fn run_local_batch(
+        &self,
+        peers: &[PeerId],
+        stmt: &SelectStmt,
+    ) -> Result<Vec<(ResultSet, u64)>> {
+        enum Prepared<'p> {
+            Empty,
+            Hit(ResultSet),
+            Miss {
+                peer: &'p NormalPeer,
+                cache_key: Option<(u64, u64)>,
+            },
+        }
+        let cached = self.cache.borrow().enabled();
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(peers.len());
+        let mut preamble_err: Option<bestpeer_common::Error> = None;
+        for &peer in peers {
+            self.faults.tick();
+            if self.faults.is_down(peer) {
+                preamble_err = Some(bestpeer_common::Error::Unavailable(format!(
+                    "data peer {peer} is down (crashed mid-job)"
+                )));
+                break;
+            }
+            self.faults.note_serve(peer);
+            let p = match self.peers.get(&peer).ok_or_else(|| {
+                bestpeer_common::Error::Network(format!("{peer} is not a live peer"))
+            }) {
+                Ok(p) => p,
+                Err(e) => {
+                    preamble_err = Some(e);
+                    break;
+                }
+            };
+            if !stmt.from.iter().all(|t| p.db.has_table(t)) {
+                prepared.push(Prepared::Empty);
+                continue;
+            }
+            let cache_key = if cached {
+                let load_ts = p.db.load_timestamp();
+                if load_ts < self.query_ts {
+                    preamble_err = Some(bestpeer_common::Error::StaleSnapshot(format!(
+                        "peer {peer} data timestamp {load_ts} is older than query timestamp {}",
+                        self.query_ts
+                    )));
+                    break;
+                }
+                let fp = ResultCache::fingerprint(stmt, &self.role.name);
+                if let Some(rs) = self.cache.borrow_mut().get(peer, fp, load_ts) {
+                    prepared.push(Prepared::Hit(rs));
+                    continue;
+                }
+                Some((fp, load_ts))
+            } else {
+                None
+            };
+            match p.precheck_subquery(stmt, self.role, self.query_ts) {
+                Ok(()) => prepared.push(Prepared::Miss { peer: p, cache_key }),
+                Err(e) => {
+                    preamble_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let misses: Vec<&NormalPeer> = prepared
+            .iter()
+            .filter_map(|p| match p {
+                Prepared::Miss { peer, .. } => Some(*peer),
+                _ => None,
+            })
+            .collect();
+        let role = self.role;
+        let executed =
+            bestpeer_common::pool::run_tasks(&misses, |_, p| p.execute_subquery(stmt, role));
+        let mut out = Vec::with_capacity(prepared.len());
+        let mut executed = executed.into_iter();
+        for (entry, &peer) in prepared.into_iter().zip(peers) {
+            match entry {
+                Prepared::Empty => out.push((ResultSet::default(), 0)),
+                Prepared::Hit(rs) => out.push((rs, 0)),
+                Prepared::Miss { cache_key, .. } => {
+                    let (rs, stats) = executed.next().expect("one result per miss")?;
+                    if let Some((fp, load_ts)) = cache_key {
+                        self.cache.borrow_mut().insert(
+                            peer,
+                            fp,
+                            stmt.from.clone(),
+                            rs.clone(),
+                            load_ts,
+                        );
+                    }
+                    out.push((rs, stats.bytes_scanned));
+                }
+            }
+        }
+        match preamble_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
     fn table_schema(&self, table: &str) -> Result<TableSchema> {
         self.schemas
             .iter()

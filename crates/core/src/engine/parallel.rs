@@ -52,8 +52,10 @@ pub fn execute(
     let mut inter_rows: Vec<Row> = Vec::new();
     let mut inter_binding: Binding = part0.binding.clone();
     let mut phase = Phase::new(format!("scan:{}", part0.table));
-    for owner in owners0 {
-        let (rs, stats, warm) = ctx.serve_cached(owner, &part0.subquery)?;
+    // Batched serve: preamble and merge stay in owner order (identical
+    // traces); only the cache-miss partition scans run concurrently.
+    let served = ctx.serve_cached_batch(&owners0, &part0.subquery)?;
+    for (&owner, (rs, stats, warm)) in owners0.iter().zip(served) {
         let out_bytes = codec::batch_encoded_size(&rs.rows);
         // In this engine the pushed-down partition scan is consumed at
         // the owner itself (its output feeds the owner's broadcast), so
@@ -93,23 +95,31 @@ pub fn execute(
         let inter_bytes = codec::batch_encoded_size(&inter_rows);
         let mut phase = Phase::new(format!("join:{}", part.table));
         let mut next_rows = Vec::new();
-        for owner in &owners {
-            let (rs, stats, warm) = ctx.serve_cached(*owner, &part.subquery)?;
-            let joined = local_join(
+        let served = ctx.serve_cached_batch(&owners, &part.subquery)?;
+        // Each owner's probe of the broadcast intermediate against its
+        // partition is independent CPU work — fan the joins out to pool
+        // workers and merge their outputs back in owner order.
+        let joined_parts = bestpeer_common::pool::run_tasks(&served, |_, (rs, _, _)| {
+            local_join(
                 &inter_rows,
                 &rs.rows,
                 step.keys,
                 &step.residuals,
                 &step.out_binding,
-            )?;
+            )
+        });
+        for ((&owner, (_, stats, warm)), joined) in
+            owners.iter().zip(served.iter()).zip(joined_parts)
+        {
+            let joined = joined?;
             let out_bytes = codec::batch_encoded_size(&joined);
             // Warm: the owner's partition scan is memoized, so its join
             // task probes the broadcast intermediate against the cached
             // partition — no disk, no scan CPU, same placement.
-            let mut task = if warm {
-                Task::on(*owner).cpu(inter_bytes + out_bytes)
+            let mut task = if *warm {
+                Task::on(owner).cpu(inter_bytes + out_bytes)
             } else {
-                Task::on(*owner)
+                Task::on(owner)
                     .disk(stats.bytes_scanned)
                     .cpu(inter_bytes + stats.bytes_scanned + out_bytes)
             };
@@ -165,16 +175,21 @@ pub fn execute(
         }
         let mut phase = Phase::new("group-by");
         let mut agg_out = Vec::new();
-        for (slot, rows) in partitions.into_iter().enumerate() {
-            // Empty partitions contribute nothing — except that a
-            // *global* aggregate must still produce its single row, so
-            // slot 0 always runs when there is no GROUP BY.
+        // Slots aggregate disjoint groups, so they fan out to pool
+        // workers; tasks and output merge back in slot order. Empty
+        // partitions contribute nothing — except that a *global*
+        // aggregate must still produce its single row, so slot 0 always
+        // runs when there is no GROUP BY.
+        let aggregated = bestpeer_common::pool::run_tasks(&partitions, |slot, rows| {
             if rows.is_empty() && (!group.is_empty() || slot != 0) {
-                continue;
+                return Ok(None);
             }
+            aggregate_rows(rows, &inter_binding, &group, &aggs).map(Some)
+        });
+        for (slot, (rows, agg)) in partitions.iter().zip(aggregated).enumerate() {
+            let Some(out) = agg? else { continue };
             let node = group_nodes[slot % n];
-            let in_bytes = codec::batch_encoded_size(&rows);
-            let out = aggregate_rows(&rows, &inter_binding, &group, &aggs)?;
+            let in_bytes = codec::batch_encoded_size(rows);
             let out_bytes = codec::batch_encoded_size(&out);
             phase.push(
                 Task::on(node)

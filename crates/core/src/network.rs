@@ -634,7 +634,13 @@ impl BestPeerNetwork {
         schemas: &[TableSchema],
         engine: EngineChoice,
         query_ts: u64,
-    ) -> Result<(ResultSet, Trace, EngineChoice, Option<EngineDecision>)> {
+    ) -> Result<(
+        ResultSet,
+        Trace,
+        EngineChoice,
+        Option<EngineDecision>,
+        bestpeer_sql::ExecStats,
+    )> {
         let locator = self
             .locators
             .entry(submitter)
@@ -683,7 +689,8 @@ impl BestPeerNetwork {
         };
         let exec = ctx.exec.get();
         self.record_exec_metrics(&exec);
-        Ok(out)
+        let (rs, tr, used, decision) = out;
+        Ok((rs, tr, used, decision, exec))
     }
 
     /// Fold one attempt's execution counters into the registry.
@@ -692,6 +699,14 @@ impl BestPeerNetwork {
         m.inc_by("exec.rows_shared", exec.rows_shared);
         m.inc_by("exec.rows_cloned", exec.rows_cloned);
         m.inc_by("exec.topk_short_circuits", exec.topk_short_circuits);
+        m.inc_by("exec.parallel_morsels", exec.parallel_morsels);
+        // Pool counters are wall-clock (worker-thread busy time), so
+        // they live only in the registry — never in a QueryReport,
+        // whose fields must be deterministic at any thread count.
+        let (tasks, busy_ns) = bestpeer_common::pool::drain_counters();
+        m.inc_by("pool.tasks", tasks);
+        m.inc_by("pool.busy_ns", busy_ns);
+        m.set_gauge("pool.workers", bestpeer_common::pool::thread_count() as f64);
     }
 
     /// Submit a SQL query from `submitter` under `role`, stamped with
@@ -737,7 +752,7 @@ impl BestPeerNetwork {
                 pre.push(Phase::new("fault-slowdown").task(Task::on(submitter).fixed(slow)));
             }
             match outcome {
-                Ok((result, trace, used, decision)) => {
+                Ok((result, trace, used, decision, exec)) => {
                     let mut full = pre;
                     full.phases.extend(trace.phases);
                     let mut report = QueryReport::from_trace(
@@ -747,6 +762,7 @@ impl BestPeerNetwork {
                     );
                     report.attempts = attempts;
                     report.resubmits = resubmits;
+                    report.parallel_morsels = exec.parallel_morsels;
                     report.selection = decision.map(|d| EngineSelection {
                         predicted_p2p_secs: d.p2p_cost,
                         predicted_mr_secs: d.mr_cost,
@@ -972,6 +988,7 @@ impl BestPeerNetwork {
         let mut report =
             QueryReport::from_trace("online", &out.trace, &Cluster::new(self.config.resources));
         report.degraded_peers = out.skipped_peers;
+        report.parallel_morsels = exec.parallel_morsels;
         self.record_query_metrics(&report);
         out.report = report;
         Ok(out)

@@ -82,6 +82,16 @@ impl NormalPeer {
         role: &Role,
         query_ts: u64,
     ) -> Result<(ResultSet, ExecStats)> {
+        self.precheck_subquery(stmt, role, query_ts)?;
+        self.execute_subquery(stmt, role)
+    }
+
+    /// The validation half of [`NormalPeer::serve_subquery`]: the
+    /// snapshot-timestamp check and access control, with no execution.
+    /// Batched serving runs every owner's precheck sequentially (so
+    /// error ordering matches the one-at-a-time path exactly) before
+    /// fanning the pure execution half out to pool workers.
+    pub fn precheck_subquery(&self, stmt: &SelectStmt, role: &Role, query_ts: u64) -> Result<()> {
         if self.db.load_timestamp() < query_ts {
             return Err(Error::StaleSnapshot(format!(
                 "peer {} data timestamp {} is older than query timestamp {query_ts}",
@@ -89,7 +99,18 @@ impl NormalPeer {
                 self.db.load_timestamp()
             )));
         }
-        self.check_access(stmt, role)?;
+        self.check_access(stmt, role)
+    }
+
+    /// The execution half of [`NormalPeer::serve_subquery`]: run the
+    /// statement against the local partition and mask the results per
+    /// the role. Pure with respect to the peer (`&self`, no interior
+    /// mutation), so it is safe to run on a pool worker.
+    pub fn execute_subquery(
+        &self,
+        stmt: &SelectStmt,
+        role: &Role,
+    ) -> Result<(ResultSet, ExecStats)> {
         let (mut rs, stats) = execute_select(stmt, &self.db)?;
         self.mask_results(stmt, role, &mut rs)?;
         Ok((rs, stats))

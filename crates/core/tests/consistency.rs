@@ -276,6 +276,124 @@ fn engines_topk_matches_full_sort_reference() {
 }
 
 #[test]
+fn results_reports_and_traces_identical_at_any_thread_count() {
+    // The PR's hard invariant: parallelism is invisible. Every engine's
+    // result rows, telemetry report (through the JSON export), trace,
+    // and attempt count must be byte-identical whether the worker pool
+    // runs 1, 2, or 8 threads — exact equality here, no float
+    // tolerance, because morsel boundaries depend only on input sizes
+    // and merges happen in a fixed order.
+    // Everything observable about one query: rows, rendered report
+    // JSON, trace debug form, attempt count.
+    type Outcome = (Vec<Row>, String, String, u32);
+    let queries: Vec<&str> = [Q1, Q2, Q3, Q4, Q5]
+        .into_iter()
+        .chain(ORDERED_QUERIES.iter().copied())
+        .collect();
+    let mut reference: Option<Vec<Outcome>> = None;
+    for threads in [1usize, 2, 8] {
+        bestpeer_common::pool::set_threads(threads);
+        let (mut net, _) = setup(3, 1500);
+        let submitter = net.peer_ids()[0];
+        let mut outcomes = Vec::new();
+        for sql in &queries {
+            for &engine in ENGINES {
+                let out = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+                outcomes.push((
+                    out.result.rows,
+                    out.report.to_json().render(),
+                    format!("{:?}", out.trace),
+                    out.attempts,
+                ));
+            }
+        }
+        // Randomized mutating workload on the same lcg schedule at
+        // every thread count: inserts + index refreshes interleaved
+        // with queries, so cache invalidation and re-fetch paths run
+        // under the sweep too.
+        let mut next = lcg(0x7EAD_5EED);
+        for step in 0..24u32 {
+            let r = next();
+            if step > 0 && r.is_multiple_of(4) {
+                let which = (next() % 3) as usize;
+                let extra =
+                    DbGen::new(TpchConfig::tiny(500 + u64::from(step)).with_rows(80)).generate();
+                let rows: Vec<Row> = extra["orders"].iter().take(20).cloned().collect();
+                let id = net.peer_ids()[which];
+                net.peer_mut(id)
+                    .unwrap()
+                    .db
+                    .bulk_insert("orders", rows)
+                    .unwrap();
+                net.publish_indices(id).unwrap();
+                continue;
+            }
+            let sql = queries[(r % queries.len() as u64) as usize];
+            let engine = ENGINES[(next() % ENGINES.len() as u64) as usize];
+            let out = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+            outcomes.push((
+                out.result.rows,
+                out.report.to_json().render(),
+                format!("{:?}", out.trace),
+                out.attempts,
+            ));
+        }
+        bestpeer_common::pool::clear_threads();
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(want) => {
+                for (i, (got, expect)) in outcomes.iter().zip(want).enumerate() {
+                    assert_eq!(
+                        got, expect,
+                        "outcome {i} diverged at {threads} worker threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn failover_is_identical_with_parallel_workers_active() {
+    // Chaos case: a data peer crashes mid-query while the pool runs
+    // multi-threaded. The retry/fail-over path — backoff phases,
+    // attempt count, recovered result, report — must replay exactly
+    // as it does sequentially.
+    let mut runs = Vec::new();
+    for threads in [1usize, 8] {
+        bestpeer_common::pool::set_threads(threads);
+        let (mut net, _) = setup(3, 800);
+        net.backup_all().unwrap();
+        let submitter = net.peer_ids()[0];
+        let victim = net.peer_ids()[2];
+        net.crash_data_peer(victim).unwrap();
+        net.peer_mut(victim).unwrap().db = Database::new();
+        let out = net
+            .submit_query(
+                submitter,
+                "SELECT l_nationkey, SUM(l_quantity) AS q FROM lineitem \
+                 GROUP BY l_nationkey ORDER BY l_nationkey",
+                "R",
+                EngineChoice::Basic,
+                0,
+            )
+            .unwrap();
+        assert!(out.attempts >= 2, "the first attempt hit the crashed peer");
+        runs.push((
+            out.result.rows,
+            out.attempts,
+            out.report.to_json().render(),
+            format!("{:?}", out.trace),
+        ));
+        bestpeer_common::pool::clear_threads();
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "mid-query crash recovery diverged across thread counts"
+    );
+}
+
+#[test]
 fn every_query_report_reconciles_with_its_trace() {
     // Property-style sweep: across engines × queries, the telemetry
     // report must account for its trace exactly — same per-phase bytes,

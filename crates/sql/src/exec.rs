@@ -24,12 +24,13 @@
 //! telemetry layer consume. Byte accounting always charges *logical*
 //! row bytes, independent of how many handles share an allocation.
 
+use std::borrow::Borrow;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::ops::Bound;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use bestpeer_common::{Error, Result, Row, SharedRow, Value};
+use bestpeer_common::{mix64, pool, stable_hash, Error, Result, Row, SharedRow, Value};
 use bestpeer_storage::{Database, Table};
 
 use crate::ast::{AggFunc, CmpOp, Expr, SelectStmt};
@@ -82,6 +83,13 @@ pub struct ExecStats {
     /// `ORDER BY … LIMIT k` sorts answered by the bounded top-K heap
     /// instead of a full sort.
     pub topk_short_circuits: u64,
+    /// Morsels processed by the executor's parallel operator paths.
+    /// The decomposition is a pure function of input sizes (fixed
+    /// [`pool::MORSEL_ROWS`] chunks, engaged whenever an input spans
+    /// more than one morsel), never of the thread count — so this
+    /// counter, like every other field, is byte-identical at any
+    /// parallelism.
+    pub parallel_morsels: u64,
 }
 
 impl ExecStats {
@@ -95,6 +103,7 @@ impl ExecStats {
         self.rows_shared += other.rows_shared;
         self.rows_cloned += other.rows_cloned;
         self.topk_short_circuits += other.topk_short_circuits;
+        self.parallel_morsels += other.parallel_morsels;
     }
 }
 
@@ -143,7 +152,7 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Shar
         } => {
             let l = run(left, db, stats)?;
             let r = run(right, db, stats)?;
-            Ok(hash_join(&l, &r, *left_key, *right_key))
+            Ok(hash_join(&l, &r, *left_key, *right_key, stats))
         }
         Plan::CrossJoin { left, right, .. } => {
             let l = run(left, db, stats)?;
@@ -162,19 +171,17 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Shar
             binding,
         } => {
             let rows = run(input, db, stats)?;
-            let mut out = Vec::new();
-            for row in rows {
-                if all_true(predicates, &row, binding)? {
-                    out.push(row);
-                }
-            }
-            Ok(out)
+            filter_rows(rows, predicates, binding, stats)
         }
         Plan::Aggregate {
             input, group, aggs, ..
         } => {
             let rows = run(input, db, stats)?;
-            let out = aggregate_iter(rows.iter().map(|r| &**r), input.binding(), group, aggs)?;
+            let chunks = pool::morsels(rows.len());
+            if chunks.len() > 1 {
+                stats.parallel_morsels += chunks.len() as u64;
+            }
+            let out = aggregate_slice(&rows, input.binding(), group, aggs)?;
             Ok(out.into_iter().map(SharedRow::new).collect())
         }
         Plan::Sort {
@@ -188,7 +195,7 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Shar
         }
         Plan::Project { input, exprs, .. } => {
             let rows = run(input, db, stats)?;
-            project_rows(&rows, exprs, input.binding())
+            project_rows(&rows, exprs, input.binding(), stats)
         }
         // `LIMIT k` directly above a sort (with or without an intervening
         // row-wise projection) becomes a bounded top-K: the heap keeps
@@ -219,7 +226,7 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Shar
                 };
                 let rows = run(sorted, db, stats)?;
                 let rows = top_k_shared(rows, keys, binding, *n, stats)?;
-                project_rows(&rows, exprs, binding)
+                project_rows(&rows, exprs, binding, stats)
             }
             _ => {
                 let mut rows = run(input, db, stats)?;
@@ -231,17 +238,74 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Shar
 }
 
 /// Evaluate projection expressions over each row (1:1, order-preserving).
-fn project_rows(rows: &[SharedRow], exprs: &[Expr], b: &Binding) -> Result<Vec<SharedRow>> {
-    rows.iter()
-        .map(|row| {
-            Ok(SharedRow::new(Row::new(
-                exprs
-                    .iter()
-                    .map(|e| eval(e, row, b))
-                    .collect::<Result<Vec<_>>>()?,
-            )))
-        })
-        .collect()
+/// Inputs spanning more than one morsel are projected on pool workers,
+/// one morsel per task, merged back in morsel order.
+fn project_rows(
+    rows: &[SharedRow],
+    exprs: &[Expr],
+    b: &Binding,
+    stats: &mut ExecStats,
+) -> Result<Vec<SharedRow>> {
+    let project_one = |row: &SharedRow| -> Result<SharedRow> {
+        Ok(SharedRow::new(Row::new(
+            exprs
+                .iter()
+                .map(|e| eval(e, row, b))
+                .collect::<Result<Vec<_>>>()?,
+        )))
+    };
+    let chunks = pool::morsels(rows.len());
+    if chunks.len() <= 1 {
+        return rows.iter().map(project_one).collect();
+    }
+    stats.parallel_morsels += chunks.len() as u64;
+    let parts = pool::run_tasks(&chunks, |_, &(lo, hi)| {
+        rows[lo..hi]
+            .iter()
+            .map(project_one)
+            .collect::<Result<Vec<_>>>()
+    });
+    let mut out = Vec::with_capacity(rows.len());
+    for p in parts {
+        out.extend(p?);
+    }
+    Ok(out)
+}
+
+/// Morsel-parallel filter: each worker evaluates the predicates over one
+/// fixed-size chunk; survivors are concatenated in chunk order, so the
+/// output sequence equals the sequential scan's at any thread count.
+fn filter_rows(
+    rows: Vec<SharedRow>,
+    preds: &[Expr],
+    b: &Binding,
+    stats: &mut ExecStats,
+) -> Result<Vec<SharedRow>> {
+    let chunks = pool::morsels(rows.len());
+    if chunks.len() <= 1 {
+        let mut out = Vec::new();
+        for row in rows {
+            if all_true(preds, &row, b)? {
+                out.push(row);
+            }
+        }
+        return Ok(out);
+    }
+    stats.parallel_morsels += chunks.len() as u64;
+    let parts = pool::run_tasks(&chunks, |_, &(lo, hi)| -> Result<Vec<SharedRow>> {
+        let mut kept = Vec::new();
+        for row in &rows[lo..hi] {
+            if all_true(preds, row, b)? {
+                kept.push(row.clone());
+            }
+        }
+        Ok(kept)
+    });
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(p?);
+    }
+    Ok(out)
 }
 
 fn all_true(preds: &[Expr], row: &Row, b: &Binding) -> Result<bool> {
@@ -309,12 +373,45 @@ fn scan(
         }
         None => {
             stats.full_scans += 1;
-            for row in table.scan_shared() {
-                stats.rows_scanned += 1;
-                stats.bytes_scanned += row.byte_size();
-                if all_true(filters, &row, binding)? {
-                    stats.rows_shared += 1;
-                    out.push(row);
+            let rows: Vec<SharedRow> = table.scan_shared().collect();
+            let chunks = pool::morsels(rows.len());
+            if chunks.len() <= 1 {
+                for row in rows {
+                    stats.rows_scanned += 1;
+                    stats.bytes_scanned += row.byte_size();
+                    if all_true(filters, &row, binding)? {
+                        stats.rows_shared += 1;
+                        out.push(row);
+                    }
+                }
+            } else {
+                // Morsel-parallel scan+filter: workers each charge their
+                // chunk's bytes locally; the per-chunk stats are summed
+                // in chunk order, so the totals (and the survivor
+                // sequence) match the sequential loop exactly.
+                stats.parallel_morsels += chunks.len() as u64;
+                let parts = pool::run_tasks(
+                    &chunks,
+                    |_, &(lo, hi)| -> Result<(Vec<SharedRow>, u64, u64)> {
+                        let mut kept = Vec::new();
+                        let (mut bytes, mut shared) = (0u64, 0u64);
+                        for row in &rows[lo..hi] {
+                            bytes += row.byte_size();
+                            if all_true(filters, row, binding)? {
+                                shared += 1;
+                                kept.push(row.clone());
+                            }
+                        }
+                        Ok((kept, bytes, shared))
+                    },
+                );
+                for (i, part) in parts.into_iter().enumerate() {
+                    let (kept, bytes, shared) = part?;
+                    let (lo, hi) = chunks[i];
+                    stats.rows_scanned += (hi - lo) as u64;
+                    stats.bytes_scanned += bytes;
+                    stats.rows_shared += shared;
+                    out.extend(kept);
                 }
             }
         }
@@ -322,38 +419,95 @@ fn scan(
     Ok(out)
 }
 
-/// In-memory hash join (build on the smaller side).
+/// Build-side partition count for the parallel hash join. Fixed (never
+/// derived from the thread count) so the decomposition — and therefore
+/// every per-bucket structure — is a pure function of the data.
+const JOIN_PARTITIONS: usize = 16;
+
+/// In-memory hash join (build on the smaller side; output rows always
+/// carry left fields first). Empty inputs return immediately without
+/// building a table. When the probe side spans more than one morsel the
+/// join runs partitioned-parallel: a parallel hash pass over the build
+/// side, a cheap in-order distribution into [`JOIN_PARTITIONS`]
+/// hash-partitioned sub-tables built on workers, then morsel-parallel
+/// probing merged in probe order — the output sequence (probe order,
+/// build-input order within a probe match) is byte-identical to the
+/// sequential nested loop at any thread count.
 fn hash_join(
     left: &[SharedRow],
     right: &[SharedRow],
     left_key: usize,
     right_key: usize,
+    stats: &mut ExecStats,
 ) -> Vec<SharedRow> {
-    let mut out = Vec::new();
-    if left.len() <= right.len() {
-        let mut ht: HashMap<&Value, Vec<&SharedRow>> = HashMap::with_capacity(left.len());
-        for row in left {
-            ht.entry(row.get(left_key)).or_default().push(row);
-        }
-        for r in right {
-            if let Some(matches) = ht.get(r.get(right_key)) {
-                for l in matches {
-                    out.push(SharedRow::new(l.concat(r)));
-                }
-            }
-        }
+    if left.is_empty() || right.is_empty() {
+        return Vec::new();
+    }
+    let swap = left.len() > right.len();
+    let (build, bkey, probe, pkey) = if swap {
+        (right, right_key, left, left_key)
     } else {
-        let mut ht: HashMap<&Value, Vec<&SharedRow>> = HashMap::with_capacity(right.len());
-        for row in right {
-            ht.entry(row.get(right_key)).or_default().push(row);
+        (left, left_key, right, right_key)
+    };
+    let emit = |b: &SharedRow, p: &SharedRow| -> SharedRow {
+        SharedRow::new(if swap { p.concat(b) } else { b.concat(p) })
+    };
+    let probe_chunks = pool::morsels(probe.len());
+    if probe_chunks.len() <= 1 {
+        let mut ht: HashMap<&Value, Vec<&SharedRow>> = HashMap::with_capacity(build.len());
+        for row in build {
+            ht.entry(row.get(bkey)).or_default().push(row);
         }
-        for l in left {
-            if let Some(matches) = ht.get(l.get(left_key)) {
-                for r in matches {
-                    out.push(SharedRow::new(l.concat(r)));
+        let mut out = Vec::with_capacity(build.len().min(probe.len()));
+        for p in probe {
+            if let Some(matches) = ht.get(p.get(pkey)) {
+                for b in matches {
+                    out.push(emit(b, p));
                 }
             }
         }
+        return out;
+    }
+    let build_chunks = pool::morsels(build.len());
+    stats.parallel_morsels += (build_chunks.len() + probe_chunks.len()) as u64;
+    // Parallel hash pass over the build side, then distribute rows into
+    // buckets sequentially *in input order* — each bucket's row order
+    // (and thus each hash chain's match order) equals the sequential
+    // build's.
+    let hashed: Vec<Vec<u64>> = pool::run_tasks(&build_chunks, |_, &(lo, hi)| {
+        build[lo..hi]
+            .iter()
+            .map(|r| stable_hash(r.get(bkey)))
+            .collect()
+    });
+    let mut buckets: Vec<Vec<&SharedRow>> = vec![Vec::new(); JOIN_PARTITIONS];
+    for (chunk, &(lo, _)) in hashed.iter().zip(&build_chunks) {
+        for (off, h) in chunk.iter().enumerate() {
+            buckets[(*h as usize) % JOIN_PARTITIONS].push(&build[lo + off]);
+        }
+    }
+    let tables: Vec<HashMap<&Value, Vec<&SharedRow>>> = pool::run_tasks(&buckets, |_, bucket| {
+        let mut ht: HashMap<&Value, Vec<&SharedRow>> = HashMap::with_capacity(bucket.len());
+        for row in bucket {
+            ht.entry(row.get(bkey)).or_default().push(*row);
+        }
+        ht
+    });
+    let parts: Vec<Vec<SharedRow>> = pool::run_tasks(&probe_chunks, |_, &(lo, hi)| {
+        let mut matched = Vec::new();
+        for p in &probe[lo..hi] {
+            let key = p.get(pkey);
+            if let Some(matches) = tables[(stable_hash(key) as usize) % JOIN_PARTITIONS].get(key) {
+                for b in matches {
+                    matched.push(emit(b, p));
+                }
+            }
+        }
+        matched
+    });
+    let mut out = Vec::with_capacity(build.len().min(probe.len()));
+    for p in parts {
+        out.extend(p);
     }
     out
 }
@@ -425,6 +579,43 @@ impl Acc {
         Ok(())
     }
 
+    /// Fold a partial accumulator (same function, built over a later
+    /// morsel of the same group) into this one. A fresh [`Acc::new`]
+    /// state is the identity, so per-morsel partials seeded per worker
+    /// merge to exactly one combined state.
+    fn merge(&mut self, other: &Acc) -> Result<()> {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += *b,
+            (Acc::Sum(a), Acc::Sum(b)) => {
+                if !b.is_null() {
+                    *a = a.checked_add(b)?;
+                }
+            }
+            (Acc::Avg { sum, count }, Acc::Avg { sum: s2, count: c2 }) => {
+                if !s2.is_null() {
+                    *sum = sum.checked_add(s2)?;
+                }
+                *count += *c2;
+            }
+            (Acc::Min(a), Acc::Min(b)) => {
+                if !b.is_null() && (a.is_null() || b < a) {
+                    *a = b.clone();
+                }
+            }
+            (Acc::Max(a), Acc::Max(b)) => {
+                if !b.is_null() && (a.is_null() || b > a) {
+                    *a = b.clone();
+                }
+            }
+            _ => {
+                return Err(Error::Internal(
+                    "mismatched aggregate states in partial merge".to_owned(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n),
@@ -455,12 +646,143 @@ pub fn aggregate_rows(
     group: &[Expr],
     aggs: &[AggItem],
 ) -> Result<Vec<Row>> {
-    aggregate_iter(rows.iter(), input_binding, group, aggs)
+    aggregate_slice(rows, input_binding, group, aggs)
 }
 
-/// Iterator-based aggregation core, shared by the owned-row entry point
-/// above and the executor's [`SharedRow`] pipeline (which aggregates
-/// through the handles without materializing owned rows first).
+/// Collision-safe fingerprint of a group-key tuple. The group table is
+/// keyed on this hash with an equality check against the stored key, so
+/// each group's key tuple is built exactly once (moved in, never cloned
+/// per new group).
+fn fingerprint_key(key: &[Value]) -> u64 {
+    key.iter()
+        .fold(0x9E37_79B9_7F4A_7C15u64, |h, v| mix64(h ^ stable_hash(v)))
+}
+
+/// Grouping state keyed by key fingerprints, preserving first-seen
+/// group order. Fingerprint collisions chain through `index` and are
+/// resolved by comparing against the stored key tuples.
+struct GroupTable {
+    index: HashMap<u64, Vec<usize>>,
+    states: Vec<(Vec<Value>, Vec<Acc>)>,
+}
+
+impl GroupTable {
+    fn new(group: &[Expr], aggs: &[AggItem]) -> GroupTable {
+        let mut t = GroupTable {
+            index: HashMap::new(),
+            states: Vec::new(),
+        };
+        if group.is_empty() {
+            // Global aggregate: exactly one group even over zero rows.
+            // (Per-morsel tables seed it too — `Acc::new` is the merge
+            // identity, so extra seeds are harmless.)
+            t.index.insert(fingerprint_key(&[]), vec![0]);
+            t.states
+                .push((Vec::new(), aggs.iter().map(|a| Acc::new(a.func)).collect()));
+        }
+        t
+    }
+
+    /// The slot for `key`, creating one with fresh accumulators if the
+    /// group is new.
+    fn slot(&mut self, key: Vec<Value>, aggs: &[AggItem]) -> usize {
+        let fp = fingerprint_key(&key);
+        let chain = self.index.entry(fp).or_default();
+        for &s in chain.iter() {
+            if self.states[s].0 == key {
+                return s;
+            }
+        }
+        let s = self.states.len();
+        chain.push(s);
+        self.states
+            .push((key, aggs.iter().map(|a| Acc::new(a.func)).collect()));
+        s
+    }
+
+    fn update_row(
+        &mut self,
+        row: &Row,
+        input_binding: &Binding,
+        group: &[Expr],
+        aggs: &[AggItem],
+    ) -> Result<()> {
+        let key: Vec<Value> = group
+            .iter()
+            .map(|g| eval(g, row, input_binding))
+            .collect::<Result<_>>()?;
+        let slot = self.slot(key, aggs);
+        for (acc, item) in self.states[slot].1.iter_mut().zip(aggs) {
+            match &item.arg {
+                Some(argexpr) => {
+                    let v = eval(argexpr, row, input_binding)?;
+                    acc.update(Some(&v))?;
+                }
+                None => acc.update(None)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a partial table built over a later morsel: groups unseen
+    /// here are appended in `other`'s first-seen order, so absorbing
+    /// partials in morsel order reproduces the sequential pass's global
+    /// first-seen group order exactly.
+    fn absorb(&mut self, other: GroupTable, aggs: &[AggItem]) -> Result<()> {
+        for (key, accs) in other.states {
+            let s = self.slot(key, aggs);
+            for (mine, theirs) in self.states[s].1.iter_mut().zip(&accs) {
+                mine.merge(theirs)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Vec<Row> {
+        self.states
+            .into_iter()
+            .map(|(mut key, accs)| {
+                key.extend(accs.into_iter().map(Acc::finish));
+                Row::new(key)
+            })
+            .collect()
+    }
+}
+
+/// Slice-based aggregation core: inputs spanning more than one morsel
+/// build per-morsel partial group tables on pool workers (the morsel
+/// decomposition depends only on the input length), merged in morsel
+/// order with [`Acc::merge`] — the output is a pure function of the
+/// input rows at any thread count.
+fn aggregate_slice<R>(
+    rows: &[R],
+    input_binding: &Binding,
+    group: &[Expr],
+    aggs: &[AggItem],
+) -> Result<Vec<Row>>
+where
+    R: Borrow<Row> + Sync,
+{
+    let chunks = pool::morsels(rows.len());
+    if chunks.len() <= 1 {
+        return aggregate_iter(rows.iter().map(|r| r.borrow()), input_binding, group, aggs);
+    }
+    let parts = pool::run_tasks(&chunks, |_, &(lo, hi)| -> Result<GroupTable> {
+        let mut t = GroupTable::new(group, aggs);
+        for row in &rows[lo..hi] {
+            t.update_row(row.borrow(), input_binding, group, aggs)?;
+        }
+        Ok(t)
+    });
+    let mut total = GroupTable::new(group, aggs);
+    for p in parts {
+        total.absorb(p?, aggs)?;
+    }
+    Ok(total.finish())
+}
+
+/// Iterator-based aggregation core, shared by the slice entry point
+/// above (sequential path) and callers holding non-contiguous rows.
 fn aggregate_iter<'a, I>(
     rows: I,
     input_binding: &Binding,
@@ -470,45 +792,11 @@ fn aggregate_iter<'a, I>(
 where
     I: IntoIterator<Item = &'a Row>,
 {
-    // Group key -> (key values, accumulators), preserving first-seen order.
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut states: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
-    if group.is_empty() {
-        // Global aggregate: exactly one group even over zero rows.
-        groups.insert(Vec::new(), 0);
-        states.push((Vec::new(), aggs.iter().map(|a| Acc::new(a.func)).collect()));
-    }
+    let mut t = GroupTable::new(group, aggs);
     for row in rows {
-        let key: Vec<Value> = group
-            .iter()
-            .map(|g| eval(g, row, input_binding))
-            .collect::<Result<_>>()?;
-        let slot = match groups.get(&key) {
-            Some(&s) => s,
-            None => {
-                let s = states.len();
-                groups.insert(key.clone(), s);
-                states.push((key, aggs.iter().map(|a| Acc::new(a.func)).collect()));
-                s
-            }
-        };
-        for (acc, item) in states[slot].1.iter_mut().zip(aggs) {
-            match &item.arg {
-                Some(argexpr) => {
-                    let v = eval(argexpr, row, input_binding)?;
-                    acc.update(Some(&v))?;
-                }
-                None => acc.update(None)?,
-            }
-        }
+        t.update_row(row, input_binding, group, aggs)?;
     }
-    Ok(states
-        .into_iter()
-        .map(|(mut key, accs)| {
-            key.extend(accs.into_iter().map(Acc::finish));
-            Row::new(key)
-        })
-        .collect())
+    Ok(t.finish())
 }
 
 /// Compare two precomputed key tuples under per-dimension descending
@@ -552,7 +840,7 @@ struct TopKEntry<T> {
     key: Vec<Value>,
     idx: usize,
     payload: T,
-    desc: Rc<[bool]>,
+    desc: Arc<[bool]>,
 }
 
 impl<T> PartialEq for TopKEntry<T> {
@@ -579,16 +867,33 @@ impl<T> Ord for TopKEntry<T> {
 /// position breaks every tie).
 fn bounded_top_k<T>(
     items: impl Iterator<Item = (Vec<Value>, T)>,
-    desc: Rc<[bool]>,
+    desc: Arc<[bool]>,
     k: usize,
 ) -> Vec<T> {
+    let indexed = items.enumerate().map(|(i, (key, p))| (key, i, p));
+    bounded_top_k_entries(indexed, desc, k)
+        .into_iter()
+        .map(|(_, _, p)| p)
+        .collect()
+}
+
+/// The same bounded heap over pre-indexed candidates, returning the
+/// surviving `(key, idx, payload)` entries in final order. `idx` is the
+/// row's position in the *global* input sequence, so per-morsel heaps
+/// can be merged through one more pass without disturbing the original
+/// tie-break.
+fn bounded_top_k_entries<T>(
+    items: impl Iterator<Item = (Vec<Value>, usize, T)>,
+    desc: Arc<[bool]>,
+    k: usize,
+) -> Vec<(Vec<Value>, usize, T)> {
     let mut heap: BinaryHeap<TopKEntry<T>> = BinaryHeap::with_capacity(k + 1);
-    for (idx, (key, payload)) in items.enumerate() {
+    for (key, idx, payload) in items {
         heap.push(TopKEntry {
             key,
             idx,
             payload,
-            desc: Rc::clone(&desc),
+            desc: Arc::clone(&desc),
         });
         if heap.len() > k {
             heap.pop();
@@ -596,12 +901,17 @@ fn bounded_top_k<T>(
     }
     heap.into_sorted_vec()
         .into_iter()
-        .map(|e| e.payload)
+        .map(|e| (e.key, e.idx, e.payload))
         .collect()
 }
 
 /// Bounded top-K over shared handles (`LIMIT k` over a sort in the local
-/// plan tree).
+/// plan tree). Inputs spanning more than one morsel run per-morsel
+/// bounded heaps on pool workers — each entry keeps its global input
+/// position — and merge the survivors through one final heap: the top k
+/// of a union of per-morsel top k's is the global top k, and the global
+/// position tie-break keeps the sequence byte-identical to the
+/// sequential heap at any thread count.
 fn top_k_shared(
     rows: Vec<SharedRow>,
     keys: &[(Expr, bool)],
@@ -612,16 +922,46 @@ fn top_k_shared(
     if rows.len() > k {
         stats.topk_short_circuits += 1;
     }
-    let desc: Rc<[bool]> = keys.iter().map(|(_, d)| *d).collect::<Vec<_>>().into();
-    let mut items = Vec::with_capacity(rows.len());
-    for row in rows {
-        let kv: Vec<Value> = keys
-            .iter()
-            .map(|(e, _)| eval(e, &row, b))
-            .collect::<Result<_>>()?;
-        items.push((kv, row));
+    let desc: Arc<[bool]> = keys.iter().map(|(_, d)| *d).collect::<Vec<_>>().into();
+    let chunks = pool::morsels(rows.len());
+    if chunks.len() <= 1 {
+        let mut items = Vec::with_capacity(rows.len());
+        for row in rows {
+            let kv: Vec<Value> = keys
+                .iter()
+                .map(|(e, _)| eval(e, &row, b))
+                .collect::<Result<_>>()?;
+            items.push((kv, row));
+        }
+        return Ok(bounded_top_k(items.into_iter(), desc, k));
     }
-    Ok(bounded_top_k(items.into_iter(), desc, k))
+    stats.parallel_morsels += chunks.len() as u64;
+    let parts = pool::run_tasks(
+        &chunks,
+        |_, &(lo, hi)| -> Result<Vec<(Vec<Value>, usize, SharedRow)>> {
+            let mut items = Vec::with_capacity(hi - lo);
+            for (off, row) in rows[lo..hi].iter().enumerate() {
+                let kv: Vec<Value> = keys
+                    .iter()
+                    .map(|(e, _)| eval(e, row, b))
+                    .collect::<Result<_>>()?;
+                items.push((kv, lo + off, row.clone()));
+            }
+            Ok(bounded_top_k_entries(
+                items.into_iter(),
+                Arc::clone(&desc),
+                k,
+            ))
+        },
+    );
+    let mut survivors = Vec::new();
+    for p in parts {
+        survivors.extend(p?);
+    }
+    Ok(bounded_top_k_entries(survivors.into_iter(), desc, k)
+        .into_iter()
+        .map(|(_, _, r)| r)
+        .collect())
 }
 
 /// Coordinator-side `ORDER BY` / `LIMIT` over an assembled result set.
@@ -657,15 +997,29 @@ pub fn apply_order_limit(stmt: &SelectStmt, rs: &mut ResultSet) -> bool {
             .iter()
             .map(|k| (order_key_expr(&k.expr, stmt, &rs.columns), k.desc))
             .collect();
-        let desc: Rc<[bool]> = keys.iter().map(|(_, d)| *d).collect::<Vec<_>>().into();
+        let desc: Arc<[bool]> = keys.iter().map(|(_, d)| *d).collect::<Vec<_>>().into();
         let n_in = rs.rows.len();
-        let keyed = std::mem::take(&mut rs.rows).into_iter().map(|r| {
-            let kv: Vec<Value> = keys
-                .iter()
-                .map(|(e, _)| eval(e, &r, &binding).unwrap_or(Value::Null))
-                .collect();
-            (kv, r)
-        });
+        let rows = std::mem::take(&mut rs.rows);
+        // Key evaluation is infallible here (failures sort as NULL), so
+        // it fans out per morsel; the heap/sort consumes the keyed rows
+        // sequentially in assembled order either way.
+        let eval_keys = |r: &Row| -> Vec<Value> {
+            keys.iter()
+                .map(|(e, _)| eval(e, r, &binding).unwrap_or(Value::Null))
+                .collect()
+        };
+        let chunks = pool::morsels(rows.len());
+        let kvs: Vec<Vec<Value>> = if chunks.len() <= 1 {
+            rows.iter().map(eval_keys).collect()
+        } else {
+            pool::run_tasks(&chunks, |_, &(lo, hi)| {
+                rows[lo..hi].iter().map(eval_keys).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        let keyed = kvs.into_iter().zip(rows);
         match stmt.limit {
             Some(k) if n_in > k => {
                 used_topk = true;

@@ -89,6 +89,11 @@ pub struct QueryReport {
     pub index_cache_hits: u64,
     /// Index-entry cache misses (BATON searches) during peer location.
     pub index_cache_misses: u64,
+    /// Morsels executed on the worker pool across this query's operator
+    /// pipelines. A pure function of input sizes (chunk boundaries never
+    /// depend on thread count), so this is identical at any parallelism
+    /// — unlike wall-clock pool counters, which stay registry-only.
+    pub parallel_morsels: u64,
 }
 
 impl Default for QueryReport {
@@ -110,6 +115,7 @@ impl Default for QueryReport {
             cache_misses: 0,
             index_cache_hits: 0,
             index_cache_misses: 0,
+            parallel_morsels: 0,
         }
     }
 }
@@ -157,6 +163,7 @@ impl QueryReport {
             cache_misses: 0,
             index_cache_hits: 0,
             index_cache_misses: 0,
+            parallel_morsels: 0,
         }
     }
 
@@ -290,6 +297,7 @@ impl QueryReport {
             .set("cache_misses", self.cache_misses)
             .set("index_cache_hits", self.index_cache_hits)
             .set("index_cache_misses", self.index_cache_misses)
+            .set("parallel_morsels", self.parallel_morsels)
             .set("warm", self.is_warm())
             .set("participants", participants)
             .set("phases", phases);
@@ -386,6 +394,7 @@ impl QueryReport {
             cache_misses: opt_count(j, "cache_misses"),
             index_cache_hits: opt_count(j, "index_cache_hits"),
             index_cache_misses: opt_count(j, "index_cache_misses"),
+            parallel_morsels: opt_count(j, "parallel_morsels"),
         })
     }
 }

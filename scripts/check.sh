@@ -31,7 +31,7 @@ run_test() {
   echo "==> cargo build --release"
   cargo build --release
 
-  echo "==> exec micro-bench (writes BENCH_exec.json; asserts 2x rows/sec, 5x fewer refresh hops)"
+  echo "==> exec micro-bench (writes BENCH_exec.json + BENCH_par.json; asserts 2x rows/sec, 5x fewer refresh hops, thread-count determinism)"
   cargo run --release -q -p bestpeer-bench --bin exec_bench
 
   echo "==> cache bench (writes BENCH_cache.json; asserts byte-identical results, >=30% latency cut)"
@@ -49,6 +49,9 @@ run_test() {
 
   echo "==> cargo test -q --workspace (every crate)"
   cargo test -q --workspace
+
+  echo "==> cargo test -q --workspace with BESTPEER_THREADS=1 (exact sequential path)"
+  BESTPEER_THREADS=1 cargo test -q --workspace
 }
 
 if [ "$phase" = "lint" ] || [ "$phase" = "all" ]; then
