@@ -88,13 +88,8 @@ pub fn build_bestpeer(n: usize, bench: &BenchConfig) -> BestPeerNetwork {
         let data = DbGen::new(cfg).generate();
         net.load_peer(id, data, 1).unwrap();
         for (t, c) in schema::secondary_indices() {
-            net.peer_mut(id)
-                .unwrap()
-                .db
-                .table_mut(t)
-                .unwrap()
-                .create_index(c)
-                .unwrap();
+            // Database-level DDL so the index is WAL-logged.
+            net.peer_mut(id).unwrap().db.create_index(t, c).unwrap();
         }
     }
     net

@@ -82,12 +82,11 @@ pub fn build_supply_chain_cached(
         };
         let data = DbGen::new(cfg).generate_tables(&supplier_tables);
         net.load_peer(sid, data, 1).unwrap();
+        // Database-level DDL so the index is WAL-logged.
         net.peer_mut(sid)
             .unwrap()
             .db
-            .table_mut("partsupp")
-            .unwrap()
-            .create_index("ps_availqty")
+            .create_index("partsupp", "ps_availqty")
             .unwrap();
     }
     for nation in 0..nations {

@@ -42,6 +42,20 @@ pub enum FaultEvent {
         /// Extra latency per subquery served.
         extra: SimTime,
     },
+    /// Crash `peer` at `at` with a *torn write*: the unsynced WAL tail
+    /// survives only up to `keep` bytes (a partial fsync caught mid-air
+    /// by the power cut). Restart at `recover_at` replays the log up to
+    /// the tear and discards the incomplete tail record.
+    TornCrash {
+        /// The victim.
+        peer: PeerId,
+        /// Crash time (operation count).
+        at: u64,
+        /// Unsynced tail bytes that survive the tear.
+        keep: u32,
+        /// Optional process-restart time.
+        recover_at: Option<u64>,
+    },
     /// Lose the next `n` BATON index-insert messages from `at` on.
     DropIndexInserts {
         /// When the lossy window opens.
@@ -73,6 +87,24 @@ impl FaultEvent {
                 let mut v = vec![ScheduledFault {
                     at,
                     action: FaultAction::Crash(peer),
+                }];
+                if let Some(r) = recover_at {
+                    v.push(ScheduledFault {
+                        at: r,
+                        action: FaultAction::Recover(peer),
+                    });
+                }
+                v
+            }
+            FaultEvent::TornCrash {
+                peer,
+                at,
+                keep,
+                recover_at,
+            } => {
+                let mut v = vec![ScheduledFault {
+                    at,
+                    action: FaultAction::TornCrash { peer, keep },
                 }];
                 if let Some(r) = recover_at {
                     v.push(ScheduledFault {
@@ -129,6 +161,25 @@ impl fmt::Display for FaultEvent {
                 recover_at: None,
             } => {
                 write!(f, "t={at}: crash {peer} (until fail-over)")
+            }
+            FaultEvent::TornCrash {
+                peer,
+                at,
+                keep,
+                recover_at: Some(r),
+            } => {
+                write!(f, "t={at}: torn-crash {peer} keep {keep}B (restarts t={r})")
+            }
+            FaultEvent::TornCrash {
+                peer,
+                at,
+                keep,
+                recover_at: None,
+            } => {
+                write!(
+                    f,
+                    "t={at}: torn-crash {peer} keep {keep}B (until fail-over)"
+                )
             }
             FaultEvent::SlowLink {
                 peer,
@@ -247,6 +298,28 @@ impl FaultPlanBuilder {
         self.events.push(FaultEvent::Crash {
             peer,
             at,
+            recover_at: Some(at + down),
+        });
+        self
+    }
+
+    /// A random victim suffers a torn-write crash at a random time in
+    /// `window` (the unsynced WAL tail is cut to a random length below
+    /// `max_keep` bytes) and restarts `downtime` operations later.
+    pub fn torn_crash_recover(
+        mut self,
+        window: std::ops::Range<u64>,
+        downtime: std::ops::Range<u64>,
+        max_keep: u32,
+    ) -> Self {
+        let peer = self.pick_peer();
+        let at = self.rng.random_range(window);
+        let down = self.rng.random_range(downtime);
+        let keep = self.rng.random_range(0..max_keep.max(1) as u64) as u32;
+        self.events.push(FaultEvent::TornCrash {
+            peer,
+            at,
+            keep,
             recover_at: Some(at + down),
         });
         self

@@ -1,0 +1,284 @@
+//! Durability chaos: kill -9 a peer mid-insert, restart it, and demand
+//! the write-ahead log replays a *byte-identical* database (PR 6
+//! tentpole). Covers the three crash shapes of the durability model:
+//!
+//! - clean kill with every record group-committed (full replay),
+//! - kill mid-group-commit (the unsynced tail is lost, the durable
+//!   prefix replays exactly),
+//! - torn final record (a partial fsync leaves half a frame on disk;
+//!   replay must stop cleanly at the tear, never panic).
+//!
+//! Every scenario also re-runs the query workload across all three
+//! engines after recovery and checks the overlay republish healed
+//! routing — and runs twice to prove the whole recovery is
+//! deterministic.
+
+use bestpeer_common::Value;
+use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig, QueryOutput};
+use bestpeer_core::Role;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::{queries, schema};
+
+const ROLE: &str = "analyst";
+
+fn analyst_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(String, Vec<String>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.columns.iter().map(|c| c.name.clone()).collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, Vec<&str>)> = spec
+        .iter()
+        .map(|(t, cs)| (t.as_str(), cs.iter().map(String::as_str).collect()))
+        .collect();
+    let full: Vec<(&str, &[&str])> = borrowed.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read(ROLE, &full)
+}
+
+/// A durable network: `nodes` peers with a WAL group-commit window of
+/// `window`, each loaded with a tiny TPC-H partition.
+fn build_net(nodes: u64, rows: usize, window: u64) -> BestPeerNetwork {
+    let config = NetworkConfig {
+        wal_group_window: window,
+        ..NetworkConfig::default()
+    };
+    let mut net = BestPeerNetwork::new(schema::all_tables(), config);
+    net.define_role(analyst_role());
+    for node in 0..nodes {
+        let id = net.join(&format!("company-{node}")).unwrap();
+        let data = DbGen::new(TpchConfig::tiny(node).with_rows(rows)).generate();
+        net.load_peer(id, data, 1).unwrap();
+    }
+    net
+}
+
+fn submit(net: &mut BestPeerNetwork, sql: &str, engine: EngineChoice) -> QueryOutput {
+    let submitter = net.peer_ids()[0];
+    net.submit_query(submitter, sql, ROLE, engine, 0).unwrap()
+}
+
+fn rows_of(out: &QueryOutput) -> Vec<String> {
+    let mut v: Vec<String> = out.result.rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+/// Insert a second partition's `supplier` rows into `victim` through the
+/// *logged* mutation path — the mid-flight workload every scenario kills.
+fn insert_extra_suppliers(net: &mut BestPeerNetwork, victim: bestpeer_common::PeerId) -> usize {
+    let extra = DbGen::new(TpchConfig::tiny(77).with_rows(60)).generate();
+    let rows: Vec<_> = extra
+        .into_iter()
+        .find(|(t, _)| t == "supplier")
+        .map(|(_, r)| r)
+        .unwrap();
+    let n = rows.len();
+    let db = &mut net.peer_mut(victim).unwrap().db;
+    for row in rows {
+        db.insert("supplier", row).unwrap();
+    }
+    n
+}
+
+#[test]
+fn kill9_mid_insert_replays_byte_identical_state() {
+    let mut net = build_net(3, 240, 1);
+    net.backup_all().unwrap(); // stale replica — the fresher WAL must win
+    let victim = net.peer_ids()[2];
+    net.peer_mut(victim)
+        .unwrap()
+        .db
+        .create_index("supplier", "s_acctbal")
+        .unwrap();
+    insert_extra_suppliers(&mut net, victim);
+
+    let before = net.peer(victim).unwrap().db.digest();
+    net.crash_data_peer(victim).unwrap();
+    net.recover_data_peer(victim).unwrap();
+    let after = net.peer(victim).unwrap().db.digest();
+    assert_eq!(before, after, "WAL replay must be byte-identical");
+    assert!(
+        net.peer(victim)
+            .unwrap()
+            .db
+            .table("supplier")
+            .unwrap()
+            .indexed_columns()
+            .any(|c| c == "s_acctbal"),
+        "secondary indices are replayed from CreateIndex records"
+    );
+    assert!(net.metrics().counter("wal.replayed_records") > 0);
+    assert!(
+        net.metrics().counter("recovery.source.wal") >= 1,
+        "with every record synced the WAL is the recovery source"
+    );
+    assert_eq!(net.metrics().counter("recovery.source.replica"), 0);
+}
+
+#[test]
+fn recovered_peer_answers_every_engine_identically() {
+    let sql = "SELECT COUNT(*) AS n FROM supplier";
+    let mut baseline = build_net(3, 240, 1);
+    let victim = baseline.peer_ids()[2];
+    let extra = insert_extra_suppliers(&mut baseline, victim);
+    assert!(extra > 0);
+    let want = rows_of(&submit(&mut baseline, sql, EngineChoice::Basic));
+
+    let mut net = build_net(3, 240, 1);
+    let victim = net.peer_ids()[2];
+    insert_extra_suppliers(&mut net, victim);
+    net.crash_data_peer(victim).unwrap();
+    net.recover_data_peer(victim).unwrap();
+    for engine in [
+        EngineChoice::Basic,
+        EngineChoice::ParallelP2P,
+        EngineChoice::MapReduce,
+    ] {
+        assert_eq!(
+            rows_of(&submit(&mut net, sql, engine)),
+            want,
+            "{engine:?}: recovered partition must be routable and exact"
+        );
+    }
+    // The richer workload still matches the fault-free run too.
+    let q3 = rows_of(&submit(&mut baseline, queries::Q3, EngineChoice::Basic));
+    assert_eq!(
+        rows_of(&submit(&mut net, queries::Q3, EngineChoice::Basic)),
+        q3
+    );
+}
+
+#[test]
+fn kill_mid_group_commit_loses_only_the_unsynced_tail() {
+    let run = || {
+        let mut net = build_net(2, 200, 8);
+        let victim = net.peer_ids()[1];
+        // Establish a durable point, then stage three inserts that stay
+        // in the group-commit buffer (window 8 is never reached).
+        net.peer_mut(victim)
+            .unwrap()
+            .db
+            .wal_mut()
+            .unwrap()
+            .flush()
+            .unwrap();
+        let durable = net.peer(victim).unwrap().db.digest();
+        insert_extra_suppliers(&mut net, victim);
+        let staged = net.peer(victim).unwrap().db.digest();
+        assert_ne!(durable, staged);
+
+        net.crash_data_peer(victim).unwrap();
+        net.recover_data_peer(victim).unwrap();
+        let recovered = net.peer(victim).unwrap().db.digest();
+        assert_eq!(
+            recovered, durable,
+            "a kill mid-group-commit rolls back to the last sync, exactly"
+        );
+        // The recovered peer still serves queries.
+        let out = submit(
+            &mut net,
+            "SELECT COUNT(*) AS n FROM supplier",
+            EngineChoice::Basic,
+        );
+        (recovered, rows_of(&out), format!("{:?}", net.fault_log()))
+    };
+    assert_eq!(run(), run(), "crash recovery is deterministic");
+}
+
+#[test]
+fn torn_final_record_is_discarded_cleanly() {
+    let run = || {
+        let mut net = build_net(2, 200, 8);
+        let victim = net.peer_ids()[1];
+        net.peer_mut(victim)
+            .unwrap()
+            .db
+            .wal_mut()
+            .unwrap()
+            .flush()
+            .unwrap();
+        let durable = net.peer(victim).unwrap().db.digest();
+        insert_extra_suppliers(&mut net, victim);
+
+        // 10 bytes is always mid-frame (the header alone is 20), so the
+        // power cut tears the first staged record in half.
+        net.torn_crash_data_peer(victim, 10).unwrap();
+        assert!(
+            net.metrics().counter("wal.torn_tails") >= 1,
+            "the torn tail must be detected and counted"
+        );
+        net.recover_data_peer(victim).unwrap();
+        let recovered = net.peer(victim).unwrap().db.digest();
+        assert_eq!(
+            recovered, durable,
+            "replay must stop at the tear and keep the durable prefix"
+        );
+        let out = submit(
+            &mut net,
+            "SELECT COUNT(*) AS n FROM supplier",
+            EngineChoice::Basic,
+        );
+        (recovered, rows_of(&out), format!("{:?}", net.fault_log()))
+    };
+    assert_eq!(run(), run(), "torn recovery is deterministic");
+}
+
+#[test]
+fn torn_crash_keeping_whole_records_replays_them() {
+    let mut net = build_net(2, 200, 8);
+    let victim = net.peer_ids()[1];
+    net.peer_mut(victim)
+        .unwrap()
+        .db
+        .wal_mut()
+        .unwrap()
+        .flush()
+        .unwrap();
+    let durable = net.peer(victim).unwrap().db.digest();
+    insert_extra_suppliers(&mut net, victim);
+    let staged = net.peer(victim).unwrap().db.digest();
+
+    // Keep far more bytes than the staged records occupy: the "torn"
+    // crash actually persisted the whole buffer, so replay recovers the
+    // full staged state.
+    net.torn_crash_data_peer(victim, u32::MAX).unwrap();
+    net.recover_data_peer(victim).unwrap();
+    let recovered = net.peer(victim).unwrap().db.digest();
+    assert_eq!(recovered, staged, "whole surviving records must replay");
+    assert_ne!(recovered, durable);
+}
+
+#[test]
+fn seeded_torn_chaos_plan_is_reproducible_and_answer_preserving() {
+    let sql = "SELECT COUNT(*) AS n FROM lineitem";
+    let mut clean = build_net(3, 240, 1);
+    let want = rows_of(&submit(&mut clean, sql, EngineChoice::Basic));
+
+    let run = |seed: u64| {
+        let mut net = build_net(3, 240, 1);
+        net.backup_all().unwrap();
+        bestpeer_chaos::FaultPlanBuilder::new(seed, &net.peer_ids())
+            .torn_crash_recover(1..6, 3..8, 64)
+            .build()
+            .install(&mut net);
+        let out = submit(&mut net, sql, EngineChoice::Basic);
+        (rows_of(&out), format!("{:?}", net.fault_log()))
+    };
+    let first = run(0x70A2_C4A5);
+    let second = run(0x70A2_C4A5);
+    assert_eq!(first, second, "same seed, same torn trace, same answer");
+    // With a group window of 1 every insert is synced, so even a torn
+    // crash replays the full partition and answers stay exact.
+    assert_eq!(first.0, want);
+    let out = submit(&mut clean, sql, EngineChoice::Basic);
+    assert_eq!(
+        out.result.rows[0].get(0),
+        &Value::Int(3 * 240),
+        "sanity: the count covers all three partitions"
+    );
+}

@@ -43,6 +43,14 @@ pub fn stable_hash(v: &Value) -> u64 {
     }
 }
 
+/// A stable 64-bit hash of a raw byte slice: FNV-1a finalized through
+/// [`mix64`]. The write-ahead log uses it as the record checksum, so —
+/// like [`stable_hash`] — the function is fixed for all time: logs
+/// written by one build must replay under any other.
+pub fn stable_hash_bytes(bytes: &[u8]) -> u64 {
+    mix64(fnv1a(FNV_OFFSET, bytes))
+}
+
 /// A cheap bijective finalizer (SplitMix64): derives an independent
 /// second hash from a first — what double-hashing schemes (bloom
 /// filters) need without hashing the value twice.
@@ -89,6 +97,14 @@ mod tests {
         assert_eq!(stable_hash(&Value::Int(42)), 0x51b6_3adc_8f33_5331);
         assert_eq!(stable_hash(&Value::str("FRANCE")), 0xd9e9_1801_20f3_de1d);
         assert_eq!(stable_hash(&Value::Date(9131)), 0x7cbc_ccae_675c_65c3);
+    }
+
+    #[test]
+    fn byte_hashes_are_pinned_forever() {
+        // WAL checksum contract: a log written by any build must verify
+        // under any other. Never update these constants.
+        assert_eq!(stable_hash_bytes(b""), mix64(FNV_OFFSET));
+        assert_eq!(stable_hash_bytes(b"bestpeer"), 0xf866_f78f_7b42_1b0b);
     }
 
     #[test]

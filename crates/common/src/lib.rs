@@ -25,7 +25,7 @@ pub mod schema;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use hash::{mix64, stable_hash};
+pub use hash::{mix64, stable_hash, stable_hash_bytes};
 pub use ids::{InstanceId, PeerId, UserId};
 pub use row::{Row, SharedRow};
 pub use schema::{ColumnDef, ColumnType, TableSchema};

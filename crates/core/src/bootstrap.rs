@@ -338,7 +338,15 @@ impl BootstrapPeer {
                 };
                 if let Some(peer) = peers.get_mut(&pid) {
                     peer.instance = new_instance;
+                    // Keep the WAL device across the image swap — and do
+                    // NOT checkpoint yet: the network's Recover sync
+                    // still needs to replay the old log to decide
+                    // whether it is fresher than this restored backup.
+                    let wal = peer.db.detach_wal();
                     peer.db = restored;
+                    if let Some(w) = wal {
+                        peer.db.adopt_wal(w);
+                    }
                 }
                 self.blacklist_instance(pid, record.instance, BlacklistReason::FailedOver);
                 self.peer_list.get_mut(&pid).expect("listed").instance = new_instance;

@@ -24,9 +24,20 @@ use bestpeer_simnet::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
     /// The peer's process stops serving subqueries (and its instance
-    /// stops answering heartbeats) until recovery or fail-over.
+    /// stops answering heartbeats) until recovery or fail-over. A
+    /// durable peer loses unsynced WAL appends (kill-9 between fsyncs).
     Crash(PeerId),
-    /// The peer's process comes back with its data intact.
+    /// Like [`FaultAction::Crash`], but the kill lands mid-write: the
+    /// first `keep` bytes of the peer's unsynced WAL buffer reach the
+    /// durable log — a torn final record that recovery must discard.
+    TornCrash {
+        /// The affected peer.
+        peer: PeerId,
+        /// Unsynced bytes persisted by the torn write.
+        keep: u32,
+    },
+    /// The peer's process comes back and recovers its data (WAL replay
+    /// for durable peers, memory image for legacy ones).
     Recover(PeerId),
     /// The link to the peer degrades: every subquery it serves while
     /// slowed is charged `extra` additional latency in the cost trace.
@@ -55,6 +66,9 @@ impl fmt::Display for FaultAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultAction::Crash(p) => write!(f, "crash {p}"),
+            FaultAction::TornCrash { peer, keep } => {
+                write!(f, "torn-crash {peer} keep {keep}B")
+            }
             FaultAction::Recover(p) => write!(f, "recover {p}"),
             FaultAction::SlowLink { peer, extra } => {
                 write!(f, "slow-link {peer} +{}us", extra.as_micros())
@@ -146,7 +160,7 @@ impl FaultState {
 
     fn apply(&self, now: u64, action: FaultAction) {
         match action {
-            FaultAction::Crash(p) => {
+            FaultAction::Crash(p) | FaultAction::TornCrash { peer: p, .. } => {
                 self.down.borrow_mut().insert(p);
             }
             FaultAction::Recover(p) => {

@@ -78,28 +78,30 @@ impl DataLoader {
         }
         let ts = self.next_timestamp;
         self.next_timestamp += 1;
-        db.set_load_timestamp(ts);
+        db.set_load_timestamp(ts)?;
         report.timestamp = ts;
         Ok(report)
     }
 }
 
 /// Apply a change set to one table: deletes first (by full-row match via
-/// primary key when available), then inserts.
+/// primary key when available), then inserts. Goes through the
+/// `Database`-level operations so every change is WAL-logged and
+/// survives a peer crash.
 fn apply_changes(db: &mut Database, table: &str, changes: &ChangeSet) -> Result<()> {
-    let t = db.table_mut(table)?;
-    let has_pk = !t.schema().primary_key.is_empty();
+    let has_pk = !db.table(table)?.schema().primary_key.is_empty();
     for row in &changes.deletes {
         if has_pk {
-            let key = t.schema().key_of(row);
-            t.delete_by_key(&key)?;
-        } else if let Some(rid) = t.find_row_id(row) {
-            // No primary key: locate an identical live row by content.
-            t.delete_row(rid)?;
+            let key = db.table(table)?.schema().key_of(row);
+            db.delete_by_key(table, &key)?;
+        } else {
+            // No primary key: locate an identical live row by content
+            // (skip-if-absent, mirroring the previous behavior).
+            db.delete_exact(table, row)?;
         }
     }
-    for row in &changes.inserts {
-        t.insert(row.clone())?;
+    if !changes.inserts.is_empty() {
+        db.bulk_insert(table, changes.inserts.clone())?;
     }
     Ok(())
 }

@@ -18,7 +18,7 @@ use bestpeer_simnet::{Cluster, Phase, ResourceConfig, SimTime, Task, Trace};
 use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::exec::ResultSet;
 use bestpeer_sql::parse_select;
-use bestpeer_storage::Database;
+use bestpeer_storage::{CrashOutcome, Database, MemDevice, Wal};
 use bestpeer_telemetry::{EngineSelection, MetricsRegistry, QueryReport};
 
 use crate::access::Role;
@@ -75,6 +75,16 @@ pub struct NetworkConfig {
     pub result_cache: bool,
     /// Byte budget of each peer's result cache (LRU beyond it).
     pub result_cache_budget: u64,
+    /// Attach a write-ahead log to every joining peer so crashes
+    /// recover from the local log instead of losing in-memory state.
+    pub durability: bool,
+    /// WAL group-commit window: records per fsync. 1 (the default)
+    /// syncs every logical operation — strict durability, and the mode
+    /// under which crash replay is byte-identical to pre-crash state.
+    pub wal_group_window: u64,
+    /// Log bytes that trigger an automatic checkpoint (0 = checkpoint
+    /// only on demand).
+    pub wal_checkpoint_bytes: u64,
 }
 
 impl Default for NetworkConfig {
@@ -95,6 +105,9 @@ impl Default for NetworkConfig {
             resources: ResourceConfig::default(),
             result_cache: true,
             result_cache_budget: 32 * 1024 * 1024,
+            durability: true,
+            wal_group_window: 1,
+            wal_checkpoint_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -263,8 +276,19 @@ impl BestPeerNetwork {
     /// A business joins: the bootstrap admits it (§3.1), the cloud
     /// launches its instance, and the new peer enters the BATON overlay.
     pub fn join(&mut self, business: &str) -> Result<PeerId> {
-        let peer = self.bootstrap.admit(business, &mut self.cloud)?;
+        let mut peer = self.bootstrap.admit(business, &mut self.cloud)?;
         let id = peer.id;
+        if self.config.durability {
+            // Attach the redo log; attachment writes a baseline
+            // checkpoint covering the global-schema tables admit()
+            // already created.
+            let wal = Wal::new(
+                Box::new(MemDevice::new()),
+                self.config.wal_group_window,
+                self.config.wal_checkpoint_bytes,
+            );
+            peer.db.attach_wal(wal)?;
+        }
         self.overlay.join(id)?;
         self.peers.insert(id, peer);
         // A join changes no index entries (the newcomer publishes on
@@ -354,7 +378,7 @@ impl BestPeerNetwork {
             for (table, rows) in data {
                 peer.db.bulk_insert(&table, rows)?;
             }
-            peer.db.set_load_timestamp(timestamp);
+            peer.db.set_load_timestamp(timestamp)?;
         }
         self.publish_indices(id)?;
         Ok(())
@@ -553,8 +577,19 @@ impl BestPeerNetwork {
         self.sync_faults()
     }
 
-    /// Recover a crashed data peer in place (process restart: data
-    /// intact, overlay node restored from replicas, indices republished).
+    /// Crash a data peer with a torn final write: the first `keep`
+    /// bytes of its unsynced WAL buffer reach the durable log before
+    /// the process dies (the classic partial-fsync failure).
+    pub fn torn_crash_data_peer(&mut self, id: PeerId, keep: u32) -> Result<()> {
+        self.peer(id)?;
+        self.faults
+            .inject_now(FaultAction::TornCrash { peer: id, keep });
+        self.sync_faults()
+    }
+
+    /// Recover a crashed data peer in place (process restart: WAL
+    /// replay or replica restore per the recovery decision tree,
+    /// overlay node restored from replicas, indices republished).
     pub fn recover_data_peer(&mut self, id: PeerId) -> Result<()> {
         self.peer(id)?;
         self.faults.inject_now(FaultAction::Recover(id));
@@ -570,6 +605,7 @@ impl BestPeerNetwork {
         if drops > 0 {
             self.overlay.drop_next_inserts(drops);
         }
+        self.drain_wal_metrics();
         let new = self.faults.log_since(self.fault_sync_cursor);
         self.fault_sync_cursor = self.faults.log_len();
         if new.is_empty() {
@@ -577,7 +613,7 @@ impl BestPeerNetwork {
         }
         for rec in &new {
             match rec.action {
-                FaultAction::Crash(p) => {
+                FaultAction::Crash(p) | FaultAction::TornCrash { peer: p, .. } => {
                     // A node crash can take other peers' entries stored
                     // at it down too; every remembered publish state is
                     // now suspect, so force full republishes next time.
@@ -591,6 +627,28 @@ impl BestPeerNetwork {
                             let _ = self.cloud.set_metrics(peer.instance, m);
                         }
                     }
+                    // The kill-9 itself: volatile state is dropped and
+                    // the durable checkpoint + log replay back in. A
+                    // torn crash persists a prefix of the unsynced
+                    // buffer first — the torn final record.
+                    let keep = match rec.action {
+                        FaultAction::TornCrash { keep, .. } => keep as usize,
+                        _ => 0,
+                    };
+                    if let Some(peer) = self.peers.get_mut(&p) {
+                        match peer.db.crash(keep) {
+                            CrashOutcome::Replayed { records, torn_tail } => {
+                                self.metrics.inc_by("wal.replayed_records", records);
+                                if torn_tail {
+                                    self.metrics.inc("wal.torn_tails");
+                                }
+                            }
+                            CrashOutcome::Corrupt => {
+                                self.metrics.inc("wal.corrupt_logs");
+                            }
+                            CrashOutcome::NoWal => {}
+                        }
+                    }
                 }
                 FaultAction::Recover(p) => {
                     if self.overlay.contains(p) {
@@ -602,6 +660,7 @@ impl BestPeerNetwork {
                             m.responsive = true;
                             let _ = self.cloud.set_metrics(instance, m);
                         }
+                        self.recover_peer_storage(p)?;
                         // Recovery must republish in full: the crash may
                         // have lost entries the remembered state still
                         // claims are present.
@@ -612,7 +671,7 @@ impl BestPeerNetwork {
                 FaultAction::AdvanceLoad { peer, ts } => {
                     if let Some(p) = self.peers.get_mut(&peer) {
                         if p.db.load_timestamp() < ts {
-                            p.db.set_load_timestamp(ts);
+                            p.db.set_load_timestamp(ts)?;
                         }
                     }
                 }
@@ -623,6 +682,90 @@ impl BestPeerNetwork {
         }
         self.invalidate_caches();
         Ok(())
+    }
+
+    /// The restart-time recovery decision (tentpole of the durability
+    /// model; see DESIGN.md §14). A restarted durable peer prefers
+    /// replaying its local WAL; a BATON-replicated cloud backup is the
+    /// fallback when the log is corrupt or missing — and when both
+    /// sources exist, *the fresher LSN wins* (ties go to the WAL, which
+    /// is byte-identical and avoids a restore):
+    ///
+    /// 1. WAL replays cleanly, no backup → WAL.
+    /// 2. WAL replays cleanly, backup exists → whichever `last_lsn` is
+    ///    higher (a stale replica must never clobber fresher log state,
+    ///    and a torn log must never clobber a fresher replica).
+    /// 3. WAL corrupt, backup exists → backup; the log is superseded by
+    ///    a fresh checkpoint.
+    /// 4. WAL corrupt, no backup → empty database with the global
+    ///    schemas (the bootstrap-join baseline).
+    ///
+    /// Legacy peers without a WAL keep their in-memory image — the
+    /// pre-durability "data intact on restart" semantics.
+    fn recover_peer_storage(&mut self, p: PeerId) -> Result<()> {
+        let Some(peer) = self.peers.get_mut(&p) else {
+            return Ok(());
+        };
+        if !peer.db.has_wal() {
+            return Ok(());
+        }
+        let instance = peer.instance;
+        let replayed = peer.db.replay_attached().expect("has_wal checked above");
+        let backup = self
+            .cloud
+            .latest_backup(instance)
+            .and_then(|b| self.cloud.restore(b).ok());
+        let peer = self.peers.get_mut(&p).expect("present above");
+        let (source, records) = match (replayed, backup) {
+            (Ok((db, records, _)), Some(replica)) => {
+                if replica.last_lsn() > db.last_lsn() {
+                    peer.db.install_recovered(replica, true)?;
+                    ("replica", 0)
+                } else {
+                    peer.db.install_recovered(db, false)?;
+                    ("wal", records)
+                }
+            }
+            (Ok((db, records, _)), None) => {
+                peer.db.install_recovered(db, false)?;
+                ("wal", records)
+            }
+            (Err(_), Some(replica)) => {
+                peer.db.install_recovered(replica, true)?;
+                ("replica", 0)
+            }
+            (Err(_), None) => {
+                let mut db = Database::new();
+                for s in self.bootstrap.global_schemas() {
+                    db.create_table(s.clone())?;
+                }
+                peer.db.install_recovered(db, true)?;
+                ("schema", 0)
+            }
+        };
+        self.metrics.inc_by("wal.replayed_records", records);
+        self.metrics.inc(&format!("recovery.source.{source}"));
+        Ok(())
+    }
+
+    /// Fold every peer's WAL counters into the registry (`wal.appends`,
+    /// `wal.fsyncs`, `wal.checkpoints`, `wal.bytes`).
+    fn drain_wal_metrics(&mut self) {
+        let mut total = bestpeer_storage::WalStats::default();
+        for peer in self.peers.values_mut() {
+            if let Some(s) = peer.db.drain_wal_stats() {
+                total.appends += s.appends;
+                total.fsyncs += s.fsyncs;
+                total.checkpoints += s.checkpoints;
+                total.bytes += s.bytes;
+            }
+        }
+        if total != bestpeer_storage::WalStats::default() {
+            self.metrics.inc_by("wal.appends", total.appends);
+            self.metrics.inc_by("wal.fsyncs", total.fsyncs);
+            self.metrics.inc_by("wal.checkpoints", total.checkpoints);
+            self.metrics.inc_by("wal.bytes", total.bytes);
+        }
     }
 
     /// One engine execution (a single attempt of the retry loop).

@@ -230,7 +230,7 @@ mod tests {
             )
             .unwrap();
         }
-        p.db.set_load_timestamp(5);
+        p.db.set_load_timestamp(5).unwrap();
         p
     }
 

@@ -51,13 +51,8 @@ fn setup(n: usize, rows: usize) -> (BestPeerNetwork, Database) {
         // Secondary indices of paper Table 4, then load + publish.
         net.load_peer(id, data, 1).unwrap();
         for (t, c) in schema::secondary_indices() {
-            net.peer_mut(id)
-                .unwrap()
-                .db
-                .table_mut(t)
-                .unwrap()
-                .create_index(c)
-                .unwrap();
+            // Database-level DDL so the index is WAL-logged.
+            net.peer_mut(id).unwrap().db.create_index(t, c).unwrap();
         }
     }
     (net, central)
@@ -257,7 +252,7 @@ fn stale_snapshot_rejected_until_peers_catch_up() {
     assert_eq!(net.consistent_timestamp(), 1);
     // After every peer reloads at ts 2, the same query succeeds.
     for id in net.peer_ids() {
-        net.peer_mut(id).unwrap().db.set_load_timestamp(2);
+        net.peer_mut(id).unwrap().db.set_load_timestamp(2).unwrap();
     }
     assert!(net
         .submit_query(submitter, Q1, "R", EngineChoice::Basic, 2)

@@ -1,0 +1,220 @@
+//! Restart-time recovery source selection (DESIGN.md §14 decision
+//! tree), including the fallback-ordering regression: when a BATON
+//! cloud replica and local WAL replay disagree, *the fresher LSN must
+//! win* — a stale replica must never clobber fresher log state, and a
+//! torn log must never clobber a fresher replica.
+
+use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer_core::Role;
+use bestpeer_storage::MemDevice;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::schema;
+
+const ROLE: &str = "R";
+
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(&str, Vec<&str>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.as_str(),
+                t.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[&str])> = spec.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read(ROLE, &borrowed)
+}
+
+fn setup(n: u64, rows: usize, window: u64) -> BestPeerNetwork {
+    let config = NetworkConfig {
+        wal_group_window: window,
+        ..NetworkConfig::default()
+    };
+    let mut net = BestPeerNetwork::new(schema::all_tables(), config);
+    net.define_role(full_read_role());
+    for node in 0..n {
+        let id = net.join(&format!("business-{node}")).unwrap();
+        let data = DbGen::new(TpchConfig::tiny(node).with_rows(rows)).generate();
+        net.load_peer(id, data, 1).unwrap();
+    }
+    net
+}
+
+/// Logged inserts of another partition's supplier rows into `victim`.
+fn insert_extra(net: &mut BestPeerNetwork, victim: bestpeer_common::PeerId) {
+    let extra = DbGen::new(TpchConfig::tiny(55).with_rows(40)).generate();
+    let rows: Vec<_> = extra
+        .into_iter()
+        .find(|(t, _)| t == "supplier")
+        .map(|(_, r)| r)
+        .unwrap();
+    let db = &mut net.peer_mut(victim).unwrap().db;
+    for row in rows {
+        db.insert("supplier", row).unwrap();
+    }
+}
+
+fn corrupt_checkpoint(net: &mut BestPeerNetwork, victim: bestpeer_common::PeerId) {
+    net.peer_mut(victim)
+        .unwrap()
+        .db
+        .wal_mut()
+        .unwrap()
+        .device_mut()
+        .as_any_mut()
+        .downcast_mut::<MemDevice>()
+        .unwrap()
+        .corrupt_checkpoint_byte(12);
+}
+
+#[test]
+fn fresher_wal_beats_stale_replica() {
+    let mut net = setup(2, 200, 1);
+    net.backup_all().unwrap(); // replica snapshots the pre-insert state
+    let victim = net.peer_ids()[1];
+    insert_extra(&mut net, victim);
+    let fresh = net.peer(victim).unwrap().db.digest();
+
+    net.crash_data_peer(victim).unwrap();
+    net.recover_data_peer(victim).unwrap();
+    assert_eq!(
+        net.peer(victim).unwrap().db.digest(),
+        fresh,
+        "regression: a stale replica must never clobber fresher WAL state"
+    );
+    assert!(net.metrics().counter("recovery.source.wal") >= 1);
+    assert_eq!(net.metrics().counter("recovery.source.replica"), 0);
+}
+
+#[test]
+fn fresher_replica_beats_torn_wal() {
+    let mut net = setup(2, 200, 8);
+    let victim = net.peer_ids()[1];
+    net.peer_mut(victim)
+        .unwrap()
+        .db
+        .wal_mut()
+        .unwrap()
+        .flush()
+        .unwrap();
+    insert_extra(&mut net, victim);
+    // The replica is taken *after* the inserts, while the log loses
+    // them to the tear: the replica carries the higher LSN.
+    net.backup_all().unwrap();
+    let fresh = net.peer(victim).unwrap().db.digest();
+
+    net.torn_crash_data_peer(victim, 10).unwrap();
+    net.recover_data_peer(victim).unwrap();
+    assert_eq!(
+        net.peer(victim).unwrap().db.digest(),
+        fresh,
+        "regression: a torn log must never clobber a fresher replica"
+    );
+    assert!(net.metrics().counter("recovery.source.replica") >= 1);
+}
+
+#[test]
+fn mid_log_corruption_counts_as_torn_and_defers_to_fresher_replica() {
+    let mut net = setup(2, 200, 1);
+    let victim = net.peer_ids()[1];
+    insert_extra(&mut net, victim);
+    net.backup_all().unwrap();
+    let fresh = net.peer(victim).unwrap().db.digest();
+
+    // Flip a byte deep in the durable log: replay stops at the damaged
+    // record (a clean torn stop, not a panic) and the replica — which
+    // has the full state — must win on LSN freshness.
+    {
+        let dev = net
+            .peer_mut(victim)
+            .unwrap()
+            .db
+            .wal_mut()
+            .unwrap()
+            .device_mut()
+            .as_any_mut()
+            .downcast_mut::<MemDevice>()
+            .unwrap();
+        let len = dev.durable_len();
+        assert!(len > 64);
+        dev.corrupt_log_byte(len - 30);
+    }
+    net.crash_data_peer(victim).unwrap();
+    net.recover_data_peer(victim).unwrap();
+    assert_eq!(net.peer(victim).unwrap().db.digest(), fresh);
+    assert!(net.metrics().counter("recovery.source.replica") >= 1);
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_replica_without_panicking() {
+    let mut net = setup(2, 200, 1);
+    let victim = net.peer_ids()[1];
+    insert_extra(&mut net, victim);
+    net.backup_all().unwrap();
+    let fresh = net.peer(victim).unwrap().db.digest();
+
+    corrupt_checkpoint(&mut net, victim);
+    net.crash_data_peer(victim).unwrap();
+    assert!(
+        net.metrics().counter("wal.corrupt_logs") >= 1,
+        "the damaged checkpoint must be detected at crash time"
+    );
+    net.recover_data_peer(victim).unwrap();
+    assert_eq!(
+        net.peer(victim).unwrap().db.digest(),
+        fresh,
+        "the replica restores the full pre-crash state"
+    );
+    assert!(net.metrics().counter("recovery.source.replica") >= 1);
+
+    // The recovered peer serves queries normally.
+    let out = net
+        .submit_query(
+            net.peer_ids()[0],
+            "SELECT COUNT(*) AS n FROM supplier",
+            ROLE,
+            EngineChoice::Basic,
+            0,
+        )
+        .unwrap();
+    assert!(!out.result.rows.is_empty());
+}
+
+#[test]
+fn corrupt_checkpoint_without_replica_rebuilds_global_schemas() {
+    let mut net = setup(2, 200, 1);
+    let victim = net.peer_ids()[1];
+    corrupt_checkpoint(&mut net, victim);
+    net.crash_data_peer(victim).unwrap();
+    net.recover_data_peer(victim).unwrap();
+
+    // Last resort: an empty database with the bootstrap's global
+    // schemas — the peer rejoins with its partition lost, not wedged.
+    let db = &net.peer(victim).unwrap().db;
+    assert_eq!(db.total_rows(), 0);
+    for s in schema::all_tables() {
+        assert!(db.has_table(&s.name), "{} must be recreated", s.name);
+    }
+    assert_eq!(net.metrics().counter("recovery.source.schema"), 1);
+
+    // Queries keep answering from the surviving partition only.
+    let out = net
+        .submit_query(
+            net.peer_ids()[0],
+            "SELECT COUNT(*) AS n FROM lineitem",
+            ROLE,
+            EngineChoice::Basic,
+            0,
+        )
+        .unwrap();
+    assert_eq!(
+        out.result.rows[0].get(0),
+        &bestpeer_common::Value::Int(200),
+        "only the surviving peer's partition remains"
+    );
+}

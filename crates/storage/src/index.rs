@@ -49,6 +49,12 @@ impl SecondaryIndex {
         false
     }
 
+    /// Remove every entry, keeping the index definition (`TRUNCATE`).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries = 0;
+    }
+
     /// Row ids whose key equals `key`.
     pub fn lookup_eq(&self, key: &Value) -> Vec<RowId> {
         self.map.get(key).cloned().unwrap_or_default()

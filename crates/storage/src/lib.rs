@@ -13,7 +13,10 @@
 //! - a snapshot store plus the Rabin-fingerprint sort-merge *snapshot
 //!   differential* algorithm the data loader uses to keep extracted data
 //!   consistent with the production system (paper §4.2, refs \[8\] \[18\]),
-//! - per-table statistics feeding the histogram and cost modules.
+//! - per-table statistics feeding the histogram and cost modules,
+//! - a redo-only write-ahead log with group commit, checkpoints, and
+//!   torn-write-tolerant replay ([`wal`]) standing in for the durability
+//!   MySQL's InnoDB provides under each paper instance.
 
 pub mod database;
 pub mod fingerprint;
@@ -22,8 +25,10 @@ pub mod memtable;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
+pub mod wal;
 
-pub use database::Database;
+pub use database::{CrashOutcome, Database};
 pub use memtable::MemTable;
 pub use snapshot::{ChangeSet, Snapshot};
 pub use table::{RowId, Table};
+pub use wal::{FileDevice, LogDevice, Lsn, MemDevice, Wal, WalOp, WalStats};

@@ -81,6 +81,18 @@ impl Table {
         Ok(())
     }
 
+    /// Remove every row, keeping the schema and index *definitions*
+    /// (indices are emptied, not dropped) — SQL `TRUNCATE` semantics.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.primary.clear();
+        for idx in self.secondary.values_mut() {
+            idx.clear();
+        }
+        self.live_rows = 0;
+        self.live_bytes = 0;
+    }
+
     /// Names of columns carrying a secondary index.
     pub fn indexed_columns(&self) -> impl Iterator<Item = &str> {
         self.secondary.keys().map(String::as_str)

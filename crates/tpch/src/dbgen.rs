@@ -357,9 +357,9 @@ pub fn load_into(
     if with_indices {
         for (t, c) in schema::secondary_indices() {
             if db.has_table(t) {
-                let table = db.table_mut(t)?;
-                if !table.indexed_columns().any(|ic| ic == c) {
-                    table.create_index(c)?;
+                // Database-level DDL so the index is WAL-logged.
+                if !db.table(t)?.indexed_columns().any(|ic| ic == c) {
+                    db.create_index(t, c)?;
                 }
             }
         }

@@ -37,8 +37,20 @@ run_test() {
   echo "==> cache bench (writes BENCH_cache.json; asserts byte-identical results, >=30% latency cut)"
   cargo run --release -q -p bestpeer-bench --bin cache_bench
 
+  echo "==> wal bench (writes BENCH_wal.json; asserts digest-identical replay, group-commit batching)"
+  cargo run --release -q -p bestpeer-bench --bin wal_bench
+
   echo "==> bench-regression gate (fresh BENCH_*.json vs baselines/, fail on >30% regression)"
   ./scripts/bench_compare.sh
+
+  echo "==> recovery + durability chaos suites (default threads)"
+  cargo test -q -p bestpeer-storage --test wal_file
+  cargo test -q -p bestpeer-core --test recovery
+  cargo test -q -p bestpeer-chaos --test recovery_chaos
+
+  echo "==> recovery + durability chaos suites (BESTPEER_THREADS=1: replay must be byte-identical on the sequential path too)"
+  BESTPEER_THREADS=1 cargo test -q -p bestpeer-core --test recovery
+  BESTPEER_THREADS=1 cargo test -q -p bestpeer-chaos --test recovery_chaos
 
   echo "==> figures smoke run (writes figures_output.txt)"
   cargo run --release -q -p bestpeer-bench --bin figures -- \
