@@ -15,8 +15,10 @@ use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::decompose::decompose;
 use bestpeer_sql::plan::Binding;
 
+use bestpeer_sql::SelectivityEstimator;
+
 use crate::cost::{self, CostParams, EngineDecision, LevelOp, LevelSpec, ProcessingGraph};
-use crate::histogram::{Histogram, QueryRegion};
+use crate::histogram::{Histogram, HistogramSelectivity};
 
 use super::{mr, parallel, EngineCtx, EngineOutput};
 
@@ -62,35 +64,20 @@ impl GlobalStats {
     }
 
     /// Fraction of a table's tuples satisfying the query's predicates on
-    /// it, from the histogram when available (1.0 otherwise).
+    /// it, from the histogram when available (1.0 otherwise). Delegates
+    /// to the same [`HistogramSelectivity`] hook the SQL planner's
+    /// access-path and join-order decisions consult.
     fn predicate_selectivity(&self, stmt: &SelectStmt, table: &str) -> f64 {
-        let Some(hist) = self.histograms.get(table) else {
-            return 1.0;
-        };
-        let mut region = QueryRegion::unbounded(hist.columns.len());
-        let mut constrained = false;
-        for p in &stmt.predicates {
-            let Some((cref, op, lit)) = p.as_column_literal() else {
-                continue;
-            };
-            let Some(dim) = hist.dim_of(&cref.column) else {
-                continue;
-            };
-            let x = lit.numeric_rank();
-            use bestpeer_sql::ast::CmpOp::*;
-            region = match op {
-                Eq => region.constrain(dim, x, x),
-                Lt | Le => region.constrain(dim, f64::NEG_INFINITY, x),
-                Gt | Ge => region.constrain(dim, x, f64::INFINITY),
-                Ne => region,
-            };
-            constrained = true;
-        }
-        if constrained {
-            hist.selectivity(&region).max(1e-9)
-        } else {
-            1.0
-        }
+        self.estimator()
+            .selectivity(table, &stmt.predicates)
+            .unwrap_or(1.0)
+    }
+
+    /// A [`SelectivityEstimator`] view over these statistics, pluggable
+    /// into [`bestpeer_sql::plan_physical`] and
+    /// [`bestpeer_sql::explain_physical`].
+    pub fn estimator(&self) -> HistogramSelectivity<'_> {
+        HistogramSelectivity::new(&self.histograms)
     }
 }
 

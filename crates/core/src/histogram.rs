@@ -15,8 +15,12 @@
 //! §5.1: relation size `ES(R)`, region counts `EC(H, Q_R)`, and pairwise
 //! equi-join result size `ES(q)`.
 
+use std::collections::BTreeMap;
+
 use bestpeer_baton::{Key, Overlay};
 use bestpeer_common::{Error, Result};
+use bestpeer_sql::ast::CmpOp;
+use bestpeer_sql::{Expr, SelectivityEstimator};
 use bestpeer_storage::Table;
 
 /// One histogram bucket: a hyper-rectangle with a tuple count.
@@ -188,6 +192,63 @@ pub fn estimate_join_size(
         .chain(ry_region.constrained_widths())
         .product();
     (ecx * ecy / w.max(1.0)).max(0.0)
+}
+
+// ------------------------------------------------------------------
+// Planner hook: histogram-backed selectivity estimation
+// ------------------------------------------------------------------
+
+/// Build the query region of `predicates` against `hist`'s dimensions.
+/// Returns `None` when no predicate constrains any histogram dimension —
+/// callers must then fall back to other statistics (index cardinalities,
+/// the predicate-shape heuristic) rather than treating the table as
+/// unfiltered.
+pub fn region_for_predicates(hist: &Histogram, predicates: &[Expr]) -> Option<QueryRegion> {
+    let mut region = QueryRegion::unbounded(hist.columns.len());
+    let mut constrained = false;
+    for p in predicates {
+        let Some((cref, op, lit)) = p.as_column_literal() else {
+            continue;
+        };
+        let Some(dim) = hist.dim_of(&cref.column) else {
+            continue;
+        };
+        let x = lit.numeric_rank();
+        region = match op {
+            CmpOp::Eq => region.constrain(dim, x, x),
+            CmpOp::Lt | CmpOp::Le => region.constrain(dim, f64::NEG_INFINITY, x),
+            CmpOp::Gt | CmpOp::Ge => region.constrain(dim, x, f64::INFINITY),
+            CmpOp::Ne => continue,
+        };
+        constrained = true;
+    }
+    constrained.then_some(region)
+}
+
+/// A [`SelectivityEstimator`] over per-table MHIST histograms — the
+/// planner hook through which the SQL layer's access-path and
+/// join-order decisions see the §5.1 statistics. Tables without a
+/// histogram (or whose predicates touch no histogram dimension) report
+/// `None`, so the planner falls back to index cardinalities and then
+/// the shape heuristic.
+#[derive(Debug, Clone)]
+pub struct HistogramSelectivity<'a> {
+    histograms: &'a BTreeMap<String, Histogram>,
+}
+
+impl<'a> HistogramSelectivity<'a> {
+    /// Wrap a set of per-table histograms.
+    pub fn new(histograms: &'a BTreeMap<String, Histogram>) -> Self {
+        HistogramSelectivity { histograms }
+    }
+}
+
+impl SelectivityEstimator for HistogramSelectivity<'_> {
+    fn selectivity(&self, table: &str, predicates: &[Expr]) -> Option<f64> {
+        let hist = self.histograms.get(table)?;
+        let region = region_for_predicates(hist, predicates)?;
+        Some(hist.selectivity(&region).max(1e-9))
+    }
 }
 
 /// MHIST-2 with MaxDiff: repeatedly split the bucket/dimension whose

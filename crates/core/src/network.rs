@@ -553,6 +553,22 @@ impl BestPeerNetwork {
         Ok(())
     }
 
+    /// EXPLAIN the physical plan the submitter's local executor would
+    /// run for `sql`: per-table access paths (SeqScan vs IndexScan with
+    /// bounds), cardinality-ordered join tree, and projection pruning.
+    /// When global statistics have been collected
+    /// ([`BestPeerNetwork::collect_statistics`]), the plan is costed
+    /// with the network's MHIST histograms; otherwise the planner falls
+    /// back to local index cardinalities and the shape heuristic.
+    pub fn explain_query(&self, submitter: PeerId, sql: &str) -> Result<String> {
+        let stmt = parse_select(sql)?;
+        let db = &self.peer(submitter)?.db;
+        match &self.stats {
+            Some(stats) => bestpeer_sql::explain_physical(&stmt, db, &stats.estimator()),
+            None => bestpeer_sql::explain_physical(&stmt, db, &bestpeer_sql::NoStats),
+        }
+    }
+
     /// The fault-injection state (chaos harnesses schedule faults here).
     pub fn faults(&self) -> &FaultState {
         &self.faults

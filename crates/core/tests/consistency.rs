@@ -77,6 +77,13 @@ fn full_read_role() -> Role {
 }
 
 fn setup(n: usize, rows: usize) -> (BestPeerNetwork, Database) {
+    setup_with(n, rows, true)
+}
+
+/// Like [`setup`], but `with_indices` controls whether the Table-4
+/// secondary indices exist — i.e. whether the cost-based planner can
+/// pick IndexScan access paths at all.
+fn setup_with(n: usize, rows: usize, with_indices: bool) -> (BestPeerNetwork, Database) {
     let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
     net.define_role(full_read_role());
     let mut central = Database::new();
@@ -93,9 +100,11 @@ fn setup(n: usize, rows: usize) -> (BestPeerNetwork, Database) {
             central.bulk_insert(table, rows.clone()).unwrap();
         }
         net.load_peer(id, data, 1).unwrap();
-        for (t, c) in schema::secondary_indices() {
-            // Database-level DDL so the index is WAL-logged.
-            net.peer_mut(id).unwrap().db.create_index(t, c).unwrap();
+        if with_indices {
+            for (t, c) in schema::secondary_indices() {
+                // Database-level DDL so the index is WAL-logged.
+                net.peer_mut(id).unwrap().db.create_index(t, c).unwrap();
+            }
         }
     }
     (net, central)
@@ -342,6 +351,50 @@ fn results_reports_and_traces_identical_at_any_thread_count() {
                         got, expect,
                         "outcome {i} diverged at {threads} worker threads"
                     );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_choice_is_invisible_across_engines_indices_and_threads() {
+    // Acceptance sweep for cost-based access paths: the same queries on
+    // the same data must produce byte-identical row sequences per engine
+    // whether the secondary indices exist (IndexScan plans available) or
+    // not (SeqScan only), at 1, 2, and 8 worker threads. Each run is
+    // also checked against the centralized reference, so all three
+    // engines agree with each other up to float-summation tolerance.
+    let mut reference: Option<Vec<String>> = None;
+    for with_indices in [false, true] {
+        for threads in [1usize, 2, 8] {
+            bestpeer_common::pool::set_threads(threads);
+            let (mut net, central) = setup_with(3, 800, with_indices);
+            let submitter = net.peer_ids()[0];
+            let mut digests = Vec::new();
+            for sql in ORDERED_QUERIES {
+                let (want, _) = execute_select(&parse_select(sql).unwrap(), &central).unwrap();
+                for &engine in ENGINES {
+                    let out = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+                    assert!(
+                        rows_seq_eq(&out.result.rows, &want.rows),
+                        "{engine:?} (indices={with_indices}, threads={threads}) \
+                         disagrees with centralized on {sql}"
+                    );
+                    digests.push(format!("{:?}", out.result.rows));
+                }
+            }
+            bestpeer_common::pool::clear_threads();
+            match &reference {
+                None => reference = Some(digests),
+                Some(want) => {
+                    for (i, (got, expect)) in digests.iter().zip(want).enumerate() {
+                        assert_eq!(
+                            got, expect,
+                            "digest {i} changed with indices={with_indices}, \
+                             threads={threads}: plan choice leaked into results"
+                        );
+                    }
                 }
             }
         }

@@ -1,11 +1,18 @@
 //! The materializing executor.
 //!
-//! Walks a [`Plan`] bottom-up, materializing each operator's output.
-//! Scans are index-aware: when a pushed-down predicate compares an
-//! indexed column against a literal, the scan drives off the secondary
-//! index instead of reading the whole table — this is what makes the
-//! paper's Q1/Q2 fast on both systems (§6.1.6: "both systems benefit
-//! from the secondary indices built on l_shipdate and l_commitdate").
+//! [`execute_select`] lowers a statement to a cost-based [`PhysPlan`]
+//! (access-path selection, cardinality-ordered joins, projection
+//! pruning — see [`crate::phys`]) and walks it bottom-up with
+//! [`run_physical`], materializing each operator's output. Index scans
+//! drive off a secondary index when the planner estimates the matching
+//! fraction below [`INDEX_SELECTIVITY_THRESHOLD`] — this is what makes
+//! the paper's Q1/Q2 fast on both systems (§6.1.6: "both systems
+//! benefit from the secondary indices built on l_shipdate and
+//! l_commitdate") — and fetch their row ids sorted ascending, so the
+//! visible row sequence never depends on which access path ran. The
+//! logical [`run`] entry point remains for un-planned callers holding a
+//! bare [`Plan`]; its scans estimate candidates from index statistics
+//! and materialize only the winning posting lists.
 //!
 //! Two hot-path properties:
 //!
@@ -27,14 +34,14 @@
 use std::borrow::Borrow;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::ops::Bound;
 use std::sync::Arc;
 
 use bestpeer_common::{mix64, pool, stable_hash, Error, Result, Row, SharedRow, Value};
-use bestpeer_storage::{Database, Table};
+use bestpeer_storage::{Database, RowId, Table};
 
-use crate::ast::{AggFunc, CmpOp, Expr, SelectStmt};
-use crate::plan::{eval, eval_bool, plan_select, AggItem, Binding, Plan};
+use crate::ast::{AggFunc, Expr, SelectStmt};
+use crate::phys::{best_index_candidate, plan_physical, PhysPlan, INDEX_SELECTIVITY_THRESHOLD};
+use crate::plan::{eval, eval_bool, AggItem, Binding, NoStats, Plan, SelectivityEstimator};
 
 /// A materialized query result.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -107,11 +114,24 @@ impl ExecStats {
     }
 }
 
-/// Parse-plan-execute convenience for a full `SELECT`.
+/// Parse-plan-execute convenience for a full `SELECT`, planned without
+/// external statistics (index statistics still drive access-path
+/// choice).
 pub fn execute_select(stmt: &SelectStmt, db: &Database) -> Result<(ResultSet, ExecStats)> {
-    let plan = plan_select(stmt, db)?;
+    execute_select_with(stmt, db, &NoStats)
+}
+
+/// Execute `stmt` through the cost-based physical planner, with a
+/// caller-provided selectivity estimator (histograms in
+/// `bestpeer-core`) informing join order and access-path choice.
+pub fn execute_select_with(
+    stmt: &SelectStmt,
+    db: &Database,
+    est: &dyn SelectivityEstimator,
+) -> Result<(ResultSet, ExecStats)> {
+    let plan = plan_physical(stmt, db, est)?;
     let mut stats = ExecStats::default();
-    let shared = run(&plan, db, &mut stats)?;
+    let shared = run_physical(&plan, db, &mut stats)?;
     stats.rows_output = shared.len() as u64;
     // Detach the pipeline output into an owned result. Rows built by an
     // operator (join/aggregate/project output) are uniquely held and
@@ -135,6 +155,157 @@ pub fn execute_select(stmt: &SelectStmt, db: &Database) -> Result<(ResultSet, Ex
     ))
 }
 
+/// Execute a physical plan, materializing its output as shared row
+/// handles.
+pub fn run_physical(
+    plan: &PhysPlan,
+    db: &Database,
+    stats: &mut ExecStats,
+) -> Result<Vec<SharedRow>> {
+    match plan {
+        PhysPlan::SeqScan {
+            table,
+            filters,
+            binding,
+            ..
+        } => {
+            stats.full_scans += 1;
+            seq_scan_rows(db.table(table)?, filters, binding, stats)
+        }
+        PhysPlan::IndexScan {
+            table,
+            column,
+            bounds,
+            driving,
+            filters,
+            binding,
+            ..
+        } => {
+            let t = db.table(table)?;
+            let mut ids = bounds.lookup(t, column).ok_or_else(|| {
+                Error::Internal(format!("planned index `{table}.{column}` is missing"))
+            })?;
+            // The index yields ids in key order with per-key order
+            // depending on delete history (`swap_remove`). RowId order
+            // is insertion order — the sequential scan's order — so
+            // sorting keeps access-path choice invisible in results.
+            ids.sort_unstable();
+            stats.index_scans += 1;
+            index_scan_rows(t, &ids, *driving, filters, binding, stats)
+        }
+        PhysPlan::Prune { input, cols, .. } => {
+            let rows = run_physical(input, db, stats)?;
+            Ok(prune_rows(&rows, cols, stats))
+        }
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            ..
+        } => {
+            let l = run_physical(left, db, stats)?;
+            let r = run_physical(right, db, stats)?;
+            Ok(hash_join(&l, &r, *left_key, *right_key, stats))
+        }
+        PhysPlan::CrossJoin { left, right, .. } => {
+            let l = run_physical(left, db, stats)?;
+            let r = run_physical(right, db, stats)?;
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for a in &l {
+                for b in &r {
+                    out.push(SharedRow::new(a.concat(b)));
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::Filter {
+            input,
+            predicates,
+            binding,
+        } => {
+            let rows = run_physical(input, db, stats)?;
+            filter_rows(rows, predicates, binding, stats)
+        }
+        PhysPlan::Aggregate {
+            input, group, aggs, ..
+        } => {
+            let rows = run_physical(input, db, stats)?;
+            let chunks = pool::morsels(rows.len());
+            if chunks.len() > 1 {
+                stats.parallel_morsels += chunks.len() as u64;
+            }
+            let out = aggregate_slice(&rows, input.binding(), group, aggs)?;
+            Ok(out.into_iter().map(SharedRow::new).collect())
+        }
+        PhysPlan::Sort {
+            input,
+            keys,
+            binding,
+        } => {
+            let mut rows = run_physical(input, db, stats)?;
+            sort_shared(&mut rows, keys, binding)?;
+            Ok(rows)
+        }
+        PhysPlan::Project { input, exprs, .. } => {
+            let rows = run_physical(input, db, stats)?;
+            project_rows(&rows, exprs, input.binding(), stats)
+        }
+        // Same bounded top-K special cases as the logical walker.
+        PhysPlan::Limit { input, n, .. } => match &**input {
+            PhysPlan::Sort {
+                input: sorted,
+                keys,
+                binding,
+            } => {
+                let rows = run_physical(sorted, db, stats)?;
+                top_k_shared(rows, keys, binding, *n, stats)
+            }
+            PhysPlan::Project {
+                input: projected,
+                exprs,
+                ..
+            } if matches!(&**projected, PhysPlan::Sort { .. }) => {
+                let PhysPlan::Sort {
+                    input: sorted,
+                    keys,
+                    binding,
+                } = &**projected
+                else {
+                    unreachable!("guarded by matches!")
+                };
+                let rows = run_physical(sorted, db, stats)?;
+                let rows = top_k_shared(rows, keys, binding, *n, stats)?;
+                project_rows(&rows, exprs, binding, stats)
+            }
+            _ => {
+                let mut rows = run_physical(input, db, stats)?;
+                rows.truncate(*n);
+                Ok(rows)
+            }
+        },
+    }
+}
+
+/// Narrow each row to the kept column positions (projection pruning).
+/// 1:1 and order-preserving; morsel-parallel like [`project_rows`].
+fn prune_rows(rows: &[SharedRow], cols: &[usize], stats: &mut ExecStats) -> Vec<SharedRow> {
+    let prune_one = |row: &SharedRow| -> SharedRow {
+        SharedRow::new(Row::new(cols.iter().map(|&i| row.get(i).clone()).collect()))
+    };
+    let chunks = pool::morsels(rows.len());
+    if chunks.len() <= 1 {
+        return rows.iter().map(prune_one).collect();
+    }
+    stats.parallel_morsels += chunks.len() as u64;
+    pool::run_tasks(&chunks, |_, &(lo, hi)| {
+        rows[lo..hi].iter().map(prune_one).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Execute a plan, materializing its output as shared row handles.
 pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<SharedRow>> {
     match plan {
@@ -142,7 +313,7 @@ pub fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<Vec<Shar
             table,
             filters,
             binding,
-        } => scan(db.table(table)?, filters, binding, stats),
+        } => scan(db.table(table)?, table, filters, binding, stats),
         Plan::HashJoin {
             left,
             right,
@@ -317,103 +488,116 @@ fn all_true(preds: &[Expr], row: &Row, b: &Binding) -> Result<bool> {
     Ok(true)
 }
 
-/// Index-aware scan: pick the most selective applicable secondary index
-/// among the pushed predicates (`=` preferred over range), fetch matching
-/// row ids, then apply the remaining predicates.
+/// Index-aware scan for the logical (un-planned) path: estimate every
+/// sargable indexed candidate from index statistics *first*, then
+/// materialize only the winner's posting lists — and only when its
+/// estimated fraction clears the planner's cost threshold; wide ranges
+/// fall back to the sequential scan. Mirrors the physical planner's
+/// access-path choice so `run` and `run_physical` agree.
 fn scan(
+    table: &Table,
+    name: &str,
+    filters: &[Expr],
+    binding: &Binding,
+    stats: &mut ExecStats,
+) -> Result<Vec<SharedRow>> {
+    if let Some((driving, column, bounds, frac)) =
+        best_index_candidate(table, name, filters, &NoStats)
+    {
+        if frac <= INDEX_SELECTIVITY_THRESHOLD {
+            let mut ids = bounds.lookup(table, &column).ok_or_else(|| {
+                Error::Internal(format!("chosen index `{name}.{column}` is missing"))
+            })?;
+            // RowId (insertion) order, not key order — see run_physical.
+            ids.sort_unstable();
+            stats.index_scans += 1;
+            return index_scan_rows(table, &ids, driving, filters, binding, stats);
+        }
+    }
+    stats.full_scans += 1;
+    seq_scan_rows(table, filters, binding, stats)
+}
+
+/// Fetch `ids` (pre-sorted ascending) and apply every filter except the
+/// driving predicate, which the index probe already satisfied.
+fn index_scan_rows(
+    table: &Table,
+    ids: &[RowId],
+    driving: usize,
+    filters: &[Expr],
+    binding: &Binding,
+    stats: &mut ExecStats,
+) -> Result<Vec<SharedRow>> {
+    let mut out = Vec::new();
+    for &rid in ids {
+        let row = table
+            .get_shared(rid)
+            .ok_or_else(|| Error::Internal(format!("dangling index row id {rid}")))?;
+        stats.rows_scanned += 1;
+        stats.bytes_scanned += row.byte_size();
+        let mut ok = true;
+        for (i, p) in filters.iter().enumerate() {
+            if i != driving && !eval_bool(p, &row, binding)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            stats.rows_shared += 1;
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Full-table scan + filter in RowId order, morsel-parallel when the
+/// table spans more than one morsel.
+fn seq_scan_rows(
     table: &Table,
     filters: &[Expr],
     binding: &Binding,
     stats: &mut ExecStats,
 ) -> Result<Vec<SharedRow>> {
-    // Find sargable predicates over indexed columns.
-    let mut best: Option<(usize, Vec<u64>)> = None; // (pred idx, row ids)
-    for (i, p) in filters.iter().enumerate() {
-        let Some((cref, op, lit)) = p.as_column_literal() else {
-            continue;
-        };
-        let Some(idx) = table.index_on(&cref.column) else {
-            continue;
-        };
-        let ids = match op {
-            CmpOp::Eq => idx.lookup_eq(lit),
-            CmpOp::Lt => idx.lookup_range(Bound::Unbounded, Bound::Excluded(lit)),
-            CmpOp::Le => idx.lookup_range(Bound::Unbounded, Bound::Included(lit)),
-            CmpOp::Gt => idx.lookup_range(Bound::Excluded(lit), Bound::Unbounded),
-            CmpOp::Ge => idx.lookup_range(Bound::Included(lit), Bound::Unbounded),
-            CmpOp::Ne => continue, // not index-friendly
-        };
-        match &best {
-            Some((_, prev)) if prev.len() <= ids.len() => {}
-            _ => best = Some((i, ids)),
-        }
-    }
     let mut out = Vec::new();
-    match best {
-        Some((driving, ids)) => {
-            stats.index_scans += 1;
-            for rid in ids {
-                let row = table
-                    .get_shared(rid)
-                    .ok_or_else(|| Error::Internal(format!("dangling index row id {rid}")))?;
-                stats.rows_scanned += 1;
-                stats.bytes_scanned += row.byte_size();
-                let mut ok = true;
-                for (i, p) in filters.iter().enumerate() {
-                    if i != driving && !eval_bool(p, &row, binding)? {
-                        ok = false;
-                        break;
-                    }
-                }
-                if ok {
-                    stats.rows_shared += 1;
-                    out.push(row);
-                }
+    let rows: Vec<SharedRow> = table.scan_shared().collect();
+    let chunks = pool::morsels(rows.len());
+    if chunks.len() <= 1 {
+        for row in rows {
+            stats.rows_scanned += 1;
+            stats.bytes_scanned += row.byte_size();
+            if all_true(filters, &row, binding)? {
+                stats.rows_shared += 1;
+                out.push(row);
             }
         }
-        None => {
-            stats.full_scans += 1;
-            let rows: Vec<SharedRow> = table.scan_shared().collect();
-            let chunks = pool::morsels(rows.len());
-            if chunks.len() <= 1 {
-                for row in rows {
-                    stats.rows_scanned += 1;
-                    stats.bytes_scanned += row.byte_size();
-                    if all_true(filters, &row, binding)? {
-                        stats.rows_shared += 1;
-                        out.push(row);
+    } else {
+        // Morsel-parallel scan+filter: workers each charge their
+        // chunk's bytes locally; the per-chunk stats are summed
+        // in chunk order, so the totals (and the survivor
+        // sequence) match the sequential loop exactly.
+        stats.parallel_morsels += chunks.len() as u64;
+        let parts = pool::run_tasks(
+            &chunks,
+            |_, &(lo, hi)| -> Result<(Vec<SharedRow>, u64, u64)> {
+                let mut kept = Vec::new();
+                let (mut bytes, mut shared) = (0u64, 0u64);
+                for row in &rows[lo..hi] {
+                    bytes += row.byte_size();
+                    if all_true(filters, row, binding)? {
+                        shared += 1;
+                        kept.push(row.clone());
                     }
                 }
-            } else {
-                // Morsel-parallel scan+filter: workers each charge their
-                // chunk's bytes locally; the per-chunk stats are summed
-                // in chunk order, so the totals (and the survivor
-                // sequence) match the sequential loop exactly.
-                stats.parallel_morsels += chunks.len() as u64;
-                let parts = pool::run_tasks(
-                    &chunks,
-                    |_, &(lo, hi)| -> Result<(Vec<SharedRow>, u64, u64)> {
-                        let mut kept = Vec::new();
-                        let (mut bytes, mut shared) = (0u64, 0u64);
-                        for row in &rows[lo..hi] {
-                            bytes += row.byte_size();
-                            if all_true(filters, row, binding)? {
-                                shared += 1;
-                                kept.push(row.clone());
-                            }
-                        }
-                        Ok((kept, bytes, shared))
-                    },
-                );
-                for (i, part) in parts.into_iter().enumerate() {
-                    let (kept, bytes, shared) = part?;
-                    let (lo, hi) = chunks[i];
-                    stats.rows_scanned += (hi - lo) as u64;
-                    stats.bytes_scanned += bytes;
-                    stats.rows_shared += shared;
-                    out.extend(kept);
-                }
-            }
+                Ok((kept, bytes, shared))
+            },
+        );
+        for (i, part) in parts.into_iter().enumerate() {
+            let (kept, bytes, shared) = part?;
+            let (lo, hi) = chunks[i];
+            stats.rows_scanned += (hi - lo) as u64;
+            stats.bytes_scanned += bytes;
+            stats.rows_shared += shared;
+            out.extend(kept);
         }
     }
     Ok(out)
@@ -1262,22 +1446,127 @@ mod tests {
     }
 
     #[test]
-    fn index_scan_is_used_when_available() {
+    fn index_scan_is_used_for_selective_range() {
         let mut db = db();
         db.table_mut("lineitem")
             .unwrap()
             .create_index("l_shipdate")
             .unwrap();
+        // Day 350 of days 100..400: interpolated fraction 1/6, well
+        // under the threshold, so the planner drives off the index.
         let stmt =
-            parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1970-07-01'")
+            parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1970-12-17'")
                 .unwrap();
         let (rs, stats) = execute_select(&stmt, &db).unwrap();
         assert_eq!(stats.index_scans, 1);
         assert_eq!(stats.full_scans, 0);
-        // days 200, 300, 400 > ~day 181
+        // Only day 400 matches; only that row was touched.
+        assert_eq!(rs.len(), 1);
+        assert_eq!(stats.rows_scanned, 1);
+    }
+
+    #[test]
+    fn wide_range_on_indexed_column_falls_back_to_seq_scan() {
+        let mut db = db();
+        db.table_mut("lineitem")
+            .unwrap()
+            .create_index("l_shipdate")
+            .unwrap();
+        // Day ~181 of days 100..400: estimated fraction ~0.73 — driving
+        // the index would fetch most of the table row-by-row, so the
+        // planner chooses the sequential scan despite the index.
+        let stmt =
+            parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1970-07-01'")
+                .unwrap();
+        let (rs, stats) = execute_select(&stmt, &db).unwrap();
+        assert_eq!(stats.index_scans, 0);
+        assert_eq!(stats.full_scans, 1);
+        assert_eq!(stats.rows_scanned, 4);
         assert_eq!(rs.len(), 3);
-        // Only matching rows were touched.
-        assert_eq!(stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn index_point_lookup_is_used() {
+        let mut db = db();
+        db.table_mut("lineitem")
+            .unwrap()
+            .create_index("l_shipdate")
+            .unwrap();
+        // 4 distinct keys: eq fraction 0.25, exactly at the threshold.
+        let stmt =
+            parse_select("SELECT l_orderkey FROM lineitem WHERE l_shipdate = DATE '1970-04-11'")
+                .unwrap();
+        let (rs, stats) = execute_select(&stmt, &db).unwrap();
+        assert_eq!(stats.index_scans, 1);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(stats.rows_scanned, 1);
+    }
+
+    /// The satellite regression: the same query must return the same
+    /// byte sequence of rows with and without an index, even after
+    /// deletes have perturbed per-key posting-list order through
+    /// `swap_remove`.
+    #[test]
+    fn index_choice_never_reorders_results() {
+        let build = |with_index: bool| -> Database {
+            let mut db = Database::new();
+            db.create_table(
+                TableSchema::new(
+                    "t",
+                    vec![
+                        ColumnDef::new("id", ColumnType::Int),
+                        ColumnDef::new("k", ColumnType::Int),
+                        ColumnDef::new("v", ColumnType::Int),
+                    ],
+                    vec![0],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            if with_index {
+                db.table_mut("t").unwrap().create_index("k").unwrap();
+            }
+            // Key 1 holds three rows; keys 2..=20 one each (20 distinct
+            // keys → eq fraction 0.05, range fractions small).
+            let mut id = 0;
+            for v in 0..3 {
+                db.insert(
+                    "t",
+                    Row::new(vec![Value::Int(id), Value::Int(1), Value::Int(v)]),
+                )
+                .unwrap();
+                id += 1;
+            }
+            for k in 2..=20 {
+                db.insert(
+                    "t",
+                    Row::new(vec![Value::Int(id), Value::Int(k), Value::Int(100 + k)]),
+                )
+                .unwrap();
+                id += 1;
+            }
+            // Deleting the first key-1 row makes the index's posting
+            // list for key 1 swap the last entry into front position —
+            // key order would now differ from insertion order.
+            db.table_mut("t")
+                .unwrap()
+                .delete_by_key(&[Value::Int(0)])
+                .unwrap();
+            db
+        };
+        let indexed = build(true);
+        let plain = build(false);
+        for sql in [
+            "SELECT v FROM t WHERE k = 1",
+            "SELECT id, v FROM t WHERE k <= 2",
+        ] {
+            let stmt = parse_select(sql).unwrap();
+            let (with_idx, si) = execute_select(&stmt, &indexed).unwrap();
+            let (without, sp) = execute_select(&stmt, &plain).unwrap();
+            assert_eq!(si.index_scans, 1, "{sql} should use the index");
+            assert_eq!(sp.full_scans, 1);
+            assert_eq!(with_idx.rows, without.rows, "{sql} row sequence differs");
+        }
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! PostgreSQL instances). This crate is the SQL engine for our embedded
 //! store: a recursive-descent parser for the dialect used by the paper's
 //! workload (conjunctive selections, equi-joins, aggregation with GROUP
-//! BY, ORDER BY, LIMIT), a planner that builds left-deep join trees with
-//! predicate pushdown and index-aware scans, and a materializing executor.
+//! BY, ORDER BY, LIMIT), a cost-based planner (predicate pushdown,
+//! cardinality-ordered left-deep join trees, and per-table
+//! SeqScan/IndexScan access-path selection in [`phys`]), and a
+//! materializing executor.
 //!
 //! The AST is deliberately easy to rewrite: the distributed engines in
 //! `bestpeer-core` decompose a query into per-peer subqueries by editing
@@ -21,9 +23,12 @@ pub mod dist;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod phys;
 pub mod plan;
 
 pub use ast::{Expr, SelectStmt};
 pub use dist::{split_aggregate, Combine, DistAgg};
-pub use exec::{apply_order_limit, execute_select, ExecStats, ResultSet};
+pub use exec::{apply_order_limit, execute_select, execute_select_with, ExecStats, ResultSet};
 pub use parser::parse_select;
+pub use phys::{explain_physical, plan_physical, AccessPath, PhysPlan};
+pub use plan::{NoStats, SelectivityEstimator};

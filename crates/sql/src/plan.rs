@@ -1,17 +1,23 @@
 //! Logical plans and name resolution.
 //!
 //! [`plan_select`] turns a parsed [`SelectStmt`] into a small logical
-//! [`Plan`] tree: index-aware scans with pushed-down predicates, a
-//! left-deep tree of hash equi-joins, residual filters, aggregation,
-//! sorting, projection, and limit. The executor in [`crate::exec`] walks
-//! this tree.
+//! [`Plan`] tree: scans with pushed-down predicates, a left-deep tree
+//! of hash equi-joins ordered by estimated input cardinality (smallest
+//! first), residual filters, aggregation, sorting, projection, and
+//! limit. Cardinality estimates come from a [`SelectivityEstimator`]
+//! hook (histograms, when the caller has them) with a predicate-shape
+//! heuristic fallback; estimates never consult secondary indices, so
+//! the join order — and therefore the result row sequence — is
+//! identical with and without indices present. The physical layer in
+//! [`crate::phys`] lowers this tree to access paths; the executor in
+//! [`crate::exec`] runs it.
 
 use std::collections::HashSet;
 
 use bestpeer_common::{Error, Result, Row, Value};
 use bestpeer_storage::Database;
 
-use crate::ast::{AggFunc, ArithOp, ColumnRef, Expr, SelectItem, SelectStmt};
+use crate::ast::{AggFunc, ArithOp, CmpOp, ColumnRef, Expr, SelectItem, SelectStmt};
 
 /// The output "schema" of a plan node: for each column position, its
 /// optional table qualifier and its name.
@@ -79,6 +85,66 @@ impl Binding {
             .iter()
             .all(|c| self.resolve(c).is_ok())
     }
+}
+
+/// Cardinality-estimation hook for the planner.
+///
+/// `selectivity` returns the estimated fraction (0..=1) of `table`'s
+/// rows that satisfy *all* of `predicates`, or `None` when the source
+/// has no information about the table — the planner then falls back to
+/// a predicate-shape heuristic. Implementations must not consult
+/// secondary indices: the estimate drives join ordering, which must be
+/// invariant under index creation/drop so that access-path choice never
+/// changes the visible row sequence. `bestpeer-core` implements this
+/// over its §5.1 MHIST histograms.
+pub trait SelectivityEstimator {
+    /// Estimated fraction of `table`'s rows satisfying every predicate.
+    fn selectivity(&self, table: &str, predicates: &[Expr]) -> Option<f64>;
+}
+
+/// The no-information estimator: every query falls back to the
+/// predicate-shape heuristic. Used by [`plan_select`] and by peers
+/// executing subqueries without global statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoStats;
+
+impl SelectivityEstimator for NoStats {
+    fn selectivity(&self, _table: &str, _predicates: &[Expr]) -> Option<f64> {
+        None
+    }
+}
+
+/// Predicate-shape selectivity heuristic, used when no estimator covers
+/// a table: equality keeps ~1/10 of rows, a one-sided range ~1/3, and
+/// anything else (inequality, complex boolean) is assumed unselective.
+/// The product over conjuncts is clamped away from zero so empty-looking
+/// tables still order deterministically.
+fn heuristic_selectivity(filters: &[Expr]) -> f64 {
+    let mut sel = 1.0f64;
+    for f in filters {
+        sel *= match f.as_column_literal() {
+            Some((_, CmpOp::Eq, _)) => 0.1,
+            Some((_, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, _)) => 1.0 / 3.0,
+            _ => 1.0,
+        };
+    }
+    sel.max(1e-4)
+}
+
+/// Estimated output rows of a scan of `table` under `filters`, for join
+/// ordering. Uses the estimator when it covers the table, else the
+/// shape heuristic. Index-independent by construction.
+pub(crate) fn estimated_scan_rows(
+    est: &dyn SelectivityEstimator,
+    table: &str,
+    table_rows: usize,
+    filters: &[Expr],
+) -> f64 {
+    let sel = est
+        .selectivity(table, filters)
+        .unwrap_or_else(|| heuristic_selectivity(filters))
+        .clamp(0.0, 1.0);
+    table_rows as f64 * sel
 }
 
 /// Evaluate a scalar expression against a row under a binding.
@@ -337,8 +403,20 @@ impl std::fmt::Display for Plan {
     }
 }
 
-/// Build a logical plan for `stmt` against the catalog in `db`.
+/// Build a logical plan for `stmt` against the catalog in `db`, with no
+/// external statistics (join ordering uses the shape heuristic).
 pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
+    plan_select_with(stmt, db, &NoStats)
+}
+
+/// Build a logical plan for `stmt`, ordering the join tree by estimated
+/// input cardinality from `est` (smallest estimated input first; ties
+/// break on FROM order).
+pub fn plan_select_with(
+    stmt: &SelectStmt,
+    db: &Database,
+    est: &dyn SelectivityEstimator,
+) -> Result<Plan> {
     if stmt.from.is_empty() {
         return Err(Error::Plan("FROM clause is empty".into()));
     }
@@ -349,19 +427,40 @@ pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
         .map(|k| (substitute_aliases(&k.expr, &stmt.projections), k.desc))
         .collect();
 
-    // 1. Per-table scans with single-table predicate pushdown.
-    let mut scans: Vec<Plan> = Vec::with_capacity(stmt.from.len());
-    let mut remaining: Vec<Expr> = Vec::new();
-    let mut pushed = vec![false; stmt.predicates.len()];
+    // 1. Per-table scans with single-table predicate pushdown. A
+    //    predicate referencing an unqualified column that exists in
+    //    more than one FROM table must fail resolution (as it would
+    //    against the joined binding) rather than silently binding to
+    //    the first table in FROM order.
+    let mut bindings: Vec<Binding> = Vec::with_capacity(stmt.from.len());
     for table in &stmt.from {
         let schema = db.table(table)?.schema().clone();
-        let binding = Binding::from_cols(
+        bindings.push(Binding::from_cols(
             schema
                 .columns
                 .iter()
                 .map(|c| (Some(table.clone()), c.name.clone()))
                 .collect(),
-        );
+        ));
+    }
+    for p in &stmt.predicates {
+        if p.as_equi_join().is_some() {
+            continue;
+        }
+        for cref in p.referenced_columns() {
+            if cref.table.is_some() {
+                continue;
+            }
+            let homes = bindings.iter().filter(|b| b.resolve(cref).is_ok()).count();
+            if homes > 1 {
+                return Err(Error::Plan(format!("ambiguous column reference `{cref}`")));
+            }
+        }
+    }
+    let mut scans: Vec<Plan> = Vec::with_capacity(stmt.from.len());
+    let mut remaining: Vec<Expr> = Vec::new();
+    let mut pushed = vec![false; stmt.predicates.len()];
+    for (table, binding) in stmt.from.iter().zip(bindings) {
         let mut filters = Vec::new();
         for (i, p) in stmt.predicates.iter().enumerate() {
             if !pushed[i] && p.as_equi_join().is_none() && binding.covers(p) {
@@ -381,30 +480,65 @@ pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
         }
     }
 
-    // 2. Left-deep join tree: greedily join in a table connected to the
-    //    current prefix by an equi-join conjunct; cross join otherwise.
-    let mut plan = scans.remove(0);
-    let mut pending: Vec<Plan> = scans;
+    // 2. Left-deep join tree ordered by estimated cardinality: start
+    //    from the smallest estimated scan, then repeatedly join in the
+    //    smallest pending scan connected to the prefix by an equi-join
+    //    conjunct (cross join with the smallest pending scan when none
+    //    connects). Ties break on FROM order, and estimates never look
+    //    at indices, so the tree shape is stable under index changes.
+    let scan_estimate = |scan: &Plan| -> Result<f64> {
+        let Plan::Scan { table, filters, .. } = scan else {
+            return Err(Error::Internal("join ordering over non-scan".into()));
+        };
+        Ok(estimated_scan_rows(
+            est,
+            table,
+            db.table(table)?.len(),
+            filters,
+        ))
+    };
+    let mut pending: Vec<(Plan, f64)> = Vec::with_capacity(scans.len());
+    for scan in scans {
+        let e = scan_estimate(&scan)?;
+        pending.push((scan, e));
+    }
+    let mut start = 0;
+    for i in 1..pending.len() {
+        if pending[i].1 < pending[start].1 {
+            start = i;
+        }
+    }
+    let mut plan = pending.remove(start).0;
     while !pending.is_empty() {
-        let mut chosen: Option<(usize, usize, usize, usize)> = None; // (scan idx, pred idx, lkey, rkey)
-        'outer: for (si, scan) in pending.iter().enumerate() {
+        // The first predicate connecting each pending scan to the prefix.
+        let connection = |scan: &Plan| -> Option<(usize, usize, usize)> {
+            let (lb, rb) = (plan.binding(), scan.binding());
             for (pi, p) in remaining.iter().enumerate() {
                 if let Some((a, b)) = p.as_equi_join() {
-                    let (lb, rb) = (plan.binding(), scan.binding());
                     if let (Ok(lk), Ok(rk)) = (lb.resolve(a), rb.resolve(b)) {
-                        chosen = Some((si, pi, lk, rk));
-                        break 'outer;
+                        return Some((pi, lk, rk));
                     }
                     if let (Ok(lk), Ok(rk)) = (lb.resolve(b), rb.resolve(a)) {
-                        chosen = Some((si, pi, lk, rk));
-                        break 'outer;
+                        return Some((pi, lk, rk));
                     }
+                }
+            }
+            None
+        };
+        // (scan idx, pred idx, lkey, rkey) of the smallest connected scan.
+        let mut chosen: Option<(usize, usize, usize, usize)> = None;
+        let mut chosen_est = f64::INFINITY;
+        for (si, (scan, e)) in pending.iter().enumerate() {
+            if let Some((pi, lk, rk)) = connection(scan) {
+                if chosen.is_none() || *e < chosen_est {
+                    chosen = Some((si, pi, lk, rk));
+                    chosen_est = *e;
                 }
             }
         }
         match chosen {
             Some((si, pi, left_key, right_key)) => {
-                let right = pending.remove(si);
+                let (right, _) = pending.remove(si);
                 remaining.remove(pi);
                 let binding = plan.binding().concat(right.binding());
                 plan = Plan::HashJoin {
@@ -416,7 +550,13 @@ pub fn plan_select(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
                 };
             }
             None => {
-                let right = pending.remove(0);
+                let mut smallest = 0;
+                for i in 1..pending.len() {
+                    if pending[i].1 < pending[smallest].1 {
+                        smallest = i;
+                    }
+                }
+                let (right, _) = pending.remove(smallest);
                 let binding = plan.binding().concat(right.binding());
                 plan = Plan::CrossJoin {
                     left: Box::new(plan),
@@ -822,5 +962,78 @@ mod tests {
             .predicates[0]
             .clone();
         assert!(eval_bool(&p, &row, &b).unwrap());
+    }
+
+    fn ambiguous_db() -> Database {
+        let mut db = Database::new();
+        for name in ["t1", "t2"] {
+            db.create_table(
+                TableSchema::new(
+                    name,
+                    vec![
+                        ColumnDef::new("x", ColumnType::Int),
+                        ColumnDef::new(format!("{name}_only"), ColumnType::Int),
+                    ],
+                    vec![],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn ambiguous_unqualified_pushdown_column_is_an_error() {
+        let db = ambiguous_db();
+        let stmt =
+            parse_select("SELECT t1_only FROM t1, t2 WHERE t1_only = t2_only AND x > 1").unwrap();
+        let err = plan_select(&stmt, &db).unwrap_err();
+        assert!(
+            err.to_string().contains("ambiguous column reference `x`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn qualified_column_disambiguates_pushdown() {
+        let db = ambiguous_db();
+        let stmt = parse_select("SELECT t1_only FROM t1, t2 WHERE t1_only = t2_only AND t1.x > 1")
+            .unwrap();
+        assert!(plan_select(&stmt, &db).is_ok());
+    }
+
+    /// Join order is chosen by estimated input size, not FROM order: the
+    /// smaller estimated input leads the left-deep tree.
+    #[test]
+    fn join_order_follows_row_counts_not_from_order() {
+        let mut db = test_db();
+        for i in 0..20 {
+            db.insert(
+                "lineitem",
+                Row::new(vec![Value::Int(i), Value::Int(1), Value::Date(i as i32)]),
+            )
+            .unwrap();
+        }
+        db.insert("orders", Row::new(vec![Value::Int(1), Value::Float(9.0)]))
+            .unwrap();
+        let stmt =
+            parse_select("SELECT o_orderkey FROM lineitem, orders WHERE l_orderkey = o_orderkey")
+                .unwrap();
+        let plan = plan_select(&stmt, &db).unwrap();
+        // orders (1 row) must be the leftmost leaf even though lineitem
+        // (20 rows) is named first in FROM.
+        fn leftmost(p: &Plan) -> &str {
+            match p {
+                Plan::Scan { table, .. } => table,
+                Plan::HashJoin { left, .. } | Plan::CrossJoin { left, .. } => leftmost(left),
+                Plan::Filter { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Limit { input, .. } => leftmost(input),
+            }
+        }
+        assert_eq!(leftmost(&plan), "orders");
     }
 }

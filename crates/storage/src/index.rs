@@ -91,6 +91,54 @@ impl SecondaryIndex {
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
+
+    /// Estimated fraction of entries matched by an equality probe,
+    /// assuming uniformly popular keys: `1 / distinct_keys`. Returns 0
+    /// for an empty index. Feeds access-path costing without touching
+    /// the posting lists.
+    pub fn estimated_eq_fraction(&self) -> f64 {
+        let distinct = self.map.len();
+        if distinct == 0 {
+            0.0
+        } else {
+            1.0 / distinct as f64
+        }
+    }
+
+    /// Estimated fraction of entries whose key falls within `lo..hi`,
+    /// by linear interpolation of [`Value::numeric_rank`] between the
+    /// smallest and largest indexed key. Returns 0 for an empty index
+    /// and 1 when the key domain is a single point inside the bounds.
+    pub fn estimated_range_fraction(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> f64 {
+        let Some((min, max)) = self.min_max() else {
+            return 0.0;
+        };
+        let (min_r, max_r) = (min.numeric_rank(), max.numeric_rank());
+        let span = max_r - min_r;
+        if !(span.is_finite() && span > 0.0) {
+            // Degenerate domain: every entry shares one key (or ranks
+            // collapse); the range either covers it or it does not.
+            let inside = match lo {
+                Bound::Included(v) => *v <= min,
+                Bound::Excluded(v) => *v < min,
+                Bound::Unbounded => true,
+            } && match hi {
+                Bound::Included(v) => *v >= min,
+                Bound::Excluded(v) => *v > min,
+                Bound::Unbounded => true,
+            };
+            return if inside { 1.0 } else { 0.0 };
+        }
+        let lo_r = match lo {
+            Bound::Included(v) | Bound::Excluded(v) => v.numeric_rank().clamp(min_r, max_r),
+            Bound::Unbounded => min_r,
+        };
+        let hi_r = match hi {
+            Bound::Included(v) | Bound::Excluded(v) => v.numeric_rank().clamp(min_r, max_r),
+            Bound::Unbounded => max_r,
+        };
+        ((hi_r - lo_r) / span).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +191,38 @@ mod tests {
         let idx = sample();
         assert_eq!(idx.min_max(), Some((Value::Int(10), Value::Int(30))));
         assert_eq!(SecondaryIndex::new(0).min_max(), None);
+    }
+
+    #[test]
+    fn eq_fraction_is_inverse_distinct() {
+        let idx = sample();
+        assert!((idx.estimated_eq_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(SecondaryIndex::new(0).estimated_eq_fraction(), 0.0);
+    }
+
+    #[test]
+    fn range_fraction_interpolates_between_min_and_max() {
+        let idx = sample(); // keys 10..30
+        let v20 = Value::Int(20);
+        let f = idx.estimated_range_fraction(Included(&v20), Unbounded);
+        assert!((f - 0.5).abs() < 1e-12);
+        assert_eq!(idx.estimated_range_fraction(Unbounded, Unbounded), 1.0);
+        let v99 = Value::Int(99);
+        assert_eq!(idx.estimated_range_fraction(Included(&v99), Unbounded), 0.0);
+        assert_eq!(
+            SecondaryIndex::new(0).estimated_range_fraction(Unbounded, Unbounded),
+            0.0
+        );
+    }
+
+    #[test]
+    fn range_fraction_handles_single_key_domain() {
+        let mut idx = SecondaryIndex::new(0);
+        idx.insert(Value::Int(7), 1);
+        idx.insert(Value::Int(7), 2);
+        let v5 = Value::Int(5);
+        let v7 = Value::Int(7);
+        assert_eq!(idx.estimated_range_fraction(Included(&v5), Unbounded), 1.0);
+        assert_eq!(idx.estimated_range_fraction(Excluded(&v7), Unbounded), 0.0);
     }
 }

@@ -223,6 +223,26 @@ impl Table {
         Some(self.secondary.get(column)?.lookup_range(lo, hi))
     }
 
+    /// Estimated fraction of rows matching `column = key`, from the
+    /// secondary index's distinct-key count. `None` without an index.
+    /// Never touches the posting lists, so planners can cost candidate
+    /// access paths before materializing any row ids.
+    pub fn index_eq_selectivity(&self, column: &str) -> Option<f64> {
+        Some(self.secondary.get(column)?.estimated_eq_fraction())
+    }
+
+    /// Estimated fraction of rows with `column` in the given bounds,
+    /// interpolated over the index's min/max keys. `None` without an
+    /// index.
+    pub fn index_range_selectivity(
+        &self,
+        column: &str,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Option<f64> {
+        Some(self.secondary.get(column)?.estimated_range_fraction(lo, hi))
+    }
+
     /// Min and max value of `column` across live rows, computed via the
     /// index when available, else by a scan. `None` for an empty table.
     pub fn column_min_max(&self, column: &str) -> Result<Option<(Value, Value)>> {
