@@ -1,0 +1,178 @@
+//! TCP transport benchmark: framed round-trip throughput and
+//! pushed-down subquery latency over a real loopback socket.
+//!
+//! ```text
+//! net_bench [--pings N] [--subqueries N] [--out PATH]
+//! ```
+//!
+//! Two measurements, written to `BENCH_net.json` (default) and printed
+//! to stdout:
+//!
+//! - **ping** — `N` request/response frames through one pooled
+//!   connection; `frames_per_sec` is wall-clock framed-RPC throughput.
+//! - **subquery** — `N` pushed-down subqueries against a
+//!   `NodeService`-backed server; p50/p99 round-trip latency in
+//!   microseconds. The binary *hard-asserts* every wire result digests
+//!   byte-identical to serving the same statement in process — a
+//!   latency number for a wrong answer is worthless.
+//!
+//! All numbers here are wall-clock measurements of real sockets and
+//! inherently noisy, so `scripts/bench_compare.sh` treats
+//! `BENCH_net.json` as informational only — it is **not** part of the
+//! floor-gated baseline set.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bestpeer_common::Row;
+use bestpeer_core::network::{BestPeerNetwork, NetworkConfig};
+use bestpeer_core::{NodeService, Role};
+use bestpeer_sql::exec::ResultSet;
+use bestpeer_sql::parse_select;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::schema;
+use bestpeer_transport::{Request, Response, TcpServer, TcpTransport, Transport};
+
+const ROWS: usize = 500;
+const SUBQUERY: &str = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem \
+     WHERE l_quantity > 40 \
+     ORDER BY l_quantity DESC, l_orderkey, l_linenumber LIMIT 20";
+
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(String, Vec<String>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.columns.iter().map(|c| c.name.clone()).collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, Vec<&str>)> = spec
+        .iter()
+        .map(|(t, cs)| (t.as_str(), cs.iter().map(String::as_str).collect()))
+        .collect();
+    let as_slices: Vec<(&str, &[&str])> =
+        borrowed.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &as_slices)
+}
+
+fn build_node() -> (NodeService, ResultSet) {
+    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    net.define_role(full_read_role());
+    let id = net.join("bench").unwrap();
+    let data: BTreeMap<String, Vec<Row>> =
+        DbGen::new(TpchConfig::tiny(0).with_rows(ROWS)).generate();
+    net.load_peer(id, data, 1).unwrap();
+    for (t, c) in schema::secondary_indices() {
+        net.peer_mut(id).unwrap().db.create_index(t, c).unwrap();
+    }
+    // The in-process reference answer the wire results must match.
+    let stmt = parse_select(SUBQUERY).unwrap();
+    let role = full_read_role();
+    let (reference, _) = net
+        .peer(id)
+        .unwrap()
+        .serve_subquery(&stmt, &role, 0)
+        .unwrap();
+    (NodeService::new(net, id), reference)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let (pings, subqueries, out) = parse_args();
+
+    let (service, reference) = build_node();
+    let server = TcpServer::bind("127.0.0.1:0", Arc::new(service)).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+    let transport = TcpTransport::new();
+
+    // Warm the pool so connect cost stays out of the steady-state numbers.
+    assert!(matches!(
+        transport.call(&addr, &Request::Ping).unwrap(),
+        Response::Pong
+    ));
+
+    let started = Instant::now();
+    for _ in 0..pings {
+        match transport.call(&addr, &Request::Ping) {
+            Ok(Response::Pong) => {}
+            other => panic!("ping failed: {other:?}"),
+        }
+    }
+    let ping_secs = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    let frames_per_sec = pings as f64 / ping_secs;
+
+    let role_blob = full_read_role().encode();
+    let want_digest = reference.digest();
+    let mut rtts_us: Vec<u64> = Vec::with_capacity(subqueries as usize);
+    for _ in 0..subqueries {
+        let req = Request::Subquery {
+            sql: SUBQUERY.to_string(),
+            role: role_blob.clone(),
+            query_ts: 0,
+        };
+        let t0 = Instant::now();
+        let resp = transport.call(&addr, &req).unwrap();
+        rtts_us.push(t0.elapsed().as_micros() as u64);
+        match resp {
+            Response::Rows { columns, rows, .. } => {
+                let rs = ResultSet { columns, rows };
+                assert_eq!(
+                    rs.digest(),
+                    want_digest,
+                    "wire result diverged from the in-process answer"
+                );
+            }
+            other => panic!("subquery failed: {other:?}"),
+        }
+    }
+    rtts_us.sort_unstable();
+    let p50 = percentile(&rtts_us, 0.50);
+    let p99 = percentile(&rtts_us, 0.99);
+
+    handle.stop();
+
+    let json = format!(
+        "{{\n  \"config\": {{\"pings\": {pings}, \"subqueries\": {subqueries}, \"fixture_rows\": {ROWS}}},\n  \
+         \"ping\": {{\"frames_per_sec\": {frames_per_sec:.1}, \"wall_secs\": {ping_secs:.6}}},\n  \
+         \"subquery\": {{\"p50_rtt_us\": {p50}, \"p99_rtt_us\": {p99}, \"digest_checked\": true}}\n}}\n",
+    );
+    print!("{json}");
+    std::fs::write(&out, &json).expect("write BENCH_net.json");
+    eprintln!("wrote {out}");
+}
+
+fn parse_args() -> (u64, u64, String) {
+    let mut pings = 2_000;
+    let mut subqueries = 200;
+    let mut out = "BENCH_net.json".to_owned();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--pings" => {
+                i += 1;
+                pings = argv[i].parse().expect("--pings takes a number");
+            }
+            "--subqueries" => {
+                i += 1;
+                subqueries = argv[i].parse().expect("--subqueries takes a number");
+            }
+            "--out" => {
+                i += 1;
+                out = argv[i].clone();
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+    (pings, subqueries, out)
+}

@@ -67,6 +67,11 @@ impl BytesMut {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Append a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `f64`.
     pub fn put_f64_le(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -156,6 +161,11 @@ impl Bytes {
         i64::from_le_bytes(self.take::<8>())
     }
 
+    /// Consume a little-endian `u64`.
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+
     /// Consume a little-endian `f64`.
     pub fn get_f64_le(&mut self) -> f64 {
         f64::from_le_bytes(self.take::<8>())
@@ -200,6 +210,12 @@ impl From<&[u8]> for Bytes {
             buf: s.to_vec(),
             pos: 0,
         }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        Bytes { buf, pos: 0 }
     }
 }
 

@@ -99,9 +99,20 @@ pub fn encode_row(buf: &mut BytesMut, row: &Row) {
 }
 
 /// Decode one row from the front of `buf`.
+///
+/// The declared arity is capped against the remaining buffer *before*
+/// any allocation: every encoded value occupies at least its one tag
+/// byte, so an arity larger than `buf.remaining()` is malformed by
+/// construction and must not size a `Vec`.
 pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
     ensure(buf, 2)?;
     let arity = buf.get_u16_le() as usize;
+    if arity > buf.remaining() {
+        return Err(Error::Codec(format!(
+            "row declares {arity} values but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
     let mut values = Vec::with_capacity(arity);
     for _ in 0..arity {
         values.push(decode_value(buf)?);
@@ -120,9 +131,21 @@ pub fn encode_batch(rows: &[Row]) -> Bytes {
 }
 
 /// Decode a batch previously produced by [`encode_batch`].
+///
+/// Batches now arrive over real sockets, so the declared row count is
+/// attacker-controlled: a hostile `u32::MAX` header must fail cheaply
+/// instead of sizing a multi-gigabyte `Vec`. The count is therefore
+/// validated against the remaining bytes (an encoded row is at least
+/// its two arity bytes) *before* the allocation.
 pub fn decode_batch(mut buf: Bytes) -> Result<Vec<Row>> {
     ensure(&buf, 4)?;
     let n = buf.get_u32_le() as usize;
+    if n > buf.remaining() / 2 {
+        return Err(Error::Codec(format!(
+            "batch declares {n} rows but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
     let mut rows = Vec::with_capacity(n);
     for _ in 0..n {
         rows.push(decode_row(&mut buf)?);
@@ -211,5 +234,94 @@ mod tests {
         buf.put_u32_le(2);
         buf.put_slice(&[0xFF, 0xFE]);
         assert!(decode_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn hostile_batch_count_fails_before_allocation() {
+        // A 4-byte buffer claiming u32::MAX rows: the count check must
+        // reject it without ever sizing a Vec from the header.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(decode_batch(buf.freeze()).is_err());
+
+        // Same with a plausible-looking payload after the count.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1_000_000_000);
+        buf.put_slice(&[0u8; 64]);
+        assert!(decode_batch(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn hostile_row_arity_fails_before_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1); // one row
+        buf.put_u16_le(u16::MAX); // ...claiming 65535 values
+        buf.put_u8(TAG_NULL);
+        assert!(decode_batch(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn hostile_string_length_fails_before_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_STR);
+        buf.put_u32_le(u32::MAX);
+        buf.put_slice(b"abc");
+        assert!(decode_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn randomized_corruption_never_panics() {
+        // Error-not-panic sweep over hostile mutations of a valid
+        // encoding: truncations at every prefix, seeded bit flips, and
+        // absurd little-endian length/count patches at random offsets.
+        // Decoding may legitimately succeed when a flip lands in a value
+        // payload; it must never panic or over-allocate.
+        let rows: Vec<Row> = (0..20)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::str(format!("row-{i}")),
+                    Value::Float(i as f64 * 0.5),
+                    Value::Date(10_000 + i as i32),
+                    Value::Null,
+                ])
+            })
+            .collect();
+        let encoded = encode_batch(&rows);
+
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_batch(encoded.slice(..cut)).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+
+        let mut rng = crate::rng::Rng::seed_from_u64(0xBE57_C0DE);
+        for _ in 0..2000 {
+            let mut mutated = encoded.to_vec();
+            match rng.next_u64() % 3 {
+                0 => {
+                    // Single bit flip anywhere.
+                    let pos = (rng.next_u64() as usize) % mutated.len();
+                    let bit = rng.next_u64() % 8;
+                    mutated[pos] ^= 1 << bit;
+                }
+                1 => {
+                    // Patch an absurd u32 (length/count-shaped) value.
+                    let pos = (rng.next_u64() as usize) % (mutated.len() - 4);
+                    let absurd = [0xFF, 0xFF, 0xFF, 0x7F];
+                    mutated[pos..pos + 4].copy_from_slice(&absurd);
+                }
+                _ => {
+                    // Random truncation plus a flip in the prefix.
+                    let cut = 1 + (rng.next_u64() as usize) % (mutated.len() - 1);
+                    mutated.truncate(cut);
+                    let pos = (rng.next_u64() as usize) % mutated.len();
+                    mutated[pos] ^= 0x40;
+                }
+            }
+            // Must return (Ok or Err), never panic.
+            let _ = decode_batch(Bytes::from(mutated));
+        }
     }
 }

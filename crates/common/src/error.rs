@@ -72,6 +72,33 @@ impl Error {
         }
     }
 
+    /// Rebuild an error from a `(kind, message)` pair — the inverse of
+    /// [`Error::kind`] / [`Error::message`]. The transport layer ships
+    /// errors between processes as these two strings; reconstructing the
+    /// original variant keeps kind-keyed behavior (the retry loop
+    /// re-attempts on `"unavailable"`, resubmits on `"stale-snapshot"`)
+    /// working identically across a real socket. An unrecognized kind
+    /// comes back as [`Error::Internal`] rather than being dropped.
+    pub fn from_kind(kind: &str, message: String) -> Error {
+        match kind {
+            "parse" => Error::Parse(message),
+            "catalog" => Error::Catalog(message),
+            "type" => Error::Type(message),
+            "plan" => Error::Plan(message),
+            "execution" => Error::Execution(message),
+            "network" => Error::Network(message),
+            "unavailable" => Error::Unavailable(message),
+            "timeout" => Error::Timeout(message),
+            "access-denied" => Error::AccessDenied(message),
+            "stale-snapshot" => Error::StaleSnapshot(message),
+            "membership" => Error::Membership(message),
+            "cloud" => Error::Cloud(message),
+            "codec" => Error::Codec(message),
+            "internal" => Error::Internal(message),
+            other => Error::Internal(format!("unknown error kind `{other}`: {message}")),
+        }
+    }
+
     /// The human-readable message carried by this error.
     pub fn message(&self) -> &str {
         match self {
@@ -135,5 +162,31 @@ mod tests {
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn from_kind_round_trips_every_variant() {
+        let all = [
+            Error::Parse("m".into()),
+            Error::Catalog("m".into()),
+            Error::Type("m".into()),
+            Error::Plan("m".into()),
+            Error::Execution("m".into()),
+            Error::Network("m".into()),
+            Error::Unavailable("m".into()),
+            Error::Timeout("m".into()),
+            Error::AccessDenied("m".into()),
+            Error::StaleSnapshot("m".into()),
+            Error::Membership("m".into()),
+            Error::Cloud("m".into()),
+            Error::Codec("m".into()),
+            Error::Internal("m".into()),
+        ];
+        for e in all {
+            let back = Error::from_kind(e.kind(), e.message().to_owned());
+            assert_eq!(back, e);
+        }
+        let unknown = Error::from_kind("martian", "m".into());
+        assert_eq!(unknown.kind(), "internal");
     }
 }

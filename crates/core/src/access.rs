@@ -177,6 +177,91 @@ impl Role {
         Value::Null
     }
 
+    /// Encode this role for the wire. Subqueries shipped to remote
+    /// nodes carry the submitter's role so the data owner can enforce
+    /// it (enforcement always happens at the owner); the transport
+    /// layer treats the bytes as opaque. Layout (little-endian):
+    /// name, `u32` rule count, then per rule: table, column, one
+    /// privilege byte (`read | write << 1`), and an optional-range tag
+    /// followed by the two bound values.
+    pub fn encode(&self) -> Vec<u8> {
+        use bestpeer_common::{bytes::BytesMut, codec};
+        let mut buf = BytesMut::with_capacity(64);
+        put_str(&mut buf, &self.name);
+        buf.put_u32_le(self.rules.len() as u32);
+        for rule in &self.rules {
+            put_str(&mut buf, &rule.table);
+            put_str(&mut buf, &rule.column);
+            buf.put_u8(u8::from(rule.privileges.read) | (u8::from(rule.privileges.write) << 1));
+            match &rule.range {
+                None => buf.put_u8(0),
+                Some((lo, hi)) => {
+                    buf.put_u8(1);
+                    codec::encode_value(&mut buf, lo);
+                    codec::encode_value(&mut buf, hi);
+                }
+            }
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Decode a role encoded by [`Role::encode`]. Counts and lengths
+    /// are capped against the remaining bytes before allocation — role
+    /// blobs arrive over untrusted sockets.
+    pub fn decode(payload: &[u8]) -> Result<Role> {
+        use bestpeer_common::{bytes::Bytes, codec};
+        let mut buf = Bytes::from(payload);
+        let name = get_str(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(Error::Codec("truncated role: missing rule count".into()));
+        }
+        let n = buf.get_u32_le() as usize;
+        // A rule is at least 2 × 4 name-length bytes + 2 tag bytes.
+        if n > buf.remaining() / 10 {
+            return Err(Error::Codec(format!(
+                "role declares {n} rules but only {} bytes remain",
+                buf.remaining()
+            )));
+        }
+        let mut rules = Vec::with_capacity(n);
+        for _ in 0..n {
+            let table = get_str(&mut buf)?;
+            let column = get_str(&mut buf)?;
+            if buf.remaining() < 2 {
+                return Err(Error::Codec("truncated role rule".into()));
+            }
+            let priv_bits = buf.get_u8();
+            let privileges = Privilege {
+                read: priv_bits & 1 != 0,
+                write: priv_bits & 2 != 0,
+            };
+            let range = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    let lo = codec::decode_value(&mut buf)?;
+                    let hi = codec::decode_value(&mut buf)?;
+                    Some((lo, hi))
+                }
+                other => {
+                    return Err(Error::Codec(format!("unknown role range tag {other}")));
+                }
+            };
+            rules.push(AccessRule {
+                table,
+                column,
+                privileges,
+                range,
+            });
+        }
+        if buf.has_remaining() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after role",
+                buf.remaining()
+            )));
+        }
+        Ok(Role { name, rules })
+    }
+
     /// Rewrite a result fetched from `table` in place: every column is
     /// masked per the role. `columns` are the (global) column names of
     /// the rows.
@@ -215,6 +300,28 @@ impl Role {
             }
         }
     }
+}
+
+fn put_str(buf: &mut bestpeer_common::bytes::BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut bestpeer_common::bytes::Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(Error::Codec("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > buf.remaining() {
+        return Err(Error::Codec(format!(
+            "string declares {len} bytes but only {} remain",
+            buf.remaining()
+        )));
+    }
+    let bytes = buf.split_to(len);
+    std::str::from_utf8(&bytes)
+        .map(str::to_owned)
+        .map_err(|_| Error::Codec("invalid utf-8 in string".into()))
 }
 
 #[cfg(test)]
@@ -298,6 +405,26 @@ mod tests {
         assert!(r.can_read("nation", "n_name"));
         assert!(!r.can_write("nation", "n_name"));
         assert!(!r.can_read("region", "r_name"));
+    }
+
+    #[test]
+    fn role_encoding_round_trips() {
+        for role in [
+            Role::new("empty"),
+            role_sales(),
+            Role::full_read("R", &[("nation", &["n_nationkey", "n_name"])]),
+        ] {
+            let encoded = role.encode();
+            assert_eq!(Role::decode(&encoded).unwrap(), role, "{}", role.name);
+            for cut in 0..encoded.len() {
+                assert!(Role::decode(&encoded[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        // Hostile rule count fails before allocation.
+        let mut hostile = Role::new("x").encode();
+        let len = hostile.len();
+        hostile[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Role::decode(&hostile).is_err());
     }
 
     #[test]

@@ -152,6 +152,15 @@ impl BootstrapPeer {
         &self.global_schemas
     }
 
+    /// Move the peer-id allocator to `raw` (ids only move forward).
+    /// Multi-process deployments partition the id space this way —
+    /// each `bestpeer-node` process starts its allocator at a distinct
+    /// base so locally admitted peers never collide with ids minted by
+    /// other processes and registered here as remotes.
+    pub fn set_next_peer_id(&mut self, raw: u64) {
+        self.next_peer = self.next_peer.max(raw);
+    }
+
     /// Define (or replace) a standard role. "When setting up a new
     /// corporate network, the service provider defines a standard set of
     /// roles" (§4.4).

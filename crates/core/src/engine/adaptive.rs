@@ -48,6 +48,13 @@ pub struct GlobalStats {
     pub tables: BTreeMap<String, (u64, u64, u64)>,
     /// Optional per-table histograms for selectivity estimation.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Per-table fingerprint of the mutation versions the statistics
+    /// were built at (a deterministic fold of each owning peer's
+    /// `Table::version`). `BestPeerNetwork::validate_statistics`
+    /// recomputes the fold before planning and drops histograms whose
+    /// fingerprint moved — the fix for planners costing access paths
+    /// from dead MHIST buckets after post-collection mutations.
+    pub versions: BTreeMap<String, u64>,
 }
 
 impl GlobalStats {

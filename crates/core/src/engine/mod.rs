@@ -27,11 +27,12 @@ use bestpeer_common::{Error, PeerId, Result, TableSchema};
 use bestpeer_simnet::{Phase, SimTime, Task, Trace};
 use bestpeer_sql::ast::SelectStmt;
 use bestpeer_sql::exec::{ExecStats, ResultSet};
+use bestpeer_transport::{Request, Response, Transport};
 
 use crate::access::Role;
 use crate::fault::FaultState;
 use crate::indexer::{IndexOverlay, PeerLocator};
-use crate::network::NetworkConfig;
+use crate::network::{NetworkConfig, RemotePeer};
 use crate::peer::NormalPeer;
 use crate::rescache::ResultCache;
 
@@ -39,6 +40,13 @@ use crate::rescache::ResultCache;
 pub struct EngineCtx<'a> {
     /// The network's normal peers (engines only read their data).
     pub peers: &'a BTreeMap<PeerId, NormalPeer>,
+    /// Data peers living in other processes, reachable over
+    /// `transport`. Engines treat them exactly like local owners —
+    /// the serve paths dispatch on membership in this map.
+    pub remotes: &'a BTreeMap<PeerId, RemotePeer>,
+    /// The wire transport for `remotes` (`None` in pure in-process
+    /// networks, where `remotes` is necessarily empty).
+    pub transport: Option<&'a dyn Transport>,
     /// The BATON overlay holding the indices.
     pub overlay: &'a mut IndexOverlay,
     /// The submitting peer's index cache.
@@ -85,6 +93,12 @@ impl EngineCtx<'_> {
             )));
         }
         self.faults.note_serve(owner);
+        if let Some(remote) = self.remotes.get(&owner) {
+            let (rs, stats) =
+                remote_execute(self.transport, remote, stmt, self.role, self.query_ts)?;
+            self.note_exec(&stats);
+            return Ok((rs, stats));
+        }
         let (rs, stats) = self
             .peer(owner)?
             .serve_subquery(stmt, self.role, self.query_ts)?;
@@ -128,6 +142,29 @@ impl EngineCtx<'_> {
             )));
         }
         self.faults.note_serve(owner);
+        if let Some(remote) = self.remotes.get(&owner) {
+            // The submitter-side snapshot check uses the remote's
+            // advertised load timestamp; the owner re-enforces the
+            // authoritative one when the subquery arrives.
+            let load_ts = remote.load_timestamp;
+            if load_ts < self.query_ts {
+                return Err(Error::StaleSnapshot(format!(
+                    "peer {owner} data timestamp {load_ts} is older than query timestamp {}",
+                    self.query_ts
+                )));
+            }
+            let fp = ResultCache::fingerprint(stmt, &self.role.name);
+            if let Some(rs) = self.rescache.borrow_mut().get(owner, fp, load_ts) {
+                return Ok((rs, ExecStats::default(), true));
+            }
+            let (rs, stats) =
+                remote_execute(self.transport, remote, stmt, self.role, self.query_ts)?;
+            self.note_exec(&stats);
+            self.rescache
+                .borrow_mut()
+                .insert(owner, fp, stmt.from.clone(), rs.clone(), load_ts);
+            return Ok((rs, stats, false));
+        }
         let peer = self.peer(owner)?;
         let load_ts = peer.db.load_timestamp();
         // The owner's own snapshot check (Definition 2), applied before
@@ -178,12 +215,18 @@ impl EngineCtx<'_> {
         owners: &[PeerId],
         stmt: &SelectStmt,
     ) -> Result<Vec<(ResultSet, ExecStats, bool)>> {
+        /// Where a cache miss executes in the parallel phase: on a
+        /// local peer's database, or over the wire at a remote peer.
+        enum MissTarget<'p> {
+            Local(&'p NormalPeer),
+            Remote(&'p RemotePeer),
+        }
         enum Prepared<'p> {
             Hit(ResultSet),
             /// A miss to execute; `cache_key` is `(fingerprint, load_ts)`
             /// when the result should be admitted to the cache.
             Miss {
-                peer: &'p NormalPeer,
+                target: MissTarget<'p>,
                 cache_key: Option<(u64, u64)>,
             },
         }
@@ -199,6 +242,36 @@ impl EngineCtx<'_> {
                 break;
             }
             self.faults.note_serve(owner);
+            if let Some(remote) = self.remotes.get(&owner) {
+                // No local precheck for remote owners: the owner
+                // enforces access control and its authoritative
+                // snapshot check when the subquery arrives.
+                if !cached {
+                    prepared.push(Prepared::Miss {
+                        target: MissTarget::Remote(remote),
+                        cache_key: None,
+                    });
+                    continue;
+                }
+                let load_ts = remote.load_timestamp;
+                if load_ts < self.query_ts {
+                    preamble_err = Some(Error::StaleSnapshot(format!(
+                        "peer {owner} data timestamp {load_ts} is older than query timestamp {}",
+                        self.query_ts
+                    )));
+                    break;
+                }
+                let fp = ResultCache::fingerprint(stmt, &self.role.name);
+                if let Some(rs) = self.rescache.borrow_mut().get(owner, fp, load_ts) {
+                    prepared.push(Prepared::Hit(rs));
+                } else {
+                    prepared.push(Prepared::Miss {
+                        target: MissTarget::Remote(remote),
+                        cache_key: Some((fp, load_ts)),
+                    });
+                }
+                continue;
+            }
             let peer = match self.peer(owner) {
                 Ok(p) => p,
                 Err(e) => {
@@ -209,7 +282,7 @@ impl EngineCtx<'_> {
             if !cached {
                 match peer.precheck_subquery(stmt, self.role, self.query_ts) {
                     Ok(()) => prepared.push(Prepared::Miss {
-                        peer,
+                        target: MissTarget::Local(peer),
                         cache_key: None,
                     }),
                     Err(e) => {
@@ -234,7 +307,7 @@ impl EngineCtx<'_> {
             }
             match peer.precheck_subquery(stmt, self.role, self.query_ts) {
                 Ok(()) => prepared.push(Prepared::Miss {
-                    peer,
+                    target: MissTarget::Local(peer),
                     cache_key: Some((fp, load_ts)),
                 }),
                 Err(e) => {
@@ -243,16 +316,23 @@ impl EngineCtx<'_> {
                 }
             }
         }
-        let misses: Vec<&NormalPeer> = prepared
+        let misses: Vec<&MissTarget> = prepared
             .iter()
             .filter_map(|p| match p {
-                Prepared::Miss { peer, .. } => Some(*peer),
+                Prepared::Miss { target, .. } => Some(target),
                 Prepared::Hit(_) => None,
             })
             .collect();
+        // The closure captures only `Sync` state (the transport is
+        // `Sync` by trait bound) — never `self`, whose `Cell`/`RefCell`
+        // fields must stay on this thread.
         let role = self.role;
-        let executed =
-            bestpeer_common::pool::run_tasks(&misses, |_, peer| peer.execute_subquery(stmt, role));
+        let query_ts = self.query_ts;
+        let transport = self.transport;
+        let executed = bestpeer_common::pool::run_tasks(&misses, |_, target| match target {
+            MissTarget::Local(peer) => peer.execute_subquery(stmt, role),
+            MissTarget::Remote(remote) => remote_execute(transport, remote, stmt, role, query_ts),
+        });
         let mut out = Vec::with_capacity(prepared.len());
         let mut executed = executed.into_iter();
         for (p, &owner) in prepared.into_iter().zip(owners) {
@@ -328,6 +408,49 @@ impl EngineCtx<'_> {
             );
         }
         Ok(located.into_iter().collect())
+    }
+}
+
+/// Execute one pushed-down subquery at a remote peer over the wire.
+/// Pure with respect to the engine context (callers fold the returned
+/// stats via [`EngineCtx::note_exec`]), so it can run on pool workers.
+/// The role travels as its opaque core encoding; the statement travels
+/// as SQL text and is re-parsed at the owner. Wire-level failures are
+/// already mapped onto [`Error::Unavailable`] / [`Error::Timeout`] by
+/// the transport, so the network's retry loop treats a dead remote
+/// exactly like a crashed local peer.
+fn remote_execute(
+    transport: Option<&dyn Transport>,
+    remote: &RemotePeer,
+    stmt: &SelectStmt,
+    role: &Role,
+    query_ts: u64,
+) -> Result<(ResultSet, ExecStats)> {
+    let transport = transport.ok_or_else(|| {
+        Error::Network(format!(
+            "remote peer {} registered without a transport",
+            remote.id
+        ))
+    })?;
+    let req = Request::Subquery {
+        sql: stmt.to_string(),
+        role: role.encode(),
+        query_ts,
+    };
+    match transport.call(&remote.addr, &req)? {
+        Response::Rows {
+            columns,
+            rows,
+            stats,
+        } => Ok((
+            ResultSet { columns, rows },
+            crate::node::counters_to_stats(&stats),
+        )),
+        Response::Err { kind, message } => Err(Error::from_kind(&kind, message)),
+        other => Err(Error::Network(format!(
+            "unexpected response to subquery from {}: {other:?}",
+            remote.addr
+        ))),
     }
 }
 

@@ -79,6 +79,154 @@ impl IndexEntry {
     }
 }
 
+/// Encode a published entry set for the wire. A `bestpeer-node`
+/// answering `Inventory` ships its entries to other processes as this
+/// opaque blob; the transport layer never interprets it. Layout
+/// (little-endian): `u32` count, then per entry the BATON key, a type
+/// tag, and the tag-specific fields.
+pub fn encode_entries(entries: &[(Key, IndexEntry)]) -> Vec<u8> {
+    use bestpeer_common::{bytes::BytesMut, codec};
+    fn put_str(buf: &mut BytesMut, s: &str) {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+    let mut buf = BytesMut::with_capacity(32 + entries.len() * 32);
+    buf.put_u32_le(entries.len() as u32);
+    for (key, entry) in entries {
+        buf.put_u64_le(*key);
+        match entry {
+            IndexEntry::Table(e) => {
+                buf.put_u8(0);
+                put_str(&mut buf, &e.table);
+                buf.put_u64_le(e.peer.raw());
+            }
+            IndexEntry::Column(e) => {
+                buf.put_u8(1);
+                put_str(&mut buf, &e.column);
+                buf.put_u64_le(e.peer.raw());
+                buf.put_u32_le(e.tables.len() as u32);
+                for t in &e.tables {
+                    put_str(&mut buf, t);
+                }
+            }
+            IndexEntry::Range(e) => {
+                buf.put_u8(2);
+                put_str(&mut buf, &e.table);
+                put_str(&mut buf, &e.column);
+                codec::encode_value(&mut buf, &e.min);
+                codec::encode_value(&mut buf, &e.max);
+                buf.put_u64_le(e.peer.raw());
+            }
+        }
+    }
+    buf.freeze().to_vec()
+}
+
+/// Decode an entry set encoded by [`encode_entries`]. Every count and
+/// length is capped against the remaining bytes before allocation —
+/// these blobs arrive over untrusted sockets.
+pub fn decode_entries(payload: &[u8]) -> Result<Vec<(Key, IndexEntry)>> {
+    use bestpeer_common::{bytes::Bytes, codec, Error};
+    fn get_str(buf: &mut Bytes) -> Result<String> {
+        if buf.remaining() < 4 {
+            return Err(Error::Codec("truncated entry string length".into()));
+        }
+        let len = buf.get_u32_le() as usize;
+        if len > buf.remaining() {
+            return Err(Error::Codec(format!(
+                "entry string declares {len} bytes but only {} remain",
+                buf.remaining()
+            )));
+        }
+        let bytes = buf.split_to(len);
+        std::str::from_utf8(&bytes)
+            .map(str::to_owned)
+            .map_err(|_| Error::Codec("invalid utf-8 in entry string".into()))
+    }
+    let mut buf = Bytes::from(payload);
+    if buf.remaining() < 4 {
+        return Err(Error::Codec("truncated entry set: missing count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    // An entry is at least its 8 key bytes + 1 tag byte.
+    if n > buf.remaining() / 9 {
+        return Err(Error::Codec(format!(
+            "entry set declares {n} entries but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 9 {
+            return Err(Error::Codec("truncated index entry".into()));
+        }
+        let key = buf.get_u64_le();
+        let entry = match buf.get_u8() {
+            0 => {
+                let table = get_str(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(Error::Codec("truncated table entry".into()));
+                }
+                IndexEntry::Table(TableIndexEntry {
+                    table,
+                    peer: PeerId::new(buf.get_u64_le()),
+                })
+            }
+            1 => {
+                let column = get_str(&mut buf)?;
+                if buf.remaining() < 12 {
+                    return Err(Error::Codec("truncated column entry".into()));
+                }
+                let peer = PeerId::new(buf.get_u64_le());
+                let ntables = buf.get_u32_le() as usize;
+                // Each table name occupies at least its 4 length bytes.
+                if ntables > buf.remaining() / 4 {
+                    return Err(Error::Codec(format!(
+                        "column entry declares {ntables} tables but only {} bytes remain",
+                        buf.remaining()
+                    )));
+                }
+                let mut tables = Vec::with_capacity(ntables);
+                for _ in 0..ntables {
+                    tables.push(get_str(&mut buf)?);
+                }
+                IndexEntry::Column(ColumnIndexEntry {
+                    column,
+                    peer,
+                    tables,
+                })
+            }
+            2 => {
+                let table = get_str(&mut buf)?;
+                let column = get_str(&mut buf)?;
+                let min = codec::decode_value(&mut buf)?;
+                let max = codec::decode_value(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(Error::Codec("truncated range entry".into()));
+                }
+                IndexEntry::Range(RangeIndexEntry {
+                    table,
+                    column,
+                    min,
+                    max,
+                    peer: PeerId::new(buf.get_u64_le()),
+                })
+            }
+            other => {
+                return Err(Error::Codec(format!("unknown index entry tag {other}")));
+            }
+        };
+        out.push((key, entry));
+    }
+    if buf.has_remaining() {
+        return Err(Error::Codec(format!(
+            "{} trailing bytes after entry set",
+            buf.remaining()
+        )));
+    }
+    Ok(out)
+}
+
 /// The overlay specialized to index entries.
 pub type IndexOverlay = Overlay<IndexEntry>;
 
@@ -594,5 +742,45 @@ mod tests {
         assert!(range_matches(&lo, &hi, CmpOp::Lt, &Value::Int(11)));
         assert!(!range_matches(&lo, &hi, CmpOp::Lt, &Value::Int(10)));
         assert!(range_matches(&lo, &hi, CmpOp::Ne, &Value::Int(15)));
+    }
+
+    #[test]
+    fn entry_encoding_round_trips() {
+        let entries = vec![
+            (
+                table_key("nation"),
+                IndexEntry::Table(TableIndexEntry {
+                    table: "nation".into(),
+                    peer: PeerId::new(3),
+                }),
+            ),
+            (
+                column_key("n_name"),
+                IndexEntry::Column(ColumnIndexEntry {
+                    column: "n_name".into(),
+                    peer: PeerId::new(3),
+                    tables: vec!["nation".into(), "region".into()],
+                }),
+            ),
+            (
+                range_key("nation"),
+                IndexEntry::Range(RangeIndexEntry {
+                    table: "nation".into(),
+                    column: "n_nationkey".into(),
+                    min: Value::Int(0),
+                    max: Value::Int(24),
+                    peer: PeerId::new(3),
+                }),
+            ),
+        ];
+        let encoded = encode_entries(&entries);
+        assert_eq!(decode_entries(&encoded).unwrap(), entries);
+        for cut in 0..encoded.len() {
+            assert!(decode_entries(&encoded[..cut]).is_err(), "cut {cut}");
+        }
+        // Hostile count fails before allocation.
+        let mut hostile = encoded.clone();
+        hostile[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_entries(&hostile).is_err());
     }
 }

@@ -33,7 +33,10 @@
 //!   processing peer keeps (level 2 of the caching subsystem; level 1
 //!   is the [`indexer`] entry cache), invalidated through the same
 //!   delta-index notifications;
-//! - [`network`] — the assembled corporate network and its client API.
+//! - [`network`] — the assembled corporate network and its client API;
+//! - [`node`] — the [`bestpeer_transport::Handler`] that exposes one
+//!   network over real sockets, so peers can live in separate
+//!   processes (the `bestpeer-node` binary wraps it).
 
 pub mod access;
 pub mod bootstrap;
@@ -46,6 +49,7 @@ pub mod histogram;
 pub mod indexer;
 pub mod loader;
 pub mod network;
+pub mod node;
 pub mod peer;
 pub mod rescache;
 pub mod retry;
@@ -54,6 +58,7 @@ pub mod schema_mapping;
 pub use access::{AccessRule, Privilege, Role};
 pub use bootstrap::BootstrapPeer;
 pub use fault::{FaultAction, FaultRecord, FaultState, ScheduledFault};
-pub use network::{BestPeerNetwork, EngineChoice, NetworkConfig, QueryOutput};
+pub use network::{BestPeerNetwork, EngineChoice, NetworkConfig, QueryOutput, RemotePeer};
+pub use node::NodeService;
 pub use peer::NormalPeer;
 pub use retry::RetryPolicy;

@@ -9,6 +9,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bestpeer_baton::Key;
 use bestpeer_cloud::{CloudProvider, SimCloud};
@@ -20,6 +21,7 @@ use bestpeer_sql::exec::ResultSet;
 use bestpeer_sql::parse_select;
 use bestpeer_storage::{CrashOutcome, Database, MemDevice, Wal};
 use bestpeer_telemetry::{EngineSelection, MetricsRegistry, QueryReport};
+use bestpeer_transport::{Request, Response, Transport};
 
 use crate::access::Role;
 use crate::bootstrap::{BootstrapPeer, MaintenanceEvent};
@@ -161,6 +163,25 @@ pub struct QueryOutput {
     pub report: QueryReport,
 }
 
+/// A peer served by another process, reachable only through the
+/// transport. Registered via
+/// [`BestPeerNetwork::register_remote_peer`]; its BATON index entries
+/// live in this network's overlay like any local peer's, so the
+/// planner routes subqueries to it transparently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemotePeer {
+    /// The peer's network-wide id (allocated by its own process's
+    /// bootstrap; processes partition the id space via
+    /// [`crate::bootstrap::BootstrapPeer::set_next_peer_id`]).
+    pub id: PeerId,
+    /// `host:port` its `bestpeer-node` listens on.
+    pub addr: String,
+    /// Its data load timestamp as of registration (Definition 2
+    /// snapshot bound; the owner still enforces the authoritative
+    /// check per subquery).
+    pub load_timestamp: u64,
+}
+
 /// The whole corporate network.
 #[derive(Debug)]
 pub struct BestPeerNetwork {
@@ -182,6 +203,14 @@ pub struct BestPeerNetwork {
     /// because engines consult them through a shared [`EngineCtx`].
     rescaches: BTreeMap<PeerId, RefCell<ResultCache>>,
     stats: Option<GlobalStats>,
+    /// Peers served by other processes, keyed by id. Empty in the
+    /// classic in-process configuration — every query path is then
+    /// bit-identical to the pre-transport code.
+    remotes: BTreeMap<PeerId, RemotePeer>,
+    /// The channel used to reach [`RemotePeer`]s. `None` until
+    /// [`BestPeerNetwork::set_transport`]; required only when remotes
+    /// are registered.
+    transport: Option<Arc<dyn Transport>>,
     faults: FaultState,
     /// How much of the fault log has been synchronised into the cloud /
     /// overlay / databases.
@@ -206,6 +235,8 @@ impl BestPeerNetwork {
             locators: BTreeMap::new(),
             rescaches: BTreeMap::new(),
             stats: None,
+            remotes: BTreeMap::new(),
+            transport: None,
             faults: FaultState::new(),
             fault_sync_cursor: 0,
             metrics: MetricsRegistry::new(),
@@ -273,6 +304,18 @@ impl BestPeerNetwork {
         &mut self.overlay
     }
 
+    /// The bootstrap peer (inspection).
+    pub fn bootstrap(&self) -> &BootstrapPeer {
+        &self.bootstrap
+    }
+
+    /// The bootstrap peer, mutably — multi-process deployments
+    /// partition the peer-id space through
+    /// [`BootstrapPeer::set_next_peer_id`] before admitting anyone.
+    pub fn bootstrap_mut(&mut self) -> &mut BootstrapPeer {
+        &mut self.bootstrap
+    }
+
     /// A business joins: the bootstrap admits it (§3.1), the cloud
     /// launches its instance, and the new peer enters the BATON overlay.
     pub fn join(&mut self, business: &str) -> Result<PeerId> {
@@ -298,9 +341,74 @@ impl BestPeerNetwork {
         Ok(id)
     }
 
+    /// Install the transport used to reach remote peers.
+    pub fn set_transport(&mut self, transport: Arc<dyn Transport>) {
+        self.transport = Some(transport);
+    }
+
+    /// The installed transport, if any.
+    pub fn transport(&self) -> Option<&Arc<dyn Transport>> {
+        self.transport.as_ref()
+    }
+
+    /// The registered remote peers.
+    pub fn remote_peers(&self) -> impl Iterator<Item = &RemotePeer> {
+        self.remotes.values()
+    }
+
+    /// Register a peer served by another process: it takes a position
+    /// in this network's BATON overlay and publishes the index entries
+    /// its own process reported (via an `Inventory` exchange), so the
+    /// planner routes subqueries to it over the transport. Requires a
+    /// transport to be installed first.
+    pub fn register_remote_peer(
+        &mut self,
+        id: PeerId,
+        addr: impl Into<String>,
+        load_timestamp: u64,
+        entries: Vec<(Key, IndexEntry)>,
+    ) -> Result<()> {
+        if self.transport.is_none() {
+            return Err(Error::Network(
+                "register_remote_peer requires a transport (set_transport first)".into(),
+            ));
+        }
+        if self.peers.contains_key(&id) || self.remotes.contains_key(&id) {
+            return Err(Error::Membership(format!("peer {id} already registered")));
+        }
+        self.overlay.join(id)?;
+        indexer::publish_entries(&mut self.overlay, &entries)?;
+        self.published.insert(id, entries);
+        self.remotes.insert(
+            id,
+            RemotePeer {
+                id,
+                addr: addr.into(),
+                load_timestamp,
+            },
+        );
+        self.invalidate_caches();
+        Ok(())
+    }
+
     /// A business departs: indices withdrawn, overlay position vacated,
-    /// certificate revoked, instance blacklisted.
+    /// certificate revoked, instance blacklisted. A departing *remote*
+    /// peer additionally has its pooled transport connections evicted,
+    /// so later queries re-resolve instead of hanging on dead sockets.
     pub fn leave(&mut self, id: PeerId) -> Result<()> {
+        if let Some(remote) = self.remotes.remove(&id) {
+            let mut changed_keys: Vec<Key> = Vec::new();
+            if let Some(prev) = self.published.remove(&id) {
+                changed_keys.extend(prev.iter().map(|(k, _)| *k));
+                indexer::remove_entries(&mut self.overlay, id, &prev)?;
+            }
+            self.overlay.leave(id)?;
+            if let Some(t) = &self.transport {
+                t.evict(&remote.addr);
+            }
+            self.invalidate_changed(id, &changed_keys);
+            return Ok(());
+        }
         let peer = self
             .peers
             .remove(&id)
@@ -507,6 +615,7 @@ impl BestPeerNetwork {
         self.peers
             .values()
             .map(|p| p.db.load_timestamp())
+            .chain(self.remotes.values().map(|r| r.load_timestamp))
             .min()
             .unwrap_or(0)
     }
@@ -527,6 +636,26 @@ impl BestPeerNetwork {
                 e.0 += table.len() as u64;
                 e.1 += table.byte_size();
                 e.2 += 1;
+            }
+        }
+        stats.versions = self.table_version_fingerprints();
+        // Remote peers report their table sizes over the transport
+        // (histograms stay local: shipping MHIST buckets is future
+        // work, and the estimator degrades gracefully without them).
+        // An unreachable remote degrades statistics rather than
+        // failing collection — it may be mid-crash, and the retry
+        // loop, not the statistics gatherer, owns that failure.
+        if let Some(transport) = self.transport.clone() {
+            for remote in self.remotes.values() {
+                let resp = transport.call(&remote.addr, &Request::Stats);
+                if let Ok(Response::Stats { tables, .. }) = resp {
+                    for (name, rows, bytes) in tables {
+                        let e = stats.tables.entry(name).or_insert((0, 0, 0));
+                        e.0 += rows;
+                        e.1 += bytes;
+                        e.2 += 1;
+                    }
+                }
             }
         }
         for (table, cols) in histogram_columns {
@@ -553,6 +682,52 @@ impl BestPeerNetwork {
         Ok(())
     }
 
+    /// A deterministic fingerprint of every local table's mutation
+    /// version, folded across owning peers in `PeerId` order. The
+    /// adaptive planner compares these against the fingerprints
+    /// recorded at [`BestPeerNetwork::collect_statistics`] time to
+    /// detect histograms that have gone stale.
+    fn table_version_fingerprints(&self) -> BTreeMap<String, u64> {
+        fn mix64(mut x: u64) -> u64 {
+            // splitmix64 finalizer: cheap, stable, well mixed.
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            x
+        }
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for (id, peer) in &self.peers {
+            for table in peer.db.non_empty_tables() {
+                let v = out.entry(table.schema().name.clone()).or_insert(0);
+                *v = mix64(*v ^ mix64(id.raw()) ^ table.version());
+            }
+        }
+        out
+    }
+
+    /// Drop planner histograms whose underlying tables have mutated
+    /// since [`BestPeerNetwork::collect_statistics`] ran. Sizes are
+    /// left in place (coarse but monotone inputs to the cost model);
+    /// dropped histograms make the planner fall back to live index
+    /// cardinalities until the next collection refreshes them. This is
+    /// the fix for the stale-statistics planner bug: without it a bulk
+    /// delete after collection left the old MHIST selectivity driving
+    /// access-path choice indefinitely.
+    fn validate_statistics(&mut self) {
+        let Some(stats) = &self.stats else { return };
+        if stats.histograms.is_empty() {
+            return;
+        }
+        let current = self.table_version_fingerprints();
+        let stats = self.stats.as_mut().expect("checked above");
+        let versions = &stats.versions;
+        stats.histograms.retain(|table, _| {
+            versions.contains_key(table) && current.get(table) == versions.get(table)
+        });
+    }
+
     /// EXPLAIN the physical plan the submitter's local executor would
     /// run for `sql`: per-table access paths (SeqScan vs IndexScan with
     /// bounds), cardinality-ordered join tree, and projection pruning.
@@ -560,7 +735,10 @@ impl BestPeerNetwork {
     /// ([`BestPeerNetwork::collect_statistics`]), the plan is costed
     /// with the network's MHIST histograms; otherwise the planner falls
     /// back to local index cardinalities and the shape heuristic.
-    pub fn explain_query(&self, submitter: PeerId, sql: &str) -> Result<String> {
+    /// Stale histograms (tables mutated since collection) are dropped
+    /// first so the explained plan matches what would actually run.
+    pub fn explain_query(&mut self, submitter: PeerId, sql: &str) -> Result<String> {
+        self.validate_statistics();
         let stmt = parse_select(sql)?;
         let db = &self.peer(submitter)?.db;
         match &self.stats {
@@ -586,9 +764,17 @@ impl BestPeerNetwork {
     }
 
     /// Crash a data peer immediately (its process stops serving, its
-    /// instance stops answering heartbeats, its BATON node fails).
+    /// instance stops answering heartbeats, its BATON node fails). For
+    /// a remote peer, its pooled transport connections are evicted so
+    /// retries reconnect instead of timing out on dead sockets.
     pub fn crash_data_peer(&mut self, id: PeerId) -> Result<()> {
-        self.peer(id)?;
+        if let Some(remote) = self.remotes.get(&id) {
+            if let Some(t) = &self.transport {
+                t.evict(&remote.addr);
+            }
+        } else {
+            self.peer(id)?;
+        }
         self.faults.inject_now(FaultAction::Crash(id));
         self.sync_faults()
     }
@@ -812,6 +998,8 @@ impl BestPeerNetwork {
         });
         let mut ctx = EngineCtx {
             peers: &self.peers,
+            remotes: &self.remotes,
+            transport: self.transport.as_deref(),
             overlay: &mut self.overlay,
             locator,
             config: &self.config,
@@ -892,9 +1080,19 @@ impl BestPeerNetwork {
         let stmt = parse_select(sql)?;
         let role = self.bootstrap.role(role)?.clone();
         let schemas = self.bootstrap.global_schemas().to_vec();
+        if !self.remotes.is_empty()
+            && matches!(engine, EngineChoice::MapReduce | EngineChoice::Adaptive)
+        {
+            return Err(Error::Plan(
+                "MapReduce and Adaptive engines require all data peers \
+                 in-process; remote peers support Basic and ParallelP2P"
+                    .into(),
+            ));
+        }
         if engine == EngineChoice::Adaptive && self.stats.is_none() {
             self.collect_statistics(&[])?;
         }
+        self.validate_statistics();
         let policy = self.config.retry.clone();
         let (loc0, res0) = self.cache_counters(submitter);
         let mut pre = Trace::new(); // backoff/slowdown phases across attempts
@@ -1126,6 +1324,8 @@ impl BestPeerNetwork {
         });
         let mut ctx = EngineCtx {
             peers: &self.peers,
+            remotes: &self.remotes,
+            transport: self.transport.as_deref(),
             overlay: &mut self.overlay,
             locator,
             config: &self.config,

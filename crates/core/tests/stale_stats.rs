@@ -1,0 +1,171 @@
+//! Regression tests for the stale-statistics planner bug.
+//!
+//! `collect_statistics` snapshots MHIST histograms, but nothing ever
+//! invalidated them: a bulk mutation after collection left the old
+//! selectivities driving access-path choice indefinitely. The network
+//! now fingerprints every table's mutation version at collection time
+//! and drops histograms whose fingerprint has moved before planning.
+
+use std::collections::BTreeMap;
+
+use bestpeer_common::{ColumnDef, ColumnType, Row, TableSchema, Value};
+use bestpeer_core::network::{BestPeerNetwork, NetworkConfig};
+use bestpeer_core::Role;
+
+fn obs_schema() -> TableSchema {
+    TableSchema::new(
+        "obs",
+        vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("c", ColumnType::Int),
+        ],
+        vec![0],
+    )
+    .unwrap()
+}
+
+/// One peer holding 1000 rows of `obs` with `c = 0..999` and a
+/// secondary index on `c`, histograms collected over `c`.
+fn setup() -> (BestPeerNetwork, bestpeer_common::PeerId) {
+    let mut net = BestPeerNetwork::new(vec![obs_schema()], NetworkConfig::default());
+    net.define_role(Role::full_read("R", &[("obs", &["id", "c"])]));
+    let id = net.join("acme").unwrap();
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i)]))
+        .collect();
+    let mut data = BTreeMap::new();
+    data.insert("obs".to_string(), rows);
+    net.load_peer(id, data, 1).unwrap();
+    net.peer_mut(id)
+        .unwrap()
+        .db
+        .create_index("obs", "c")
+        .unwrap();
+    net.collect_statistics(&[("obs".into(), vec!["c".into()])])
+        .unwrap();
+    (net, id)
+}
+
+/// Delete every row with `c >= 100`, leaving 100 rows that *all*
+/// satisfy `c < 100`.
+fn bulk_delete_tail(net: &mut BestPeerNetwork, id: bestpeer_common::PeerId) {
+    let db = &mut net.peer_mut(id).unwrap().db;
+    for i in 100..1000 {
+        db.delete_by_key("obs", &[Value::Int(i)]).unwrap();
+    }
+}
+
+const SQL: &str = "SELECT id FROM obs WHERE c < 100";
+
+#[test]
+fn fresh_histogram_picks_index_scan() {
+    let (mut net, id) = setup();
+    let plan = net.explain_query(id, SQL).unwrap();
+    assert!(
+        plan.contains("IndexScan"),
+        "with a fresh histogram, `c < 100` is ~10% selective and must \
+         use the index:\n{plan}"
+    );
+}
+
+#[test]
+fn bulk_delete_after_collection_flips_back_to_seq_scan() {
+    // The regression: before the version fingerprints existed, the
+    // stale histogram still claimed 10% selectivity after the delete
+    // and the planner kept choosing IndexScan, even though every
+    // surviving row matches the predicate.
+    let (mut net, id) = setup();
+    bulk_delete_tail(&mut net, id);
+    let plan = net.explain_query(id, SQL).unwrap();
+    assert!(
+        plan.contains("SeqScan obs"),
+        "after the bulk delete every live row has c < 100; the stale \
+         histogram must be dropped so the planner sees ~100% \
+         selectivity and scans sequentially:\n{plan}"
+    );
+    assert!(
+        !plan.contains("IndexScan obs.c"),
+        "stale MHIST selectivity leaked into access-path choice:\n{plan}"
+    );
+}
+
+#[test]
+fn recollection_after_mutation_restores_index_plans() {
+    // Dropping the stale histogram is a fallback, not a permanent
+    // downgrade: re-collecting statistics over the mutated table
+    // produces fresh selectivities and index plans return where they
+    // are genuinely cheap.
+    let (mut net, id) = setup();
+    bulk_delete_tail(&mut net, id);
+    assert!(net.explain_query(id, SQL).unwrap().contains("SeqScan"));
+    net.collect_statistics(&[("obs".into(), vec!["c".into()])])
+        .unwrap();
+    // Against the fresh 100-row table, `c < 5` is ~5% selective.
+    let plan = net
+        .explain_query(id, "SELECT id FROM obs WHERE c < 5")
+        .unwrap();
+    assert!(
+        plan.contains("IndexScan"),
+        "fresh statistics over the mutated table must re-enable index \
+         plans:\n{plan}"
+    );
+}
+
+#[test]
+fn untouched_tables_keep_their_histograms() {
+    // Validation is per-table: mutating `obs` must not evict
+    // histograms for tables that have not changed.
+    let extra = TableSchema::new(
+        "calm",
+        vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("v", ColumnType::Int),
+        ],
+        vec![0],
+    )
+    .unwrap();
+    let mut net = BestPeerNetwork::new(vec![obs_schema(), extra], NetworkConfig::default());
+    net.define_role(Role::full_read(
+        "R",
+        &[("obs", &["id", "c"]), ("calm", &["id", "v"])],
+    ));
+    let id = net.join("acme").unwrap();
+    let mut data = BTreeMap::new();
+    data.insert(
+        "obs".to_string(),
+        (0..1000)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i)]))
+            .collect::<Vec<Row>>(),
+    );
+    data.insert(
+        "calm".to_string(),
+        (0..1000)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i)]))
+            .collect::<Vec<Row>>(),
+    );
+    net.load_peer(id, data, 1).unwrap();
+    net.peer_mut(id)
+        .unwrap()
+        .db
+        .create_index("obs", "c")
+        .unwrap();
+    net.peer_mut(id)
+        .unwrap()
+        .db
+        .create_index("calm", "v")
+        .unwrap();
+    net.collect_statistics(&[
+        ("obs".into(), vec!["c".into()]),
+        ("calm".into(), vec!["v".into()]),
+    ])
+    .unwrap();
+    bulk_delete_tail(&mut net, id);
+    let plan = net
+        .explain_query(id, "SELECT id FROM calm WHERE v < 100")
+        .unwrap();
+    assert!(
+        plan.contains("IndexScan"),
+        "calm's histogram is still valid and must survive obs's \
+         invalidation:\n{plan}"
+    );
+}

@@ -67,6 +67,71 @@ impl ResultSet {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Canonical binary encoding: `u32` column count, each column name
+    /// as `u32` length + UTF-8 bytes, then the rows as one
+    /// `codec::encode_batch` batch. Deterministic — the same logical
+    /// result always produces the same bytes, which is what makes
+    /// [`ResultSet::digest`] comparable across transports and
+    /// processes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = bestpeer_common::bytes::BytesMut::with_capacity(64);
+        buf.put_u32_le(self.columns.len() as u32);
+        for c in &self.columns {
+            buf.put_u32_le(c.len() as u32);
+            buf.put_slice(c.as_bytes());
+        }
+        buf.put_slice(&bestpeer_common::codec::encode_batch(&self.rows));
+        buf.freeze().to_vec()
+    }
+
+    /// Decode an encoding produced by [`ResultSet::encode`]. Counts and
+    /// lengths are capped against the remaining bytes before
+    /// allocation; result sets can arrive over untrusted sockets.
+    pub fn decode(payload: &[u8]) -> Result<ResultSet> {
+        let mut buf = bestpeer_common::bytes::Bytes::from(payload);
+        if buf.remaining() < 4 {
+            return Err(Error::Codec(
+                "truncated result set: missing column count".into(),
+            ));
+        }
+        let ncols = buf.get_u32_le() as usize;
+        // Each column name occupies at least its 4 length bytes.
+        if ncols > buf.remaining() / 4 {
+            return Err(Error::Codec(format!(
+                "result set declares {ncols} columns but only {} bytes remain",
+                buf.remaining()
+            )));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            if buf.remaining() < 4 {
+                return Err(Error::Codec("truncated column name length".into()));
+            }
+            let len = buf.get_u32_le() as usize;
+            if len > buf.remaining() {
+                return Err(Error::Codec(format!(
+                    "column name declares {len} bytes but only {} remain",
+                    buf.remaining()
+                )));
+            }
+            let bytes = buf.split_to(len);
+            let name = std::str::from_utf8(&bytes)
+                .map_err(|_| Error::Codec("invalid utf-8 in column name".into()))?;
+            columns.push(name.to_owned());
+        }
+        let rows = bestpeer_common::codec::decode_batch(buf)?;
+        Ok(ResultSet { columns, rows })
+    }
+
+    /// A stable 64-bit digest of the full result (column names, row
+    /// order, and values). Two result sets digest equal iff their
+    /// canonical encodings are byte-identical — the acceptance check
+    /// for "same answer over simnet, loopback TCP, and separate
+    /// processes".
+    pub fn digest(&self) -> u64 {
+        bestpeer_common::stable_hash_bytes(&self.encode())
+    }
 }
 
 /// Counters describing the physical work done by one execution.
@@ -1606,5 +1671,35 @@ mod tests {
         let rs = query("SELECT COUNT(*), COUNT(x) FROM t", &db);
         assert_eq!(rs.rows[0].get(0), &Value::Int(2));
         assert_eq!(rs.rows[0].get(1), &Value::Int(1));
+    }
+
+    #[test]
+    fn result_set_encoding_round_trips_and_digests() {
+        let rs = ResultSet {
+            columns: vec!["a".into(), "revenue".into()],
+            rows: vec![
+                Row::new(vec![Value::Int(1), Value::Float(2.5)]),
+                Row::new(vec![Value::str("x"), Value::Null]),
+            ],
+        };
+        let encoded = rs.encode();
+        assert_eq!(ResultSet::decode(&encoded).unwrap(), rs);
+        assert_eq!(rs.digest(), ResultSet::decode(&encoded).unwrap().digest());
+
+        // Digest is sensitive to column names, row order, and values.
+        let mut renamed = rs.clone();
+        renamed.columns[0] = "b".into();
+        assert_ne!(renamed.digest(), rs.digest());
+        let mut reordered = rs.clone();
+        reordered.rows.reverse();
+        assert_ne!(reordered.digest(), rs.digest());
+
+        // Hostile header: absurd column count fails before allocation.
+        let mut hostile = vec![0u8; 4];
+        hostile.copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ResultSet::decode(&hostile).is_err());
+        for cut in 0..encoded.len() {
+            assert!(ResultSet::decode(&encoded[..cut]).is_err());
+        }
     }
 }

@@ -26,6 +26,13 @@ pub struct Table {
     secondary: HashMap<String, SecondaryIndex>,
     live_rows: usize,
     live_bytes: u64,
+    /// Monotonic mutation counter, bumped on every insert, delete, and
+    /// truncate. Cached planner statistics (MHIST histograms in
+    /// `core`'s `GlobalStats`) record the version they were built at
+    /// and are invalidated when it moves — without this, a
+    /// post-collection bulk delete leaves the physical planner costing
+    /// access paths from dead histograms.
+    version: u64,
 }
 
 impl Table {
@@ -38,7 +45,15 @@ impl Table {
             secondary: HashMap::new(),
             live_rows: 0,
             live_bytes: 0,
+            version: 0,
         }
+    }
+
+    /// The table's mutation version: increments on every insert,
+    /// delete, and truncate. Statistics consumers snapshot this to
+    /// detect staleness.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// This table's schema.
@@ -91,6 +106,7 @@ impl Table {
         }
         self.live_rows = 0;
         self.live_bytes = 0;
+        self.version += 1;
     }
 
     /// Names of columns carrying a secondary index.
@@ -123,6 +139,7 @@ impl Table {
         }
         self.live_rows += 1;
         self.live_bytes += row.byte_size();
+        self.version += 1;
         self.rows.push(Some(SharedRow::new(row)));
         Ok(rid)
     }
@@ -165,6 +182,7 @@ impl Table {
         }
         self.live_rows -= 1;
         self.live_bytes -= row.byte_size();
+        self.version += 1;
         Ok(row)
     }
 

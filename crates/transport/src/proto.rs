@@ -1,0 +1,594 @@
+//! The request/response protocol spoken between BestPeer++ nodes.
+//!
+//! Messages are encoded with `common::bytes` + `common::codec` and
+//! travel as single [frames](crate::frame). Layering is deliberate:
+//! this crate knows about rows and values (they live in
+//! `bestpeer-common`) but nothing about SQL plans, roles, or index
+//! entries — those cross the wire as pre-encoded opaque byte blobs
+//! produced and consumed by `bestpeer-core`, and execution statistics
+//! travel as self-describing named counters.
+//!
+//! Every length and count read off the wire is capped against the
+//! remaining buffer *before* allocation, mirroring the hardening in
+//! `common::codec`: these bytes come from untrusted sockets.
+
+use bestpeer_common::bytes::{Bytes, BytesMut};
+use bestpeer_common::codec;
+use bestpeer_common::{Error, Result, Row};
+
+/// A request sent to a remote node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / round-trip probe.
+    Ping,
+    /// Execute one already-decomposed subquery against the node's local
+    /// peer, under the submitter's role (opaque, core-encoded) at the
+    /// given snapshot timestamp. This is the serve-loop workhorse.
+    Subquery {
+        /// The subquery as SQL text (statements round-trip through
+        /// `Display` + `parse_select`).
+        sql: String,
+        /// Core-encoded `Role` blob enforced at the data owner.
+        role: Vec<u8>,
+        /// Snapshot timestamp for the staleness check.
+        query_ts: u64,
+    },
+    /// Submit a full query to the node's network (client mode): the
+    /// node plans, fans out, and returns the merged result.
+    Query {
+        /// Full SQL text.
+        sql: String,
+        /// Name of a role already defined on the serving node.
+        role: String,
+    },
+    /// Ask the node for its peer id, load timestamp, and the BATON
+    /// index entries it publishes (core-encoded blob).
+    Inventory,
+    /// Register a remote peer with the serving node so its planner can
+    /// route subqueries there.
+    AddRemote {
+        /// The remote peer's id (raw).
+        peer: u64,
+        /// `host:port` the remote node listens on.
+        addr: String,
+        /// The remote peer's data load timestamp.
+        load_ts: u64,
+        /// Core-encoded index entries the remote publishes.
+        entries: Vec<u8>,
+    },
+    /// Bulk-load rows into one table of the node's local peer.
+    Load {
+        /// Target table name.
+        table: String,
+        /// Load timestamp to install after the bulk insert.
+        timestamp: u64,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// Install a core-encoded `Role` definition on the node.
+    DefineRole {
+        /// Core-encoded role blob.
+        role: Vec<u8>,
+    },
+    /// Report table sizes for distributed statistics collection.
+    Stats,
+    /// Ask the node to stop serving and exit.
+    Shutdown,
+}
+
+/// A response returned by a remote node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// A result set plus the execution statistics the remote spent
+    /// producing it (named counters, merged into the submitter's
+    /// `ExecStats` by core).
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Row>,
+        /// Named execution counters, e.g. `("bytes_scanned", 1024)`.
+        stats: Vec<(String, u64)>,
+    },
+    /// Generic success for requests with no payload to return.
+    Ok,
+    /// The remote failed; `(kind, message)` reconstructs the exact
+    /// `Error` variant via `Error::from_kind`, so kind-keyed retry
+    /// behavior survives the wire.
+    Err {
+        /// `Error::kind()` of the remote failure.
+        kind: String,
+        /// `Error::message()` of the remote failure.
+        message: String,
+    },
+    /// Reply to [`Request::Inventory`].
+    Inventory {
+        /// The node's local peer id (raw).
+        peer: u64,
+        /// The node's data load timestamp.
+        load_ts: u64,
+        /// Core-encoded index entries the node publishes.
+        entries: Vec<u8>,
+    },
+    /// Reply to [`Request::Stats`]: per-table `(name, rows, bytes)`.
+    Stats {
+        /// The node's data load timestamp.
+        load_ts: u64,
+        /// Per-table `(name, live_rows, live_bytes)`.
+        tables: Vec<(String, u64, u64)>,
+    },
+}
+
+const REQ_PING: u8 = 0;
+const REQ_SUBQUERY: u8 = 1;
+const REQ_QUERY: u8 = 2;
+const REQ_INVENTORY: u8 = 3;
+const REQ_ADD_REMOTE: u8 = 4;
+const REQ_LOAD: u8 = 5;
+const REQ_DEFINE_ROLE: u8 = 6;
+const REQ_STATS: u8 = 7;
+const REQ_SHUTDOWN: u8 = 8;
+
+const RESP_PONG: u8 = 0;
+const RESP_ROWS: u8 = 1;
+const RESP_OK: u8 = 2;
+const RESP_ERR: u8 = 3;
+const RESP_INVENTORY: u8 = 4;
+const RESP_STATS: u8 = 5;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    ensure(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    ensure(buf, len)?;
+    let bytes = buf.split_to(len);
+    std::str::from_utf8(&bytes)
+        .map(str::to_owned)
+        .map_err(|_| Error::Codec("invalid utf-8 in protocol string".into()))
+}
+
+fn put_blob(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_blob(buf: &mut Bytes) -> Result<Vec<u8>> {
+    ensure(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    ensure(buf, len)?;
+    Ok(buf.split_to(len).to_vec())
+}
+
+fn put_rows(buf: &mut BytesMut, rows: &[Row]) {
+    let batch = codec::encode_batch(rows);
+    put_blob(buf, &batch);
+}
+
+fn get_rows(buf: &mut Bytes) -> Result<Vec<Row>> {
+    let blob = get_blob(buf)?;
+    codec::decode_batch(Bytes::from(blob))
+}
+
+fn ensure(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(Error::Codec(format!(
+            "truncated message: need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Cap a declared element count against the remaining bytes, given the
+/// minimum encoded size of one element; rejects hostile counts before
+/// they size a `Vec`.
+fn checked_count(buf: &Bytes, n: usize, min_elem_bytes: usize) -> Result<usize> {
+    if n > buf.remaining() / min_elem_bytes.max(1) {
+        Err(Error::Codec(format!(
+            "message declares {n} elements but only {} bytes remain",
+            buf.remaining()
+        )))
+    } else {
+        Ok(n)
+    }
+}
+
+impl Request {
+    /// Encode this request as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Request::Ping => buf.put_u8(REQ_PING),
+            Request::Subquery {
+                sql,
+                role,
+                query_ts,
+            } => {
+                buf.put_u8(REQ_SUBQUERY);
+                put_string(&mut buf, sql);
+                put_blob(&mut buf, role);
+                buf.put_u64_le(*query_ts);
+            }
+            Request::Query { sql, role } => {
+                buf.put_u8(REQ_QUERY);
+                put_string(&mut buf, sql);
+                put_string(&mut buf, role);
+            }
+            Request::Inventory => buf.put_u8(REQ_INVENTORY),
+            Request::AddRemote {
+                peer,
+                addr,
+                load_ts,
+                entries,
+            } => {
+                buf.put_u8(REQ_ADD_REMOTE);
+                buf.put_u64_le(*peer);
+                put_string(&mut buf, addr);
+                buf.put_u64_le(*load_ts);
+                put_blob(&mut buf, entries);
+            }
+            Request::Load {
+                table,
+                timestamp,
+                rows,
+            } => {
+                buf.put_u8(REQ_LOAD);
+                put_string(&mut buf, table);
+                buf.put_u64_le(*timestamp);
+                put_rows(&mut buf, rows);
+            }
+            Request::DefineRole { role } => {
+                buf.put_u8(REQ_DEFINE_ROLE);
+                put_blob(&mut buf, role);
+            }
+            Request::Stats => buf.put_u8(REQ_STATS),
+            Request::Shutdown => buf.put_u8(REQ_SHUTDOWN),
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Decode a request from one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut buf = Bytes::from(payload);
+        ensure(&buf, 1)?;
+        let tag = buf.get_u8();
+        let req = match tag {
+            REQ_PING => Request::Ping,
+            REQ_SUBQUERY => Request::Subquery {
+                sql: get_string(&mut buf)?,
+                role: get_blob(&mut buf)?,
+                query_ts: {
+                    ensure(&buf, 8)?;
+                    buf.get_u64_le()
+                },
+            },
+            REQ_QUERY => Request::Query {
+                sql: get_string(&mut buf)?,
+                role: get_string(&mut buf)?,
+            },
+            REQ_INVENTORY => Request::Inventory,
+            REQ_ADD_REMOTE => {
+                ensure(&buf, 8)?;
+                let peer = buf.get_u64_le();
+                let addr = get_string(&mut buf)?;
+                ensure(&buf, 8)?;
+                let load_ts = buf.get_u64_le();
+                let entries = get_blob(&mut buf)?;
+                Request::AddRemote {
+                    peer,
+                    addr,
+                    load_ts,
+                    entries,
+                }
+            }
+            REQ_LOAD => {
+                let table = get_string(&mut buf)?;
+                ensure(&buf, 8)?;
+                let timestamp = buf.get_u64_le();
+                let rows = get_rows(&mut buf)?;
+                Request::Load {
+                    table,
+                    timestamp,
+                    rows,
+                }
+            }
+            REQ_DEFINE_ROLE => Request::DefineRole {
+                role: get_blob(&mut buf)?,
+            },
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            other => return Err(Error::Codec(format!("unknown request tag {other}"))),
+        };
+        if buf.has_remaining() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after request",
+                buf.remaining()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode this response as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Response::Pong => buf.put_u8(RESP_PONG),
+            Response::Rows {
+                columns,
+                rows,
+                stats,
+            } => {
+                buf.put_u8(RESP_ROWS);
+                buf.put_u32_le(columns.len() as u32);
+                for c in columns {
+                    put_string(&mut buf, c);
+                }
+                put_rows(&mut buf, rows);
+                buf.put_u32_le(stats.len() as u32);
+                for (name, v) in stats {
+                    put_string(&mut buf, name);
+                    buf.put_u64_le(*v);
+                }
+            }
+            Response::Ok => buf.put_u8(RESP_OK),
+            Response::Err { kind, message } => {
+                buf.put_u8(RESP_ERR);
+                put_string(&mut buf, kind);
+                put_string(&mut buf, message);
+            }
+            Response::Inventory {
+                peer,
+                load_ts,
+                entries,
+            } => {
+                buf.put_u8(RESP_INVENTORY);
+                buf.put_u64_le(*peer);
+                buf.put_u64_le(*load_ts);
+                put_blob(&mut buf, entries);
+            }
+            Response::Stats { load_ts, tables } => {
+                buf.put_u8(RESP_STATS);
+                buf.put_u64_le(*load_ts);
+                buf.put_u32_le(tables.len() as u32);
+                for (name, rows, bytes) in tables {
+                    put_string(&mut buf, name);
+                    buf.put_u64_le(*rows);
+                    buf.put_u64_le(*bytes);
+                }
+            }
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Decode a response from one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut buf = Bytes::from(payload);
+        ensure(&buf, 1)?;
+        let tag = buf.get_u8();
+        let resp = match tag {
+            RESP_PONG => Response::Pong,
+            RESP_ROWS => {
+                ensure(&buf, 4)?;
+                // Each column name occupies at least its 4 length bytes.
+                let declared = buf.get_u32_le() as usize;
+                let ncols = checked_count(&buf, declared, 4)?;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(get_string(&mut buf)?);
+                }
+                let rows = get_rows(&mut buf)?;
+                ensure(&buf, 4)?;
+                // Each counter is at least 4 name-length bytes + 8 value bytes.
+                let declared = buf.get_u32_le() as usize;
+                let nstats = checked_count(&buf, declared, 12)?;
+                let mut stats = Vec::with_capacity(nstats);
+                for _ in 0..nstats {
+                    let name = get_string(&mut buf)?;
+                    ensure(&buf, 8)?;
+                    stats.push((name, buf.get_u64_le()));
+                }
+                Response::Rows {
+                    columns,
+                    rows,
+                    stats,
+                }
+            }
+            RESP_OK => Response::Ok,
+            RESP_ERR => Response::Err {
+                kind: get_string(&mut buf)?,
+                message: get_string(&mut buf)?,
+            },
+            RESP_INVENTORY => {
+                ensure(&buf, 16)?;
+                let peer = buf.get_u64_le();
+                let load_ts = buf.get_u64_le();
+                let entries = get_blob(&mut buf)?;
+                Response::Inventory {
+                    peer,
+                    load_ts,
+                    entries,
+                }
+            }
+            RESP_STATS => {
+                ensure(&buf, 12)?;
+                let load_ts = buf.get_u64_le();
+                // Each table entry is at least 4 name-length bytes + 16
+                // counter bytes.
+                let declared = buf.get_u32_le() as usize;
+                let ntables = checked_count(&buf, declared, 20)?;
+                let mut tables = Vec::with_capacity(ntables);
+                for _ in 0..ntables {
+                    let name = get_string(&mut buf)?;
+                    ensure(&buf, 16)?;
+                    let rows = buf.get_u64_le();
+                    let bytes = buf.get_u64_le();
+                    tables.push((name, rows, bytes));
+                }
+                Response::Stats { load_ts, tables }
+            }
+            other => return Err(Error::Codec(format!("unknown response tag {other}"))),
+        };
+        if buf.has_remaining() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after response",
+                buf.remaining()
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Wrap a core `Result` outcome: errors become [`Response::Err`]
+    /// carrying `(kind, message)` for exact reconstruction.
+    pub fn from_error(e: &Error) -> Response {
+        Response::Err {
+            kind: e.kind().to_owned(),
+            message: e.message().to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bestpeer_common::Value;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![Value::Int(1), Value::str("alpha")]),
+            Row::new(vec![Value::Int(2), Value::Null]),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Subquery {
+                sql: "SELECT a FROM t WHERE a < 3".into(),
+                role: vec![1, 2, 3],
+                query_ts: 42,
+            },
+            Request::Query {
+                sql: "SELECT * FROM t".into(),
+                role: "analyst".into(),
+            },
+            Request::Inventory,
+            Request::AddRemote {
+                peer: 7,
+                addr: "127.0.0.1:9000".into(),
+                load_ts: 10,
+                entries: vec![9, 8],
+            },
+            Request::Load {
+                table: "nation".into(),
+                timestamp: 5,
+                rows: sample_rows(),
+            },
+            Request::DefineRole { role: vec![4, 5] },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Pong,
+            Response::Rows {
+                columns: vec!["a".into(), "b".into()],
+                rows: sample_rows(),
+                stats: vec![("bytes_scanned".into(), 128), ("rows_output".into(), 2)],
+            },
+            Response::Ok,
+            Response::Err {
+                kind: "unavailable".into(),
+                message: "peer 3 is down".into(),
+            },
+            Response::Inventory {
+                peer: 3,
+                load_ts: 9,
+                entries: vec![1],
+            },
+            Response::Stats {
+                load_ts: 9,
+                tables: vec![("nation".into(), 25, 3200)],
+            },
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0xAB);
+        assert!(Request::decode(&bytes).is_err());
+        let mut bytes = Response::Ok.encode();
+        bytes.push(0xAB);
+        assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_fail_before_allocation() {
+        // Rows response claiming u32::MAX columns with a tiny payload.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1); // RESP_ROWS
+        buf.put_u32_le(u32::MAX);
+        assert!(Response::decode(&buf.freeze()).is_err());
+
+        // Stats response claiming a billion tables.
+        let mut buf = BytesMut::new();
+        buf.put_u8(5); // RESP_STATS
+        buf.put_u64_le(1);
+        buf.put_u32_le(1_000_000_000);
+        buf.put_slice(&[0u8; 32]);
+        assert!(Response::decode(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn corrupt_messages_error_not_panic() {
+        let encodings: Vec<Vec<u8>> = vec![
+            Request::Subquery {
+                sql: "SELECT a FROM t".into(),
+                role: vec![0; 16],
+                query_ts: 1,
+            }
+            .encode(),
+            Response::Rows {
+                columns: vec!["a".into()],
+                rows: sample_rows(),
+                stats: vec![("rows_output".into(), 2)],
+            }
+            .encode(),
+        ];
+        let mut rng = bestpeer_common::rng::Rng::seed_from_u64(0x00F4_A33D);
+        for encoded in &encodings {
+            for cut in 0..encoded.len() {
+                let _ = Request::decode(&encoded[..cut]);
+                let _ = Response::decode(&encoded[..cut]);
+            }
+            for _ in 0..500 {
+                let mut mutated = encoded.clone();
+                let pos = (rng.next_u64() as usize) % mutated.len();
+                mutated[pos] ^= 1 << (rng.next_u64() % 8);
+                let _ = Request::decode(&mutated);
+                let _ = Response::decode(&mutated);
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The real-socket transport: `std::net` TCP with per-remote connection
+//! pooling, bounded in-flight requests, and configurable timeouts.
+//!
+//! Design points:
+//!
+//! - **Pooling.** Completed requests return their stream to a small
+//!   per-remote idle list (`max_idle_per_remote`), so steady-state
+//!   traffic reuses connections instead of paying a TCP handshake per
+//!   subquery.
+//! - **Backpressure.** At most `max_in_flight_per_remote` requests may
+//!   be outstanding to one remote; further callers block on a condvar
+//!   until a slot frees. Bounded slots, not unbounded queues: a slow
+//!   peer slows its callers instead of ballooning memory.
+//! - **Timeouts → retry.** Connect and read timeouts surface as
+//!   [`Error::Timeout`]; refused/reset/EOF surface as
+//!   [`Error::Unavailable`] — exactly the kinds `core`'s retry loop
+//!   already handles, so it works unchanged over real sockets.
+//! - **Eviction.** `evict(addr)` drops the idle pool and bumps an
+//!   epoch so streams still in flight are discarded on return rather
+//!   than re-pooled. `leave()`/`crash_data_peer()` call this so retries
+//!   after a peer death re-resolve instead of hanging on a dead socket.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use bestpeer_common::{Error, Result};
+
+use crate::frame::{map_io_error, read_frame, write_frame, FrameConfig, DEFAULT_MAX_FRAME_BYTES};
+use crate::proto::{Request, Response};
+use crate::Transport;
+
+/// Tunables for the TCP transport.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Maximum time to wait for a TCP connect.
+    pub connect_timeout: Duration,
+    /// Maximum time to wait for a response frame.
+    pub read_timeout: Duration,
+    /// Idle connections kept per remote address.
+    pub max_idle_per_remote: usize,
+    /// Bound on concurrently outstanding requests per remote address.
+    pub max_in_flight_per_remote: usize,
+    /// Reject frames larger than this many payload bytes.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(5),
+            max_idle_per_remote: 4,
+            max_in_flight_per_remote: 8,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Pool {
+    idle: Vec<TcpStream>,
+    in_flight: usize,
+    /// Bumped on eviction; a stream checked out under an older epoch is
+    /// dropped on return instead of re-pooled.
+    epoch: u64,
+}
+
+/// A [`Transport`] over real TCP sockets.
+pub struct TcpTransport {
+    cfg: TcpConfig,
+    pools: Mutex<HashMap<String, Pool>>,
+    slot_freed: Condvar,
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// A transport with default tunables.
+    pub fn new() -> Self {
+        Self::with_config(TcpConfig::default())
+    }
+
+    /// A transport with explicit tunables.
+    pub fn with_config(cfg: TcpConfig) -> Self {
+        TcpTransport {
+            cfg,
+            pools: Mutex::new(HashMap::new()),
+            slot_freed: Condvar::new(),
+        }
+    }
+
+    /// Idle pooled connections for `addr` (test introspection).
+    pub fn idle_connections(&self, addr: &str) -> usize {
+        self.pools
+            .lock()
+            .unwrap()
+            .get(addr)
+            .map_or(0, |p| p.idle.len())
+    }
+
+    /// Requests currently in flight to `addr` (test introspection).
+    pub fn in_flight(&self, addr: &str) -> usize {
+        self.pools
+            .lock()
+            .unwrap()
+            .get(addr)
+            .map_or(0, |p| p.in_flight)
+    }
+
+    /// Block until an in-flight slot for `addr` is free, claim it, and
+    /// return a pooled stream (if any) plus the epoch the claim was
+    /// made under.
+    fn acquire(&self, addr: &str) -> (Option<TcpStream>, u64) {
+        let mut pools = self.pools.lock().unwrap();
+        loop {
+            let pool = pools.entry(addr.to_owned()).or_default();
+            if pool.in_flight < self.cfg.max_in_flight_per_remote {
+                pool.in_flight += 1;
+                return (pool.idle.pop(), pool.epoch);
+            }
+            pools = self.slot_freed.wait(pools).unwrap();
+        }
+    }
+
+    /// Release the in-flight slot for `addr`, returning `stream` to the
+    /// idle pool when it is still healthy and from the current epoch.
+    fn release(&self, addr: &str, stream: Option<TcpStream>, epoch: u64) {
+        let mut pools = self.pools.lock().unwrap();
+        if let Some(pool) = pools.get_mut(addr) {
+            pool.in_flight = pool.in_flight.saturating_sub(1);
+            if let Some(s) = stream {
+                if pool.epoch == epoch && pool.idle.len() < self.cfg.max_idle_per_remote {
+                    pool.idle.push(s);
+                }
+            }
+        }
+        drop(pools);
+        self.slot_freed.notify_one();
+    }
+
+    fn connect(&self, addr: &str) -> Result<TcpStream> {
+        let sockaddr = addr
+            .parse::<std::net::SocketAddr>()
+            .map_err(|e| Error::Network(format!("bad peer address `{addr}`: {e}")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.cfg.connect_timeout)
+            .map_err(map_io_error)?;
+        stream
+            .set_read_timeout(Some(self.cfg.read_timeout))
+            .map_err(map_io_error)?;
+        stream.set_nodelay(true).map_err(map_io_error)?;
+        Ok(stream)
+    }
+
+    fn round_trip(&self, stream: &mut TcpStream, payload: &[u8]) -> Result<Response> {
+        write_frame(stream, payload)?;
+        let frame_cfg = FrameConfig {
+            max_frame_bytes: self.cfg.max_frame_bytes,
+        };
+        let resp_bytes = read_frame(stream, &frame_cfg)?;
+        Response::decode(&resp_bytes)
+    }
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, addr: &str, req: &Request) -> Result<Response> {
+        let payload = req.encode();
+        let (pooled, epoch) = self.acquire(addr);
+
+        // A pooled stream may have been closed by the remote while idle;
+        // such a failure gets one retry on a fresh connection. A failure
+        // on a fresh connection is reported as-is — the peer is really
+        // unreachable and core's retry policy takes over.
+        let mut attempt_pooled = pooled;
+        let result = loop {
+            let was_pooled = attempt_pooled.is_some();
+            let mut stream = match attempt_pooled.take() {
+                Some(s) => s,
+                None => match self.connect(addr) {
+                    Ok(s) => s,
+                    Err(e) => break Err(e),
+                },
+            };
+            match self.round_trip(&mut stream, &payload) {
+                Ok(resp) => {
+                    self.release(addr, Some(stream), epoch);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    drop(stream);
+                    if was_pooled {
+                        continue; // retry once on a fresh connection
+                    }
+                    break Err(e);
+                }
+            }
+        };
+        self.release(addr, None, epoch);
+        result
+    }
+
+    fn evict(&self, addr: &str) {
+        let mut pools = self.pools.lock().unwrap();
+        if let Some(pool) = pools.get_mut(addr) {
+            pool.idle.clear();
+            pool.epoch += 1;
+        }
+        drop(pools);
+        // In-flight callers blocked on this remote should re-check; their
+        // streams will fail fast on the dead socket and not be re-pooled.
+        self.slot_freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::TcpServer;
+    use crate::Handler;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    struct Echo;
+    impl Handler for Echo {
+        fn handle(&self, req: Request) -> Response {
+            match req {
+                Request::Ping => Response::Pong,
+                _ => Response::Ok,
+            }
+        }
+    }
+
+    #[test]
+    fn call_reuses_pooled_connection() {
+        let server = TcpServer::bind("127.0.0.1:0", Arc::new(Echo)).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let t = TcpTransport::new();
+        assert_eq!(t.call(&addr, &Request::Ping).unwrap(), Response::Pong);
+        assert_eq!(t.idle_connections(&addr), 1);
+        assert_eq!(t.call(&addr, &Request::Ping).unwrap(), Response::Pong);
+        assert_eq!(
+            t.idle_connections(&addr),
+            1,
+            "second call reused the stream"
+        );
+
+        handle.stop();
+    }
+
+    #[test]
+    fn dead_pooled_connection_retries_once_then_unavailable() {
+        // A listener that serves exactly one request per connection and
+        // then closes: the pooled stream from call 1 is dead by call 2.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_clone = Arc::clone(&served);
+        let accept_thread = std::thread::spawn(move || {
+            // First connection: answer one Ping, then drop the stream.
+            let (mut s, _) = listener.accept().unwrap();
+            let cfg = FrameConfig::default();
+            let req = read_frame(&mut s, &cfg).unwrap();
+            assert!(matches!(Request::decode(&req).unwrap(), Request::Ping));
+            write_frame(&mut s, &Response::Pong.encode()).unwrap();
+            served_clone.fetch_add(1, Ordering::SeqCst);
+            drop(s);
+            // Second connection (the retry): accept, then close without
+            // answering — the peer is really gone.
+            let (s2, _) = listener.accept().unwrap();
+            drop(s2);
+            served_clone.fetch_add(1, Ordering::SeqCst);
+        });
+
+        let t = TcpTransport::new();
+        assert_eq!(t.call(&addr, &Request::Ping).unwrap(), Response::Pong);
+        assert_eq!(t.idle_connections(&addr), 1);
+
+        // The pooled stream is dead; the retry's fresh connection is
+        // accepted then closed, so the caller sees Unavailable — the
+        // kind core's retry policy re-attempts.
+        let err = t.call(&addr, &Request::Ping).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert_eq!(t.idle_connections(&addr), 0, "dead stream not re-pooled");
+        assert_eq!(t.in_flight(&addr), 0, "slot released on failure");
+
+        accept_thread.join().unwrap();
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn evict_drops_idle_and_bumps_epoch() {
+        let server = TcpServer::bind("127.0.0.1:0", Arc::new(Echo)).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let t = TcpTransport::new();
+        t.call(&addr, &Request::Ping).unwrap();
+        assert_eq!(t.idle_connections(&addr), 1);
+        t.evict(&addr);
+        assert_eq!(t.idle_connections(&addr), 0);
+        // Still callable after eviction: fresh connect.
+        assert_eq!(t.call(&addr, &Request::Ping).unwrap(), Response::Pong);
+
+        handle.stop();
+    }
+
+    #[test]
+    fn in_flight_bound_applies_backpressure() {
+        // A handler that parks each request until released, so requests
+        // pile up and the observed concurrency ceiling is measurable.
+        #[derive(Debug)]
+        struct Gate {
+            active: AtomicUsize,
+            peak: AtomicUsize,
+        }
+        impl Handler for Gate {
+            fn handle(&self, _req: Request) -> Response {
+                let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+                self.peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                Response::Pong
+            }
+        }
+
+        let gate = Arc::new(Gate {
+            active: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        });
+        let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&gate) as Arc<dyn Handler>).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let t = Arc::new(TcpTransport::with_config(TcpConfig {
+            max_in_flight_per_remote: 2,
+            ..TcpConfig::default()
+        }));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let addr = addr.clone();
+                std::thread::spawn(move || t.call(&addr, &Request::Ping).unwrap())
+            })
+            .collect();
+        for th in threads {
+            assert_eq!(th.join().unwrap(), Response::Pong);
+        }
+        assert!(
+            gate.peak.load(Ordering::SeqCst) <= 2,
+            "peak concurrency {} exceeded the in-flight bound",
+            gate.peak.load(Ordering::SeqCst)
+        );
+
+        handle.stop();
+    }
+
+    #[test]
+    fn connect_to_nothing_is_unavailable() {
+        // Bind then immediately drop a listener to get a port with
+        // nothing behind it.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let t = TcpTransport::new();
+        let err = t.call(&addr, &Request::Ping).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+    }
+
+    #[test]
+    fn read_timeout_maps_to_timeout_error() {
+        // A listener that accepts and then reads forever without
+        // answering: the client's read times out.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t_accept = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+
+        let t = TcpTransport::with_config(TcpConfig {
+            read_timeout: Duration::from_millis(100),
+            ..TcpConfig::default()
+        });
+        let err = t.call(&addr, &Request::Ping).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+        drop(t);
+        t_accept.join().unwrap();
+    }
+}

@@ -40,6 +40,9 @@ run_test() {
   echo "==> wal bench (writes BENCH_wal.json; asserts digest-identical replay, group-commit batching)"
   cargo run --release -q -p bestpeer-bench --bin wal_bench
 
+  echo "==> net bench (writes BENCH_net.json; asserts wire results digest-identical to in-process; latency informational only)"
+  cargo run --release -q -p bestpeer-bench --bin net_bench
+
   echo "==> bench-regression gate (fresh BENCH_*.json vs baselines/, fail on >30% regression)"
   ./scripts/bench_compare.sh
 
@@ -55,6 +58,9 @@ run_test() {
   echo "==> figures smoke run (writes figures_output.txt)"
   cargo run --release -q -p bestpeer-bench --bin figures -- \
     --all --sizes 4,8 --rows 1200 --steps 3 | tee figures_output.txt
+
+  echo "==> TCP loopback smoke (bestpeer-node processes must agree with the in-process network)"
+  cargo test -q --test net_cluster
 
   echo "==> cargo test -q (root package: integration tests + examples)"
   cargo test -q

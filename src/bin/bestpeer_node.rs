@@ -1,0 +1,232 @@
+//! A BestPeer++ node over real sockets.
+//!
+//! Serve mode hosts one data peer in its own process behind a
+//! length-prefixed, checksummed TCP protocol; client mode administers
+//! and queries a running cluster. The demo fixture is the TPC-H tiny
+//! generator, seeded by `--node-index`, so N processes reproduce
+//! exactly the data an N-peer in-process network would hold — the
+//! cross-process consistency tests lean on that.
+//!
+//! ```text
+//! bestpeer-node serve --listen 127.0.0.1:0 --node-index 0 --rows 300
+//! bestpeer-node ping --addr 127.0.0.1:4000
+//! bestpeer-node link --coordinator 127.0.0.1:4000 --peer 127.0.0.1:4001
+//! bestpeer-node query --addr 127.0.0.1:4000 --sql "SELECT ..." --role R
+//! bestpeer-node shutdown --addr 127.0.0.1:4000
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bestpeer::core::network::{BestPeerNetwork, NetworkConfig};
+use bestpeer::core::{NodeService, Role};
+use bestpeer::sql::exec::ResultSet;
+use bestpeer::tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer::tpch::schema;
+use bestpeer::transport::{Request, Response, TcpConfig, TcpServer, TcpTransport, Transport};
+
+fn usage() -> String {
+    "usage:\n  bestpeer-node serve --listen ADDR [--business NAME] \
+     [--node-index K] [--rows N] [--id-base B] [--no-indices]\n  \
+     bestpeer-node ping --addr ADDR\n  \
+     bestpeer-node link --coordinator ADDR --peer ADDR\n  \
+     bestpeer-node query --addr ADDR --sql SQL [--role NAME]\n  \
+     bestpeer-node shutdown --addr ADDR"
+        .to_string()
+}
+
+/// `--flag value` pairs from the argument list; no external parser.
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn require(&self, flag: &str) -> Result<&str, String> {
+        self.get(flag)
+            .ok_or_else(|| format!("missing {flag}\n{}", usage()))
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.0.iter().any(|a| a == flag)
+    }
+}
+
+/// The demo role: full read access over every TPC-H table.
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(String, Vec<String>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.columns.iter().map(|c| c.name.clone()).collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, Vec<&str>)> = spec
+        .iter()
+        .map(|(t, cs)| (t.as_str(), cs.iter().map(String::as_str).collect()))
+        .collect();
+    let as_slices: Vec<(&str, &[&str])> =
+        borrowed.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &as_slices)
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let listen = args.require("--listen")?;
+    let node_index: u64 = args
+        .get("--node-index")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("bad --node-index: {e}"))?;
+    let rows: usize = args
+        .get("--rows")
+        .unwrap_or("300")
+        .parse()
+        .map_err(|e| format!("bad --rows: {e}"))?;
+    let id_base: u64 = args
+        .get("--id-base")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --id-base: {e}"))?
+        .unwrap_or(node_index * 100);
+    let business = args
+        .get("--business")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("business-{node_index}"));
+
+    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    net.define_role(full_read_role());
+    net.bootstrap_mut().set_next_peer_id(id_base);
+    let id = net.join(&business).map_err(|e| e.to_string())?;
+    let data = DbGen::new(TpchConfig::tiny(node_index).with_rows(rows)).generate();
+    net.load_peer(id, data, 1).map_err(|e| e.to_string())?;
+    if !args.has("--no-indices") {
+        for (t, c) in schema::secondary_indices() {
+            net.peer_mut(id)
+                .and_then(|p| p.db.create_index(t, c))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    net.set_transport(Arc::new(TcpTransport::with_config(TcpConfig::default())));
+
+    let service = Arc::new(NodeService::new(net, id));
+    let server = TcpServer::bind(listen, service).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    // The harness (and humans) scrape this line for the bound port.
+    println!("LISTENING {addr} peer={} business={business}", id.raw());
+    server.spawn().wait().map_err(|e| e.to_string())
+}
+
+fn connect() -> TcpTransport {
+    TcpTransport::with_config(TcpConfig::default())
+}
+
+fn ping(args: &Args) -> Result<(), String> {
+    let addr = args.require("--addr")?;
+    match connect().call(addr, &Request::Ping) {
+        Ok(Response::Pong) => {
+            println!("PONG {addr}");
+            Ok(())
+        }
+        Ok(other) => Err(format!("unexpected reply: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Fetch `--peer`'s inventory and register it at `--coordinator`, so
+/// the coordinator routes subqueries for the peer's tables over TCP.
+fn link(args: &Args) -> Result<(), String> {
+    let coordinator = args.require("--coordinator")?;
+    let peer_addr = args.require("--peer")?;
+    let t = connect();
+    let (peer, load_ts, entries) = match t.call(peer_addr, &Request::Inventory) {
+        Ok(Response::Inventory {
+            peer,
+            load_ts,
+            entries,
+        }) => (peer, load_ts, entries),
+        Ok(other) => return Err(format!("unexpected inventory reply: {other:?}")),
+        Err(e) => return Err(e.to_string()),
+    };
+    let add = Request::AddRemote {
+        peer,
+        addr: peer_addr.to_string(),
+        load_ts,
+        entries,
+    };
+    match t.call(coordinator, &add) {
+        Ok(Response::Ok) => {
+            println!("LINKED peer={peer} addr={peer_addr} -> {coordinator}");
+            Ok(())
+        }
+        Ok(Response::Err { kind, message }) => Err(format!("{kind}: {message}")),
+        Ok(other) => Err(format!("unexpected link reply: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    let addr = args.require("--addr")?;
+    let sql = args.require("--sql")?;
+    let role = args.get("--role").unwrap_or("R");
+    let req = Request::Query {
+        sql: sql.to_string(),
+        role: role.to_string(),
+    };
+    match connect().call(addr, &req) {
+        Ok(Response::Rows { columns, rows, .. }) => {
+            let rs = ResultSet { columns, rows };
+            println!("DIGEST {:016x} ROWS {}", rs.digest(), rs.rows.len());
+            for row in &rs.rows {
+                println!("{row:?}");
+            }
+            Ok(())
+        }
+        Ok(Response::Err { kind, message }) => Err(format!("{kind}: {message}")),
+        Ok(other) => Err(format!("unexpected query reply: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn shutdown(args: &Args) -> Result<(), String> {
+    let addr = args.require("--addr")?;
+    match connect().call(addr, &Request::Shutdown) {
+        Ok(Response::Ok) => {
+            println!("SHUTDOWN {addr}");
+            Ok(())
+        }
+        Ok(other) => Err(format!("unexpected shutdown reply: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args(argv[1..].to_vec());
+    let run = match cmd {
+        "serve" => serve(&args),
+        "ping" => ping(&args),
+        "link" => link(&args),
+        "query" => query(&args),
+        "shutdown" => shutdown(&args),
+        _ => Err(usage()),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bestpeer-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,6 +18,10 @@
 //!   measure latency and throughput.
 //! - [`telemetry`] — the virtual-time metrics registry, per-query
 //!   reports, and JSON exporters (DESIGN.md §10).
+//! - [`transport`] — peer-to-peer messaging behind a `Transport` trait:
+//!   a real TCP runtime with length-prefixed checksummed frames,
+//!   connection pooling and backpressure, plus an in-process loopback
+//!   (the `bestpeer-node` binary serves a node over it).
 //! - [`mapreduce`] — a mini MapReduce framework with a simulated HDFS.
 //! - [`hadoopdb`] — the HadoopDB baseline the paper benchmarks against.
 //! - [`core`] — the BestPeer++ system itself: bootstrap peer, normal
@@ -42,3 +46,4 @@ pub use bestpeer_sql as sql;
 pub use bestpeer_storage as storage;
 pub use bestpeer_telemetry as telemetry;
 pub use bestpeer_tpch as tpch;
+pub use bestpeer_transport as transport;

@@ -1,0 +1,180 @@
+//! Multi-process cluster test: three `bestpeer-node` processes on
+//! ephemeral loopback ports, linked through the binary's own client
+//! mode, must answer queries with digests byte-identical to an
+//! all-in-process three-peer network over the same fixtures.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use bestpeer::core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer::core::Role;
+use bestpeer::tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer::tpch::schema;
+
+const ROWS: usize = 300;
+
+const QUERIES: &[&str] = &[
+    "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem \
+     WHERE l_quantity > 45 \
+     ORDER BY l_quantity DESC, l_orderkey, l_linenumber LIMIT 10",
+    "SELECT l_nationkey, SUM(l_quantity) AS qty FROM lineitem \
+     GROUP BY l_nationkey ORDER BY qty DESC LIMIT 3",
+    "SELECT l_orderkey, l_linenumber, o_orderdate, l_quantity \
+     FROM lineitem, orders \
+     WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1998-06-01' \
+     ORDER BY o_orderdate DESC, l_orderkey, l_linenumber LIMIT 8",
+];
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bestpeer-node")
+}
+
+struct Node {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        // Best-effort: the test sends a Shutdown request first; this
+        // is the safety net for assertion failures along the way.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn one serve-mode process and scrape its `LISTENING` line.
+fn spawn_node(node_index: u64) -> Node {
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--node-index",
+            &node_index.to_string(),
+            "--id-base",
+            &(node_index * 100).to_string(),
+            "--rows",
+            &ROWS.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bestpeer-node");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("node exited before announcing its port")
+        .expect("read LISTENING line");
+    let addr = first
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+        .split_whitespace()
+        .next()
+        .expect("address after LISTENING")
+        .to_string();
+    Node { child, addr }
+}
+
+/// Run a client-mode subcommand, asserting success, returning stdout.
+fn client(args: &[&str]) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("run bestpeer-node client");
+    assert!(Instant::now() < deadline, "client command wedged: {args:?}");
+    assert!(
+        out.status.success(),
+        "client {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(String, Vec<String>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.columns.iter().map(|c| c.name.clone()).collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, Vec<&str>)> = spec
+        .iter()
+        .map(|(t, cs)| (t.as_str(), cs.iter().map(String::as_str).collect()))
+        .collect();
+    let as_slices: Vec<(&str, &[&str])> =
+        borrowed.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &as_slices)
+}
+
+/// The all-in-process reference digests, formatted exactly as the
+/// binary prints them.
+fn reference_digests() -> Vec<String> {
+    let mut net = BestPeerNetwork::new(schema::all_tables(), NetworkConfig::default());
+    net.define_role(full_read_role());
+    for node in 0..3u64 {
+        net.bootstrap_mut().set_next_peer_id(node * 100);
+        let id = net.join(&format!("business-{node}")).unwrap();
+        let data = DbGen::new(TpchConfig::tiny(node).with_rows(ROWS)).generate();
+        net.load_peer(id, data, 1).unwrap();
+        for (t, c) in schema::secondary_indices() {
+            net.peer_mut(id).unwrap().db.create_index(t, c).unwrap();
+        }
+    }
+    let submitter = net.peer_ids()[0];
+    QUERIES
+        .iter()
+        .map(|sql| {
+            let out = net
+                .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+                .unwrap();
+            format!("{:016x}", out.result.digest())
+        })
+        .collect()
+}
+
+#[test]
+fn three_processes_agree_with_the_in_process_network() {
+    let coordinator = spawn_node(0);
+    let node1 = spawn_node(1);
+    let node2 = spawn_node(2);
+
+    client(&["ping", "--addr", &coordinator.addr]);
+    for peer in [&node1, &node2] {
+        let out = client(&[
+            "link",
+            "--coordinator",
+            &coordinator.addr,
+            "--peer",
+            &peer.addr,
+        ]);
+        assert!(out.contains("LINKED"), "link failed: {out}");
+    }
+
+    let want = reference_digests();
+    for (sql, want_digest) in QUERIES.iter().zip(&want) {
+        let out = client(&["query", "--addr", &coordinator.addr, "--sql", sql]);
+        let first = out.lines().next().unwrap_or_default();
+        let got = first
+            .strip_prefix("DIGEST ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected query output: {out}"));
+        assert_eq!(
+            got, want_digest,
+            "separate-process digest diverged from the in-process \
+             network on\n  {sql}\n{out}"
+        );
+    }
+
+    for node in [&coordinator, &node1, &node2] {
+        client(&["shutdown", "--addr", &node.addr]);
+    }
+}
