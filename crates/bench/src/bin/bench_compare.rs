@@ -17,7 +17,7 @@
 use bestpeer_telemetry::Json;
 
 /// Leaf-field suffixes that gate (bigger is better).
-const FLOOR_METRICS: &[&str] = &["speedup", "reduction", "rows_per_sec", "hit_rate"];
+const FLOOR_METRICS: &[&str] = &["speedup", "reduction", "rows_per_sec", "hit_rate", "qps"];
 
 fn main() {
     let (fresh_path, baseline_path, tolerance) = parse_args();

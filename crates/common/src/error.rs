@@ -36,6 +36,10 @@ pub enum Error {
     /// An access-control violation: the user holds no role granting the
     /// requested privilege.
     AccessDenied(String),
+    /// A peer's bounded admission queue was full and the request was shed
+    /// rather than queued. Transient: the retry policy backs off and
+    /// re-attempts, giving the queue time to drain.
+    Overloaded(String),
     /// The query's snapshot timestamp is newer than a participant's data
     /// (Definition 2 in the paper). The network layer resubmits
     /// automatically within the retry policy's budget; past the budget
@@ -63,6 +67,7 @@ impl Error {
             Error::Network(_) => "network",
             Error::Unavailable(_) => "unavailable",
             Error::Timeout(_) => "timeout",
+            Error::Overloaded(_) => "overloaded",
             Error::AccessDenied(_) => "access-denied",
             Error::StaleSnapshot(_) => "stale-snapshot",
             Error::Membership(_) => "membership",
@@ -89,6 +94,7 @@ impl Error {
             "network" => Error::Network(message),
             "unavailable" => Error::Unavailable(message),
             "timeout" => Error::Timeout(message),
+            "overloaded" => Error::Overloaded(message),
             "access-denied" => Error::AccessDenied(message),
             "stale-snapshot" => Error::StaleSnapshot(message),
             "membership" => Error::Membership(message),
@@ -110,6 +116,7 @@ impl Error {
             | Error::Network(m)
             | Error::Unavailable(m)
             | Error::Timeout(m)
+            | Error::Overloaded(m)
             | Error::AccessDenied(m)
             | Error::StaleSnapshot(m)
             | Error::Membership(m)
@@ -151,6 +158,7 @@ mod tests {
             Error::Network(String::new()),
             Error::Unavailable(String::new()),
             Error::Timeout(String::new()),
+            Error::Overloaded(String::new()),
             Error::AccessDenied(String::new()),
             Error::StaleSnapshot(String::new()),
             Error::Membership(String::new()),
@@ -175,6 +183,7 @@ mod tests {
             Error::Network("m".into()),
             Error::Unavailable("m".into()),
             Error::Timeout("m".into()),
+            Error::Overloaded("m".into()),
             Error::AccessDenied("m".into()),
             Error::StaleSnapshot("m".into()),
             Error::Membership("m".into()),

@@ -7,7 +7,7 @@
 //! monitors normal peers and schedules auto fail-over and auto-scaling
 //! events (Algorithm 1, §3.2).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bestpeer_cloud::{CloudProvider, InstanceType};
 use bestpeer_common::{Error, InstanceId, PeerId, Result, TableSchema, UserId};
@@ -37,6 +37,9 @@ pub enum BlacklistReason {
     Departed,
     /// The instance crashed and was failed-over.
     FailedOver,
+    /// The elasticity loop retired this elastic peer after sustained
+    /// underload.
+    ScaledIn,
 }
 
 /// A maintenance event produced by Algorithm 1 (observable log).
@@ -63,6 +66,34 @@ pub enum MaintenanceEvent {
         /// How many instances were terminated.
         instances: usize,
     },
+    /// The elasticity loop launched a fresh elastic peer in response to
+    /// sustained overload.
+    ScaleOut {
+        /// The new peer.
+        peer: PeerId,
+        /// The instance launched for it.
+        instance: InstanceId,
+    },
+    /// The elasticity loop retired an idle elastic peer (its instance
+    /// is blacklisted for release at the next maintenance epoch).
+    ScaleIn {
+        /// The retired peer.
+        peer: PeerId,
+        /// The instance it ran on.
+        instance: InstanceId,
+    },
+}
+
+/// One peer's observed load, sampled from the admission queues and fed
+/// to [`BootstrapPeer::elastic_tick`] each epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerLoad {
+    /// Queue backlog as a fraction of the observation window, in
+    /// `[0, 1]` — the elasticity loop's CPU-utilization analog.
+    pub utilization: f64,
+    /// Requests queued and not yet completed. A non-zero depth vetoes
+    /// scale-in: a peer with queued work is never evicted.
+    pub queue_depth: u32,
 }
 
 /// User-registry entry: created at one peer, broadcast everywhere
@@ -113,11 +144,42 @@ pub struct BootstrapPeer {
     /// transient hiccup (one unresponsive probe) from triggering a
     /// fail-over that would discard unreplicated local state.
     pub fail_threshold: u32,
+    /// Consecutive over- (or under-) threshold epochs a peer must
+    /// accumulate before a scale decision fires — the hysteresis that
+    /// keeps transient spikes from thrashing auto-scaling, mirroring
+    /// [`fail_threshold`](BootstrapPeer::fail_threshold) on the failure
+    /// side. Applies to instance upgrades in
+    /// [`BootstrapPeer::maintenance_tick`] and to scale-out/in in
+    /// [`BootstrapPeer::elastic_tick`].
+    pub scale_threshold: u32,
+    /// Utilization below which an *elastic* peer counts as idle; after
+    /// [`scale_threshold`](BootstrapPeer::scale_threshold) consecutive
+    /// idle epochs (and an empty queue) it is scaled back in. The gap
+    /// between this and
+    /// [`scale_cpu_threshold`](BootstrapPeer::scale_cpu_threshold) is
+    /// the hysteresis band.
+    pub scale_in_threshold: f64,
+    /// Maximum elastic peers [`BootstrapPeer::elastic_tick`] may have
+    /// live at once. 0 (the default) disables scale-out entirely.
+    pub elastic_limit: usize,
     /// Cap on the retained [`MaintenanceEvent`] history (older events
     /// are discarded first); keeps a long-running daemon's memory flat.
     pub max_event_history: usize,
     /// Per-peer consecutive missed-heartbeat counters.
     heartbeat_misses: BTreeMap<PeerId, u32>,
+    /// Per-peer consecutive over-threshold epochs (instance-upgrade
+    /// debounce in `maintenance_tick`).
+    upgrade_streaks: BTreeMap<PeerId, u32>,
+    /// Per-peer consecutive over-threshold epochs (scale-out side of
+    /// `elastic_tick`).
+    out_streaks: BTreeMap<PeerId, u32>,
+    /// Per-elastic-peer consecutive under-threshold epochs (scale-in
+    /// side of `elastic_tick`).
+    idle_streaks: BTreeMap<PeerId, u32>,
+    /// Peers added by scale-out (only these are eligible for scale-in).
+    elastic: BTreeSet<PeerId>,
+    /// Name allocator for elastic peers (`elastic-0`, `elastic-1`, …).
+    elastic_seq: u64,
     events: Vec<MaintenanceEvent>,
     /// Fail-overs performed since the network started (cumulative; the
     /// telemetry layer exports it as `bootstrap.failovers`).
@@ -140,8 +202,16 @@ impl BootstrapPeer {
             scale_cpu_threshold: 0.85,
             scale_storage_threshold: 0.85,
             fail_threshold: 3,
+            scale_threshold: 3,
+            scale_in_threshold: 0.30,
+            elastic_limit: 0,
             max_event_history: 1024,
             heartbeat_misses: BTreeMap::new(),
+            upgrade_streaks: BTreeMap::new(),
+            out_streaks: BTreeMap::new(),
+            idle_streaks: BTreeMap::new(),
+            elastic: BTreeSet::new(),
+            elastic_seq: 0,
             events: Vec::new(),
             failovers: 0,
         }
@@ -267,6 +337,10 @@ impl BootstrapPeer {
             .ok_or_else(|| Error::Membership(format!("{peer} is not a participant")))?;
         self.ca.revoke(&record.cert);
         self.heartbeat_misses.remove(&peer);
+        self.upgrade_streaks.remove(&peer);
+        self.out_streaks.remove(&peer);
+        self.idle_streaks.remove(&peer);
+        self.elastic.remove(&peer);
         self.blacklist_instance(peer, record.instance, BlacklistReason::Departed);
         Ok(())
     }
@@ -372,13 +446,25 @@ impl BootstrapPeer {
                     || metrics.storage_used > self.scale_storage_threshold
                 {
                     // --- auto-scaling (Algorithm 1 lines 12–17) ------
-                    if let Some(bigger) = cloud.shape(record.instance)?.upgrade() {
-                        cloud.upgrade_instance(record.instance, bigger)?;
-                        epoch_events.push(MaintenanceEvent::AutoScale {
-                            peer: pid,
-                            shape: bigger,
-                        });
+                    // Debounced: a single hot sample is not a trend.
+                    // Only `scale_threshold` consecutive over-threshold
+                    // epochs trigger an upgrade (the streak then re-arms,
+                    // so a still-overloaded peer upgrades again only
+                    // after another full streak).
+                    let streak = self.upgrade_streaks.entry(pid).or_insert(0);
+                    *streak += 1;
+                    if *streak >= self.scale_threshold {
+                        self.upgrade_streaks.remove(&pid);
+                        if let Some(bigger) = cloud.shape(record.instance)?.upgrade() {
+                            cloud.upgrade_instance(record.instance, bigger)?;
+                            epoch_events.push(MaintenanceEvent::AutoScale {
+                                peer: pid,
+                                shape: bigger,
+                            });
+                        }
                     }
+                } else {
+                    self.upgrade_streaks.remove(&pid);
                 }
             }
         }
@@ -391,11 +477,140 @@ impl BootstrapPeer {
             }
             epoch_events.push(MaintenanceEvent::Released { instances: n });
         }
+        self.log_events(&epoch_events);
+        Ok(epoch_events)
+    }
+
+    /// Append an epoch's events to the capped history log.
+    fn log_events(&mut self, epoch_events: &[MaintenanceEvent]) {
         self.events.extend(epoch_events.iter().cloned());
         if self.events.len() > self.max_event_history {
             let excess = self.events.len() - self.max_event_history;
             self.events.drain(..excess);
         }
+    }
+
+    /// Peers added by the elasticity loop and still live.
+    pub fn elastic_peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.elastic.iter().copied()
+    }
+
+    /// True when `peer` was added by scale-out (and may be scaled in).
+    pub fn is_elastic(&self, peer: PeerId) -> bool {
+        self.elastic.contains(&peer)
+    }
+
+    /// One epoch of the closed elasticity loop — the scale-out/in side
+    /// of Algorithm 1, driven by observed load instead of cloud metrics.
+    /// `loads` carries each live peer's admission-queue utilization and
+    /// depth for this epoch (the network layer samples them).
+    ///
+    /// **Scale-out:** every peer that has been over
+    /// [`scale_cpu_threshold`](BootstrapPeer::scale_cpu_threshold) for
+    /// [`scale_threshold`](BootstrapPeer::scale_threshold) consecutive
+    /// epochs buys one fresh elastic peer (admitted exactly like a
+    /// joining business, with the global schema pre-created), capped so
+    /// at most [`elastic_limit`](BootstrapPeer::elastic_limit) elastic
+    /// peers are live. Fired streaks re-arm, so a still-overloaded peer
+    /// requests the next peer only after another full streak.
+    ///
+    /// **Scale-in:** an elastic peer under
+    /// [`scale_in_threshold`](BootstrapPeer::scale_in_threshold) for
+    /// `scale_threshold` consecutive epochs is retired — *unless its
+    /// queue is non-empty*: a peer holding queued work is never evicted
+    /// (the idle streak simply holds until the queue drains). Retirement
+    /// revokes the certificate, drops the peer from the peer list and
+    /// `peers`, and blacklists the instance for release at the next
+    /// maintenance epoch.
+    ///
+    /// The caller (the network layer) is responsible for overlay
+    /// membership and cache/index cleanup around the returned
+    /// [`MaintenanceEvent::ScaleOut`] / [`MaintenanceEvent::ScaleIn`]
+    /// events.
+    pub fn elastic_tick<C>(
+        &mut self,
+        cloud: &mut C,
+        peers: &mut BTreeMap<PeerId, NormalPeer>,
+        loads: &BTreeMap<PeerId, PeerLoad>,
+    ) -> Result<Vec<MaintenanceEvent>>
+    where
+        C: CloudProvider<Snapshot = Database>,
+    {
+        let mut epoch_events = Vec::new();
+        // Hysteresis streaks track consecutive epochs; a peer absent
+        // from this epoch's sample (departed, failed over) starts fresh.
+        self.out_streaks.retain(|p, _| loads.contains_key(p));
+        self.idle_streaks.retain(|p, _| loads.contains_key(p));
+        for (&pid, load) in loads {
+            if load.utilization > self.scale_cpu_threshold {
+                *self.out_streaks.entry(pid).or_insert(0) += 1;
+            } else {
+                self.out_streaks.remove(&pid);
+            }
+            if self.elastic.contains(&pid) && load.utilization < self.scale_in_threshold {
+                *self.idle_streaks.entry(pid).or_insert(0) += 1;
+            } else {
+                self.idle_streaks.remove(&pid);
+            }
+        }
+        // --- scale out -----------------------------------------------
+        let over: Vec<PeerId> = self
+            .out_streaks
+            .iter()
+            .filter(|(_, s)| **s >= self.scale_threshold)
+            .map(|(p, _)| *p)
+            .collect();
+        if !over.is_empty() && self.elastic_limit > 0 {
+            let budget = self.elastic_limit.saturating_sub(self.elastic.len());
+            for _ in 0..over.len().min(budget) {
+                let name = format!("elastic-{}", self.elastic_seq);
+                self.elastic_seq += 1;
+                let peer = self.admit(&name, cloud)?;
+                let pid = peer.id;
+                let instance = peer.instance;
+                peers.insert(pid, peer);
+                self.elastic.insert(pid);
+                epoch_events.push(MaintenanceEvent::ScaleOut {
+                    peer: pid,
+                    instance,
+                });
+            }
+            for pid in over {
+                self.out_streaks.remove(&pid);
+            }
+        }
+        // --- scale in ------------------------------------------------
+        let idle: Vec<PeerId> = self
+            .idle_streaks
+            .iter()
+            .filter(|(_, s)| **s >= self.scale_threshold)
+            .map(|(p, _)| *p)
+            .collect();
+        for pid in idle {
+            let queued = loads.get(&pid).map(|l| l.queue_depth).unwrap_or(0);
+            if queued > 0 {
+                // Never evict a peer with queued work; the streak holds
+                // and retirement retries once the queue drains.
+                continue;
+            }
+            let record = self
+                .peer_list
+                .remove(&pid)
+                .ok_or_else(|| Error::Membership(format!("{pid} is not a participant")))?;
+            self.ca.revoke(&record.cert);
+            self.heartbeat_misses.remove(&pid);
+            self.upgrade_streaks.remove(&pid);
+            self.out_streaks.remove(&pid);
+            self.idle_streaks.remove(&pid);
+            self.elastic.remove(&pid);
+            peers.remove(&pid);
+            self.blacklist_instance(pid, record.instance, BlacklistReason::ScaledIn);
+            epoch_events.push(MaintenanceEvent::ScaleIn {
+                peer: pid,
+                instance: record.instance,
+            });
+        }
+        self.log_events(&epoch_events);
         Ok(epoch_events)
     }
 
@@ -649,6 +864,17 @@ mod tests {
                 },
             )
             .unwrap();
+        // The debounce holds the upgrade back until `scale_threshold`
+        // consecutive over-threshold epochs have been observed.
+        for _ in 0..boot.scale_threshold - 1 {
+            let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+            assert!(
+                !events
+                    .iter()
+                    .any(|e| matches!(e, MaintenanceEvent::AutoScale { .. })),
+                "one hot sample must not trigger an upgrade"
+            );
+        }
         let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
         assert!(events.iter().any(|e| matches!(
             e,
@@ -661,9 +887,42 @@ mod tests {
             cloud.shape(peers[&pid].instance).unwrap(),
             InstanceType::M1_LARGE
         );
-        // A second overloaded epoch has nowhere to scale: no event.
-        let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
-        assert!(!events
+        // Another full streak of overloaded epochs has nowhere to
+        // scale: no event.
+        for _ in 0..boot.scale_threshold {
+            let events = boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+            assert!(!events
+                .iter()
+                .any(|e| matches!(e, MaintenanceEvent::AutoScale { .. })));
+        }
+    }
+
+    #[test]
+    fn transient_spike_does_not_upgrade() {
+        let (mut boot, mut cloud, mut peers) = setup();
+        let pid = *peers.keys().next().unwrap();
+        let instance = peers[&pid].instance;
+        let hot = InstanceMetrics {
+            cpu_utilization: 0.99,
+            storage_used: 0.2,
+            responsive: true,
+        };
+        let cool = InstanceMetrics {
+            cpu_utilization: 0.10,
+            storage_used: 0.2,
+            responsive: true,
+        };
+        // Alternating hot/cool samples never accumulate a streak, so
+        // the instance shape never changes no matter how long it runs.
+        for _ in 0..4 * boot.scale_threshold {
+            cloud.set_metrics(instance, hot).unwrap();
+            boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+            cloud.set_metrics(instance, cool).unwrap();
+            boot.maintenance_tick(&mut cloud, &mut peers).unwrap();
+        }
+        assert_eq!(cloud.shape(instance).unwrap(), InstanceType::M1_SMALL);
+        assert!(!boot
+            .events()
             .iter()
             .any(|e| matches!(e, MaintenanceEvent::AutoScale { .. })));
     }

@@ -30,6 +30,7 @@ use bestpeer_sql::exec::{ExecStats, ResultSet};
 use bestpeer_transport::{Request, Response, Transport};
 
 use crate::access::Role;
+use crate::admission::AdmissionState;
 use crate::fault::FaultState;
 use crate::indexer::{IndexOverlay, PeerLocator};
 use crate::network::{NetworkConfig, RemotePeer};
@@ -62,6 +63,10 @@ pub struct EngineCtx<'a> {
     /// The network's fault-injection state; every subquery served ticks
     /// its virtual clock, so scheduled faults land mid-query.
     pub faults: &'a FaultState,
+    /// The network's admission-control state: each serve claims a slot
+    /// in the owner's bounded queue or is shed with
+    /// [`Error::Overloaded`]. Disabled (zero-cost) by default.
+    pub admission: &'a AdmissionState,
     /// Execution counters accumulated across every subquery this query
     /// touches (rows shared vs cloned, top-K short-circuits, …); a
     /// `Cell` because [`EngineCtx::serve`] takes `&self`. The network
@@ -93,6 +98,7 @@ impl EngineCtx<'_> {
             )));
         }
         self.faults.note_serve(owner);
+        self.admission.admit(owner)?;
         if let Some(remote) = self.remotes.get(&owner) {
             let (rs, stats) =
                 remote_execute(self.transport, remote, stmt, self.role, self.query_ts)?;
@@ -142,6 +148,7 @@ impl EngineCtx<'_> {
             )));
         }
         self.faults.note_serve(owner);
+        self.admission.admit(owner)?;
         if let Some(remote) = self.remotes.get(&owner) {
             // The submitter-side snapshot check uses the remote's
             // advertised load timestamp; the owner re-enforces the
@@ -242,6 +249,10 @@ impl EngineCtx<'_> {
                 break;
             }
             self.faults.note_serve(owner);
+            if let Err(e) = self.admission.admit(owner) {
+                preamble_err = Some(e);
+                break;
+            }
             if let Some(remote) = self.remotes.get(&owner) {
                 // No local precheck for remote owners: the owner
                 // enforces access control and its authoritative

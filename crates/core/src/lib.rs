@@ -33,12 +33,16 @@
 //!   processing peer keeps (level 2 of the caching subsystem; level 1
 //!   is the [`indexer`] entry cache), invalidated through the same
 //!   delta-index notifications;
+//! - [`admission`] — bounded per-peer admission queues: load shedding
+//!   with [`bestpeer_common::Error::Overloaded`], and the queue-depth /
+//!   utilization signals the elasticity loop consumes;
 //! - [`network`] — the assembled corporate network and its client API;
 //! - [`node`] — the [`bestpeer_transport::Handler`] that exposes one
 //!   network over real sockets, so peers can live in separate
 //!   processes (the `bestpeer-node` binary wraps it).
 
 pub mod access;
+pub mod admission;
 pub mod bootstrap;
 pub mod ca;
 pub mod cost;
@@ -56,6 +60,7 @@ pub mod retry;
 pub mod schema_mapping;
 
 pub use access::{AccessRule, Privilege, Role};
+pub use admission::{AdmissionConfig, AdmissionState};
 pub use bootstrap::BootstrapPeer;
 pub use fault::{FaultAction, FaultRecord, FaultState, ScheduledFault};
 pub use network::{BestPeerNetwork, EngineChoice, NetworkConfig, QueryOutput, RemotePeer};

@@ -24,7 +24,8 @@ use bestpeer_telemetry::{EngineSelection, MetricsRegistry, QueryReport};
 use bestpeer_transport::{Request, Response, Transport};
 
 use crate::access::Role;
-use crate::bootstrap::{BootstrapPeer, MaintenanceEvent};
+use crate::admission::{AdmissionConfig, AdmissionState};
+use crate::bootstrap::{BootstrapPeer, MaintenanceEvent, PeerLoad};
 use crate::cost::{CostParams, EngineDecision};
 use crate::engine::adaptive::{self, GlobalStats};
 use crate::engine::{basic, mr, parallel, EngineCtx};
@@ -87,6 +88,14 @@ pub struct NetworkConfig {
     /// Log bytes that trigger an automatic checkpoint (0 = checkpoint
     /// only on demand).
     pub wal_checkpoint_bytes: u64,
+    /// Admission control: bounded per-peer request queues with load
+    /// shedding (`queue_depth` 0 — the default — disables it).
+    pub admission: AdmissionConfig,
+    /// Per-query latency SLO target. When non-zero, queries whose
+    /// end-to-end virtual latency exceeds it are flagged in
+    /// `QueryReport::slo_violation` and counted under `slo.violations`.
+    /// Zero (the default) disables SLO tracking.
+    pub slo_latency: SimTime,
 }
 
 impl Default for NetworkConfig {
@@ -110,6 +119,8 @@ impl Default for NetworkConfig {
             durability: true,
             wal_group_window: 1,
             wal_checkpoint_bytes: 4 * 1024 * 1024,
+            admission: AdmissionConfig::default(),
+            slo_latency: SimTime::ZERO,
         }
     }
 }
@@ -215,6 +226,14 @@ pub struct BestPeerNetwork {
     /// How much of the fault log has been synchronised into the cloud /
     /// overlay / databases.
     fault_sync_cursor: usize,
+    /// Admission control: bounded per-peer virtual-time request queues
+    /// (load shedding and the elasticity loop's utilization signal).
+    admission: AdmissionState,
+    /// When the current overload episode began (some peer's utilization
+    /// first crossed the scale-out threshold) — cleared when load falls
+    /// back under it or when a scale-out lands, which records the
+    /// elapsed span as `scale.reaction_us`.
+    overload_since: Option<SimTime>,
     /// Network-wide metrics (query counts, byte totals, latency
     /// histograms, bootstrap health). Virtual-time only.
     metrics: MetricsRegistry,
@@ -225,6 +244,7 @@ impl BestPeerNetwork {
     pub fn new(global_schemas: Vec<TableSchema>, config: NetworkConfig) -> Self {
         let bootstrap = BootstrapPeer::new(global_schemas, config.ca_secret);
         let overlay = IndexOverlay::new(config.replication);
+        let config_admission = config.admission;
         BestPeerNetwork {
             config,
             bootstrap,
@@ -239,6 +259,8 @@ impl BestPeerNetwork {
             transport: None,
             faults: FaultState::new(),
             fault_sync_cursor: 0,
+            admission: AdmissionState::new(config_admission),
+            overload_since: None,
             metrics: MetricsRegistry::new(),
         }
     }
@@ -433,6 +455,7 @@ impl BestPeerNetwork {
         self.bootstrap.depart(id)?;
         self.locators.remove(&id);
         self.rescaches.remove(&id);
+        self.admission.remove_peer(id);
         // Fine-grained notification: only lookups under the departed
         // peer's index keys are stale, and only results fetched *from*
         // it can no longer be trusted.
@@ -1007,6 +1030,7 @@ impl BestPeerNetwork {
             role,
             query_ts,
             faults: &self.faults,
+            admission: &self.admission,
             exec: std::cell::Cell::new(Default::default()),
             rescache: &*rescache,
         };
@@ -1095,10 +1119,13 @@ impl BestPeerNetwork {
         self.validate_statistics();
         let policy = self.config.retry.clone();
         let (loc0, res0) = self.cache_counters(submitter);
+        // Admission queues drain in registry time between queries.
+        self.admission.set_now(self.metrics.now());
         let mut pre = Trace::new(); // backoff/slowdown phases across attempts
         let mut attempts = 0u32;
         let mut down_retries = 0u32;
         let mut resubmits = 0u32;
+        let mut sheds = 0u32;
         loop {
             self.sync_faults()?;
             attempts += 1;
@@ -1119,6 +1146,9 @@ impl BestPeerNetwork {
                     );
                     report.attempts = attempts;
                     report.resubmits = resubmits;
+                    report.sheds = sheds;
+                    report.slo_violation = self.config.slo_latency > SimTime::ZERO
+                        && report.total_latency > self.config.slo_latency;
                     report.parallel_morsels = exec.parallel_morsels;
                     report.selection = decision.map(|d| EngineSelection {
                         predicted_p2p_secs: d.p2p_cost,
@@ -1170,6 +1200,28 @@ impl BestPeerNetwork {
                     // the failure detector counts the missed heartbeat
                     // and eventually fails the dead peer over.
                     self.maintenance_tick()?;
+                }
+                Err(e) if e.kind() == "overloaded" => {
+                    // Load shedding: a bounded admission queue bounced
+                    // the attempt. Shares the unavailable-retry budget,
+                    // but instead of a maintenance epoch the backoff
+                    // advances the admission clock — waiting is exactly
+                    // what lets the shedding peer's queue drain.
+                    down_retries += 1;
+                    sheds += 1;
+                    if down_retries >= policy.max_attempts {
+                        self.metrics.inc("queries.failed");
+                        self.metrics.inc("queries.failed.overloaded");
+                        return Err(Error::Timeout(format!(
+                            "retry budget exhausted after {attempts} attempts: {e}"
+                        )));
+                    }
+                    let wait = policy.backoff(down_retries + 1);
+                    pre.push(
+                        Phase::new(format!("shed-backoff-{sheds}"))
+                            .task(Task::on(submitter).fixed(wait)),
+                    );
+                    self.admission.advance(wait);
                 }
                 Err(e) if e.kind() == "stale-snapshot" => {
                     if resubmits >= policy.max_resubmits {
@@ -1251,8 +1303,16 @@ impl BestPeerNetwork {
                 (predicted - report.total_latency.as_secs_f64()).abs(),
             );
         }
+        m.inc_by("queries.shed_retries", u64::from(report.sheds));
+        if self.config.slo_latency > SimTime::ZERO {
+            m.inc("slo.queries");
+            if report.slo_violation {
+                m.inc("slo.violations");
+            }
+        }
         // Virtual time advances by the simulated latency of each query.
         m.tick(report.total_latency);
+        self.publish_admission_metrics();
     }
 
     /// One Algorithm 1 maintenance epoch (fail-over, auto-scaling,
@@ -1295,6 +1355,134 @@ impl BestPeerNetwork {
         self.bootstrap.backup_all(&mut self.cloud, &self.peers)
     }
 
+    /// The admission-control state (queue depths, utilization gauges).
+    pub fn admission(&self) -> &AdmissionState {
+        &self.admission
+    }
+
+    /// Offer one client request to `peer`'s admission queue at virtual
+    /// time `at` without running a full query — the entry point the
+    /// open-loop saturation harness drives at 10⁵+ sessions. Returns
+    /// the request's virtual completion time, or [`Error::Overloaded`]
+    /// when the bounded queue sheds it. Admitted requests' queueing
+    /// latencies feed the `admission.latency_secs` histogram.
+    pub fn offer_request(&mut self, peer: PeerId, at: SimTime) -> Result<SimTime> {
+        if !self.peers.contains_key(&peer) {
+            return Err(Error::Network(format!("{peer} is not a live peer")));
+        }
+        self.metrics.advance_clock(at);
+        self.admission.set_now(at);
+        let outcome = self.admission.admit(peer);
+        if let Ok(done) = &outcome {
+            self.metrics.observe(
+                "admission.latency_secs",
+                done.saturating_sub(at).as_secs_f64(),
+            );
+        }
+        outcome
+    }
+
+    /// One epoch of the closed elasticity loop: sample every peer's
+    /// admission queue, mirror the observed utilization into the
+    /// cloud's instance metrics (the CloudWatch feed Algorithm 1's
+    /// daemon reads), and let the bootstrap peer scale elastic peers
+    /// out or back in with hysteresis
+    /// ([`BootstrapPeer::elastic_tick`]). `now` stamps the epoch in
+    /// virtual time; `window` is the span utilization is measured
+    /// against (typically the epoch length).
+    ///
+    /// Scaled-out peers join the overlay (with a WAL when durability is
+    /// on); scaled-in peers have their published indices withdrawn and
+    /// leave it. The span from the first over-threshold observation to
+    /// the scale-out answering it lands in the `scale.reaction_us`
+    /// gauge; `scale.out` / `scale.in` count events.
+    pub fn scale_tick(&mut self, now: SimTime, window: SimTime) -> Result<Vec<MaintenanceEvent>> {
+        self.metrics.advance_clock(now);
+        self.admission.set_now(now);
+        let now = self.admission.now();
+        let mut loads = BTreeMap::new();
+        let mut any_over = false;
+        for (&id, peer) in &self.peers {
+            let load = PeerLoad {
+                utilization: self.admission.utilization(id, window),
+                queue_depth: self.admission.queue_depth(id),
+            };
+            any_over |= load.utilization > self.bootstrap.scale_cpu_threshold;
+            if let Ok(mut m) = self.cloud.metrics(peer.instance) {
+                m.cpu_utilization = load.utilization;
+                let _ = self.cloud.set_metrics(peer.instance, m);
+            }
+            loads.insert(id, load);
+        }
+        if any_over && self.overload_since.is_none() {
+            self.overload_since = Some(now);
+        }
+        let events = self
+            .bootstrap
+            .elastic_tick(&mut self.cloud, &mut self.peers, &loads)?;
+        for e in &events {
+            match e {
+                MaintenanceEvent::ScaleOut { peer, .. } => {
+                    if self.config.durability {
+                        let wal = Wal::new(
+                            Box::new(MemDevice::new()),
+                            self.config.wal_group_window,
+                            self.config.wal_checkpoint_bytes,
+                        );
+                        if let Some(p) = self.peers.get_mut(peer) {
+                            p.db.attach_wal(wal)?;
+                        }
+                    }
+                    self.overlay.join(*peer)?;
+                    self.metrics.inc("scale.out");
+                    if let Some(t0) = self.overload_since.take() {
+                        self.metrics.set_gauge(
+                            "scale.reaction_us",
+                            now.saturating_sub(t0).as_micros() as f64,
+                        );
+                    }
+                }
+                MaintenanceEvent::ScaleIn { peer, .. } => {
+                    // The bootstrap already dropped the peer itself;
+                    // withdraw whatever it had published and vacate its
+                    // overlay position.
+                    if let Some(prev) = self.published.remove(peer) {
+                        indexer::remove_entries(&mut self.overlay, *peer, &prev)?;
+                    }
+                    self.overlay.leave(*peer)?;
+                    self.locators.remove(peer);
+                    self.rescaches.remove(peer);
+                    self.admission.remove_peer(*peer);
+                    self.metrics.inc("scale.in");
+                }
+                _ => {}
+            }
+        }
+        if !events.is_empty() {
+            self.invalidate_caches();
+        }
+        if !any_over {
+            self.overload_since = None;
+        }
+        self.publish_admission_metrics();
+        Ok(events)
+    }
+
+    /// Publish the admission counters and aggregate queue depth into
+    /// the registry (`admission.{admitted,shed,queue_depth}`). A no-op
+    /// when admission control is disabled, so default-configured
+    /// networks export exactly the metric set they always did.
+    pub fn publish_admission_metrics(&mut self) {
+        if !self.admission.enabled() {
+            return;
+        }
+        let (admitted, shed) = self.admission.take_counters();
+        self.metrics.inc_by("admission.admitted", admitted);
+        self.metrics.inc_by("admission.shed", shed);
+        self.metrics
+            .set_gauge("admission.queue_depth", self.admission.total_depth() as f64);
+    }
+
     /// Run a single-aggregate query with distributed online aggregation
     /// (reference \[25\]): progressive estimates with confidence
     /// intervals arrive as each peer reports; the exact result follows.
@@ -1333,6 +1521,7 @@ impl BestPeerNetwork {
             role: &role,
             query_ts,
             faults: &self.faults,
+            admission: &self.admission,
             exec: std::cell::Cell::new(Default::default()),
             rescache: &*rescache,
         };

@@ -9,6 +9,16 @@
 //! backoff period — which is what lets the heartbeat failure detector
 //! accumulate misses and eventually fail the dead peer over.
 //!
+//! Overload sheds
+//! ([`Error::Overloaded`](bestpeer_common::Error::Overloaded), from a
+//! peer's bounded admission queue) share the same attempt budget and
+//! exponential backoff, charged as a "shed-backoff" phase — but instead
+//! of a maintenance epoch, the wait advances the admission clock:
+//! waiting is exactly what lets the shedding peer's queue drain, so the
+//! retry lands in a freed slot. Past the budget the query fails with
+//! [`Error::Timeout`](bestpeer_common::Error::Timeout), like any other
+//! exhausted retry.
+//!
 //! Stale-snapshot rejections
 //! ([`bestpeer_common::Error::StaleSnapshot`]) get their own, separate
 //! resubmit budget: the query is automatically resubmitted in case the

@@ -1,0 +1,159 @@
+//! The closed elasticity loop end to end: admission queues feed
+//! utilization to `scale_tick`, sustained overload scales an elastic
+//! peer out (with a measured reaction time), sustained idleness scales
+//! it back in — and the scale-in guard: a peer holding queued work is
+//! never evicted, no matter how long its idle streak.
+
+use bestpeer_common::{ColumnDef, ColumnType, PeerId, TableSchema};
+use bestpeer_core::admission::AdmissionConfig;
+use bestpeer_core::bootstrap::MaintenanceEvent;
+use bestpeer_core::network::{BestPeerNetwork, NetworkConfig};
+use bestpeer_simnet::SimTime;
+
+fn schemas() -> Vec<TableSchema> {
+    vec![TableSchema::new("t", vec![ColumnDef::new("id", ColumnType::Int)], vec![0]).unwrap()]
+}
+
+/// A 2-peer network with tight admission queues (depth 4, 1ms service)
+/// and an elastic budget of 2, deciding after 2 consecutive epochs.
+fn setup() -> BestPeerNetwork {
+    let mut net = BestPeerNetwork::new(
+        schemas(),
+        NetworkConfig {
+            admission: AdmissionConfig {
+                queue_depth: 4,
+                service_time: SimTime::from_millis(1),
+            },
+            ..NetworkConfig::default()
+        },
+    );
+    net.bootstrap.elastic_limit = 2;
+    net.bootstrap.scale_threshold = 2;
+    for name in ["acme", "globex"] {
+        net.join(name).unwrap();
+    }
+    net
+}
+
+const EPOCH: SimTime = SimTime::from_millis(1);
+
+fn at(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+#[test]
+fn sustained_overload_scales_out_and_measures_reaction() {
+    let mut net = setup();
+    let victim = net.peer_ids()[0];
+    // Fill the victim's queue: 4 admitted back to back, the 5th shed.
+    for i in 0..4 {
+        let done = net.offer_request(victim, at(0)).unwrap();
+        assert_eq!(done, SimTime::from_millis(i + 1));
+    }
+    let err = net.offer_request(victim, at(0)).unwrap_err();
+    assert_eq!(err.kind(), "overloaded");
+
+    // Epoch 1 (t=1ms): 3ms of backlog over a 1ms window → utilization
+    // 1.0, first over-threshold observation. Hysteresis holds.
+    let events = net.scale_tick(at(1), EPOCH).unwrap();
+    assert!(events.is_empty(), "one hot epoch must not scale out");
+    assert_eq!(net.peer_ids().len(), 2);
+
+    // Epoch 2 (t=2ms): still saturated → the streak fires.
+    let events = net.scale_tick(at(2), EPOCH).unwrap();
+    assert_eq!(events.len(), 1);
+    let new_peer = match events[0] {
+        MaintenanceEvent::ScaleOut { peer, .. } => peer,
+        ref e => panic!("expected ScaleOut, got {e:?}"),
+    };
+    assert_eq!(net.peer_ids().len(), 3);
+    assert!(net.bootstrap.is_elastic(new_peer));
+    assert_eq!(net.metrics().counter("scale.out"), 1);
+    // Overload was first observed at t=1ms, answered at t=2ms.
+    assert_eq!(net.metrics().gauge("scale.reaction_us"), Some(1000.0));
+    // The new peer serves requests immediately.
+    assert!(net.offer_request(new_peer, at(2)).is_ok());
+}
+
+#[test]
+fn scale_in_never_evicts_a_peer_with_a_nonempty_queue() {
+    let mut net = setup();
+    let victim = net.peer_ids()[0];
+    for _ in 0..4 {
+        net.offer_request(victim, at(0)).unwrap();
+    }
+    net.scale_tick(at(1), EPOCH).unwrap();
+    let events = net.scale_tick(at(2), EPOCH).unwrap();
+    let elastic = match events[0] {
+        MaintenanceEvent::ScaleOut { peer, .. } => peer,
+        ref e => panic!("expected ScaleOut, got {e:?}"),
+    };
+
+    // Queue two requests at the elastic peer at t=10ms (the victim's
+    // queue has long drained). Against a huge window its utilization is
+    // far below the scale-in threshold — but its queue is NOT empty.
+    let window = SimTime::from_secs(1);
+    net.offer_request(elastic, at(10)).unwrap();
+    net.offer_request(elastic, at(10)).unwrap();
+    assert_eq!(net.admission().queue_depth(elastic), 2);
+    for _ in 0..5 {
+        // Five idle epochs — far past the 2-epoch threshold.
+        let events = net.scale_tick(at(10), window).unwrap();
+        assert!(
+            events.is_empty(),
+            "a peer with queued work must never be evicted: {events:?}"
+        );
+        assert!(
+            net.peer_ids().contains(&elastic),
+            "elastic peer evicted with a non-empty queue"
+        );
+    }
+
+    // Once the queue drains (t=13ms > the 12ms completion), the held
+    // idle streak finally retires the peer.
+    let events = net.scale_tick(at(13), window).unwrap();
+    assert_eq!(
+        events,
+        vec![MaintenanceEvent::ScaleIn {
+            peer: elastic,
+            instance: match events.first() {
+                Some(MaintenanceEvent::ScaleIn { instance, .. }) => *instance,
+                _ => panic!("expected ScaleIn, got {events:?}"),
+            },
+        }]
+    );
+    assert!(!net.peer_ids().contains(&elastic));
+    assert!(!net.bootstrap.is_elastic(elastic));
+    assert_eq!(net.metrics().counter("scale.in"), 1);
+    // The freed instance is released at the next maintenance epoch.
+    let events = net.maintenance_tick().unwrap();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, MaintenanceEvent::Released { instances } if *instances == 1)));
+    // The retired peer no longer accepts requests.
+    assert!(net.offer_request(elastic, at(14)).is_err());
+}
+
+#[test]
+fn elastic_budget_caps_scale_out() {
+    let mut net = setup();
+    net.bootstrap.elastic_limit = 1;
+    // Saturate EVERY live peer (including any elastic newcomer) for
+    // many epochs: only one elastic peer may ever be added.
+    for epoch in 0..6u64 {
+        for p in net.peer_ids() {
+            while net.offer_request(p, at(epoch)).is_ok() {}
+        }
+        net.scale_tick(at(epoch + 1), EPOCH).unwrap();
+    }
+    let elastic: Vec<PeerId> = net.bootstrap.elastic_peers().collect();
+    assert_eq!(elastic.len(), 1, "budget of 1 exceeded: {elastic:?}");
+    assert_eq!(net.metrics().counter("scale.out"), 1);
+}
+
+#[test]
+fn offer_request_rejects_unknown_peers() {
+    let mut net = setup();
+    let err = net.offer_request(PeerId::new(404), at(0)).unwrap_err();
+    assert_eq!(err.kind(), "network");
+}

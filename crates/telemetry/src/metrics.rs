@@ -42,6 +42,38 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// The `q`-quantile (0.0–1.0), estimated from the bucket counts: the
+    /// upper bound of the bucket holding the nearest-rank observation,
+    /// clamped into `[min, max]` so the estimate never lies outside the
+    /// observed range (and is exact when the rank lands in the `+Inf`
+    /// bucket, which reports `max`). Zero when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for &(bound, cum) in &self.buckets {
+            if cum >= rank {
+                return if bound.is_finite() {
+                    bound.clamp(self.min, self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate — see [`HistogramSnapshot::quantile`].
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate — see [`HistogramSnapshot::quantile`].
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -202,7 +234,7 @@ impl MetricsRegistry {
 
     /// Export every metric as one JSON object. Counters render as
     /// numbers, gauges as numbers, histograms as objects with
-    /// `count`/`sum`/`min`/`max`/`mean`.
+    /// `count`/`sum`/`min`/`max`/`mean`/`p50`/`p99`.
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj().set("sim_time_secs", self.clock.as_secs_f64());
         let mut body = Json::obj();
@@ -218,6 +250,8 @@ impl MetricsRegistry {
                         .set("min", h.min)
                         .set("max", h.max)
                         .set("mean", h.mean())
+                        .set("p50", h.p50())
+                        .set("p99", h.p99())
                 }
             };
             body = body.set(name, v);
@@ -248,12 +282,14 @@ impl MetricsRegistry {
                     let h = self.histogram(name).expect("kind just matched");
                     let _ = writeln!(
                         out,
-                        "{name} count={} sum={:.6} min={:.6} max={:.6} mean={:.6}",
+                        "{name} count={} sum={:.6} min={:.6} max={:.6} mean={:.6} p50={:.6} p99={:.6}",
                         h.count,
                         h.sum,
                         h.min,
                         h.max,
-                        h.mean()
+                        h.mean(),
+                        h.p50(),
+                        h.p99()
                     );
                 }
             }
@@ -299,6 +335,43 @@ mod tests {
         let last = h.buckets.last().unwrap();
         assert!(last.0.is_infinite());
         assert_eq!(last.1, 4);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_bounds() {
+        let mut r = MetricsRegistry::new();
+        // 99 fast observations in the (0.001, 0.01] bucket, one slow
+        // outlier: p50 reports the fast bucket's bound, p99 the slow one.
+        for _ in 0..99 {
+            r.observe("lat", 0.005);
+        }
+        r.observe("lat", 50.0);
+        let h = r.histogram("lat").unwrap();
+        assert_eq!(h.p50(), 0.01);
+        assert_eq!(h.quantile(0.98), 0.01);
+        assert_eq!(h.p99(), 0.01);
+        r.observe("lat", 50.0);
+        let h = r.histogram("lat").unwrap();
+        let p99 = h.p99();
+        assert_eq!(
+            p99, 50.0,
+            "rank 100 of 101 lands in (10, 100], clamped to max"
+        );
+        // The +Inf bucket reports the exact max; estimates never leave
+        // the observed range.
+        r.observe("big", 1e15);
+        let h = r.histogram("big").unwrap();
+        assert_eq!(h.p50(), 1e15);
+        assert_eq!(h.p99(), 1e15);
+        assert_eq!(h.quantile(0.0), 1e15);
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.99), 0.0);
     }
 
     #[test]

@@ -24,7 +24,10 @@ use crate::json::Json;
 /// the engine proper: exponential backoff between attempts, automatic
 /// stale-snapshot resubmission delays, and slow-link latency charges.
 fn is_overhead_label(label: &str) -> bool {
-    label.starts_with("retry-backoff") || label.starts_with("resubmit") || label == "fault-slowdown"
+    label.starts_with("retry-backoff")
+        || label.starts_with("resubmit")
+        || label.starts_with("shed-backoff")
+        || label == "fault-slowdown"
 }
 
 /// Telemetry for one phase of a trace.
@@ -94,6 +97,13 @@ pub struct QueryReport {
     /// depend on thread count), so this is identical at any parallelism
     /// — unlike wall-clock pool counters, which stay registry-only.
     pub parallel_morsels: u64,
+    /// Attempts rejected by a peer's bounded admission queue
+    /// (`Error::Overloaded`) before the query finally ran; each one cost
+    /// a `shed-backoff-*` overhead phase.
+    pub sheds: u32,
+    /// True when the query's end-to-end latency exceeded the configured
+    /// SLO target (always false when no SLO is configured).
+    pub slo_violation: bool,
 }
 
 impl Default for QueryReport {
@@ -116,6 +126,8 @@ impl Default for QueryReport {
             index_cache_hits: 0,
             index_cache_misses: 0,
             parallel_morsels: 0,
+            sheds: 0,
+            slo_violation: false,
         }
     }
 }
@@ -164,6 +176,8 @@ impl QueryReport {
             index_cache_hits: 0,
             index_cache_misses: 0,
             parallel_morsels: 0,
+            sheds: 0,
+            slo_violation: false,
         }
     }
 
@@ -298,6 +312,8 @@ impl QueryReport {
             .set("index_cache_hits", self.index_cache_hits)
             .set("index_cache_misses", self.index_cache_misses)
             .set("parallel_morsels", self.parallel_morsels)
+            .set("sheds", self.sheds)
+            .set("slo_violation", self.slo_violation)
             .set("warm", self.is_warm())
             .set("participants", participants)
             .set("phases", phases);
@@ -395,6 +411,13 @@ impl QueryReport {
             index_cache_hits: opt_count(j, "index_cache_hits"),
             index_cache_misses: opt_count(j, "index_cache_misses"),
             parallel_morsels: opt_count(j, "parallel_morsels"),
+            sheds: opt_count(j, "sheds") as u32,
+            // Admission fields postdate the format too; absent means the
+            // sender predates admission control (no sheds, no SLO).
+            slo_violation: j
+                .get("slo_violation")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }

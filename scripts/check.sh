@@ -43,6 +43,9 @@ run_test() {
   echo "==> net bench (writes BENCH_net.json; asserts wire results digest-identical to in-process; latency informational only)"
   cargo run --release -q -p bestpeer-bench --bin net_bench
 
+  echo "==> scale bench (writes BENCH_scale.json; 10^5+ open-loop sessions vs 120 peers; asserts shedding bounds p99 under 2x overload, elastic scale-out/in, same-seed determinism)"
+  cargo run --release -q -p bestpeer-bench --bin scale_bench
+
   echo "==> bench-regression gate (fresh BENCH_*.json vs baselines/, fail on >30% regression)"
   ./scripts/bench_compare.sh
 
@@ -54,6 +57,11 @@ run_test() {
   echo "==> recovery + durability chaos suites (BESTPEER_THREADS=1: replay must be byte-identical on the sequential path too)"
   BESTPEER_THREADS=1 cargo test -q -p bestpeer-core --test recovery
   BESTPEER_THREADS=1 cargo test -q -p bestpeer-chaos --test recovery_chaos
+
+  echo "==> saturation smoke (BESTPEER_THREADS=1: the scale bench must be byte-identical on the sequential path too)"
+  BESTPEER_THREADS=1 cargo run --release -q -p bestpeer-bench --bin scale_bench -- --out BENCH_scale_seq.json
+  cmp BENCH_scale.json BENCH_scale_seq.json
+  rm -f BENCH_scale_seq.json
 
   echo "==> figures smoke run (writes figures_output.txt)"
   cargo run --release -q -p bestpeer-bench --bin figures -- \
