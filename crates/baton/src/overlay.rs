@@ -501,7 +501,20 @@ impl<V: Clone> Overlay<V> {
     /// Exact-match search: all values stored under `key`. Falls back to
     /// an adjacent replica when the owner has failed.
     pub fn search_exact(&mut self, key: Key) -> Result<(Vec<V>, u32)> {
-        let (owner, mut hops) = self.owner_of(key)?;
+        let root = self
+            .root
+            .ok_or_else(|| Error::Network("overlay is empty".into()))?;
+        self.search_exact_from(root, key)
+    }
+
+    /// Exact-match search routed from `start`'s overlay node — the
+    /// peer-to-peer search of the paper, where the *requesting* peer
+    /// initiates routing from its own position in the tree rather than
+    /// through any central entry point, so the hop count is the tree
+    /// distance from requester to owner. Falls back to an adjacent
+    /// replica when the owner has failed.
+    pub fn search_exact_from(&mut self, start: PeerId, key: Key) -> Result<(Vec<V>, u32)> {
+        let (owner, mut hops) = self.route_from(start, key)?;
         let n = &self.nodes[&owner];
         let values = if !n.failed {
             n.items.get(&key).cloned().unwrap_or_default()

@@ -12,6 +12,7 @@
 use bestpeer_common::rng::Rng;
 use bestpeer_common::{stable_hash, Value};
 use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer_core::RouterConfig;
 use bestpeer_simnet::{driver, Cluster, Trace};
 use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
 use bestpeer_tpch::{queries, schema};
@@ -44,6 +45,29 @@ pub fn build_supply_chain_cached(
     bench: &BenchConfig,
     result_cache: bool,
 ) -> BestPeerNetwork {
+    build_supply_chain_config(n, bench, result_cache, true, RouterConfig::default())
+}
+
+/// The routing benchmark's variant of [`build_supply_chain`]: both
+/// query-path caches are off, so every locate is a live BATON lookup
+/// and the only difference between the two networks under comparison is
+/// the routing advisor itself (`advisor` toggles it). Overlay-hop and
+/// latency deltas then measure exactly what learned routing saves.
+pub fn build_supply_chain_routing(n: usize, bench: &BenchConfig, advisor: bool) -> BestPeerNetwork {
+    let router = RouterConfig {
+        enabled: advisor,
+        ..RouterConfig::default()
+    };
+    build_supply_chain_config(n, bench, false, false, router)
+}
+
+fn build_supply_chain_config(
+    n: usize,
+    bench: &BenchConfig,
+    result_cache: bool,
+    index_cache: bool,
+    router: RouterConfig,
+) -> BestPeerNetwork {
     assert!(
         n >= 2 && n.is_multiple_of(2),
         "need an even number of peers"
@@ -58,6 +82,8 @@ pub fn build_supply_chain_cached(
         NetworkConfig {
             range_index_columns: range_cols,
             result_cache,
+            index_cache,
+            router,
             ..NetworkConfig::default()
         },
     );
@@ -230,6 +256,11 @@ pub struct RepeatedRun {
     pub cache_misses: u64,
     /// Queries answered at least partially from the result cache.
     pub warm_queries: u64,
+    /// BATON overlay routing hops summed over all queries.
+    pub overlay_hops: u64,
+    /// Queries whose peer location was answered by the routing advisor
+    /// (BATON lookup bypassed).
+    pub advisor_queries: u64,
 }
 
 impl RepeatedRun {
@@ -239,6 +270,18 @@ impl RepeatedRun {
             return 0.0;
         }
         self.latencies_secs.iter().sum::<f64>() / self.latencies_secs.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the per-query latencies, seconds
+    /// (nearest-rank over the sorted run; 0 for an empty run).
+    pub fn latency_quantile_secs(&self, q: f64) -> f64 {
+        if self.latencies_secs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_secs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
     }
 }
 
@@ -312,6 +355,10 @@ pub fn run_repeated_templates(
         run.cache_misses += out.report.cache_misses;
         if out.report.is_warm() {
             run.warm_queries += 1;
+        }
+        run.overlay_hops += out.report.overlay_hops;
+        if out.report.advisor_hit {
+            run.advisor_queries += 1;
         }
     }
     run

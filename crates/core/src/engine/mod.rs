@@ -36,6 +36,7 @@ use crate::indexer::{IndexOverlay, PeerLocator};
 use crate::network::{NetworkConfig, RemotePeer};
 use crate::peer::NormalPeer;
 use crate::rescache::ResultCache;
+use crate::router::{QueryFingerprint, RoutingAdvisor};
 
 /// Everything an engine needs to process one query.
 pub struct EngineCtx<'a> {
@@ -76,6 +77,12 @@ pub struct EngineCtx<'a> {
     /// caching subsystem; consulted by [`EngineCtx::serve_cached`]). A
     /// `RefCell` because serving takes `&self`.
     pub rescache: &'a RefCell<ResultCache>,
+    /// The network's learned routing advisor: confirmed query templates
+    /// short-circuit [`EngineCtx::locate`] to their remembered owner
+    /// maps (zero overlay hops); misses fall through to BATON and are
+    /// observed. A `RefCell` because the network owns the advisor
+    /// across queries.
+    pub advisor: &'a RefCell<RoutingAdvisor>,
 }
 
 impl EngineCtx<'_> {
@@ -402,14 +409,32 @@ impl EngineCtx<'_> {
 
     /// Locate the owner peers per table and charge the BATON routing
     /// hops as a "locate" phase on the submitter.
+    ///
+    /// The routing advisor is consulted first: a confirmed, fresh
+    /// template answers from its remembered owner map with zero overlay
+    /// hops. Misses fall through to the BATON lookup within the same
+    /// call and the answer is observed, so the advisor only ever
+    /// replays maps a fresh lookup produced — it changes who is asked,
+    /// never what is returned.
     pub fn locate(
         &mut self,
         submitter: PeerId,
         stmt: &SelectStmt,
         trace: &mut Trace,
     ) -> Result<BTreeMap<String, Vec<PeerId>>> {
+        let fp = if self.advisor.borrow().enabled() {
+            let fp = QueryFingerprint::of(stmt);
+            if let Some(routed) = self.advisor.borrow_mut().route(&fp) {
+                return Ok(routed);
+            }
+            Some(fp)
+        } else {
+            None
+        };
         let hops_before = self.locator.stats().hops;
-        let located = self.locator.peers_for_query(self.overlay, stmt)?;
+        let located = self
+            .locator
+            .peers_for_query_from(self.overlay, Some(submitter), stmt)?;
         let hops = self.locator.stats().hops - hops_before;
         if hops > 0 {
             trace.push(
@@ -418,7 +443,11 @@ impl EngineCtx<'_> {
                 ))),
             );
         }
-        Ok(located.into_iter().collect())
+        let located: BTreeMap<String, Vec<PeerId>> = located.into_iter().collect();
+        if let Some(fp) = fp {
+            self.advisor.borrow_mut().observe(&fp, &located, stmt);
+        }
+        Ok(located)
     }
 }
 

@@ -434,14 +434,25 @@ impl PeerLocator {
         }
     }
 
-    fn lookup(&mut self, overlay: &mut IndexOverlay, key: Key) -> Result<Vec<IndexEntry>> {
+    fn lookup(
+        &mut self,
+        overlay: &mut IndexOverlay,
+        origin: Option<PeerId>,
+        key: Key,
+    ) -> Result<Vec<IndexEntry>> {
         if self.cache_enabled {
             if let Some(hit) = self.cache.get(&key) {
                 self.stats.cache_hits += 1;
                 return Ok(hit.clone());
             }
         }
-        let (entries, hops) = overlay.search_exact(key)?;
+        // A P2P search starts at the requesting peer's own overlay node
+        // (hops = its tree distance to the key's owner); entry points
+        // outside the overlay fall back to routing from the root.
+        let (entries, hops) = match origin.filter(|p| overlay.contains(*p)) {
+            Some(from) => overlay.search_exact_from(from, key)?,
+            None => overlay.search_exact(key)?,
+        };
         self.stats.cache_misses += 1;
         self.stats.hops += u64::from(hops);
         if self.cache_enabled {
@@ -451,16 +462,32 @@ impl PeerLocator {
     }
 
     /// The peers that must be contacted for `table` given the query's
-    /// predicates, and which index type made the decision.
+    /// predicates, and which index type made the decision. Routes from
+    /// the overlay root; queries use
+    /// [`PeerLocator::peers_for_table_from`] with the submitting peer.
     pub fn peers_for_table(
         &mut self,
         overlay: &mut IndexOverlay,
         stmt: &SelectStmt,
         table: &str,
     ) -> Result<(Vec<PeerId>, IndexUsed)> {
+        self.peers_for_table_from(overlay, None, stmt, table)
+    }
+
+    /// [`PeerLocator::peers_for_table`] with an explicit search origin:
+    /// BATON lookups route from `origin`'s overlay node (the submitting
+    /// peer), falling back to the root when `origin` is `None` or not
+    /// in the overlay.
+    pub fn peers_for_table_from(
+        &mut self,
+        overlay: &mut IndexOverlay,
+        origin: Option<PeerId>,
+        stmt: &SelectStmt,
+        table: &str,
+    ) -> Result<(Vec<PeerId>, IndexUsed)> {
         // 1. Range index: intersect owners whose [min,max] overlaps each
         //    sargable predicate on a range-indexed column.
-        let range_entries = self.lookup(overlay, range_key(table))?;
+        let range_entries = self.lookup(overlay, origin, range_key(table))?;
         if !range_entries.is_empty() {
             let mut result: Option<HashSet<PeerId>> = None;
             for p in &stmt.predicates {
@@ -505,7 +532,7 @@ impl PeerLocator {
         let mut column_result: Option<HashSet<PeerId>> = None;
         let mut saw_column_index = false;
         for col in &table_schema_cols {
-            let entries = self.lookup(overlay, column_key(col))?;
+            let entries = self.lookup(overlay, origin, column_key(col))?;
             let owners: HashSet<PeerId> = entries
                 .iter()
                 .filter_map(|e| match e {
@@ -533,7 +560,7 @@ impl PeerLocator {
         }
 
         // 3. Table index: every owner of the table.
-        let entries = self.lookup(overlay, table_key(table))?;
+        let entries = self.lookup(overlay, origin, table_key(table))?;
         let mut peers: Vec<PeerId> = entries
             .iter()
             .filter_map(|e| match e {
@@ -546,15 +573,32 @@ impl PeerLocator {
         Ok((peers, IndexUsed::Table))
     }
 
-    /// Locate peers for every table of the statement.
+    /// Locate peers for every table of the statement (routing from the
+    /// overlay root; queries use [`PeerLocator::peers_for_query_from`]).
     pub fn peers_for_query(
         &mut self,
         overlay: &mut IndexOverlay,
         stmt: &SelectStmt,
     ) -> Result<Vec<(String, Vec<PeerId>)>> {
+        self.peers_for_query_from(overlay, None, stmt)
+    }
+
+    /// Locate peers for every table of the statement, with BATON
+    /// lookups routed from `origin`'s overlay node.
+    pub fn peers_for_query_from(
+        &mut self,
+        overlay: &mut IndexOverlay,
+        origin: Option<PeerId>,
+        stmt: &SelectStmt,
+    ) -> Result<Vec<(String, Vec<PeerId>)>> {
         stmt.from
             .iter()
-            .map(|t| Ok((t.clone(), self.peers_for_table(overlay, stmt, t)?.0)))
+            .map(|t| {
+                Ok((
+                    t.clone(),
+                    self.peers_for_table_from(overlay, origin, stmt, t)?.0,
+                ))
+            })
             .collect()
     }
 }

@@ -36,6 +36,10 @@
 //! - [`admission`] — bounded per-peer admission queues: load shedding
 //!   with [`bestpeer_common::Error::Overloaded`], and the queue-depth /
 //!   utilization signals the elasticity loop consumes;
+//! - [`router`] — the learned routing advisor: query templates mined
+//!   from the locate history, clustered into peer communities, and used
+//!   to short-circuit BATON lookups for recurring traffic (demoted back
+//!   to BATON by the same invalidation fabric the caches ride);
 //! - [`network`] — the assembled corporate network and its client API;
 //! - [`node`] — the [`bestpeer_transport::Handler`] that exposes one
 //!   network over real sockets, so peers can live in separate
@@ -57,6 +61,7 @@ pub mod node;
 pub mod peer;
 pub mod rescache;
 pub mod retry;
+pub mod router;
 pub mod schema_mapping;
 
 pub use access::{AccessRule, Privilege, Role};
@@ -67,3 +72,4 @@ pub use network::{BestPeerNetwork, EngineChoice, NetworkConfig, QueryOutput, Rem
 pub use node::NodeService;
 pub use peer::NormalPeer;
 pub use retry::RetryPolicy;
+pub use router::{QueryFingerprint, RouterConfig, RouterStats, RoutingAdvisor};

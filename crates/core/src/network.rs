@@ -36,6 +36,7 @@ use crate::loader::RefreshReport;
 use crate::peer::NormalPeer;
 use crate::rescache::{CacheStats, ResultCache};
 use crate::retry::RetryPolicy;
+use crate::router::{QueryFingerprint, RouterConfig, RouterStats, RoutingAdvisor};
 use crate::schema_mapping::SchemaMapping;
 
 /// Network-wide configuration: optimization toggles (each has an
@@ -96,6 +97,12 @@ pub struct NetworkConfig {
     /// `QueryReport::slo_violation` and counted under `slo.violations`.
     /// Zero (the default) disables SLO tracking.
     pub slo_latency: SimTime,
+    /// The learned routing advisor: recurring query templates mined
+    /// from the locate history short-circuit BATON lookups to their
+    /// remembered owner maps (demoted back to BATON by the same
+    /// invalidation fabric the caches ride). Enabled by default — the
+    /// advisor changes who is asked, never what is returned.
+    pub router: RouterConfig,
 }
 
 impl Default for NetworkConfig {
@@ -121,6 +128,7 @@ impl Default for NetworkConfig {
             wal_checkpoint_bytes: 4 * 1024 * 1024,
             admission: AdmissionConfig::default(),
             slo_latency: SimTime::ZERO,
+            router: RouterConfig::default(),
         }
     }
 }
@@ -237,6 +245,13 @@ pub struct BestPeerNetwork {
     /// Network-wide metrics (query counts, byte totals, latency
     /// histograms, bootstrap health). Virtual-time only.
     metrics: MetricsRegistry,
+    /// The learned routing advisor (see [`crate::router`]). `RefCell`
+    /// because the engines consult it through the shared [`EngineCtx`].
+    advisor: RefCell<RoutingAdvisor>,
+    /// The advisor counters already mirrored into the registry
+    /// (monotone; [`BestPeerNetwork::publish_router_metrics`] emits the
+    /// delta since this snapshot).
+    router_published: RouterStats,
 }
 
 impl BestPeerNetwork {
@@ -245,6 +260,7 @@ impl BestPeerNetwork {
         let bootstrap = BootstrapPeer::new(global_schemas, config.ca_secret);
         let overlay = IndexOverlay::new(config.replication);
         let config_admission = config.admission;
+        let config_router = config.router;
         BestPeerNetwork {
             config,
             bootstrap,
@@ -262,7 +278,14 @@ impl BestPeerNetwork {
             admission: AdmissionState::new(config_admission),
             overload_since: None,
             metrics: MetricsRegistry::new(),
+            advisor: RefCell::new(RoutingAdvisor::new(config_router)),
+            router_published: RouterStats::default(),
         }
+    }
+
+    /// The routing advisor (inspection: communities, templates, stats).
+    pub fn advisor(&self) -> std::cell::Ref<'_, RoutingAdvisor> {
+        self.advisor.borrow()
     }
 
     /// The configuration.
@@ -428,6 +451,13 @@ impl BestPeerNetwork {
             if let Some(t) = &self.transport {
                 t.evict(&remote.addr);
             }
+            // The serve path admits remote owners into the bounded
+            // queues too — scrub the departed peer's admission state,
+            // exactly as the local branch below does (leaving it behind
+            // let a departed remote's stale queue depth keep vetoing
+            // scale-in and skewing utilization).
+            self.admission.remove_peer(id);
+            self.advisor.get_mut().remove_peer(id);
             self.invalidate_changed(id, &changed_keys);
             return Ok(());
         }
@@ -456,6 +486,7 @@ impl BestPeerNetwork {
         self.locators.remove(&id);
         self.rescaches.remove(&id);
         self.admission.remove_peer(id);
+        self.advisor.get_mut().remove_peer(id);
         // Fine-grained notification: only lookups under the departed
         // peer's index keys are stale, and only results fetched *from*
         // it can no longer be trusted.
@@ -474,6 +505,9 @@ impl BestPeerNetwork {
         for c in self.rescaches.values_mut() {
             c.get_mut().purge_all();
         }
+        // The advisor's verification tail: an unknown set of index keys
+        // changed, so every learned route is demoted back to BATON.
+        self.advisor.get_mut().demote_all();
         self.stats = None;
     }
 
@@ -490,6 +524,11 @@ impl BestPeerNetwork {
         for c in self.rescaches.values_mut() {
             c.get_mut().invalidate_peer(peer);
         }
+        // The advisor's verification tail: any template depending on a
+        // changed key, or answered by the mutated peer, is demoted —
+        // a superset of the locator lines dropped above, so a learned
+        // route can never outlive the cache lines it was built from.
+        self.advisor.get_mut().invalidate(peer, keys);
         self.stats = None;
     }
 
@@ -760,14 +799,27 @@ impl BestPeerNetwork {
     /// back to local index cardinalities and the shape heuristic.
     /// Stale histograms (tables mutated since collection) are dropped
     /// first so the explained plan matches what would actually run.
+    /// The final `Route:` line shows how the submitter would be routed:
+    /// `advisor(community=N)` when a confirmed learned template would
+    /// short-circuit the BATON lookup, `baton` otherwise.
     pub fn explain_query(&mut self, submitter: PeerId, sql: &str) -> Result<String> {
         self.validate_statistics();
         let stmt = parse_select(sql)?;
         let db = &self.peer(submitter)?.db;
-        match &self.stats {
+        let mut plan = match &self.stats {
             Some(stats) => bestpeer_sql::explain_physical(&stmt, db, &stats.estimator()),
             None => bestpeer_sql::explain_physical(&stmt, db, &bestpeer_sql::NoStats),
-        }
+        }?;
+        let route = match self
+            .advisor
+            .borrow()
+            .route_preview(&QueryFingerprint::of(&stmt))
+        {
+            Some(community) => format!("advisor(community={community})"),
+            None => "baton".to_string(),
+        };
+        plan.push_str(&format!("\nRoute: {route}"));
+        Ok(plan)
     }
 
     /// The fault-injection state (chaos harnesses schedule faults here).
@@ -1033,6 +1085,7 @@ impl BestPeerNetwork {
             admission: &self.admission,
             exec: std::cell::Cell::new(Default::default()),
             rescache: &*rescache,
+            advisor: &self.advisor,
         };
         let out = match engine {
             EngineChoice::Basic => {
@@ -1119,6 +1172,7 @@ impl BestPeerNetwork {
         self.validate_statistics();
         let policy = self.config.retry.clone();
         let (loc0, res0) = self.cache_counters(submitter);
+        let adv0 = self.advisor.borrow().stats();
         // Admission queues drain in registry time between queries.
         self.admission.set_now(self.metrics.now());
         let mut pre = Trace::new(); // backoff/slowdown phases across attempts
@@ -1162,6 +1216,8 @@ impl BestPeerNetwork {
                     report.index_cache_misses = loc1.cache_misses - loc0.cache_misses;
                     report.cache_hits = res1.hits - res0.hits;
                     report.cache_misses = res1.misses - res0.misses;
+                    report.overlay_hops = loc1.hops - loc0.hops;
+                    report.advisor_hit = self.advisor.borrow().stats().hits > adv0.hits;
                     self.metrics
                         .inc_by("cache.result.evictions", res1.evictions - res0.evictions);
                     let resident: u64 = self
@@ -1310,9 +1366,39 @@ impl BestPeerNetwork {
                 m.inc("slo.violations");
             }
         }
+        m.inc_by("route.overlay_hops", report.overlay_hops);
         // Virtual time advances by the simulated latency of each query.
         m.tick(report.total_latency);
         self.publish_admission_metrics();
+        self.publish_router_metrics();
+    }
+
+    /// Publish the routing advisor's counters into the registry
+    /// (`route.advisor.{hits,misses,demotions,shed_reroutes}` plus the
+    /// `route.advisor.communities` gauge). The advisor's counters are
+    /// monotone; `router_published` remembers what was already mirrored
+    /// so each call emits only the delta. A no-op when the advisor is
+    /// disabled, so advisor-off networks export exactly the metric set
+    /// they always did.
+    fn publish_router_metrics(&mut self) {
+        if !self.advisor.borrow().enabled() {
+            return;
+        }
+        let s = self.advisor.borrow().stats();
+        let p = self.router_published;
+        let m = &mut self.metrics;
+        m.inc_by("route.advisor.hits", s.hits - p.hits);
+        m.inc_by("route.advisor.misses", s.misses - p.misses);
+        m.inc_by("route.advisor.demotions", s.demotions - p.demotions);
+        m.inc_by(
+            "route.advisor.shed_reroutes",
+            s.shed_reroutes - p.shed_reroutes,
+        );
+        m.set_gauge(
+            "route.advisor.communities",
+            self.advisor.borrow().communities() as f64,
+        );
+        self.router_published = s;
     }
 
     /// One Algorithm 1 maintenance epoch (fail-over, auto-scaling,
@@ -1380,6 +1466,42 @@ impl BestPeerNetwork {
             );
         }
         outcome
+    }
+
+    /// Like [`BestPeerNetwork::offer_request`], but a shed request is
+    /// rerouted to a community alternate instead of bouncing back to
+    /// the client: when the routing advisor has fresh community
+    /// knowledge about the overloaded peer, each alternate (ascending)
+    /// is offered the request until one's bounded queue admits it.
+    /// Returns the peer that actually admitted and the completion time;
+    /// the original [`Error::Overloaded`] surfaces when no alternate
+    /// has headroom either. Only the admission queues move — data
+    /// owners for real queries are determined by placement, so this
+    /// entry point serves the open-loop session harness, where any
+    /// community member can absorb the session.
+    pub fn offer_request_routed(&mut self, peer: PeerId, at: SimTime) -> Result<(PeerId, SimTime)> {
+        match self.offer_request(peer, at) {
+            Ok(done) => Ok((peer, done)),
+            Err(e) if e.kind() == "overloaded" => {
+                let alternates = self.advisor.borrow().shed_alternates(peer);
+                for alt in alternates {
+                    if !self.peers.contains_key(&alt) || self.faults.is_down(alt) {
+                        continue;
+                    }
+                    if let Ok(done) = self.admission.admit(alt) {
+                        self.advisor.get_mut().note_shed_reroute();
+                        self.metrics.observe(
+                            "admission.latency_secs",
+                            done.saturating_sub(at).as_secs_f64(),
+                        );
+                        self.publish_router_metrics();
+                        return Ok((alt, done));
+                    }
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// One epoch of the closed elasticity loop: sample every peer's
@@ -1453,6 +1575,7 @@ impl BestPeerNetwork {
                     self.locators.remove(peer);
                     self.rescaches.remove(peer);
                     self.admission.remove_peer(*peer);
+                    self.advisor.get_mut().remove_peer(*peer);
                     self.metrics.inc("scale.in");
                 }
                 _ => {}
@@ -1465,6 +1588,7 @@ impl BestPeerNetwork {
             self.overload_since = None;
         }
         self.publish_admission_metrics();
+        self.publish_router_metrics();
         Ok(events)
     }
 
@@ -1524,6 +1648,7 @@ impl BestPeerNetwork {
             admission: &self.admission,
             exec: std::cell::Cell::new(Default::default()),
             rescache: &*rescache,
+            advisor: &self.advisor,
         };
         let mut out = crate::engine::online::execute(&mut ctx, submitter, &stmt)?;
         let exec = ctx.exec.get();

@@ -1,0 +1,463 @@
+//! The learned routing advisor end to end (PR 10 tentpole): confirmed
+//! hot templates bypass BATON with byte-identical results, every
+//! mutation/maintenance event demotes the affected templates, departed
+//! peers (graceful leave, remote leave, elastic scale-in) are scrubbed
+//! from the communities, and shed retries reroute to community
+//! alternates.
+
+use std::sync::Arc;
+
+use bestpeer_common::{PeerId, Value};
+use bestpeer_core::admission::AdmissionConfig;
+use bestpeer_core::bootstrap::MaintenanceEvent;
+use bestpeer_core::network::{BestPeerNetwork, EngineChoice, NetworkConfig};
+use bestpeer_core::{indexer, NodeService, Role, RouterConfig};
+use bestpeer_simnet::SimTime;
+use bestpeer_tpch::dbgen::{DbGen, TpchConfig};
+use bestpeer_tpch::schema;
+use bestpeer_transport::{LocalTransport, Request, Response, Transport};
+
+const ENGINES: &[EngineChoice] = &[
+    EngineChoice::Basic,
+    EngineChoice::ParallelP2P,
+    EngineChoice::MapReduce,
+];
+
+fn full_read_role() -> Role {
+    let tables = schema::all_tables();
+    let spec: Vec<(String, Vec<String>)> = tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.columns.iter().map(|c| c.name.clone()).collect(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, Vec<&str>)> = spec
+        .iter()
+        .map(|(t, cs)| (t.as_str(), cs.iter().map(String::as_str).collect()))
+        .collect();
+    let full: Vec<(&str, &[&str])> = borrowed.iter().map(|(t, cs)| (*t, cs.as_slice())).collect();
+    Role::full_read("R", &full)
+}
+
+/// An advisor that confirms after two sightings and re-clusters on
+/// every observation, so tests don't need long warmups. Both caches are
+/// off: every BATON fallback is a real overlay search.
+fn eager_router(enabled: bool) -> NetworkConfig {
+    NetworkConfig {
+        result_cache: false,
+        index_cache: false,
+        router: RouterConfig {
+            enabled,
+            cluster_interval: 1,
+            ..RouterConfig::default()
+        },
+        ..NetworkConfig::default()
+    }
+}
+
+fn setup_with(n: usize, rows: usize, config: NetworkConfig) -> BestPeerNetwork {
+    let mut net = BestPeerNetwork::new(schema::all_tables(), config);
+    net.define_role(full_read_role());
+    for node in 0..n {
+        let id = net.join(&format!("business-{node}")).unwrap();
+        let data = DbGen::new(TpchConfig::tiny(node as u64).with_rows(rows)).generate();
+        net.load_peer(id, data, 1).unwrap();
+    }
+    net
+}
+
+fn setup(n: usize, rows: usize) -> BestPeerNetwork {
+    setup_with(n, rows, eager_router(true))
+}
+
+/// Submit until the template is confirmed, then once more; returns the
+/// advisor-routed output.
+fn confirm(
+    net: &mut BestPeerNetwork,
+    submitter: PeerId,
+    sql: &str,
+    engine: EngineChoice,
+) -> bestpeer_core::network::QueryOutput {
+    net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+    net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+    let out = net.submit_query(submitter, sql, "R", engine, 0).unwrap();
+    assert!(
+        out.report.advisor_hit,
+        "template must be confirmed after two BATON-backed sightings: {:?}",
+        out.report
+    );
+    out
+}
+
+#[test]
+fn confirmed_templates_bypass_baton_with_identical_rows() {
+    let sql = "SELECT l_nationkey, SUM(l_quantity) AS q FROM lineitem \
+               GROUP BY l_nationkey ORDER BY l_nationkey";
+    for &engine in ENGINES {
+        let mut on = setup(4, 300);
+        let mut off = setup_with(4, 300, eager_router(false));
+        // Submit from a leaf of the overlay: a submitter whose own
+        // range happens to hold the index keys can legitimately route
+        // in zero hops, which would make the hop assertions vacuous.
+        let sub_on = on.peer_ids()[3];
+        let sub_off = off.peer_ids()[3];
+        for step in 0..5 {
+            let a = on.submit_query(sub_on, sql, "R", engine, 0).unwrap();
+            let b = off.submit_query(sub_off, sql, "R", engine, 0).unwrap();
+            assert_eq!(
+                a.result.rows, b.result.rows,
+                "{engine:?} step {step}: advisor-routed rows diverged from BATON"
+            );
+            assert!(!b.report.advisor_hit, "disabled advisor must never route");
+            // The MapReduce engine mounts over every peer directly
+            // (§5.4) and never consults BATON, so the routing
+            // assertions only apply to the native engines.
+            if engine == EngineChoice::MapReduce {
+                continue;
+            }
+            assert!(b.report.overlay_hops > 0, "BATON fallback must pay hops");
+            if step >= 2 {
+                assert!(a.report.advisor_hit, "{engine:?} step {step} not routed");
+                assert_eq!(
+                    a.report.overlay_hops, 0,
+                    "{engine:?}: an advisor hit must bypass the overlay"
+                );
+            }
+        }
+        if engine != EngineChoice::MapReduce {
+            assert!(on.metrics().counter("route.advisor.hits") >= 3);
+        }
+        assert_eq!(off.metrics().counter("route.advisor.hits"), 0);
+        assert_eq!(off.metrics().counter("route.advisor.misses"), 0);
+    }
+}
+
+#[test]
+fn explain_reports_the_route_decision() {
+    let mut net = setup(3, 300);
+    let submitter = net.peer_ids()[0];
+    let sql = "SELECT COUNT(*) AS n FROM orders";
+    let cold = net.explain_query(submitter, sql).unwrap();
+    assert!(
+        cold.contains("Route: baton"),
+        "unconfirmed template must explain as BATON: {cold}"
+    );
+    confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    let hot = net.explain_query(submitter, sql).unwrap();
+    assert!(
+        hot.contains("Route: advisor(community="),
+        "confirmed template must explain its community: {hot}"
+    );
+}
+
+#[test]
+fn delta_publish_on_a_read_table_demotes_and_results_stay_fresh() {
+    let mut net = setup(3, 300);
+    let submitter = net.peer_ids()[0];
+    let victim = net.peer_ids()[1];
+    let sql = "SELECT COUNT(*) AS n FROM orders";
+    let hot = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    let Value::Int(before) = hot.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    let before = *before;
+
+    // The victim gains orders rows and republishes: the template's
+    // dependency keys changed, so the route must be demoted and the
+    // next query must pay BATON again — and see the new rows.
+    let extra = DbGen::new(TpchConfig::tiny(42).with_rows(90)).generate();
+    let rows: Vec<_> = extra["orders"].iter().take(25).cloned().collect();
+    let added = rows.len() as i64;
+    net.peer_mut(victim)
+        .unwrap()
+        .db
+        .bulk_insert("orders", rows)
+        .unwrap();
+    net.publish_indices(victim).unwrap();
+
+    let demotions = net.advisor().stats().demotions;
+    assert!(demotions > 0, "the publish must demote the hot template");
+    let after = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    assert!(
+        !after.report.advisor_hit,
+        "a demoted template must fall back to BATON: {:?}",
+        after.report
+    );
+    let Value::Int(n) = after.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    assert_eq!(*n, before + added, "post-demotion results must be fresh");
+
+    // The template re-earns confirmation from fresh BATON sightings.
+    let again = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    let Value::Int(n2) = again.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    assert_eq!(*n2, before + added);
+}
+
+#[test]
+fn any_mutation_of_a_community_member_demotes_its_templates() {
+    // Conservative tail: the publish touches only `supplier` keys, but
+    // the publishing peer is a member of the orders template's
+    // answering set — membership alone demotes.
+    let mut net = setup(3, 300);
+    let submitter = net.peer_ids()[0];
+    let victim = net.peer_ids()[1];
+    let sql = "SELECT COUNT(*) AS n FROM orders";
+    confirm(&mut net, submitter, sql, EngineChoice::Basic);
+
+    let extra = DbGen::new(TpchConfig::tiny(43).with_rows(60)).generate();
+    let rows: Vec<_> = extra["supplier"].iter().take(10).cloned().collect();
+    net.peer_mut(victim)
+        .unwrap()
+        .db
+        .bulk_insert("supplier", rows)
+        .unwrap();
+    net.publish_indices(victim).unwrap();
+    assert!(
+        net.advisor().stats().demotions > 0,
+        "a community member's mutation must demote its templates"
+    );
+    let after = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    assert!(!after.report.advisor_hit);
+}
+
+#[test]
+fn leave_scrubs_the_departed_peer_from_communities() {
+    let mut net = setup(3, 300);
+    let submitter = net.peer_ids()[0];
+    let leaver = net.peer_ids()[2];
+    let sql = "SELECT COUNT(*) AS n FROM lineitem";
+    let hot = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    let Value::Int(before) = hot.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    let before = *before;
+
+    let leaver_rows = net
+        .peer(leaver)
+        .unwrap()
+        .db
+        .table("lineitem")
+        .unwrap()
+        .len() as i64;
+    let demotions_before = net.advisor().stats().demotions;
+    net.leave(leaver).unwrap();
+    assert!(
+        net.advisor().stats().demotions > demotions_before,
+        "leave must demote every template the peer answered"
+    );
+
+    let after = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    assert!(!after.report.advisor_hit, "{:?}", after.report);
+    let Value::Int(n) = after.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    assert_eq!(
+        *n,
+        before - leaver_rows,
+        "no remembered route may resurrect the departed peer's rows"
+    );
+
+    // Re-confirmation routes again — without the departed peer.
+    let again = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    let Value::Int(n2) = again.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    assert_eq!(*n2, before - leaver_rows);
+}
+
+#[test]
+fn remote_leave_scrubs_advisor_and_admission_state() {
+    // Two local peers plus one remote served over the codec-faithful
+    // in-process transport. The remote joins the community like any
+    // data peer; its departure must scrub advisor routes *and* its
+    // admission queue (the audit this PR fixes: the remote-leave branch
+    // used to skip `admission.remove_peer`).
+    let transport = Arc::new(LocalTransport::new());
+    let mut net = setup_with(
+        2,
+        300,
+        NetworkConfig {
+            admission: AdmissionConfig {
+                queue_depth: 4,
+                service_time: SimTime::from_millis(1),
+            },
+            ..eager_router(true)
+        },
+    );
+    net.set_transport(transport.clone());
+
+    let mut remote_net = BestPeerNetwork::new(schema::all_tables(), eager_router(true));
+    remote_net.define_role(full_read_role());
+    remote_net.bootstrap_mut().set_next_peer_id(500);
+    let remote_id = remote_net.join("business-remote").unwrap();
+    let data = DbGen::new(TpchConfig::tiny(9).with_rows(300)).generate();
+    remote_net.load_peer(remote_id, data, 1).unwrap();
+    let remote_rows = remote_net
+        .peer(remote_id)
+        .unwrap()
+        .db
+        .table("lineitem")
+        .unwrap()
+        .len() as i64;
+    transport.register("node-r", Arc::new(NodeService::new(remote_net, remote_id)));
+
+    let resp = transport.call("node-r", &Request::Inventory).unwrap();
+    let Response::Inventory {
+        peer,
+        load_ts,
+        entries,
+    } = resp
+    else {
+        panic!("unexpected inventory reply: {resp:?}");
+    };
+    assert_eq!(PeerId::new(peer), remote_id);
+    let entries = indexer::decode_entries(&entries).unwrap();
+    net.register_remote_peer(remote_id, "node-r", load_ts, entries)
+        .unwrap();
+
+    let submitter = net.peer_ids()[0];
+    let sql = "SELECT COUNT(*) AS n FROM lineitem";
+    let hot = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    let Value::Int(before) = hot.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    let before = *before;
+
+    let demotions_before = net.advisor().stats().demotions;
+    net.leave(remote_id).unwrap();
+    assert!(
+        net.advisor().stats().demotions > demotions_before,
+        "remote leave must demote the templates the remote answered"
+    );
+    assert_eq!(
+        net.admission().queue_depth(remote_id),
+        0,
+        "remote leave must drop the departed peer's admission queue"
+    );
+
+    let after = net
+        .submit_query(submitter, sql, "R", EngineChoice::Basic, 0)
+        .unwrap();
+    assert!(!after.report.advisor_hit);
+    let Value::Int(n) = after.result.rows[0].get(0) else {
+        panic!("COUNT must be an Int");
+    };
+    assert_eq!(*n, before - remote_rows);
+}
+
+#[test]
+fn scale_events_demote_learned_routes() {
+    // Elastic maintenance rearranges the overlay, so both scale-out and
+    // scale-in conservatively demote everything; the workload then
+    // re-earns its routes.
+    let mut net = setup_with(
+        2,
+        200,
+        NetworkConfig {
+            admission: AdmissionConfig {
+                queue_depth: 4,
+                service_time: SimTime::from_millis(1),
+            },
+            ..eager_router(true)
+        },
+    );
+    net.bootstrap.elastic_limit = 1;
+    net.bootstrap.scale_threshold = 2;
+    let submitter = net.peer_ids()[0];
+    let sql = "SELECT COUNT(*) AS n FROM orders";
+    let hot = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+
+    // Saturate a peer long enough for the scale-out streak to fire.
+    // (The confirmation queries above queued real admission work, so
+    // start the overload after that backlog has drained.)
+    let epoch = SimTime::from_millis(1);
+    let t0 = SimTime::from_secs(1);
+    for _ in 0..4 {
+        net.offer_request(submitter, t0).unwrap();
+    }
+    let demotions_before = net.advisor().stats().demotions;
+    net.scale_tick(t0 + SimTime::from_millis(1), epoch).unwrap();
+    let events = net.scale_tick(t0 + SimTime::from_millis(2), epoch).unwrap();
+    let elastic = match events[..] {
+        [MaintenanceEvent::ScaleOut { peer, .. }] => peer,
+        ref e => panic!("expected ScaleOut, got {e:?}"),
+    };
+    assert!(
+        net.advisor().stats().demotions > demotions_before,
+        "scale-out must demote learned routes"
+    );
+
+    // Re-confirm, then idle the elastic peer back in: demoted again and
+    // the departed peer scrubbed.
+    let again = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    assert_eq!(again.result.rows, hot.result.rows);
+    let demotions_before = net.advisor().stats().demotions;
+    let window = SimTime::from_secs(1);
+    net.scale_tick(SimTime::from_secs(10), window).unwrap();
+    let events = net.scale_tick(SimTime::from_secs(11), window).unwrap();
+    assert!(
+        matches!(events[..], [MaintenanceEvent::ScaleIn { peer, .. }] if peer == elastic),
+        "idle elastic peer must scale back in: {events:?}"
+    );
+    assert!(net.advisor().stats().demotions > demotions_before);
+    let again = confirm(&mut net, submitter, sql, EngineChoice::Basic);
+    assert_eq!(again.result.rows, hot.result.rows);
+}
+
+#[test]
+fn shed_retry_reroutes_to_a_community_alternate() {
+    let mut net = setup_with(
+        3,
+        300,
+        NetworkConfig {
+            admission: AdmissionConfig {
+                queue_depth: 2,
+                service_time: SimTime::from_millis(1),
+            },
+            ..eager_router(true)
+        },
+    );
+    let submitter = net.peer_ids()[0];
+    let hot = net.peer_ids()[1];
+
+    // Before anything is learned there is no community to fall back on:
+    // the overload propagates unchanged.
+    for _ in 0..2 {
+        net.offer_request(hot, SimTime::ZERO).unwrap();
+    }
+    let err = net.offer_request_routed(hot, SimTime::ZERO).unwrap_err();
+    assert_eq!(err.kind(), "overloaded");
+    assert_eq!(net.advisor().stats().shed_reroutes, 0);
+
+    // All three peers hold lineitem, so the confirmed community spans
+    // all of them.
+    let sql = "SELECT COUNT(*) AS n FROM lineitem";
+    confirm(&mut net, submitter, sql, EngineChoice::Basic);
+
+    // Refill the hot peer's queue (the earlier backlog has drained by
+    // t=10s), then offer one more through the routed entry point: it
+    // must land on a community sibling.
+    let t = SimTime::from_secs(10);
+    for _ in 0..2 {
+        net.offer_request(hot, t).unwrap();
+    }
+    assert_eq!(net.offer_request(hot, t).unwrap_err().kind(), "overloaded");
+    let (served_by, done) = net.offer_request_routed(hot, t).unwrap();
+    assert_ne!(served_by, hot, "the retry must move off the hot peer");
+    assert!(net.peer_ids().contains(&served_by));
+    assert!(done > t);
+    assert_eq!(net.advisor().stats().shed_reroutes, 1);
+    assert_eq!(net.metrics().counter("route.advisor.shed_reroutes"), 1);
+}

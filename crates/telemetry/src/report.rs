@@ -104,6 +104,12 @@ pub struct QueryReport {
     /// True when the query's end-to-end latency exceeded the configured
     /// SLO target (always false when no SLO is configured).
     pub slo_violation: bool,
+    /// True when the learned routing advisor answered this query's peer
+    /// location from a confirmed template (BATON lookup bypassed).
+    pub advisor_hit: bool,
+    /// BATON overlay routing hops charged locating this query's data
+    /// owners (0 on index-cache or advisor-routed lookups).
+    pub overlay_hops: u64,
 }
 
 impl Default for QueryReport {
@@ -128,6 +134,8 @@ impl Default for QueryReport {
             parallel_morsels: 0,
             sheds: 0,
             slo_violation: false,
+            advisor_hit: false,
+            overlay_hops: 0,
         }
     }
 }
@@ -178,6 +186,8 @@ impl QueryReport {
             parallel_morsels: 0,
             sheds: 0,
             slo_violation: false,
+            advisor_hit: false,
+            overlay_hops: 0,
         }
     }
 
@@ -314,6 +324,8 @@ impl QueryReport {
             .set("parallel_morsels", self.parallel_morsels)
             .set("sheds", self.sheds)
             .set("slo_violation", self.slo_violation)
+            .set("advisor_hit", self.advisor_hit)
+            .set("overlay_hops", self.overlay_hops)
             .set("warm", self.is_warm())
             .set("participants", participants)
             .set("phases", phases);
@@ -418,6 +430,13 @@ impl QueryReport {
                 .get("slo_violation")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+            // Routing fields postdate the format; absent means the
+            // sender predates the routing advisor (BATON only).
+            advisor_hit: j
+                .get("advisor_hit")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            overlay_hops: opt_count(j, "overlay_hops"),
         })
     }
 }
@@ -516,6 +535,8 @@ mod tests {
         rep.cache_misses = 2;
         rep.index_cache_hits = 9;
         rep.index_cache_misses = 3;
+        rep.advisor_hit = true;
+        rep.overlay_hops = 7;
         rep.selection = Some(EngineSelection {
             predicted_p2p_secs: 1.5,
             predicted_mr_secs: 14.25,
@@ -535,6 +556,8 @@ mod tests {
         assert_eq!(back.cache_misses, 2);
         assert_eq!(back.index_cache_hits, 9);
         assert_eq!(back.index_cache_misses, 3);
+        assert!(back.advisor_hit);
+        assert_eq!(back.overlay_hops, 7);
         assert!(back.is_warm());
     }
 

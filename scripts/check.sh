@@ -46,6 +46,9 @@ run_test() {
   echo "==> scale bench (writes BENCH_scale.json; 10^5+ open-loop sessions vs 120 peers; asserts shedding bounds p99 under 2x overload, elastic scale-out/in, same-seed determinism)"
   cargo run --release -q -p bestpeer-bench --bin scale_bench
 
+  echo "==> route bench (writes BENCH_route.json; asserts >=30% overlay-hop reduction, advisor p99 no worse, byte-identical results advisor on/off and at 1/2/8 threads)"
+  cargo run --release -q -p bestpeer-bench --bin route_bench
+
   echo "==> bench-regression gate (fresh BENCH_*.json vs baselines/, fail on >30% regression)"
   ./scripts/bench_compare.sh
 
